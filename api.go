@@ -1,0 +1,204 @@
+package netcut
+
+import (
+	"fmt"
+
+	"netcut/internal/core"
+	"netcut/internal/device"
+	"netcut/internal/estimate"
+	"netcut/internal/exp"
+	"netcut/internal/graph"
+	"netcut/internal/pareto"
+	"netcut/internal/profiler"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// Re-exported core types, so downstream users need only this package
+// for the common flows.
+type (
+	// Graph is a network as a layer graph.
+	Graph = graph.Graph
+	// TRN is a trimmed network.
+	TRN = trim.TRN
+	// HeadSpec describes the replacement transfer-learning head.
+	HeadSpec = trim.HeadSpec
+	// Result is a full NetCut exploration run.
+	Result = core.Result
+	// Proposal is one deadline-feasible TRN.
+	Proposal = core.Proposal
+	// DeviceConfig parameterizes the simulated embedded GPU.
+	DeviceConfig = device.Config
+	// Point is a latency/accuracy point for Pareto analysis.
+	Point = pareto.Point
+)
+
+// DefaultHead is the paper's replacement head (GAP + 2 FC/ReLU +
+// FC/Softmax over 5 grasp classes).
+var DefaultHead = trim.DefaultHead
+
+// Networks returns the seven networks of the paper's study.
+func Networks() []*Graph { return zoo.Paper7() }
+
+// NetworkNames lists the canonical network names, fastest first.
+func NetworkNames() []string { return append([]string(nil), zoo.Names...) }
+
+// NetworkByName builds one of the paper's networks by name.
+func NetworkByName(name string) (*Graph, error) { return zoo.ByName(name) }
+
+// XavierConfig returns the calibrated embedded-GPU simulation standing
+// in for the paper's Jetson Xavier.
+func XavierConfig() DeviceConfig { return device.Xavier() }
+
+// EstimatorKind selects the latency estimator NetCut explores with.
+type EstimatorKind string
+
+const (
+	// ProfilerEstimator is the per-layer-table Eq. (1) estimator.
+	ProfilerEstimator EstimatorKind = "profiler"
+	// AnalyticalEstimator is the epsilon-SVR over device-agnostic
+	// features.
+	AnalyticalEstimator EstimatorKind = "analytical"
+	// LinearEstimator is the OLS baseline (for ablations).
+	LinearEstimator EstimatorKind = "linear"
+)
+
+// Options configures a NetCut run.
+type Options struct {
+	// DeadlineMs is the application deadline; 0 means the prosthetic
+	// hand's 0.9 ms.
+	DeadlineMs float64
+	// Estimator defaults to ProfilerEstimator.
+	Estimator EstimatorKind
+	// Seed fixes measurement and retraining noise; 0 is a valid seed.
+	Seed int64
+	// Device overrides the simulated device; nil uses XavierConfig.
+	Device *DeviceConfig
+	// Head overrides the replacement head; zero value uses DefaultHead.
+	Head HeadSpec
+}
+
+// Selection is the outcome of Select: the most accurate network meeting
+// the deadline.
+type Selection struct {
+	// Network is the paper-style TRN label, e.g. "ResNet-50/104".
+	Network string
+	// Parent is the off-the-shelf network the TRN was cut from.
+	Parent string
+	// BlocksRemoved and LayersRemoved describe the cut.
+	BlocksRemoved int
+	LayersRemoved int
+	// EstimatedMs is the estimator's latency; MeasuredMs the simulated
+	// ground truth.
+	EstimatedMs float64
+	MeasuredMs  float64
+	// Accuracy is the retrained angular-similarity accuracy.
+	Accuracy float64
+	// Result carries the full exploration run.
+	Result *Result
+}
+
+// Select runs the complete NetCut pipeline — profile the zoo on the
+// device, train the chosen estimator, run Algorithm 1 — and returns the
+// highest-accuracy network meeting the deadline.
+func Select(opts Options) (*Selection, error) {
+	lab, est, err := buildLab(opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := lab.Explore(est)
+	if err != nil {
+		return nil, err
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("netcut: no network can meet %.3f ms (deepest cuts still too slow)", lab.Deadline())
+	}
+	best := res.Best
+	return &Selection{
+		Network:       best.TRN.Name(),
+		Parent:        best.TRN.Parent.Name,
+		BlocksRemoved: best.Cutpoint,
+		LayersRemoved: best.TRN.LayersRemoved,
+		EstimatedMs:   best.EstimateMs,
+		MeasuredMs:    lab.Device().LatencyMs(best.TRN.Graph),
+		Accuracy:      best.Accuracy,
+		Result:        res,
+	}, nil
+}
+
+// Explore runs Algorithm 1 and returns the full run (one proposal per
+// network) without reducing it to a single selection.
+func Explore(opts Options) (*Result, error) {
+	lab, est, err := buildLab(opts)
+	if err != nil {
+		return nil, err
+	}
+	return lab.Explore(est)
+}
+
+// NewLab exposes the full experiment harness (figure and table
+// generators) used by cmd/netexp and the benchmarks.
+func NewLab(cfg exp.Config) (*exp.Lab, error) { return exp.NewLab(cfg) }
+
+// LabConfig is the experiment-harness configuration.
+type LabConfig = exp.Config
+
+func buildLab(opts Options) (*exp.Lab, estimate.Estimator, error) {
+	cfg := exp.Config{
+		Seed:       opts.Seed,
+		DeadlineMs: opts.DeadlineMs,
+		Device:     opts.Device,
+		Head:       opts.Head,
+	}
+	lab, err := exp.NewLab(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var est estimate.Estimator
+	switch opts.Estimator {
+	case "", ProfilerEstimator:
+		est = lab.ProfilerEstimator()
+	case AnalyticalEstimator:
+		est, err = lab.AnalyticalEstimator()
+	case LinearEstimator:
+		est, err = lab.LinearEstimator()
+	default:
+		return nil, nil, fmt.Errorf("netcut: unknown estimator %q", opts.Estimator)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return lab, est, nil
+}
+
+// MeasureMs reports the simulated steady-state latency of any graph on
+// the calibrated device.
+func MeasureMs(g *Graph) float64 {
+	return device.New(device.Xavier()).LatencyMs(g)
+}
+
+// ProfileTable measures the per-layer latency table of a network under
+// the paper's 200/800 protocol.
+func ProfileTable(g *Graph, seed int64) (*profiler.Table, error) {
+	p, err := profiler.New(device.New(device.Xavier()), profiler.PaperProtocol(), seed)
+	if err != nil {
+		return nil, err
+	}
+	return p.Profile(g), nil
+}
+
+// Cut removes the last blocks of a network and attaches the replacement
+// head, returning the TRN.
+func Cut(g *Graph, blocks int, head HeadSpec) (*TRN, error) {
+	return trim.Cut(g, blocks, head)
+}
+
+// BlockwiseTRNs enumerates a network's blockwise TRN family
+// (cutpoints 1..BlockCount).
+func BlockwiseTRNs(g *Graph, head HeadSpec) ([]*TRN, error) {
+	return trim.EnumerateBlockwise(g, head, false)
+}
+
+// Frontier extracts the Pareto-optimal subset of latency/accuracy
+// points.
+func Frontier(points []Point) []Point { return pareto.Frontier(points) }

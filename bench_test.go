@@ -1,0 +1,155 @@
+package netcut
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"netcut/internal/exp"
+)
+
+// The benchmark harness regenerates every figure and table of the
+// paper's evaluation under the paper's full 200-warm-up/800-run
+// measurement protocol. Each benchmark prints its artefact's rows once,
+// so `go test -bench=.` reproduces the series the paper reports.
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *exp.Lab
+	benchLabErr  error
+	printedMu    sync.Mutex
+	printed      = map[string]bool{}
+)
+
+func getBenchLab(b *testing.B) *exp.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() {
+		benchLab, benchLabErr = exp.NewLab(exp.Config{Seed: 1})
+	})
+	if benchLabErr != nil {
+		b.Fatal(benchLabErr)
+	}
+	return benchLab
+}
+
+// runFigure benches a generator and prints its output the first time.
+func runFigure(b *testing.B, id string, gen func() (*exp.Figure, error)) {
+	b.Helper()
+	lab := getBenchLab(b)
+	_ = lab
+	var fig *exp.Figure
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := gen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		fig = f
+	}
+	b.StopTimer()
+	printedMu.Lock()
+	defer printedMu.Unlock()
+	if !printed[id] {
+		printed[id] = true
+		if err := fig.Render(os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(fig.Series) > 0 {
+		b.ReportMetric(float64(fig.Series[0].Len()), "points")
+	}
+}
+
+func BenchmarkFig01OffTheShelfTradeoff(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig1", lab.Fig1)
+}
+
+func BenchmarkFig04BlockVsExhaustive(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig4", lab.Fig4)
+}
+
+func BenchmarkFig05AccuracyVsRemoval(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig5", lab.Fig5)
+}
+
+func BenchmarkFig06TRNTradeoff(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig6", lab.Fig6)
+}
+
+func BenchmarkFig07ParetoFrontiers(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig7", lab.Fig7)
+}
+
+func BenchmarkFig08ResNetEstimation(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig8", lab.Fig8)
+}
+
+func BenchmarkFig09EstimationError(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig9", lab.Fig9)
+}
+
+func BenchmarkFig10FinalSelection(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "fig10", lab.Fig10)
+}
+
+func BenchmarkTab01ExplorationSpeedup(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "tab1", lab.Tab1)
+}
+
+func BenchmarkAblEstimatorChoice(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-estimators", lab.AblEstimatorChoice)
+}
+
+func BenchmarkAblBlockGranularity(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-block", lab.AblBlockGranularity)
+}
+
+func BenchmarkAblDeviceModes(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-device", lab.AblDeviceModes)
+}
+
+func BenchmarkAblIterativeCost(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-iterative", lab.AblIterativeCost)
+}
+
+func BenchmarkAblExtendedZoo(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-extended", lab.AblExtendedZoo)
+}
+
+func BenchmarkAblEarlyExit(b *testing.B) {
+	lab := getBenchLab(b)
+	runFigure(b, "abl-earlyexit", lab.AblEarlyExit)
+}
+
+// BenchmarkSelectEndToEnd measures the full pipeline cost: profile,
+// train estimator, run Algorithm 1.
+func BenchmarkSelectEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sel, err := Select(Options{DeadlineMs: 0.9, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printedMu.Lock()
+		if !printed["select"] {
+			printed["select"] = true
+			fmt.Printf("== select: %s acc=%.3f est=%.3f ms measured=%.3f ms\n",
+				sel.Network, sel.Accuracy, sel.EstimatedMs, sel.MeasuredMs)
+		}
+		printedMu.Unlock()
+	}
+}

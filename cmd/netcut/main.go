@@ -1,0 +1,89 @@
+// netcut runs the NetCut exploration (Algorithm 1): given an
+// application deadline it proposes one deadline-feasible TRN per
+// network, retrains them, and reports the most accurate selection.
+//
+// Usage:
+//
+//	netcut -deadline 0.9                       # profiler-based estimation
+//	netcut -deadline 0.9 -estimator analytical # epsilon-SVR estimation
+//	netcut -deadline 1.5 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"netcut"
+)
+
+func main() {
+	deadline := flag.Float64("deadline", 0.9, "application deadline in milliseconds")
+	estimator := flag.String("estimator", "profiler", "latency estimator: profiler | analytical | linear")
+	seed := flag.Int64("seed", 1, "measurement and retraining seed")
+	sweep := flag.String("sweep", "", "comma-separated deadlines to sweep instead of a single -deadline")
+	flag.Parse()
+
+	if *sweep != "" {
+		runSweep(*sweep, *estimator, *seed)
+		return
+	}
+
+	res, err := netcut.Explore(netcut.Options{
+		DeadlineMs: *deadline,
+		Estimator:  netcut.EstimatorKind(*estimator),
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("NetCut @ %.3f ms, %s estimation\n\n", res.DeadlineMs, res.EstimatorName)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "proposal\tcut(blocks)\tlayers-removed\test(ms)\taccuracy\ttrain(h)\titerations")
+	for _, p := range res.Proposals {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.3f\t%.3f\t%.2f\t%d\n",
+			p.TRN.Name(), p.Cutpoint, p.TRN.LayersRemoved, p.EstimateMs,
+			p.Accuracy, p.TrainHours, p.Iterations)
+	}
+	w.Flush()
+	for _, n := range res.Infeasible {
+		fmt.Printf("infeasible: %s (deepest cut still misses the deadline)\n", n)
+	}
+	if res.Best == nil {
+		fmt.Println("\nno network meets the deadline")
+		os.Exit(2)
+	}
+	fmt.Printf("\nselected: %s  accuracy %.3f  (retrained %d TRNs, %.2f train-hours)\n",
+		res.Best.TRN.Name(), res.Best.Accuracy, res.RetrainedCount, res.ExplorationHours)
+}
+
+// runSweep explores a list of deadlines and prints one selection per
+// line, the quickest way to see the frontier NetCut delivers.
+func runSweep(spec, estimator string, seed int64) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "deadline(ms)\tselection\taccuracy\test(ms)\tretrained")
+	for _, part := range strings.Split(spec, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad deadline %q: %v\n", part, err)
+			os.Exit(1)
+		}
+		sel, err := netcut.Select(netcut.Options{
+			DeadlineMs: d,
+			Estimator:  netcut.EstimatorKind(estimator),
+			Seed:       seed,
+		})
+		if err != nil {
+			fmt.Fprintf(w, "%.3f\t(infeasible)\t\t\t\n", d)
+			continue
+		}
+		fmt.Fprintf(w, "%.3f\t%s\t%.3f\t%.3f\t%d\n",
+			d, sel.Network, sel.Accuracy, sel.EstimatedMs, sel.Result.RetrainedCount)
+	}
+	w.Flush()
+}

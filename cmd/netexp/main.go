@@ -1,0 +1,59 @@
+// netexp regenerates every figure and table of the paper's evaluation
+// section from the simulated testbed and prints the same rows/series
+// the paper plots.
+//
+// Usage:
+//
+//	netexp                 # all artefacts as text
+//	netexp -fig fig9       # one artefact
+//	netexp -markdown       # markdown (the body of EXPERIMENTS.md)
+//	netexp -deadline 1.2   # explore a different deadline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netcut/internal/exp"
+)
+
+func main() {
+	figID := flag.String("fig", "", "generate a single artefact (fig1, fig4..fig10, tab1, abl-estimators, abl-block, abl-device)")
+	markdown := flag.Bool("markdown", false, "emit markdown instead of text")
+	deadline := flag.Float64("deadline", 0.9, "application deadline in milliseconds")
+	seed := flag.Int64("seed", 1, "measurement and retraining seed")
+	flag.Parse()
+
+	lab, err := exp.NewLab(exp.Config{Seed: *seed, DeadlineMs: *deadline})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	figs, err := lab.All()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	found := false
+	for _, f := range figs {
+		if *figID != "" && f.ID != *figID {
+			continue
+		}
+		found = true
+		var err error
+		if *markdown {
+			err = f.Markdown(os.Stdout)
+		} else {
+			err = f.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown artefact %q\n", *figID)
+		os.Exit(1)
+	}
+}

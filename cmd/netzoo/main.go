@@ -1,0 +1,80 @@
+// netzoo lists the network zoo: layer counts, block structure, MACs,
+// parameters and simulated latency of the paper's seven architectures.
+//
+// Usage:
+//
+//	netzoo                  # summary table of all networks
+//	netzoo -net ResNet-50   # per-block detail for one network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"netcut/internal/device"
+	"netcut/internal/graph"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+func main() {
+	netName := flag.String("net", "", "show per-block detail for one network")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the detail table (requires -net)")
+	cut := flag.Int("cut", 0, "render the TRN with this many blocks removed (with -dot)")
+	flag.Parse()
+
+	dev := device.New(device.Xavier())
+	if *netName != "" {
+		g, err := zoo.ByName(*netName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *dot {
+			if *cut > 0 {
+				trn, err := trim.Cut(g, *cut, trim.DefaultHead)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				g = trn.Graph
+			}
+			if err := g.WriteDOT(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		detail(g, dev)
+		return
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "network\tlayers\tblocks\tMMACs\tMparams\tlatency(ms)")
+	for _, g := range zoo.Paper7() {
+		fmt.Fprintf(w, "%s\t%d\t%d\t%.1f\t%.2f\t%.3f\n",
+			g.Name, g.LayerCount(), g.BlockCount(),
+			float64(g.TotalMACs())/1e6, float64(g.TotalParams())/1e6,
+			dev.LatencyMs(g))
+	}
+	w.Flush()
+}
+
+func detail(g *graph.Graph, dev *device.Device) {
+	fmt.Printf("%s: %d layers, %d removable blocks, %.1f MMACs, %.2f Mparams, %.3f ms\n\n",
+		g.Name, g.LayerCount(), g.BlockCount(),
+		float64(g.TotalMACs())/1e6, float64(g.TotalParams())/1e6, dev.LatencyMs(g))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "block\tlabel\tlayers\toutput\tMMACs")
+	for _, blk := range g.Blocks {
+		var macs int64
+		for _, id := range blk.Nodes {
+			macs += g.Node(id).MACs
+		}
+		fmt.Fprintf(w, "%d\t%s\t%d\t%v\t%.2f\n",
+			blk.Index, blk.Label, len(blk.Nodes), g.Node(blk.Output).Out, float64(macs)/1e6)
+	}
+	w.Flush()
+}

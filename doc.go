@@ -1,0 +1,43 @@
+// Package netcut reproduces "NetCut: Real-Time DNN Inference Using
+// Layer Removal" (Zandigohar, Erdoğmuş, Schirner — DATE 2021) as a Go
+// library.
+//
+// NetCut constructs TRimmed Networks (TRNs) by removing problem-specific
+// top layers from pretrained networks used in transfer learning, and
+// explores them deadline-first: a latency estimator (a profiler-based
+// per-layer table, Eq. (1), or an analytical epsilon-SVR over
+// device-agnostic features) proposes only the TRNs that meet an
+// application deadline, so just a handful of networks are ever
+// retrained.
+//
+// The root package is a facade over the internal substrates:
+//
+//   - internal/graph, internal/zoo: layer-graph IR and the seven paper
+//     architectures (MobileNetV1/V2, ResNet-50, InceptionV3,
+//     DenseNet-121)
+//   - internal/trim: blockwise and per-layer TRN construction
+//   - internal/device, internal/profiler: a calibrated embedded-GPU
+//     simulator standing in for the paper's Jetson Xavier, and the
+//     200-warm-up/800-run measurement protocol
+//   - internal/svr, internal/estimate: epsilon-SVR (SMO with exact line
+//     search), grid search, cross-validation, Eq. (1), and the linear
+//     baseline
+//   - internal/transfer: the retraining simulator calibrated to the
+//     paper's accuracy-vs-removal curves and 183-hour sweep cost
+//   - internal/core: Algorithm 1 and the blockwise-sweep baseline
+//   - internal/tensor, internal/nn, internal/hands, internal/quant: a
+//     real, from-scratch trainable CNN stack for the miniature
+//     end-to-end pipeline
+//   - internal/emg, internal/fusion, internal/robot: the prosthetic-
+//     hand application context that sets the 0.9 ms deadline
+//   - internal/exp: the harness regenerating every figure and table
+//
+// Quick start:
+//
+//	sel, err := netcut.Select(netcut.Options{DeadlineMs: 0.9})
+//	if err != nil { ... }
+//	fmt.Println(sel.Network, sel.Accuracy)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package netcut

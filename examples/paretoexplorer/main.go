@@ -1,0 +1,80 @@
+// Pareto explorer: the blockwise layer-removal study of Sec. IV. It
+// retrains the full 148-TRN blockwise family (simulated), prints the
+// off-the-shelf and TRN Pareto frontiers, and quantifies the accuracy
+// that layer removal recovers at a sweep of deadlines — the
+// accuracy-gap/slack-time argument of Fig. 1 and Fig. 7.
+//
+//	go run ./examples/paretoexplorer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netcut"
+	"netcut/internal/exp"
+)
+
+func main() {
+	lab, err := netcut.NewLab(netcut.LabConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fig7, err := lab.Fig7()
+	if err != nil {
+		log.Fatal(err)
+	}
+	offFrontier := seriesPoints(&fig7.Series[0])
+	trnFrontier := seriesPoints(&fig7.Series[1])
+
+	fmt.Println("off-the-shelf Pareto frontier:")
+	printFrontier(offFrontier)
+	fmt.Printf("\nblockwise TRN Pareto frontier (%d points — %d more operating points):\n",
+		len(trnFrontier), len(trnFrontier)-len(offFrontier))
+	printFrontier(trnFrontier)
+
+	fmt.Println("\naccuracy recovered by layer removal at each deadline:")
+	fmt.Printf("%10s  %-26s %-26s %8s\n", "deadline", "off-the-shelf pick", "TRN pick", "gain")
+	for _, d := range []float64{0.4, 0.6, 0.9, 1.2, 1.6, 2.4, 3.2} {
+		off, okOff := best(offFrontier, d)
+		trn, okTrn := best(trnFrontier, d)
+		if !okOff || !okTrn {
+			fmt.Printf("%9.1f   (no network meets the deadline)\n", d)
+			continue
+		}
+		gain := (trn.Accuracy/off.Accuracy - 1) * 100
+		fmt.Printf("%9.1f   %-26s %-26s %+7.2f%%\n",
+			d, fmt.Sprintf("%s (%.3f)", off.Label, off.Accuracy),
+			fmt.Sprintf("%s (%.3f)", trn.Label, trn.Accuracy), gain)
+	}
+	fmt.Println()
+	for _, n := range fig7.Notes {
+		fmt.Println("* " + n)
+	}
+}
+
+func seriesPoints(s *exp.Series) []netcut.Point {
+	pts := make([]netcut.Point, s.Len())
+	for i := range pts {
+		pts[i] = netcut.Point{Label: s.Labels[i], Latency: s.X[i], Accuracy: s.Y[i]}
+	}
+	return pts
+}
+
+func printFrontier(pts []netcut.Point) {
+	for _, p := range pts {
+		fmt.Printf("  %8.3f ms  %.3f  %s\n", p.Latency, p.Accuracy, p.Label)
+	}
+}
+
+func best(pts []netcut.Point, deadline float64) (netcut.Point, bool) {
+	var out netcut.Point
+	found := false
+	for _, p := range pts {
+		if p.Latency <= deadline && (!found || p.Accuracy > out.Accuracy) {
+			out, found = p, true
+		}
+	}
+	return out, found
+}

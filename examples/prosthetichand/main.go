@@ -1,0 +1,91 @@
+// Prosthetic hand: the paper's motivating application end to end
+// (Sec. III). A reaching hand fuses a noisy EMG intent classifier with
+// a visual grasp classifier under a 0.9 ms per-frame inference budget.
+// The example compares three deployments of the visual classifier:
+//
+//  1. the most accurate off-the-shelf network (DenseNet-121) — too slow,
+//     every frame misses the budget, the robot runs EMG-only;
+//
+//  2. the fastest safe off-the-shelf choice (MobileNetV1 (0.5));
+//
+//  3. the NetCut-selected TRN, which spends the slack on accuracy.
+//
+//     go run ./examples/prosthetichand
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netcut"
+	"netcut/internal/device"
+	"netcut/internal/robot"
+)
+
+func main() {
+	// Run NetCut once to get the deadline-optimal TRN.
+	sel, err := netcut.Select(netcut.Options{DeadlineMs: 0.9, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dev := device.New(device.Xavier())
+	deployments := []robot.VisionModel{
+		visionFor(dev, "DenseNet-121", 0.922),
+		visionFor(dev, "MobileNetV1 (0.5)", 0.809),
+		{
+			Name:      sel.Network + " (NetCut)",
+			LatencyMs: latencySampler(dev, sel),
+			Accuracy:  sel.Accuracy,
+		},
+	}
+
+	fmt.Println("robotic prosthetic hand: 30 fps palm camera, 0.9 ms inference budget,")
+	fmt.Println("900 ms reach, 350 ms actuation window, EMG+vision fusion, 200 reach trials")
+	fmt.Println()
+	fmt.Printf("%-34s %9s %9s %9s %9s\n", "visual classifier", "miss-rate", "decided", "success", "fused-sim")
+	for _, vm := range deployments {
+		cfg := robot.DefaultConfig()
+		cfg.Seed = 42
+		r, err := robot.New(cfg, vm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := r.RunTrials(200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %8.0f%% %8.0f%% %8.0f%% %9.3f\n",
+			vm.Name, 100*sum.MissRate, 100*sum.DecisionRate, 100*sum.SuccessRate, sum.MeanFusedSim)
+	}
+	fmt.Println()
+	fmt.Println("the TRN keeps every frame inside the budget like MobileNetV1 (0.5) does,")
+	fmt.Println("but converts the slack into accuracy the fusion can actually use.")
+}
+
+// visionFor builds a VisionModel for an off-the-shelf network measured
+// on the simulated device.
+func visionFor(dev *device.Device, name string, accuracy float64) robot.VisionModel {
+	g, err := netcut.NetworkByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := dev.Open(g, 7)
+	for i := 0; i < 200; i++ {
+		s.InferMs() // warm up, as the measurement protocol does
+	}
+	return robot.VisionModel{
+		Name:      name,
+		LatencyMs: s.InferMs,
+		Accuracy:  accuracy,
+	}
+}
+
+// latencySampler opens a warm device session for the selected TRN.
+func latencySampler(dev *device.Device, sel *netcut.Selection) func() float64 {
+	s := dev.Open(sel.Result.Best.TRN.Graph, 7)
+	for i := 0; i < 200; i++ {
+		s.InferMs()
+	}
+	return s.InferMs
+}

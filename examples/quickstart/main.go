@@ -1,0 +1,43 @@
+// Quickstart: ask NetCut for the most accurate network that meets a
+// real-time deadline.
+//
+//	go run ./examples/quickstart
+//
+// The pipeline behind the one call: the seven ImageNet architectures
+// are profiled on the simulated embedded GPU, the Eq. (1) latency
+// estimator is built from the per-layer tables, Algorithm 1 proposes
+// one deadline-feasible TRN per network, the proposals are retrained,
+// and the most accurate one wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netcut"
+)
+
+func main() {
+	sel, err := netcut.Select(netcut.Options{
+		DeadlineMs: 0.9, // the prosthetic hand's visual-classifier budget
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("deadline        : 0.9 ms\n")
+	fmt.Printf("selected network: %s\n", sel.Network)
+	fmt.Printf("  parent        : %s\n", sel.Parent)
+	fmt.Printf("  blocks removed: %d (%d layers)\n", sel.BlocksRemoved, sel.LayersRemoved)
+	fmt.Printf("  est / measured: %.3f / %.3f ms\n", sel.EstimatedMs, sel.MeasuredMs)
+	fmt.Printf("  accuracy      : %.3f (angular distance)\n", sel.Accuracy)
+	fmt.Println()
+
+	fmt.Println("all proposals:")
+	for _, p := range sel.Result.Proposals {
+		fmt.Printf("  %-24s est %.3f ms  acc %.3f\n", p.TRN.Name(), p.EstimateMs, p.Accuracy)
+	}
+	fmt.Printf("\nretrained %d TRNs (%.1f simulated GPU-hours) instead of the 148-candidate sweep\n",
+		sel.Result.RetrainedCount, sel.Result.ExplorationHours)
+}

@@ -1,0 +1,190 @@
+package netcut
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netcut/internal/core"
+	"netcut/internal/device"
+	"netcut/internal/estimate"
+	"netcut/internal/graph"
+	"netcut/internal/hands"
+	"netcut/internal/nn"
+	"netcut/internal/profiler"
+	"netcut/internal/trim"
+)
+
+// TestMiniNetCutEndToEnd runs the complete NetCut loop with nothing
+// simulated about the networks: a small zoo of genuinely trained CNNs
+// is lowered to the IR, measured on the device model, profiled into
+// Eq. (1) tables, explored by Algorithm 1 at a deadline, and the
+// proposed TRNs are genuinely retrained (transfer + fine-tune) and
+// evaluated by angular similarity. This is the miniature, fully real
+// counterpart of the paper-scale pipeline.
+func TestMiniNetCutEndToEnd(t *testing.T) {
+	const imgSize = 14
+	type miniNet struct {
+		name string
+		cfg  nn.MiniConfig
+		src  *nn.Model
+		g    *graph.Graph
+	}
+
+	// A mini zoo spanning the paper's architecture flavours. Widths and
+	// depths differ so their latencies spread like Fig. 1.
+	zoo := []*miniNet{
+		{name: "mini-mobile", cfg: nn.MiniConfig{
+			InputH: imgSize, StemC: 6, Width: 8, Blocks: 3,
+			Classes: hands.PretrainClasses, HeadHidden: 16, Kind: nn.MobileBlocks}},
+		{name: "mini-resnet", cfg: nn.MiniConfig{
+			InputH: imgSize, StemC: 8, Width: 12, Blocks: 4,
+			Classes: hands.PretrainClasses, HeadHidden: 24, Kind: nn.ResidualBlocks}},
+		{name: "mini-plain", cfg: nn.MiniConfig{
+			InputH: imgSize, StemC: 10, Width: 16, Blocks: 5,
+			Classes: hands.PretrainClasses, HeadHidden: 24, Kind: nn.PlainBlocks}},
+	}
+
+	// Pretrain each mini network on the shape task ("ImageNet").
+	pretrain := hands.GeneratePretrain(hands.Config{N: 240, Size: imgSize, Seed: 1})
+	for i, m := range zoo {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		src, err := nn.Build(m.cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nn.Train(src, pretrain, nn.TrainConfig{
+			Epochs: 10, BatchSize: 24, Optimizer: nn.NewAdam(2e-3), Seed: int64(i + 10),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		m.src = src
+		g, err := nn.ToGraph(src, m.name, imgSize, imgSize, 1, hands.PretrainClasses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.Validate(g); err != nil {
+			t.Fatalf("%s IR invalid: %v", m.name, err)
+		}
+		if g.BlockCount() != m.cfg.Blocks {
+			t.Fatalf("%s IR has %d blocks, want %d", m.name, g.BlockCount(), m.cfg.Blocks)
+		}
+		m.g = g
+	}
+
+	// Measure and profile the mini zoo on the simulated device.
+	dev := device.New(device.Xavier())
+	prof, err := profiler.New(dev, profiler.Protocol{WarmupRuns: 50, TimedRuns: 100}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]*profiler.Table{}
+	var cands []core.Candidate
+	grasps := hands.Generate(hands.Config{N: 150, Size: imgSize, Seed: 4})
+	trainDS, valDS := hands.Split(grasps, 0.4, 5)
+	byName := map[string]*miniNet{}
+	for _, m := range zoo {
+		byName[m.name] = m
+		tables[m.name] = prof.Profile(m.g)
+		// Transfer the uncut network to the grasp task for its
+		// off-the-shelf accuracy (Algorithm 1 input).
+		base, err := nn.CutModel(m.src, m.cfg, 0, hands.NumGrasps, rand.New(rand.NewSource(31)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nn.FineTuneLR(base, trainDS, 4, 8, 16, 32, 1e-3, 1e-3); err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, core.Candidate{
+			Graph:      m.g,
+			MeasuredMs: prof.Measure(m.g).MeanMs,
+			Accuracy:   nn.Evaluate(base, valDS),
+		})
+	}
+
+	// Pick a deadline under the two larger networks so Algorithm 1 must
+	// actually cut.
+	var maxLat, minLat float64
+	for i, c := range cands {
+		if i == 0 || c.MeasuredMs < minLat {
+			minLat = c.MeasuredMs
+		}
+		if c.MeasuredMs > maxLat {
+			maxLat = c.MeasuredMs
+		}
+	}
+	deadline := minLat + 0.35*(maxLat-minLat)
+	if deadline <= minLat {
+		t.Fatalf("degenerate mini-zoo latency spread: %v", cands)
+	}
+
+	// The retrainer really retrains: cut the trained source model at
+	// the proposed blockwise cutpoint and fine-tune on the grasp task.
+	rt := core.RetrainerFunc(func(tr *trim.TRN) (core.TrainResult, error) {
+		m, ok := byName[tr.Parent.Name]
+		if !ok {
+			return core.TrainResult{}, fmt.Errorf("unknown mini net %q", tr.Parent.Name)
+		}
+		trn, err := nn.CutModel(m.src, m.cfg, tr.Cutpoint, hands.NumGrasps,
+			rand.New(rand.NewSource(int64(50+tr.Cutpoint))))
+		if err != nil {
+			return core.TrainResult{}, err
+		}
+		if _, err := nn.FineTuneLR(trn, trainDS, 4, 8, 16, int64(60+tr.Cutpoint), 1e-3, 1e-3); err != nil {
+			return core.TrainResult{}, err
+		}
+		return core.TrainResult{Accuracy: nn.Evaluate(trn, valDS)}, nil
+	})
+
+	est := estimate.NewProfilerEstimator(tables)
+	res, err := core.Explore(cands, deadline, est, rt, trim.DefaultHead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatalf("mini NetCut found nothing under %.4f ms (candidates %+v)", deadline, cands)
+	}
+	if res.Best.EstimateMs > deadline {
+		t.Fatalf("winner estimate %.4f over deadline %.4f", res.Best.EstimateMs, deadline)
+	}
+	// At least one network had to be cut for this deadline.
+	cut := 0
+	for _, p := range res.Proposals {
+		if p.Cutpoint > 0 {
+			cut++
+		}
+	}
+	if cut == 0 {
+		t.Fatalf("deadline %.4f required no cuts; latencies %+v", deadline, cands)
+	}
+	// The winner's retrained accuracy must be plausible (better than
+	// uniform guessing by a clear margin).
+	if res.Best.Accuracy < 0.6 {
+		t.Fatalf("winner accuracy %.3f implausibly low", res.Best.Accuracy)
+	}
+	t.Logf("mini NetCut @ %.4f ms selected %s (accuracy %.3f, %d proposals cut)",
+		deadline, res.Best.TRN.Name(), res.Best.Accuracy, cut)
+}
+
+// TestToGraphLatencyTracksModelSize checks the nn -> IR bridge: bigger
+// mini networks must cost more simulated time.
+func TestToGraphLatencyTracksModelSize(t *testing.T) {
+	dev := device.New(device.Xavier())
+	var prev float64
+	for i, blocks := range []int{1, 3, 6} {
+		rng := rand.New(rand.NewSource(int64(i)))
+		m, err := nn.Build(nn.MiniConfig{InputH: 14, Width: 12, Blocks: blocks, Classes: 5}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := nn.ToGraph(m, fmt.Sprintf("m%d", blocks), 14, 14, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := dev.LatencyMs(g)
+		if lat <= prev {
+			t.Fatalf("latency %.5f not increasing with %d blocks", lat, blocks)
+		}
+		prev = lat
+	}
+}

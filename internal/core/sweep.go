@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+	"netcut/internal/pareto"
+	"netcut/internal/trim"
+)
+
+// SweepEntry is one retrained, measured TRN of the blockwise sweep.
+type SweepEntry struct {
+	TRN        *trim.TRN
+	Accuracy   float64
+	TrainHours float64
+	MeasuredMs float64
+}
+
+// Sweep is the exhaustive blockwise exploration baseline (Sec. IV-B):
+// every blockwise TRN of every network retrained and measured — the 148
+// candidates whose cost NetCut avoids.
+type Sweep struct {
+	Entries    []SweepEntry
+	TotalHours float64
+}
+
+// Measurer reports the ground-truth latency of a network, e.g. a
+// profiler closure over the target device.
+type Measurer func(g *graph.Graph) float64
+
+// BlockwiseSweep retrains and measures the full blockwise TRN family of
+// every candidate (cutpoints 1..BlockCount; the cut-0 entries reuse the
+// candidates' known accuracy and latency and cost nothing extra).
+func BlockwiseSweep(cands []Candidate, rt Retrainer, measure Measurer, head trim.HeadSpec) (*Sweep, error) {
+	if measure == nil {
+		return nil, fmt.Errorf("netcut: nil measurer")
+	}
+	sw := &Sweep{}
+	for _, c := range cands {
+		zero, err := trim.Cut(c.Graph, 0, head)
+		if err != nil {
+			return nil, err
+		}
+		sw.Entries = append(sw.Entries, SweepEntry{
+			TRN:        zero,
+			Accuracy:   c.Accuracy,
+			MeasuredMs: c.MeasuredMs,
+		})
+		trns, err := trim.EnumerateBlockwise(c.Graph, head, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range trns {
+			res, err := rt.Retrain(tr)
+			if err != nil {
+				return nil, fmt.Errorf("netcut: sweep retraining %s: %w", tr.Name(), err)
+			}
+			sw.Entries = append(sw.Entries, SweepEntry{
+				TRN:        tr,
+				Accuracy:   res.Accuracy,
+				TrainHours: res.TrainHours,
+				MeasuredMs: measure(tr.Graph),
+			})
+			sw.TotalHours += res.TrainHours
+		}
+	}
+	return sw, nil
+}
+
+// TRNCount returns the number of retrained TRNs in the sweep (cut > 0).
+func (s *Sweep) TRNCount() int {
+	n := 0
+	for _, e := range s.Entries {
+		if e.TRN.Cutpoint > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Points returns the sweep as latency/accuracy points (Fig. 6).
+func (s *Sweep) Points() []pareto.Point {
+	pts := make([]pareto.Point, len(s.Entries))
+	for i, e := range s.Entries {
+		pts[i] = pareto.Point{Label: e.TRN.Name(), Latency: e.MeasuredMs, Accuracy: e.Accuracy}
+	}
+	return pts
+}
+
+// BestUnderDeadline returns the sweep's most accurate entry meeting the
+// deadline — what exhaustive exploration would deploy.
+func (s *Sweep) BestUnderDeadline(deadlineMs float64) (SweepEntry, bool) {
+	var best SweepEntry
+	found := false
+	for _, e := range s.Entries {
+		if e.MeasuredMs > deadlineMs {
+			continue
+		}
+		if !found || e.Accuracy > best.Accuracy {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Speedup summarizes the exploration-time comparison (the paper's 27x).
+type Speedup struct {
+	SweepHours    float64
+	NetCutHours   float64
+	Factor        float64
+	SweepTRNs     int
+	NetCutRetrain int
+}
+
+// CompareCost computes the exploration-time speedup of a NetCut run
+// against a blockwise sweep. extraNetCutHours accounts for estimator
+// setup (profiling runs, SVR training), which is negligible but
+// reported honestly.
+func CompareCost(sw *Sweep, runs []*Result, extraNetCutHours float64) Speedup {
+	sp := Speedup{SweepHours: sw.TotalHours, SweepTRNs: sw.TRNCount(), NetCutHours: extraNetCutHours}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		for _, p := range r.Proposals {
+			if p.Cutpoint == 0 || seen[p.TRN.Name()] {
+				continue // already-trained network or shared proposal
+			}
+			seen[p.TRN.Name()] = true
+			sp.NetCutHours += p.TrainHours
+			sp.NetCutRetrain++
+		}
+	}
+	if sp.NetCutHours > 0 {
+		sp.Factor = sp.SweepHours / sp.NetCutHours
+	}
+	return sp
+}

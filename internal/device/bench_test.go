@@ -1,0 +1,36 @@
+package device
+
+import (
+	"testing"
+
+	"netcut/internal/zoo"
+)
+
+func BenchmarkPlanDenseNet(b *testing.B) {
+	cfg := Xavier()
+	g, _ := zoo.ByName("DenseNet-121")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Plan(g)
+	}
+}
+
+func BenchmarkLatencyResNet(b *testing.B) {
+	d := New(Xavier())
+	g, _ := zoo.ByName("ResNet-50")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.LatencyMs(g)
+	}
+}
+
+func BenchmarkInferMs(b *testing.B) {
+	d := New(Xavier())
+	g, _ := zoo.ByName("InceptionV3")
+	s := d.Open(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.InferMs()
+	}
+}

@@ -1,0 +1,191 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+
+	"netcut/internal/graph"
+)
+
+// Device is a simulated embedded GPU.
+type Device struct {
+	cfg Config
+}
+
+// New returns a Device for the given configuration. Configurations are
+// static calibration tables, so an invalid one panics rather than
+// returning an error through every measurement call.
+func New(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{cfg: cfg}
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// throughput returns the sustained MAC/s for a kernel, combining the
+// precision mode, the kernel-class efficiency and the channel ramp.
+func (c *Config) throughput(k *Kernel) float64 {
+	peak := c.PeakMACs
+	switch c.Precision {
+	case INT8:
+		peak *= c.INT8Speedup
+	case FP32:
+		peak /= c.FP32Slowdown
+	}
+	var eff float64
+	switch k.Kind {
+	case graph.OpConv:
+		eff = c.ConvEff
+	case graph.OpDWConv:
+		eff = c.DWEff
+	case graph.OpDense:
+		eff = c.DenseEff
+	case graph.OpMaxPool, graph.OpAvgPool, graph.OpGlobalAvgPool:
+		eff = c.PoolEff
+	default:
+		eff = c.EltwEff
+	}
+	ch := float64(k.OutChannels)
+	ramp := ch / (ch + c.ChannelKnee)
+	return peak * eff * ramp
+}
+
+// KernelTimeMs returns the noise-free steady-state latency of one kernel
+// in milliseconds: launch overhead plus the roofline maximum of compute
+// and memory time.
+func (d *Device) KernelTimeMs(k *Kernel) float64 {
+	c := &d.cfg
+	computeS := 0.0
+	if k.MACs > 0 {
+		computeS = float64(k.MACs) / c.throughput(k)
+	}
+	bytes := (float64(k.WeightBytes) + float64(k.IOBytes)) * c.Precision.bytesPerElem()
+	memS := bytes / c.MemBandwidth
+	return c.LaunchOverheadMs + 1e3*math.Max(computeS, memS)
+}
+
+// LatencyMs returns the noise-free steady-state end-to-end inference
+// latency of g in milliseconds.
+func (d *Device) LatencyMs(g *graph.Graph) float64 {
+	total := 0.0
+	for _, k := range d.cfg.Plan(g) {
+		total += d.KernelTimeMs(&k)
+	}
+	return total
+}
+
+// Session is an open execution context for one network on the device.
+// It tracks warm-up state and yields noisy per-run measurements, the way
+// repeated timed inferences on real hardware do.
+type Session struct {
+	dev  *Device
+	g    *graph.Graph
+	plan []Kernel
+	base []float64 // per-kernel steady-state ms
+	runs int
+	rng  *rand.Rand
+}
+
+// Open prepares a session for g. The seed makes the measurement-noise
+// stream reproducible.
+func (d *Device) Open(g *graph.Graph, seed int64) *Session {
+	plan := d.cfg.Plan(g)
+	base := make([]float64, len(plan))
+	for i := range plan {
+		base[i] = d.KernelTimeMs(&plan[i])
+	}
+	return &Session{
+		dev:  d,
+		g:    g,
+		plan: plan,
+		base: base,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Graph returns the network this session executes.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Runs returns the number of inferences executed so far.
+func (s *Session) Runs() int { return s.runs }
+
+// coldFactor models the warm-up transient of run k.
+func (s *Session) coldFactor() float64 {
+	c := &s.dev.cfg
+	if c.ColdPenalty == 0 {
+		return 1
+	}
+	return 1 + c.ColdPenalty*math.Exp(-float64(s.runs)/c.ColdRuns)
+}
+
+// runNoise is the per-run global noise factor (clock and DVFS jitter
+// affect all kernels of a run together); kernelNoise is the smaller
+// independent per-kernel jitter.
+func (s *Session) runNoise() float64 {
+	return 1 + s.dev.cfg.NoiseSigma*s.rng.NormFloat64()
+}
+
+func (s *Session) kernelNoise() float64 {
+	return 1 + 0.5*s.dev.cfg.NoiseSigma*s.rng.NormFloat64()
+}
+
+// InferMs executes one inference and returns its measured latency in
+// milliseconds, including warm-up and noise effects.
+func (s *Session) InferMs() float64 {
+	cold := s.coldFactor()
+	run := s.runNoise()
+	s.runs++
+	total := 0.0
+	for _, b := range s.base {
+		total += b * s.kernelNoise()
+	}
+	return total * run * cold
+}
+
+// LayerTimeMs is one row of a per-layer profiling table.
+type LayerTimeMs struct {
+	NodeID int
+	Name   string
+	Kind   graph.OpKind
+	Ms     float64
+}
+
+// InferProfiledMs executes one inference with per-layer event recording,
+// returning a per-layer latency table and the end-to-end latency the
+// run would have had without events. Kernel time is attributed to its
+// fused layers proportionally to their MAC share, and each recorded
+// layer pays the event overhead — which is why the table's sum slightly
+// exceeds the end-to-end latency, the effect Eq. (1) divides away.
+func (s *Session) InferProfiledMs() ([]LayerTimeMs, float64) {
+	cold := s.coldFactor()
+	run := s.runNoise()
+	s.runs++
+	var rows []LayerTimeMs
+	total := 0.0
+	ev := s.dev.cfg.EventOverheadMs
+	for ki, k := range s.plan {
+		t := s.base[ki] * s.kernelNoise() * run * cold
+		total += t
+		var macs int64
+		for _, id := range k.Nodes {
+			macs += s.g.Node(id).MACs
+		}
+		for _, id := range k.Nodes {
+			n := s.g.Node(id)
+			share := 1.0 / float64(len(k.Nodes))
+			if macs > 0 {
+				share = float64(n.MACs) / float64(macs)
+			}
+			rows = append(rows, LayerTimeMs{
+				NodeID: id,
+				Name:   n.Name,
+				Kind:   n.Kind,
+				Ms:     t*share + ev*(1+0.1*s.rng.NormFloat64()),
+			})
+		}
+	}
+	return rows, total
+}

@@ -1,0 +1,89 @@
+package device
+
+import "netcut/internal/graph"
+
+// Kernel is one fused execution unit: a primary layer plus any
+// elementwise layers folded into it.
+type Kernel struct {
+	Nodes []int // graph node IDs, primary first
+	Kind  graph.OpKind
+	// Aggregated accounting over fused nodes.
+	MACs        int64
+	WeightBytes int64 // element counts; scaled by precision at timing
+	IOBytes     int64
+	OutChannels int
+}
+
+// fusable reports whether kind can be folded into a preceding kernel.
+func fusable(kind graph.OpKind) bool {
+	switch kind {
+	case graph.OpBatchNorm, graph.OpReLU, graph.OpReLU6, graph.OpDropout, graph.OpSoftmax:
+		return true
+	}
+	return false
+}
+
+// fusionTarget reports whether a kernel of this kind can absorb trailing
+// elementwise layers. Concat cannot: there are no producer weights to
+// fold a BN into, so DenseNet's pre-activation BN/ReLU pairs start their
+// own kernels.
+func fusionTarget(kind graph.OpKind) bool {
+	switch kind {
+	case graph.OpConv, graph.OpDWConv, graph.OpDense, graph.OpAdd,
+		graph.OpMaxPool, graph.OpAvgPool, graph.OpGlobalAvgPool,
+		graph.OpBatchNorm, graph.OpReLU, graph.OpReLU6:
+		return true
+	}
+	return false
+}
+
+// Plan runs the fusion pass over g and returns the kernel sequence in
+// topological order. With fusion disabled every non-input node is its
+// own kernel.
+//
+// Fusion rule: a BN / activation / dropout / softmax node is folded into
+// the kernel that produced its (sole) input, provided that kernel's last
+// node is that producer — i.e. only straight-line suffixes fuse, the way
+// deployment engines fold BN and activations into the preceding conv.
+// A BN following a concat therefore starts its own kernel, which is what
+// makes DenseNet's pre-activation design expensive on-device.
+func (c *Config) Plan(g *graph.Graph) []Kernel {
+	var kernels []Kernel
+	// nodeKernel[id] is the index of the kernel that computes node id.
+	nodeKernel := make([]int, len(g.Nodes))
+	for i := range nodeKernel {
+		nodeKernel[i] = -1
+	}
+
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput {
+			continue
+		}
+		if c.Fusion && fusable(n.Kind) && len(n.Inputs) == 1 {
+			prod := n.Inputs[0]
+			ki := nodeKernel[prod]
+			if ki >= 0 && fusionTarget(kernels[ki].Kind) {
+				k := &kernels[ki]
+				if k.Nodes[len(k.Nodes)-1] == prod {
+					// Fold into the producing kernel. Fused elementwise
+					// work is free compute-wise (done in registers) but
+					// keeps its weight traffic (BN parameters).
+					k.Nodes = append(k.Nodes, n.ID)
+					k.WeightBytes += n.WeightBytes
+					nodeKernel[n.ID] = ki
+					continue
+				}
+			}
+		}
+		kernels = append(kernels, Kernel{
+			Nodes:       []int{n.ID},
+			Kind:        n.Kind,
+			MACs:        n.MACs,
+			WeightBytes: n.WeightBytes,
+			IOBytes:     n.IOBytes,
+			OutChannels: n.Out.C,
+		})
+		nodeKernel[n.ID] = len(kernels) - 1
+	}
+	return kernels
+}

@@ -1,0 +1,173 @@
+// Package earlyexit implements a BranchyNet-style baseline (Teerapittayanon
+// et al., 2016), the related-work system the paper positions NetCut
+// against (Sec. II): instead of trimming a network ahead of time, attach
+// side classification heads at intermediate blocks and let easy inputs
+// exit early at run time.
+//
+// The package reuses the reproduction's substrates — exit branches are
+// trim prefixes, branch latency comes from the device model, branch
+// accuracy from the transfer response curves (an exit at depth d sees the
+// same features a TRN cut at d keeps). What it adds is the run-time exit
+// policy and the *distinction NetCut's setting cares about*: an
+// early-exit network's expected latency can look great, but its
+// worst-case latency is still the full network plus every exit head it
+// evaluated on the way — and a hard real-time deadline budgets the worst
+// case, not the average.
+package earlyexit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netcut/internal/graph"
+	"netcut/internal/trim"
+)
+
+// Exit is one side branch: a prefix of the backbone with its own head.
+type Exit struct {
+	// Branch is the prefix network ending in this exit's head; its
+	// cutpoint identifies the backbone block it taps.
+	Branch *trim.TRN
+	// BranchMs is the end-to-end latency of reaching and evaluating
+	// this exit (prefix + head).
+	BranchMs float64
+	// HeadMs is the marginal cost of this exit's head alone — what a
+	// deeper path pays for having evaluated (and rejected) this exit.
+	HeadMs float64
+	// Accuracy is the exit's standalone accuracy.
+	Accuracy float64
+}
+
+// Net is a backbone with ordered early exits (shallowest first); the
+// final "exit" is the full network.
+type Net struct {
+	Backbone *graph.Graph
+	Exits    []Exit // ascending depth; last entry is the full network
+}
+
+// Measurer reports a network's latency (e.g. device steady state).
+type Measurer func(g *graph.Graph) float64
+
+// Scorer reports a TRN's task accuracy (e.g. the transfer simulator).
+type Scorer func(t *trim.TRN) (float64, error)
+
+// Build constructs an early-exit net with side heads after the given
+// backbone blocks (1-based counts of retained blocks, ascending) plus
+// the mandatory final exit.
+func Build(g *graph.Graph, tapsAfterBlocks []int, head trim.HeadSpec, measure Measurer, score Scorer) (*Net, error) {
+	if measure == nil || score == nil {
+		return nil, fmt.Errorf("earlyexit: nil measurer or scorer")
+	}
+	taps := append([]int(nil), tapsAfterBlocks...)
+	sort.Ints(taps)
+	n := &Net{Backbone: g}
+	prev := 0
+	for _, kept := range taps {
+		if kept <= prev || kept >= g.BlockCount() {
+			return nil, fmt.Errorf("earlyexit: tap after block %d invalid for %s (%d blocks)", kept, g.Name, g.BlockCount())
+		}
+		prev = kept
+		ex, err := buildExit(g, g.BlockCount()-kept, head, measure, score)
+		if err != nil {
+			return nil, err
+		}
+		n.Exits = append(n.Exits, ex)
+	}
+	final, err := buildExit(g, 0, head, measure, score)
+	if err != nil {
+		return nil, err
+	}
+	n.Exits = append(n.Exits, final)
+	return n, nil
+}
+
+func buildExit(g *graph.Graph, cut int, head trim.HeadSpec, measure Measurer, score Scorer) (Exit, error) {
+	branch, err := trim.Cut(g, cut, head)
+	if err != nil {
+		return Exit{}, err
+	}
+	acc, err := score(branch)
+	if err != nil {
+		return Exit{}, err
+	}
+	branchMs := measure(branch.Graph)
+	// The marginal head cost: branch latency minus the headless prefix.
+	headMs := branchMs
+	if stub, err := trim.Cut(g, cut, trim.HeadSpec{Hidden1: 1, Hidden2: 1, Classes: head.Classes}); err == nil {
+		// A minimal head approximates the prefix-only cost floor.
+		headMs = math.Max(0.001, branchMs-measure(stub.Graph)+0.001)
+	}
+	return Exit{Branch: branch, BranchMs: branchMs, HeadMs: headMs, Accuracy: acc}, nil
+}
+
+// Policy is the run-time exit rule: an input leaves at the first exit
+// whose confidence clears Tau. Confidence correlates with exit accuracy;
+// Sharpness controls how quickly utilization saturates around Tau.
+type Policy struct {
+	Tau       float64 // confidence threshold in (0,1)
+	Sharpness float64 // 0 defaults to 12
+}
+
+// utilization returns the fraction of inputs stopping at each exit. The
+// per-exit stop probability is a logistic in (accuracy - Tau): exits
+// much weaker than the threshold rarely fire, exits above it absorb
+// most traffic. The final exit takes the remainder.
+func (p Policy) utilization(exits []Exit) []float64 {
+	k := p.Sharpness
+	if k == 0 {
+		k = 12
+	}
+	u := make([]float64, len(exits))
+	remaining := 1.0
+	for i, e := range exits {
+		if i == len(exits)-1 {
+			u[i] = remaining
+			break
+		}
+		stop := 1 / (1 + math.Exp(-k*(e.Accuracy-p.Tau)))
+		u[i] = remaining * stop
+		remaining -= u[i]
+	}
+	return u
+}
+
+// Operating is the run-time behaviour of an early-exit net under a
+// policy.
+type Operating struct {
+	Tau         float64
+	Utilization []float64
+	// ExpectedMs is the average-case latency: each input pays its exit
+	// branch plus the heads of every earlier exit it evaluated.
+	ExpectedMs float64
+	// WorstCaseMs is what a hard deadline must budget: the full network
+	// plus all side heads along the way.
+	WorstCaseMs float64
+	// Accuracy is the utilization-weighted accuracy.
+	Accuracy float64
+}
+
+// Evaluate computes the operating point of the net under a policy.
+func (n *Net) Evaluate(p Policy) Operating {
+	u := p.utilization(n.Exits)
+	op := Operating{Tau: p.Tau, Utilization: u}
+	cumHeads := 0.0
+	for i, e := range n.Exits {
+		pathMs := e.BranchMs + cumHeads
+		op.ExpectedMs += u[i] * pathMs
+		op.Accuracy += u[i] * e.Accuracy
+		op.WorstCaseMs = pathMs // the deepest path is last
+		cumHeads += e.HeadMs
+	}
+	return op
+}
+
+// Sweep evaluates a range of thresholds and returns the operating
+// curve, ascending in Tau.
+func (n *Net) Sweep(taus []float64) []Operating {
+	out := make([]Operating, len(taus))
+	for i, tau := range taus {
+		out[i] = n.Evaluate(Policy{Tau: tau})
+	}
+	return out
+}

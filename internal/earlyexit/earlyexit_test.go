@@ -1,0 +1,136 @@
+package earlyexit
+
+import (
+	"math"
+	"testing"
+
+	"netcut/internal/device"
+	"netcut/internal/graph"
+	"netcut/internal/transfer"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+func fixture(t *testing.T) (*Net, Measurer) {
+	t.Helper()
+	g, err := zoo.ByName("ResNet-50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := device.New(device.Xavier())
+	sim := transfer.NewSimulator(1)
+	measure := Measurer(func(g *graph.Graph) float64 { return dev.LatencyMs(g) })
+	score := Scorer(func(tr *trim.TRN) (float64, error) { return sim.Accuracy(tr) })
+	n, err := Build(g, []int{3, 7, 11}, trim.DefaultHead, measure, score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, measure
+}
+
+func TestBuildStructure(t *testing.T) {
+	n, _ := fixture(t)
+	if len(n.Exits) != 4 {
+		t.Fatalf("%d exits, want 3 taps + final", len(n.Exits))
+	}
+	// Exits are ascending in both latency and accuracy.
+	for i := 1; i < len(n.Exits); i++ {
+		if n.Exits[i].BranchMs <= n.Exits[i-1].BranchMs {
+			t.Fatalf("exit %d latency %.3f not deeper than previous %.3f",
+				i, n.Exits[i].BranchMs, n.Exits[i-1].BranchMs)
+		}
+		if n.Exits[i].Accuracy < n.Exits[i-1].Accuracy-0.02 {
+			t.Fatalf("exit %d accuracy %.3f below previous %.3f",
+				i, n.Exits[i].Accuracy, n.Exits[i-1].Accuracy)
+		}
+	}
+	// Final exit keeps all blocks.
+	last := n.Exits[len(n.Exits)-1]
+	if last.Branch.Cutpoint != 0 {
+		t.Fatalf("final exit cutpoint = %d, want 0", last.Branch.Cutpoint)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	g, _ := zoo.ByName("ResNet-50")
+	dev := device.New(device.Xavier())
+	sim := transfer.NewSimulator(1)
+	measure := Measurer(func(g *graph.Graph) float64 { return dev.LatencyMs(g) })
+	score := Scorer(func(tr *trim.TRN) (float64, error) { return sim.Accuracy(tr) })
+	if _, err := Build(g, []int{0}, trim.DefaultHead, measure, score); err == nil {
+		t.Fatal("tap at block 0 accepted")
+	}
+	if _, err := Build(g, []int{16}, trim.DefaultHead, measure, score); err == nil {
+		t.Fatal("tap at the final block accepted")
+	}
+	if _, err := Build(g, []int{3, 3}, trim.DefaultHead, measure, score); err == nil {
+		t.Fatal("duplicate taps accepted")
+	}
+	if _, err := Build(g, nil, trim.DefaultHead, nil, score); err == nil {
+		t.Fatal("nil measurer accepted")
+	}
+}
+
+func TestUtilizationIsDistribution(t *testing.T) {
+	n, _ := fixture(t)
+	for _, tau := range []float64{0.5, 0.8, 0.95} {
+		op := n.Evaluate(Policy{Tau: tau})
+		var sum float64
+		for _, u := range op.Utilization {
+			if u < 0 {
+				t.Fatalf("tau %v: negative utilization", tau)
+			}
+			sum += u
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("tau %v: utilization sums to %v", tau, sum)
+		}
+	}
+}
+
+func TestLooseThresholdExitsEarly(t *testing.T) {
+	n, _ := fixture(t)
+	loose := n.Evaluate(Policy{Tau: 0.5})
+	strict := n.Evaluate(Policy{Tau: 0.97})
+	if loose.ExpectedMs >= strict.ExpectedMs {
+		t.Fatalf("loose threshold expected %.3f not below strict %.3f",
+			loose.ExpectedMs, strict.ExpectedMs)
+	}
+	if loose.Accuracy >= strict.Accuracy {
+		t.Fatalf("loose threshold accuracy %.3f not below strict %.3f",
+			loose.Accuracy, strict.Accuracy)
+	}
+}
+
+func TestWorstCaseExceedsBackbone(t *testing.T) {
+	// The real-time argument: the worst-case path is the full network
+	// plus every side head, regardless of threshold.
+	n, measure := fixture(t)
+	backbone := measure(n.Exits[len(n.Exits)-1].Branch.Graph)
+	for _, tau := range []float64{0.5, 0.8, 0.95} {
+		op := n.Evaluate(Policy{Tau: tau})
+		if op.WorstCaseMs <= backbone {
+			t.Fatalf("tau %v: worst case %.3f not above backbone %.3f",
+				tau, op.WorstCaseMs, backbone)
+		}
+		if op.ExpectedMs > op.WorstCaseMs {
+			t.Fatalf("tau %v: expected %.3f above worst case %.3f",
+				tau, op.ExpectedMs, op.WorstCaseMs)
+		}
+	}
+}
+
+func TestSweepMonotoneInTau(t *testing.T) {
+	n, _ := fixture(t)
+	ops := n.Sweep([]float64{0.5, 0.7, 0.85, 0.95})
+	for i := 1; i < len(ops); i++ {
+		if ops[i].ExpectedMs < ops[i-1].ExpectedMs-1e-9 {
+			t.Fatalf("expected latency not monotone in tau: %.4f -> %.4f",
+				ops[i-1].ExpectedMs, ops[i].ExpectedMs)
+		}
+		if ops[i].Accuracy < ops[i-1].Accuracy-1e-9 {
+			t.Fatalf("accuracy not monotone in tau: %.4f -> %.4f",
+				ops[i-1].Accuracy, ops[i].Accuracy)
+		}
+	}
+}

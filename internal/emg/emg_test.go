@@ -1,0 +1,90 @@
+package emg
+
+import (
+	"math"
+	"testing"
+
+	"netcut/internal/hands"
+)
+
+func TestPredictIsDistribution(t *testing.T) {
+	c := New(Config{Seed: 1})
+	for g := 0; g < hands.NumGrasps; g++ {
+		d, err := c.Predict(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, v := range d {
+			if v < 0 {
+				t.Fatalf("negative probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("grasp %d distribution sums to %v", g, sum)
+		}
+	}
+}
+
+func TestCleanSignalClassifiesCorrectly(t *testing.T) {
+	// With no noise, the template match must put the most mass on the
+	// true grasp.
+	c := New(Config{NoiseSigma: 1e-9, Seed: 2})
+	for g := 0; g < hands.NumGrasps; g++ {
+		d, err := c.Predict(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0
+		for i, v := range d {
+			if v > d[best] {
+				best = i
+			}
+		}
+		if best != g {
+			t.Fatalf("clean grasp %d classified as %d: %v", g, best, d)
+		}
+	}
+}
+
+func TestNoiseDegradesReliability(t *testing.T) {
+	clean := New(Config{NoiseSigma: 0.05, Seed: 3}).Accuracy(200)
+	noisy := New(Config{NoiseSigma: 0.6, Seed: 3}).Accuracy(200)
+	if noisy >= clean {
+		t.Fatalf("noise did not degrade accuracy: clean %.3f noisy %.3f", clean, noisy)
+	}
+	// The paper's premise: EMG alone is not great.
+	if noisy > 0.9 {
+		t.Fatalf("noisy EMG accuracy %.3f implausibly high", noisy)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	c := New(Config{Seed: 4})
+	if _, err := c.Predict(-1); err == nil {
+		t.Fatal("negative grasp accepted")
+	}
+	if _, err := c.Predict(hands.NumGrasps); err == nil {
+		t.Fatal("out-of-range grasp accepted")
+	}
+	if _, err := c.Classify([]float64{1, 2}); err == nil {
+		t.Fatal("short window accepted")
+	}
+}
+
+func TestWindowShape(t *testing.T) {
+	c := New(Config{Seed: 5})
+	w, err := c.Window(hands.PowerSphere)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != Channels {
+		t.Fatalf("window has %d channels, want %d", len(w), Channels)
+	}
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("RMS features must be non-negative")
+		}
+	}
+}

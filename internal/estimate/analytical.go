@@ -1,0 +1,163 @@
+package estimate
+
+import (
+	"fmt"
+
+	"netcut/internal/metric"
+	"netcut/internal/svr"
+	"netcut/internal/trim"
+)
+
+// AnalyticalConfig parameterizes analytical-model training.
+type AnalyticalConfig struct {
+	Grid    []svr.GridPoint // hyper-parameter grid; nil = svr.PaperGrid()
+	Folds   int             // cross-validation folds; 0 = 10 (paper)
+	Epsilon float64         // tube half-width in standardized target units; 0 = 0.05
+	Seed    int64
+}
+
+func (c *AnalyticalConfig) fill() {
+	if c.Grid == nil {
+		c.Grid = svr.PaperGrid()
+	}
+	if c.Folds == 0 {
+		c.Folds = 10
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.03
+	}
+}
+
+// AnalyticalEstimator predicts TRN latency with an epsilon-SVR over
+// device-agnostic features.
+type AnalyticalEstimator struct {
+	model   *svr.Model
+	scaler  *svr.Scaler
+	yMean   float64
+	yStd    float64
+	parents map[string]float64 // parent name -> measured latency feature
+	Chosen  svr.GridPoint      // hyper-parameters selected by grid search
+	CVRMSE  float64            // cross-validated RMSE at the chosen point
+}
+
+// TrainAnalytical fits the analytical model on measured TRN samples.
+// Features and target are standardized internally; hyper-parameters are
+// chosen by k-fold cross-validated grid search as in the paper.
+func TrainAnalytical(samples []Sample, cfg AnalyticalConfig) (*AnalyticalEstimator, error) {
+	cfg.fill()
+	if len(samples) < cfg.Folds {
+		return nil, fmt.Errorf("estimate: %d samples too few for %d-fold CV", len(samples), cfg.Folds)
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	parents := map[string]float64{}
+	for i, s := range samples {
+		X[i] = Features(s.TRN, s.ParentLatencyMs)
+		y[i] = s.MeasuredMs
+		parents[s.TRN.Parent.Name] = s.ParentLatencyMs
+	}
+	scaler, err := svr.FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	Z := scaler.TransformAll(X)
+
+	ym := metric.Mean(y)
+	ys := metric.Std(y)
+	if ys == 0 {
+		ys = 1
+	}
+	yz := make([]float64, len(y))
+	for i, v := range y {
+		yz[i] = (v - ym) / ys
+	}
+
+	best, _, err := svr.GridSearch(Z, yz, cfg.Grid, cfg.Folds, cfg.Epsilon, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	model, err := svr.Train(Z, yz, svr.RBF{Gamma: best.Point.Gamma},
+		svr.Params{C: best.Point.C, Epsilon: cfg.Epsilon})
+	if err != nil {
+		return nil, err
+	}
+	return &AnalyticalEstimator{
+		model:   model,
+		scaler:  scaler,
+		yMean:   ym,
+		yStd:    ys,
+		parents: parents,
+		Chosen:  best.Point,
+		CVRMSE:  best.RMSE * ys,
+	}, nil
+}
+
+// Name implements Estimator.
+func (e *AnalyticalEstimator) Name() string { return "analytical" }
+
+// SetParentLatency registers the measured latency of a parent network so
+// TRNs of parents unseen at training time can be estimated.
+func (e *AnalyticalEstimator) SetParentLatency(network string, ms float64) {
+	e.parents[network] = ms
+}
+
+// EstimateMs implements Estimator.
+func (e *AnalyticalEstimator) EstimateMs(t *trim.TRN) (float64, error) {
+	lat, ok := e.parents[t.Parent.Name]
+	if !ok {
+		return 0, fmt.Errorf("estimate: analytical model has no parent latency for %q", t.Parent.Name)
+	}
+	z := e.scaler.Transform(Features(t, lat))
+	return e.model.Predict(z)*e.yStd + e.yMean, nil
+}
+
+// LinearEstimator predicts TRN latency with ordinary least squares over
+// the same features — the paper's sanity-check baseline.
+type LinearEstimator struct {
+	model   *svr.LinearModel
+	scaler  *svr.Scaler
+	parents map[string]float64
+}
+
+// TrainLinear fits the linear baseline on measured TRN samples. A tiny
+// ridge stabilizes the collinear feature set (MACs, params and filter
+// sums are strongly correlated).
+func TrainLinear(samples []Sample) (*LinearEstimator, error) {
+	if len(samples) < len(FeatureNames)+1 {
+		return nil, fmt.Errorf("estimate: %d samples too few for %d features", len(samples), len(FeatureNames))
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	parents := map[string]float64{}
+	for i, s := range samples {
+		X[i] = Features(s.TRN, s.ParentLatencyMs)
+		y[i] = s.MeasuredMs
+		parents[s.TRN.Parent.Name] = s.ParentLatencyMs
+	}
+	scaler, err := svr.FitScaler(X)
+	if err != nil {
+		return nil, err
+	}
+	m, err := svr.FitLinear(scaler.TransformAll(X), y, 1e-8)
+	if err != nil {
+		return nil, err
+	}
+	return &LinearEstimator{model: m, scaler: scaler, parents: parents}, nil
+}
+
+// Name implements Estimator.
+func (e *LinearEstimator) Name() string { return "linear" }
+
+// SetParentLatency registers the measured latency of a parent network.
+func (e *LinearEstimator) SetParentLatency(network string, ms float64) {
+	e.parents[network] = ms
+}
+
+// EstimateMs implements Estimator.
+func (e *LinearEstimator) EstimateMs(t *trim.TRN) (float64, error) {
+	lat, ok := e.parents[t.Parent.Name]
+	if !ok {
+		return 0, fmt.Errorf("estimate: linear model has no parent latency for %q", t.Parent.Name)
+	}
+	return e.model.Predict(e.scaler.Transform(Features(t, lat))), nil
+}

@@ -1,0 +1,69 @@
+package estimate
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// StratifiedSplit partitions samples into a train fraction and the
+// remaining test set, sampling the fraction *per parent network* so
+// every architecture family contributes training coverage — the split
+// the analytical model is fitted with (the paper trains on 20% and
+// tests on the remaining 80%, Sec. V-B2). frac is clamped to (0, 1);
+// each family contributes at least one training sample.
+func StratifiedSplit(samples []Sample, frac float64, seed int64) (train, test []Sample) {
+	if frac <= 0 {
+		frac = 0.2
+	}
+	if frac >= 1 {
+		frac = 0.5
+	}
+	groups := map[string][]int{}
+	for i, s := range samples {
+		groups[s.TRN.Parent.Name] = append(groups[s.TRN.Parent.Name], i)
+	}
+	names := make([]string, 0, len(groups))
+	for n := range groups {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic iteration
+	rng := rand.New(rand.NewSource(seed))
+	for _, n := range names {
+		idx := groups[n]
+		perm := rng.Perm(len(idx))
+		nTrain := int(float64(len(idx))*frac + 0.999)
+		if nTrain < 1 {
+			nTrain = 1
+		}
+		if nTrain >= len(idx) {
+			nTrain = len(idx) - 1
+		}
+		if nTrain < 1 {
+			nTrain = len(idx) // degenerate single-sample family
+		}
+		for i, p := range perm {
+			if i < nTrain {
+				train = append(train, samples[idx[p]])
+			} else {
+				test = append(test, samples[idx[p]])
+			}
+		}
+	}
+	return train, test
+}
+
+// DeployableBand filters samples to those whose measured latency is at
+// least minMs. Ultra-deep cuts that leave only a stem are dominated by
+// the replacement head's fixed cost, which Eq. (1) cannot see; the
+// paper's error statistics concern the band NetCut actually deploys
+// from. Error reports in the experiment harness quote both the full and
+// the banded statistic.
+func DeployableBand(samples []Sample, minMs float64) []Sample {
+	var out []Sample
+	for _, s := range samples {
+		if s.MeasuredMs >= minMs {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"netcut/internal/earlyexit"
+	"netcut/internal/graph"
+	"netcut/internal/pareto"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// AblEarlyExit compares NetCut's ahead-of-time layer removal with a
+// BranchyNet-style early-exit network (the Sec. II related-work
+// contrast) on ResNet-50. Early exit produces attractive *expected*
+// latencies, but a hard real-time deadline budgets the *worst-case*
+// path — the full backbone plus every side head — where a TRN's latency
+// is a constant. The figure plots both semantics.
+func (l *Lab) AblEarlyExit() (*Figure, error) {
+	g, err := zoo.ByName("ResNet-50")
+	if err != nil {
+		return nil, err
+	}
+	measure := earlyexit.Measurer(func(g *graph.Graph) float64 { return l.prof.Measure(g).MeanMs })
+	score := earlyexit.Scorer(func(tr *trim.TRN) (float64, error) { return l.sim.Accuracy(tr) })
+	net, err := earlyexit.Build(g, []int{3, 7, 11}, l.cfg.Head, measure, score)
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Figure{
+		ID:     "abl-earlyexit",
+		Title:  "Ablation: early exit (BranchyNet-style) vs layer removal, ResNet-50",
+		XLabel: "latency (ms)",
+		YLabel: "accuracy (angular distance)",
+	}
+	taus := []float64{0.60, 0.70, 0.78, 0.84, 0.88, 0.92, 0.95}
+	ops := net.Sweep(taus)
+	exp := Series{Name: "early exit (expected latency)"}
+	wc := Series{Name: "early exit (worst-case latency)"}
+	for _, op := range ops {
+		exp.add(op.ExpectedMs, op.Accuracy, labelTau(op.Tau))
+		wc.add(op.WorstCaseMs, op.Accuracy, labelTau(op.Tau))
+	}
+	f.Series = append(f.Series, exp, wc)
+
+	// The TRN family of the same backbone: constant latency per network.
+	trns, err := trim.EnumerateBlockwise(g, l.cfg.Head, true)
+	if err != nil {
+		return nil, err
+	}
+	st := Series{Name: "TRNs (constant latency)"}
+	var trnPts []pareto.Point
+	for _, tr := range trns {
+		acc, err := l.sim.Accuracy(tr)
+		if err != nil {
+			return nil, err
+		}
+		ms := l.prof.Measure(tr.Graph).MeanMs
+		st.add(ms, acc, tr.Name())
+		trnPts = append(trnPts, pareto.Point{Label: tr.Name(), Latency: ms, Accuracy: acc})
+	}
+	f.Series = append(f.Series, st)
+
+	// At the application deadline, compare the best achievable accuracy
+	// under worst-case semantics.
+	bestTRN, okTRN := pareto.BestUnderDeadline(trnPts, l.cfg.DeadlineMs)
+	var bestExit float64
+	okExit := false
+	for _, op := range ops {
+		if op.WorstCaseMs <= l.cfg.DeadlineMs && op.Accuracy > bestExit {
+			bestExit, okExit = op.Accuracy, true
+		}
+	}
+	switch {
+	case okTRN && !okExit:
+		f.Note("at the %.2f ms deadline with worst-case semantics, no early-exit operating point qualifies (worst case = full backbone + side heads, %.3f ms) while %s delivers %.3f",
+			l.cfg.DeadlineMs, ops[0].WorstCaseMs, bestTRN.Label, bestTRN.Accuracy)
+	case okTRN && okExit:
+		f.Note("at the %.2f ms deadline with worst-case semantics: TRN %.3f (%s) vs early exit %.3f",
+			l.cfg.DeadlineMs, bestTRN.Accuracy, bestTRN.Label, bestExit)
+	}
+	f.Note("early exit's expected-latency curve is attractive but data-dependent; NetCut's TRNs give the constant latency a hard deadline needs (Sec. II)")
+	return f, nil
+}
+
+func labelTau(tau float64) string {
+	return "tau=" + trimFloat(tau)
+}
+
+func trimFloat(v float64) string {
+	s := []byte{'0', '.', 0, 0}
+	d := int(v*100 + 0.5)
+	s[2] = byte('0' + (d/10)%10)
+	s[3] = byte('0' + d%10)
+	return string(s)
+}

@@ -1,0 +1,116 @@
+// Package exp is the experiment harness: one generator per figure and
+// table of the paper's evaluation, each returning a printable Figure
+// whose series carry the same rows the paper plots. cmd/netexp renders
+// all of them; bench_test.go exposes one benchmark per artefact.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one plotted line/point-set of a figure.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Labels []string // optional per-point labels (e.g. "ResNet-50/94")
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+func (s *Series) add(x, y float64, label string) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+	s.Labels = append(s.Labels, label)
+}
+
+// Figure is a reproduced paper artefact (figure or table).
+type Figure struct {
+	ID     string // e.g. "fig1", "tab1"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes carry scalar findings (gaps, speedups, error averages) and
+	// the paper's corresponding numbers for comparison.
+	Notes []string
+}
+
+// Note appends a formatted note line.
+func (f *Figure) Note(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the figure as aligned text rows.
+func (f *Figure) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s\n", f.ID, f.Title)
+	if f.XLabel != "" || f.YLabel != "" {
+		fmt.Fprintf(&b, "   x: %s | y: %s\n", f.XLabel, f.YLabel)
+	}
+	for i := range f.Series {
+		s := &f.Series[i]
+		fmt.Fprintf(&b, "-- series %q (%d points)\n", s.Name, s.Len())
+		for j := 0; j < s.Len(); j++ {
+			label := ""
+			if j < len(s.Labels) && s.Labels[j] != "" {
+				label = "  " + s.Labels[j]
+			}
+			fmt.Fprintf(&b, "   %12.4f %12.4f%s\n", s.X[j], s.Y[j], label)
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, " * %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the figure as a markdown section with a table per
+// series, used to assemble EXPERIMENTS.md.
+func (f *Figure) Markdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", strings.ToUpper(f.ID), f.Title)
+	const maxRows = 36
+	for i := range f.Series {
+		s := &f.Series[i]
+		fmt.Fprintf(&b, "**%s** (%d points)\n\n", s.Name, s.Len())
+		fmt.Fprintf(&b, "| %s | %s | label |\n|---|---|---|\n", orDefault(f.XLabel, "x"), orDefault(f.YLabel, "y"))
+		stride := 1
+		if s.Len() > maxRows {
+			stride = (s.Len() + maxRows - 1) / maxRows
+		}
+		shown := 0
+		for j := 0; j < s.Len(); j += stride {
+			label := ""
+			if j < len(s.Labels) {
+				label = s.Labels[j]
+			}
+			fmt.Fprintf(&b, "| %.4f | %.4f | %s |\n", s.X[j], s.Y[j], label)
+			shown++
+		}
+		if stride > 1 {
+			fmt.Fprintf(&b, "\n(series subsampled: showing %d of %d points; `cmd/netexp` prints all)\n", shown, s.Len())
+		}
+		fmt.Fprintln(&b)
+	}
+	if len(f.Notes) > 0 {
+		fmt.Fprintf(&b, "Findings:\n\n")
+		for _, n := range f.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+		fmt.Fprintln(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

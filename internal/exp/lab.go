@@ -1,0 +1,340 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"netcut/internal/core"
+	"netcut/internal/device"
+	"netcut/internal/estimate"
+	"netcut/internal/graph"
+	"netcut/internal/profiler"
+	"netcut/internal/transfer"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// Config parameterizes the experimental setup.
+type Config struct {
+	Seed       int64
+	DeadlineMs float64           // 0 = the prosthetic hand's 0.9 ms
+	Device     *device.Config    // nil = calibrated Xavier simulation
+	Protocol   profiler.Protocol // zero = paper's 200/800
+	Head       trim.HeadSpec     // zero = trim.DefaultHead
+	// TrainFraction is the analytical model's train split; 0 = the
+	// paper's 20%.
+	TrainFraction float64
+	// BandMinMs bounds the deployable band for error statistics; 0 =
+	// 0.15 ms (see estimate.DeployableBand).
+	BandMinMs float64
+}
+
+func (c *Config) fill() {
+	if c.DeadlineMs == 0 {
+		c.DeadlineMs = 0.9
+	}
+	if c.Device == nil {
+		cfg := device.Xavier()
+		c.Device = &cfg
+	}
+	if c.Protocol == (profiler.Protocol{}) {
+		c.Protocol = profiler.PaperProtocol()
+	}
+	if c.Head == (trim.HeadSpec{}) {
+		c.Head = trim.DefaultHead
+	}
+	if c.TrainFraction == 0 {
+		c.TrainFraction = 0.2
+	}
+	if c.BandMinMs == 0 {
+		c.BandMinMs = 0.15
+	}
+}
+
+// Lab owns the shared experimental state: the simulated device, the
+// profiled tables, the 148-TRN blockwise families with measured
+// latencies and retrained accuracies, and the trained estimators. All
+// figure generators draw from the same measurements, as the paper's do.
+type Lab struct {
+	cfg Config
+
+	dev  *device.Device
+	prof *profiler.Profiler
+	sim  *transfer.Simulator
+	rt   core.Retrainer
+
+	mu sync.Mutex
+	// Lazily built shared state.
+	nets       []*graph.Graph
+	tables     map[string]*profiler.Table
+	candidates []core.Candidate
+	samples    []estimate.Sample // blockwise TRNs with measured latency
+	accuracies map[string]float64
+	sweep      *core.Sweep
+	analytical *estimate.AnalyticalEstimator
+	linear     *estimate.LinearEstimator
+}
+
+// NewLab builds a Lab for the given configuration.
+func NewLab(cfg Config) (*Lab, error) {
+	cfg.fill()
+	dev := device.New(*cfg.Device)
+	prof, err := profiler.New(dev, cfg.Protocol, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sim := transfer.NewSimulator(cfg.Seed)
+	l := &Lab{
+		cfg:        cfg,
+		dev:        dev,
+		prof:       prof,
+		sim:        sim,
+		tables:     map[string]*profiler.Table{},
+		accuracies: map[string]float64{},
+	}
+	l.rt = core.RetrainerFunc(func(t *trim.TRN) (core.TrainResult, error) {
+		r, err := sim.Retrain(t)
+		return core.TrainResult{Accuracy: r.Accuracy, TrainHours: r.TrainHours}, err
+	})
+	return l, nil
+}
+
+// Deadline returns the configured deadline in milliseconds.
+func (l *Lab) Deadline() float64 { return l.cfg.DeadlineMs }
+
+// Device returns the simulated device.
+func (l *Lab) Device() *device.Device { return l.dev }
+
+// Networks returns the seven paper networks (built once).
+func (l *Lab) Networks() []*graph.Graph {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nets == nil {
+		l.nets = zoo.Paper7()
+	}
+	return l.nets
+}
+
+// Candidates returns the Algorithm-1 inputs: each network with measured
+// latency and transfer-learned accuracy.
+func (l *Lab) Candidates() ([]core.Candidate, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.candidatesLocked()
+}
+
+func (l *Lab) candidatesLocked() ([]core.Candidate, error) {
+	if l.candidates != nil {
+		return l.candidates, nil
+	}
+	if l.nets == nil {
+		l.nets = zoo.Paper7()
+	}
+	for _, g := range l.nets {
+		acc, err := l.sim.OffTheShelfAccuracy(g.Name)
+		if err != nil {
+			return nil, err
+		}
+		m := l.prof.Measure(g)
+		l.accuracies[g.Name] = acc
+		l.candidates = append(l.candidates, core.Candidate{
+			Graph:      g,
+			MeasuredMs: m.MeanMs,
+			Accuracy:   acc,
+		})
+	}
+	return l.candidates, nil
+}
+
+// Tables returns the per-layer profile tables, one per network.
+func (l *Lab) Tables() map[string]*profiler.Table {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.tablesLocked()
+}
+
+func (l *Lab) tablesLocked() map[string]*profiler.Table {
+	if len(l.tables) == 0 {
+		if l.nets == nil {
+			l.nets = zoo.Paper7()
+		}
+		for _, g := range l.nets {
+			l.tables[g.Name] = l.prof.Profile(g)
+		}
+	}
+	return l.tables
+}
+
+// Samples returns the 148 blockwise TRNs with measured ground-truth
+// latencies — the regression dataset of Sec. V-B2.
+func (l *Lab) Samples() ([]estimate.Sample, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.samplesLocked()
+}
+
+func (l *Lab) samplesLocked() ([]estimate.Sample, error) {
+	if l.samples != nil {
+		return l.samples, nil
+	}
+	cands, err := l.candidatesLocked()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cands {
+		trns, err := trim.EnumerateBlockwise(c.Graph, l.cfg.Head, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range trns {
+			l.samples = append(l.samples, estimate.Sample{
+				TRN:             tr,
+				ParentLatencyMs: c.MeasuredMs,
+				MeasuredMs:      l.prof.Measure(tr.Graph).MeanMs,
+			})
+		}
+	}
+	return l.samples, nil
+}
+
+// Sweep returns the blockwise exploration baseline: all 148 TRNs
+// retrained and measured.
+func (l *Lab) Sweep() (*core.Sweep, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sweep != nil {
+		return l.sweep, nil
+	}
+	cands, err := l.candidatesLocked()
+	if err != nil {
+		return nil, err
+	}
+	measure := core.Measurer(func(g *graph.Graph) float64 { return l.prof.Measure(g).MeanMs })
+	sw, err := core.BlockwiseSweep(cands, l.rt, measure, l.cfg.Head)
+	if err != nil {
+		return nil, err
+	}
+	l.sweep = sw
+	return sw, nil
+}
+
+// ProfilerEstimator returns the Eq. (1) estimator over the lab's tables.
+func (l *Lab) ProfilerEstimator() *estimate.ProfilerEstimator {
+	return estimate.NewProfilerEstimator(l.Tables())
+}
+
+// AnalyticalEstimator returns the SVR estimator trained on the
+// stratified 20% split of the measured TRN samples.
+func (l *Lab) AnalyticalEstimator() (*estimate.AnalyticalEstimator, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.analytical != nil {
+		return l.analytical, nil
+	}
+	samples, err := l.samplesLocked()
+	if err != nil {
+		return nil, err
+	}
+	train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
+	e, err := estimate.TrainAnalytical(train, estimate.AnalyticalConfig{Seed: l.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	l.analytical = e
+	return e, nil
+}
+
+// LinearEstimator returns the OLS baseline trained on the same split.
+func (l *Lab) LinearEstimator() (*estimate.LinearEstimator, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.linear != nil {
+		return l.linear, nil
+	}
+	samples, err := l.samplesLocked()
+	if err != nil {
+		return nil, err
+	}
+	train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
+	e, err := estimate.TrainLinear(train)
+	if err != nil {
+		return nil, err
+	}
+	l.linear = e
+	return e, nil
+}
+
+// TestSamples returns the held-out 80% of the measured TRN samples.
+func (l *Lab) TestSamples() ([]estimate.Sample, error) {
+	samples, err := l.Samples()
+	if err != nil {
+		return nil, err
+	}
+	_, test := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
+	return test, nil
+}
+
+// Explore runs NetCut with the given estimator at the lab deadline.
+func (l *Lab) Explore(est estimate.Estimator) (*core.Result, error) {
+	cands, err := l.Candidates()
+	if err != nil {
+		return nil, err
+	}
+	return core.Explore(cands, l.cfg.DeadlineMs, est, l.rt, l.cfg.Head)
+}
+
+// OffTheShelfAccuracy returns the transfer-learned accuracy of a
+// network.
+func (l *Lab) OffTheShelfAccuracy(name string) (float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if acc, ok := l.accuracies[name]; ok {
+		return acc, nil
+	}
+	acc, err := l.sim.OffTheShelfAccuracy(name)
+	if err != nil {
+		return 0, err
+	}
+	l.accuracies[name] = acc
+	return acc, nil
+}
+
+// Retrainer exposes the lab's retraining backend.
+func (l *Lab) Retrainer() core.Retrainer { return l.rt }
+
+// Simulator exposes the retraining simulator.
+func (l *Lab) Simulator() *transfer.Simulator { return l.sim }
+
+// All runs every figure and table generator in paper order.
+func (l *Lab) All() ([]*Figure, error) {
+	type gen struct {
+		name string
+		fn   func() (*Figure, error)
+	}
+	gens := []gen{
+		{"fig1", l.Fig1},
+		{"fig4", l.Fig4},
+		{"fig5", l.Fig5},
+		{"fig6", l.Fig6},
+		{"fig7", l.Fig7},
+		{"fig8", l.Fig8},
+		{"fig9", l.Fig9},
+		{"fig10", l.Fig10},
+		{"tab1", l.Tab1},
+		{"abl-estimators", l.AblEstimatorChoice},
+		{"abl-block", l.AblBlockGranularity},
+		{"abl-device", l.AblDeviceModes},
+		{"abl-iterative", l.AblIterativeCost},
+		{"abl-extended", l.AblExtendedZoo},
+		{"abl-earlyexit", l.AblEarlyExit},
+	}
+	var out []*Figure
+	for _, g := range gens {
+		f, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("exp: generating %s: %w", g.name, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

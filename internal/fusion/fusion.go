@@ -1,0 +1,133 @@
+// Package fusion combines the probability outputs of the EMG and visual
+// classifiers into the robot's final grasp decision (Sec. III-A). Both
+// classifiers deliberately emit probability distributions rather than
+// one-hot classes so that log-linear pooling (a weighted product of
+// experts) can weigh them; decisions accumulate over several frames,
+// which "adds reliability ... which further tightens the deadline".
+package fusion
+
+import (
+	"fmt"
+	"math"
+
+	"netcut/internal/metric"
+)
+
+// Fuse combines distributions by weighted log-linear pooling and
+// normalizes. Weights reflect classifier reliability; they need not sum
+// to one.
+func Fuse(dists [][]float64, weights []float64) ([]float64, error) {
+	if len(dists) == 0 {
+		return nil, fmt.Errorf("fusion: nothing to fuse")
+	}
+	if len(weights) != len(dists) {
+		return nil, fmt.Errorf("fusion: %d distributions but %d weights", len(dists), len(weights))
+	}
+	n := len(dists[0])
+	logp := make([]float64, n)
+	for i, d := range dists {
+		if len(d) != n {
+			return nil, fmt.Errorf("fusion: distribution %d has %d classes, want %d", i, len(d), n)
+		}
+		for c, v := range d {
+			logp[c] += weights[i] * math.Log(math.Max(v, 1e-12))
+		}
+	}
+	out := make([]float64, n)
+	maxL := logp[0]
+	for _, v := range logp {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	var sum float64
+	for c, v := range logp {
+		out[c] = math.Exp(v - maxL)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out, nil
+}
+
+// Accumulator fuses a stream of predictions over time (the several
+// predictions prior to the final decision).
+type Accumulator struct {
+	logp []float64
+	n    int
+}
+
+// NewAccumulator returns an accumulator over the given class count.
+func NewAccumulator(classes int) *Accumulator {
+	return &Accumulator{logp: make([]float64, classes)}
+}
+
+// Add folds one prediction in with the given weight.
+func (a *Accumulator) Add(dist []float64, weight float64) error {
+	if len(dist) != len(a.logp) {
+		return fmt.Errorf("fusion: prediction has %d classes, want %d", len(dist), len(a.logp))
+	}
+	for c, v := range dist {
+		a.logp[c] += weight * math.Log(math.Max(v, 1e-12))
+	}
+	a.n++
+	return nil
+}
+
+// Count returns the number of predictions accumulated.
+func (a *Accumulator) Count() int { return a.n }
+
+// Distribution returns the current fused distribution (uniform before
+// any prediction arrives).
+func (a *Accumulator) Distribution() []float64 {
+	out := make([]float64, len(a.logp))
+	if a.n == 0 {
+		for c := range out {
+			out[c] = 1 / float64(len(out))
+		}
+		return out
+	}
+	maxL := a.logp[0]
+	for _, v := range a.logp {
+		if v > maxL {
+			maxL = v
+		}
+	}
+	var sum float64
+	for c, v := range a.logp {
+		out[c] = math.Exp(v - maxL)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// Decide returns the argmax class if its fused probability clears the
+// threshold, and whether the decision fired.
+func (a *Accumulator) Decide(threshold float64) (int, bool) {
+	d := a.Distribution()
+	best, bestP := 0, d[0]
+	for c, p := range d {
+		if p > bestP {
+			best, bestP = c, p
+		}
+	}
+	return best, bestP >= threshold && a.n > 0
+}
+
+// Reset clears the accumulated evidence for the next reach event.
+func (a *Accumulator) Reset() {
+	for c := range a.logp {
+		a.logp[c] = 0
+	}
+	a.n = 0
+}
+
+// Similarity scores a fused distribution against a probabilistic label
+// by angular similarity — the system accuracy metric.
+func Similarity(fused, label []float64) float64 {
+	return metric.AngularSimilarity(fused, label)
+}

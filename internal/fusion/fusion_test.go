@@ -1,0 +1,129 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFuseAgreementSharpens(t *testing.T) {
+	a := []float64{0.6, 0.2, 0.2}
+	b := []float64{0.7, 0.2, 0.1}
+	f, err := Fuse([][]float64{a, b}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f[0] <= a[0] || f[0] <= b[0] {
+		t.Fatalf("agreeing experts did not sharpen: %v", f)
+	}
+	var sum float64
+	for _, v := range f {
+		sum += v
+	}
+	if !almost(sum, 1) {
+		t.Fatalf("fused sums to %v", sum)
+	}
+}
+
+func TestFuseWeightZeroIgnoresExpert(t *testing.T) {
+	a := []float64{0.6, 0.2, 0.2}
+	junk := []float64{0.01, 0.01, 0.98}
+	f, err := Fuse([][]float64{a, junk}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !almost(f[i], a[i]) {
+			t.Fatalf("zero-weight expert influenced fusion: %v vs %v", f, a)
+		}
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	if _, err := Fuse(nil, nil); err == nil {
+		t.Fatal("empty fusion accepted")
+	}
+	if _, err := Fuse([][]float64{{0.5, 0.5}}, []float64{1, 2}); err == nil {
+		t.Fatal("weight count mismatch accepted")
+	}
+	if _, err := Fuse([][]float64{{0.5, 0.5}, {1}}, []float64{1, 1}); err == nil {
+		t.Fatal("ragged distributions accepted")
+	}
+}
+
+func TestAccumulatorDecision(t *testing.T) {
+	acc := NewAccumulator(3)
+	if _, ok := acc.Decide(0.5); ok {
+		t.Fatal("decision before any evidence")
+	}
+	d := acc.Distribution()
+	if !almost(d[0], 1.0/3) {
+		t.Fatalf("prior not uniform: %v", d)
+	}
+	ev := []float64{0.7, 0.2, 0.1}
+	for i := 0; i < 5; i++ {
+		if err := acc.Add(ev, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cls, ok := acc.Decide(0.9)
+	if !ok || cls != 0 {
+		t.Fatalf("confident evidence did not decide: %v %v (dist %v)", cls, ok, acc.Distribution())
+	}
+	if acc.Count() != 5 {
+		t.Fatalf("Count = %d", acc.Count())
+	}
+	acc.Reset()
+	if acc.Count() != 0 {
+		t.Fatal("Reset did not clear count")
+	}
+	if _, ok := acc.Decide(0.5); ok {
+		t.Fatal("decision after reset")
+	}
+}
+
+func TestAccumulatorMismatch(t *testing.T) {
+	acc := NewAccumulator(3)
+	if err := acc.Add([]float64{0.5, 0.5}, 1); err == nil {
+		t.Fatal("class-count mismatch accepted")
+	}
+}
+
+// Property: fusing any set of valid distributions yields a valid
+// distribution, and equal single-expert fusion is idempotent.
+func TestFuseProperties(t *testing.T) {
+	f := func(raw [4]uint8) bool {
+		d := make([]float64, 4)
+		var sum float64
+		for i, v := range raw {
+			d[i] = float64(v) + 1
+			sum += d[i]
+		}
+		for i := range d {
+			d[i] /= sum
+		}
+		out, err := Fuse([][]float64{d}, []float64{1})
+		if err != nil {
+			return false
+		}
+		var osum float64
+		for i := range out {
+			if math.Abs(out[i]-d[i]) > 1e-9 {
+				return false
+			}
+			osum += out[i]
+		}
+		return math.Abs(osum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if s := Similarity([]float64{1, 0}, []float64{1, 0}); !almost(s, 1) {
+		t.Fatalf("self similarity %v", s)
+	}
+}

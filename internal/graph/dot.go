@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visual
+// inspection of architectures and TRNs. Removable blocks become
+// clusters; head layers are shaded.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	fmt.Fprintf(&b, "  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+
+	inBlock := make([]int, len(g.Nodes))
+	for i := range inBlock {
+		inBlock[i] = -1
+	}
+	for _, blk := range g.Blocks {
+		for _, id := range blk.Nodes {
+			inBlock[id] = blk.Index
+		}
+	}
+
+	emit := func(n *Node) string {
+		// The \n is a DOT line break, so it must survive literally.
+		attrs := fmt.Sprintf(`label="%s\n%s"`, n.Name, n.Out)
+		if n.Head {
+			attrs += ", style=filled, fillcolor=lightgrey"
+		}
+		return fmt.Sprintf("  n%d [%s];\n", n.ID, attrs)
+	}
+
+	// Nodes outside blocks first.
+	for _, n := range g.Nodes {
+		if inBlock[n.ID] == -1 {
+			b.WriteString(emit(n))
+		}
+	}
+	// Blocks as clusters.
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n    label=%q;\n", blk.Index, blk.Label)
+		for _, id := range blk.Nodes {
+			b.WriteString("  " + emit(g.Nodes[id]))
+		}
+		fmt.Fprintf(&b, "  }\n")
+	}
+	// Edges.
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in, n.ID)
+		}
+	}
+	fmt.Fprintf(&b, "}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,52 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := small(t)
+	var b strings.Builder
+	if err := g.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"tiny\"",
+		"subgraph cluster_0",
+		"subgraph cluster_1",
+		"fillcolor=lightgrey", // head shading
+		"->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// Every node appears exactly once.
+	for _, n := range g.Nodes {
+		if c := strings.Count(out, "n"+itoa(n.ID)+" ["); c != 1 {
+			t.Errorf("node %d declared %d times", n.ID, c)
+		}
+	}
+	// Edge count matches input fan-in.
+	edges := 0
+	for _, n := range g.Nodes {
+		edges += len(n.Inputs)
+	}
+	if c := strings.Count(out, "->"); c != edges {
+		t.Errorf("%d edges rendered, want %d", c, edges)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,127 @@
+package graph
+
+import "fmt"
+
+// LastFeatureNode returns the ID of the last non-head node: the feature
+// tensor the original classification head consumes.
+func (g *Graph) LastFeatureNode() int {
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		if !g.Nodes[i].Head {
+			return i
+		}
+	}
+	return 0
+}
+
+// Ancestors returns the IDs of node id and all its transitive producers,
+// in ascending order. Because the graph is topologically ordered, the
+// result is a dependency-closed subgraph.
+func (g *Graph) Ancestors(id int) []int {
+	if id < 0 || id >= len(g.Nodes) {
+		panic(fmt.Sprintf("graph: Ancestors of unknown node %d", id))
+	}
+	mark := make([]bool, id+1)
+	mark[id] = true
+	for i := id; i >= 0; i-- {
+		if !mark[i] {
+			continue
+		}
+		for _, in := range g.Nodes[i].Inputs {
+			mark[in] = true
+		}
+	}
+	out := make([]int, 0, id+1)
+	for i, m := range mark {
+		if m {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SubgraphBuilder returns a Builder seeded with deep copies of the given
+// dependency-closed node set of g (ascending original IDs, node 0 must be
+// the input and every node's producers must be in the set). Node IDs are
+// remapped densely. Blocks fully contained in the set are preserved.
+// The second return value is the new ID of the set's last node, i.e. the
+// attachment point for further layers.
+func SubgraphBuilder(name string, g *Graph, keep []int, numClasses int) (*Builder, int) {
+	if len(keep) == 0 || keep[0] != 0 {
+		panic("graph: SubgraphBuilder requires a set starting at the input node")
+	}
+	remap := make(map[int]int, len(keep))
+	ng := &Graph{
+		Name:       name,
+		InputShape: g.InputShape,
+		NumClasses: numClasses,
+	}
+	blockRemap := map[int]int{}
+	blockComplete := map[int]bool{}
+	// A block survives only if all of its nodes are kept.
+	inSet := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		inSet[id] = true
+	}
+	for bi, blk := range g.Blocks {
+		all := true
+		for _, id := range blk.Nodes {
+			if !inSet[id] {
+				all = false
+				break
+			}
+		}
+		blockComplete[bi] = all
+	}
+
+	prev := -1
+	for _, id := range keep {
+		if id <= prev {
+			panic("graph: SubgraphBuilder set must be ascending and unique")
+		}
+		prev = id
+		src := g.Nodes[id]
+		n := &Node{
+			ID:          len(ng.Nodes),
+			Name:        src.Name,
+			Kind:        src.Kind,
+			In:          src.In,
+			Out:         src.Out,
+			KH:          src.KH,
+			KW:          src.KW,
+			Stride:      src.Stride,
+			Pad:         src.Pad,
+			MACs:        src.MACs,
+			Params:      src.Params,
+			WeightBytes: src.WeightBytes,
+			IOBytes:     src.IOBytes,
+			Block:       -1,
+			Head:        false, // head layers are never carried over
+		}
+		for _, in := range src.Inputs {
+			nid, ok := remap[in]
+			if !ok {
+				panic(fmt.Sprintf("graph: SubgraphBuilder set not dependency-closed at node %d (input %d missing)", id, in))
+			}
+			n.Inputs = append(n.Inputs, nid)
+		}
+		if src.Block >= 0 && blockComplete[src.Block] {
+			bi, ok := blockRemap[src.Block]
+			if !ok {
+				bi = len(ng.Blocks)
+				blockRemap[src.Block] = bi
+				ng.Blocks = append(ng.Blocks, Block{
+					Index:  bi,
+					Label:  g.Blocks[src.Block].Label,
+					Output: -1,
+				})
+			}
+			n.Block = bi
+			ng.Blocks[bi].Nodes = append(ng.Blocks[bi].Nodes, n.ID)
+			ng.Blocks[bi].Output = n.ID
+		}
+		remap[id] = n.ID
+		ng.Nodes = append(ng.Nodes, n)
+	}
+	b := &Builder{g: ng, curBlock: -1}
+	return b, len(ng.Nodes) - 1
+}

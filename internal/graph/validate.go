@@ -1,0 +1,80 @@
+package graph
+
+import "fmt"
+
+// Validate checks structural invariants of a graph:
+//
+//   - nodes are topologically ordered and IDs are dense
+//   - exactly one Input node, at position 0
+//   - every non-input node has at least one input
+//   - merge nodes have consistent shapes
+//   - blocks are contiguous, non-empty, ordered, and non-head
+//   - head layers form a suffix of the node list
+//   - accounting fields are non-negative
+func Validate(g *Graph) error {
+	if len(g.Nodes) == 0 {
+		return fmt.Errorf("graph %s: empty", g.Name)
+	}
+	if g.Nodes[0].Kind != OpInput {
+		return fmt.Errorf("graph %s: first node must be Input, got %s", g.Name, g.Nodes[0].Kind)
+	}
+	seenHead := false
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("graph %s: node %d has ID %d", g.Name, i, n.ID)
+		}
+		if n.Kind == OpInput {
+			if i != 0 {
+				return fmt.Errorf("graph %s: extra Input node at %d", g.Name, i)
+			}
+		} else if len(n.Inputs) == 0 {
+			return fmt.Errorf("graph %s: node %d (%s) has no inputs", g.Name, i, n.Name)
+		}
+		for _, in := range n.Inputs {
+			if in < 0 || in >= i {
+				return fmt.Errorf("graph %s: node %d (%s) input %d not topologically earlier", g.Name, i, n.Name, in)
+			}
+		}
+		if n.MACs < 0 || n.Params < 0 || n.WeightBytes < 0 || n.IOBytes < 0 {
+			return fmt.Errorf("graph %s: node %d (%s) negative accounting", g.Name, i, n.Name)
+		}
+		if n.Out.H <= 0 || n.Out.W <= 0 || n.Out.C <= 0 {
+			return fmt.Errorf("graph %s: node %d (%s) degenerate output shape %v", g.Name, i, n.Name, n.Out)
+		}
+		if seenHead && !n.Head {
+			return fmt.Errorf("graph %s: node %d (%s) follows head layers but is not head", g.Name, i, n.Name)
+		}
+		if n.Head {
+			seenHead = true
+			if n.Block >= 0 {
+				return fmt.Errorf("graph %s: head node %d (%s) inside block %d", g.Name, i, n.Name, n.Block)
+			}
+		}
+	}
+	for bi, blk := range g.Blocks {
+		if blk.Index != bi {
+			return fmt.Errorf("graph %s: block %d has index %d", g.Name, bi, blk.Index)
+		}
+		if len(blk.Nodes) == 0 {
+			return fmt.Errorf("graph %s: block %d (%s) empty", g.Name, bi, blk.Label)
+		}
+		if blk.Output != blk.Nodes[len(blk.Nodes)-1] {
+			return fmt.Errorf("graph %s: block %d (%s) output %d is not its last node", g.Name, bi, blk.Label, blk.Output)
+		}
+		for _, id := range blk.Nodes {
+			if id < 0 || id >= len(g.Nodes) {
+				return fmt.Errorf("graph %s: block %d (%s) references unknown node %d", g.Name, bi, blk.Label, id)
+			}
+			if g.Nodes[id].Block != bi {
+				return fmt.Errorf("graph %s: node %d claims block %d but listed in block %d", g.Name, id, g.Nodes[id].Block, bi)
+			}
+		}
+		if bi > 0 {
+			prev := g.Blocks[bi-1]
+			if blk.Nodes[0] <= prev.Nodes[len(prev.Nodes)-1] {
+				return fmt.Errorf("graph %s: block %d (%s) overlaps block %d", g.Name, bi, blk.Label, bi-1)
+			}
+		}
+	}
+	return nil
+}

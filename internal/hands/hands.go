@@ -1,0 +1,292 @@
+// Package hands generates a synthetic stand-in for the HANDS dataset
+// (Han et al., 2020; substitution S3/S4 in DESIGN.md): images of
+// graspable-object silhouettes from a palm-camera-like viewpoint with
+// probabilistic labels over the five grasp types of Sec. III-B2 —
+// Open Palm, Medium Wrap, Power Sphere, Parallel Extension and Palmar
+// Pinch. Labels are soft because many objects admit several grasps with
+// different preference, which is exactly why the paper's accuracy
+// metric is angular similarity rather than top-1.
+package hands
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netcut/internal/tensor"
+)
+
+// Grasp indices.
+const (
+	OpenPalm = iota
+	MediumWrap
+	PowerSphere
+	ParallelExtension
+	PalmarPinch
+	NumGrasps
+)
+
+// GraspNames lists the five grasp types in index order.
+var GraspNames = [NumGrasps]string{
+	"Open Palm", "Medium Wrap", "Power Sphere", "Parallel Extension", "Palmar Pinch",
+}
+
+// compat encodes how plausible grasp g2 is for an object whose primary
+// grasp is g1; it shapes the probabilistic labels.
+var compat = [NumGrasps][NumGrasps]float64{
+	OpenPalm:          {1, 0.10, 0.05, 0.35, 0.05},
+	MediumWrap:        {0.05, 1, 0.30, 0.10, 0.10},
+	PowerSphere:       {0.05, 0.30, 1, 0.05, 0.20},
+	ParallelExtension: {0.30, 0.10, 0.05, 1, 0.15},
+	PalmarPinch:       {0.05, 0.10, 0.25, 0.10, 1},
+}
+
+// Config parameterizes dataset generation.
+type Config struct {
+	N          int     // examples
+	Size       int     // square image side
+	Seed       int64   //
+	NoiseSigma float64 // additive pixel noise
+	// SoftLabelWeight scales the off-primary label mass; 0 defaults to
+	// 0.5 (clearly soft labels), negative disables softness entirely.
+	SoftLabelWeight float64
+}
+
+func (c *Config) fill() {
+	if c.N == 0 {
+		c.N = 256
+	}
+	if c.Size == 0 {
+		c.Size = 16
+	}
+	if c.NoiseSigma == 0 {
+		c.NoiseSigma = 0.05
+	}
+	if c.SoftLabelWeight == 0 {
+		c.SoftLabelWeight = 0.5
+	}
+	if c.SoftLabelWeight < 0 {
+		c.SoftLabelWeight = 0
+	}
+}
+
+// Dataset is an in-memory image/soft-label collection satisfying
+// nn.Dataset.
+type Dataset struct {
+	images []*tensor.Tensor
+	labels [][]float64
+}
+
+// Len implements nn.Dataset.
+func (d *Dataset) Len() int { return len(d.images) }
+
+// Example implements nn.Dataset.
+func (d *Dataset) Example(i int) (*tensor.Tensor, []float64) {
+	return d.images[i], d.labels[i]
+}
+
+// Append adds an example (used by composition helpers).
+func (d *Dataset) Append(img *tensor.Tensor, label []float64) {
+	d.images = append(d.images, img)
+	d.labels = append(d.labels, label)
+}
+
+// Generate renders a synthetic grasp dataset.
+func Generate(cfg Config) *Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	for i := 0; i < cfg.N; i++ {
+		grasp := i % NumGrasps
+		img := renderGrasp(rng, cfg, grasp)
+		ds.Append(img, softLabel(rng, grasp, cfg.SoftLabelWeight))
+	}
+	return ds
+}
+
+// softLabel builds the probabilistic grasp label: compatibility prior
+// plus preference noise, normalized.
+func softLabel(rng *rand.Rand, grasp int, weight float64) []float64 {
+	l := make([]float64, NumGrasps)
+	var sum float64
+	for g := 0; g < NumGrasps; g++ {
+		v := compat[grasp][g]
+		if g != grasp {
+			v *= weight
+			v *= 0.7 + 0.6*rng.Float64() // preference noise
+		}
+		l[g] = v
+		sum += v
+	}
+	for g := range l {
+		l[g] /= sum
+	}
+	return l
+}
+
+// renderGrasp draws the object silhouette class associated with a grasp.
+func renderGrasp(rng *rand.Rand, cfg Config, grasp int) *tensor.Tensor {
+	img := tensor.New(1, cfg.Size, cfg.Size, 1)
+	s := float64(cfg.Size)
+	cx := s/2 + rng.NormFloat64()*s/12
+	cy := s/2 + rng.NormFloat64()*s/12
+	scale := 0.8 + 0.4*rng.Float64()
+	intensity := 0.7 + 0.3*rng.Float64()
+
+	switch grasp {
+	case OpenPalm: // large flat plate
+		drawRect(img, cx, cy, 0.38*s*scale, 0.30*s*scale, intensity)
+	case MediumWrap: // thick vertical cylinder
+		drawRect(img, cx, cy, 0.10*s*scale, 0.40*s*scale, intensity)
+	case PowerSphere: // ball
+		drawCircle(img, cx, cy, 0.22*s*scale, intensity)
+	case ParallelExtension: // two thin parallel slabs
+		off := 0.12 * s * scale
+		drawRect(img, cx, cy-off, 0.32*s*scale, 0.05*s*scale, intensity)
+		drawRect(img, cx, cy+off, 0.32*s*scale, 0.05*s*scale, intensity)
+	case PalmarPinch: // small object
+		drawCircle(img, cx, cy, 0.08*s*scale, intensity)
+	default:
+		panic(fmt.Sprintf("hands: unknown grasp %d", grasp))
+	}
+	addNoise(rng, img, cfg.NoiseSigma)
+	return img
+}
+
+// PretrainClasses is the class count of the pretraining stand-in task
+// (the "ImageNet" of the miniature pipeline): a richer shape vocabulary
+// than the grasp task, so early layers learn generic edge/blob features.
+const PretrainClasses = 8
+
+// GeneratePretrain renders the pretraining task: 8 shape classes with
+// lightly smoothed labels.
+func GeneratePretrain(cfg Config) *Dataset {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{}
+	for i := 0; i < cfg.N; i++ {
+		class := i % PretrainClasses
+		img := renderPretrain(rng, cfg, class)
+		label := make([]float64, PretrainClasses)
+		for j := range label {
+			label[j] = 0.02 / float64(PretrainClasses-1)
+		}
+		label[class] = 0.98
+		ds.Append(img, label)
+	}
+	return ds
+}
+
+func renderPretrain(rng *rand.Rand, cfg Config, class int) *tensor.Tensor {
+	img := tensor.New(1, cfg.Size, cfg.Size, 1)
+	s := float64(cfg.Size)
+	cx := s/2 + rng.NormFloat64()*s/12
+	cy := s/2 + rng.NormFloat64()*s/12
+	scale := 0.8 + 0.4*rng.Float64()
+	in := 0.7 + 0.3*rng.Float64()
+	switch class {
+	case 0:
+		drawRect(img, cx, cy, 0.30*s*scale, 0.30*s*scale, in) // square
+	case 1:
+		drawCircle(img, cx, cy, 0.20*s*scale, in) // disc
+	case 2:
+		drawRect(img, cx, cy, 0.08*s*scale, 0.38*s*scale, in) // vertical bar
+	case 3:
+		drawRect(img, cx, cy, 0.38*s*scale, 0.08*s*scale, in) // horizontal bar
+	case 4: // cross
+		drawRect(img, cx, cy, 0.08*s*scale, 0.36*s*scale, in)
+		drawRect(img, cx, cy, 0.36*s*scale, 0.08*s*scale, in)
+	case 5: // ring
+		drawCircle(img, cx, cy, 0.22*s*scale, in)
+		drawCircle(img, cx, cy, 0.12*s*scale, -in)
+	case 6:
+		drawCircle(img, cx, cy, 0.07*s*scale, in) // dot
+	case 7: // two dots
+		off := 0.15 * s * scale
+		drawCircle(img, cx-off, cy, 0.08*s*scale, in)
+		drawCircle(img, cx+off, cy, 0.08*s*scale, in)
+	default:
+		panic(fmt.Sprintf("hands: unknown pretrain class %d", class))
+	}
+	addNoise(rng, img, cfg.NoiseSigma)
+	return img
+}
+
+func drawRect(img *tensor.Tensor, cx, cy, halfW, halfH, v float64) {
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			if math.Abs(float64(x)-cx) <= halfW && math.Abs(float64(y)-cy) <= halfH {
+				img.Add(0, y, x, 0, v)
+			}
+		}
+	}
+	clampImage(img)
+}
+
+func drawCircle(img *tensor.Tensor, cx, cy, r, v float64) {
+	r2 := r * r
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			if dx*dx+dy*dy <= r2 {
+				img.Add(0, y, x, 0, v)
+			}
+		}
+	}
+	clampImage(img)
+}
+
+func clampImage(img *tensor.Tensor) {
+	for i, v := range img.Data {
+		if v < 0 {
+			img.Data[i] = 0
+		} else if v > 1 {
+			img.Data[i] = 1
+		}
+	}
+}
+
+func addNoise(rng *rand.Rand, img *tensor.Tensor, sigma float64) {
+	for i := range img.Data {
+		img.Data[i] += rng.NormFloat64() * sigma
+	}
+}
+
+// Split partitions the dataset into train and validation subsets.
+func Split(d *Dataset, trainFrac float64, seed int64) (train, val *Dataset) {
+	idx := rand.New(rand.NewSource(seed)).Perm(d.Len())
+	nTrain := int(float64(d.Len()) * trainFrac)
+	train, val = &Dataset{}, &Dataset{}
+	for i, id := range idx {
+		img, lbl := d.Example(id)
+		if i < nTrain {
+			train.Append(img, lbl)
+		} else {
+			val.Append(img, lbl)
+		}
+	}
+	return train, val
+}
+
+// CalibrationSet returns the random 10% of a training set used for
+// post-training quantization calibration (Sec. III-B4). At miniature
+// dataset sizes a bare 10% starves the activation observers, so the
+// subset keeps at least 16 examples (or the whole set if smaller) —
+// at paper scale the floor never triggers.
+func CalibrationSet(train *Dataset, seed int64) *Dataset {
+	idx := rand.New(rand.NewSource(seed)).Perm(train.Len())
+	n := train.Len() / 10
+	if n < 16 {
+		n = 16
+	}
+	if n > train.Len() {
+		n = train.Len()
+	}
+	out := &Dataset{}
+	for _, id := range idx[:n] {
+		img, lbl := train.Example(id)
+		out.Append(img, lbl)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package hands
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	ds := Generate(Config{N: 50, Size: 16, Seed: 1})
+	if ds.Len() != 50 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	img, lbl := ds.Example(0)
+	if img.H != 16 || img.W != 16 || img.C != 1 || img.N != 1 {
+		t.Fatalf("image shape %s", img.ShapeString())
+	}
+	if len(lbl) != NumGrasps {
+		t.Fatalf("label has %d classes", len(lbl))
+	}
+}
+
+func TestLabelsAreNormalizedSoftAndPeaked(t *testing.T) {
+	ds := Generate(Config{N: 100, Seed: 2})
+	for i := 0; i < ds.Len(); i++ {
+		_, lbl := ds.Example(i)
+		var sum, maxV float64
+		argmax := -1
+		nonzero := 0
+		for g, v := range lbl {
+			if v < 0 {
+				t.Fatalf("label %d has negative mass", i)
+			}
+			if v > 0 {
+				nonzero++
+			}
+			sum += v
+			if v > maxV {
+				maxV, argmax = v, g
+			}
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("label %d sums to %v", i, sum)
+		}
+		if argmax != i%NumGrasps {
+			t.Fatalf("label %d argmax %d, want %d", i, argmax, i%NumGrasps)
+		}
+		if nonzero < 2 {
+			t.Fatalf("label %d is one-hot; HANDS labels are probabilistic", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{N: 20, Seed: 7})
+	b := Generate(Config{N: 20, Seed: 7})
+	for i := 0; i < 20; i++ {
+		ia, la := a.Example(i)
+		ib, lb := b.Example(i)
+		for j := range ia.Data {
+			if ia.Data[j] != ib.Data[j] {
+				t.Fatal("images differ across same-seed generations")
+			}
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatal("labels differ across same-seed generations")
+			}
+		}
+	}
+	c := Generate(Config{N: 20, Seed: 8})
+	ic, _ := c.Example(0)
+	ia, _ := a.Example(0)
+	same := true
+	for j := range ia.Data {
+		if ia.Data[j] != ic.Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+// TestClassesAreSeparable checks the synthetic task is learnable: a
+// nearest-centroid classifier in pixel space beats chance comfortably.
+func TestClassesAreSeparable(t *testing.T) {
+	train := Generate(Config{N: 200, Seed: 3})
+	test := Generate(Config{N: 100, Seed: 4})
+	dim := 16 * 16
+	centroids := make([][]float64, NumGrasps)
+	counts := make([]int, NumGrasps)
+	for g := range centroids {
+		centroids[g] = make([]float64, dim)
+	}
+	for i := 0; i < train.Len(); i++ {
+		img, _ := train.Example(i)
+		g := i % NumGrasps
+		for j, v := range img.Data {
+			centroids[g][j] += v
+		}
+		counts[g]++
+	}
+	for g := range centroids {
+		for j := range centroids[g] {
+			centroids[g][j] /= float64(counts[g])
+		}
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i++ {
+		img, _ := test.Example(i)
+		best, bestD := -1, math.Inf(1)
+		for g := range centroids {
+			var d float64
+			for j, v := range img.Data {
+				dd := v - centroids[g][j]
+				d += dd * dd
+			}
+			if d < bestD {
+				bestD, best = d, g
+			}
+		}
+		if best == i%NumGrasps {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(test.Len())
+	if acc < 0.6 {
+		t.Fatalf("nearest-centroid accuracy %.2f; classes not separable enough", acc)
+	}
+}
+
+func TestPretrainDataset(t *testing.T) {
+	ds := GeneratePretrain(Config{N: 64, Seed: 5})
+	if ds.Len() != 64 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	_, lbl := ds.Example(3)
+	if len(lbl) != PretrainClasses {
+		t.Fatalf("pretrain label has %d classes, want %d", len(lbl), PretrainClasses)
+	}
+	var sum float64
+	for _, v := range lbl {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("pretrain label sums to %v", sum)
+	}
+}
+
+func TestSplitAndCalibration(t *testing.T) {
+	ds := Generate(Config{N: 100, Seed: 6})
+	train, val := Split(ds, 0.8, 1)
+	if train.Len() != 80 || val.Len() != 20 {
+		t.Fatalf("split = %d/%d", train.Len(), val.Len())
+	}
+	cal := CalibrationSet(train, 2)
+	if cal.Len() != 16 {
+		t.Fatalf("calibration set = %d, want the 16-example floor over 10%% of 80", cal.Len())
+	}
+	big := Generate(Config{N: 400, Seed: 7})
+	if CalibrationSet(big, 1).Len() != 40 {
+		t.Fatalf("calibration of 400 = %d, want 10%%", CalibrationSet(big, 1).Len())
+	}
+	tiny := Generate(Config{N: 5, Seed: 6})
+	if CalibrationSet(tiny, 1).Len() != 5 {
+		t.Fatal("calibration of a tiny set should keep the whole set")
+	}
+}
+
+func TestSoftLabelWeightControlsSoftness(t *testing.T) {
+	hard := Generate(Config{N: 10, Seed: 9, SoftLabelWeight: -1})
+	_, lbl := hard.Example(0)
+	var nonzero int
+	for _, v := range lbl {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("hard labels requested but got %d nonzero entries", nonzero)
+	}
+}

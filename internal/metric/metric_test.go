@@ -1,0 +1,158 @@
+package metric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAngularIdentity(t *testing.T) {
+	p := []float64{0.2, 0.3, 0.5}
+	if !almost(AngularSimilarity(p, p), 1, 1e-12) {
+		t.Fatalf("self-similarity = %v, want 1", AngularSimilarity(p, p))
+	}
+	if !almost(AngularDistance(p, p), 0, 1e-12) {
+		t.Fatalf("self-distance = %v, want 0", AngularDistance(p, p))
+	}
+}
+
+func TestAngularOrthogonal(t *testing.T) {
+	p := []float64{1, 0, 0}
+	q := []float64{0, 1, 0}
+	if !almost(AngularDistance(p, q), 1, 1e-12) {
+		t.Fatalf("orthogonal distance = %v, want 1", AngularDistance(p, q))
+	}
+}
+
+func TestAngularKnownValue(t *testing.T) {
+	// 45 degrees between (1,0) and (1,1)/sqrt2: distance = 0.5.
+	p := []float64{1, 0}
+	q := []float64{1, 1}
+	if d := AngularDistance(p, q); !almost(d, 0.5, 1e-12) {
+		t.Fatalf("45-degree distance = %v, want 0.5", d)
+	}
+}
+
+func TestAngularZeroVector(t *testing.T) {
+	p := []float64{0, 0}
+	q := []float64{1, 0}
+	if d := AngularDistance(p, q); !almost(d, 1, 1e-12) {
+		t.Fatalf("zero-vector distance = %v, want 1 (orthogonal convention)", d)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	CosineSimilarity([]float64{1}, []float64{1, 2})
+}
+
+// Properties over random probability-like vectors: symmetry, bounds and
+// scale invariance.
+func TestAngularProperties(t *testing.T) {
+	f := func(a, b [5]uint8) bool {
+		p := make([]float64, 5)
+		q := make([]float64, 5)
+		for i := 0; i < 5; i++ {
+			p[i] = float64(a[i]) + 0.01
+			q[i] = float64(b[i]) + 0.01
+		}
+		d1 := AngularDistance(p, q)
+		d2 := AngularDistance(q, p)
+		if !almost(d1, d2, 1e-12) {
+			return false
+		}
+		if d1 < 0 || d1 > 1 {
+			return false
+		}
+		// Scale invariance.
+		ps := make([]float64, 5)
+		for i := range p {
+			ps[i] = p[i] * 7.5
+		}
+		return almost(AngularDistance(ps, q), d1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAngularSimilarity(t *testing.T) {
+	preds := [][]float64{{1, 0}, {0, 1}}
+	labels := [][]float64{{1, 0}, {1, 0}}
+	if got := MeanAngularSimilarity(preds, labels); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("mean = %v, want 0.5", got)
+	}
+	if got := MeanAngularSimilarity(nil, nil); got != 0 {
+		t.Fatalf("empty mean = %v, want 0", got)
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(1.1, 1.0); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0.9, 1.0); !almost(got, 0.1, 1e-12) {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Fatal("RelativeError with zero actual should be +Inf")
+	}
+	if RelativeError(0, 0) != 0 {
+		t.Fatal("RelativeError(0,0) should be 0")
+	}
+}
+
+func TestRelativeImprovement(t *testing.T) {
+	if got := RelativeImprovement(0.9, 0.815); !almost(got, 0.10429, 1e-4) {
+		t.Fatalf("RelativeImprovement = %v", got)
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5, 1e-12) {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if !almost(Std(xs), 2, 1e-12) {
+		t.Fatalf("Std = %v", Std(xs))
+	}
+	if Std([]float64{1}) != 0 {
+		t.Fatal("Std of singleton should be 0")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	p := Normalize([]float64{2, 2, 4})
+	if !almost(p[0], 0.25, 1e-12) || !almost(p[2], 0.5, 1e-12) {
+		t.Fatalf("Normalize = %v", p)
+	}
+	u := Normalize([]float64{0, 0})
+	if !almost(u[0], 0.5, 1e-12) {
+		t.Fatalf("Normalize zero = %v, want uniform", u)
+	}
+}
+
+// Property: normalized vectors sum to 1.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(a [4]uint8) bool {
+		p := make([]float64, 4)
+		for i := range p {
+			p[i] = float64(a[i])
+		}
+		Normalize(p)
+		var s float64
+		for _, v := range p {
+			s += v
+		}
+		return almost(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+
+	"netcut/internal/tensor"
+)
+
+// BatchNorm normalizes per channel over batch and spatial dimensions,
+// with learnable scale/shift and running statistics for inference.
+type BatchNorm struct {
+	Gamma *Param
+	Beta  *Param
+	// Running statistics (inference mode).
+	RunMean []float64
+	RunVar  []float64
+	// Momentum of the running-statistic update.
+	Momentum float64
+	Eps      float64
+
+	// Training-pass caches.
+	x     *tensor.Tensor
+	xhat  []float64
+	mean  []float64
+	inv   []float64 // 1/sqrt(var+eps)
+	count int
+}
+
+// NewBatchNorm builds a batch-norm layer over ch channels.
+func NewBatchNorm(ch int) *BatchNorm {
+	bn := &BatchNorm{
+		Gamma:    newParam("bn.gamma", ch),
+		Beta:     newParam("bn.beta", ch),
+		RunMean:  make([]float64, ch),
+		RunVar:   make([]float64, ch),
+		Momentum: 0.9,
+		Eps:      1e-5,
+	}
+	for i := range bn.Gamma.Val {
+		bn.Gamma.Val[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	ch := x.C
+	y := x.Clone()
+	if !train {
+		for i := 0; i < len(x.Data); i += ch {
+			for c := 0; c < ch; c++ {
+				inv := 1 / math.Sqrt(bn.RunVar[c]+bn.Eps)
+				y.Data[i+c] = bn.Gamma.Val[c]*(x.Data[i+c]-bn.RunMean[c])*inv + bn.Beta.Val[c]
+			}
+		}
+		return y
+	}
+
+	bn.x = x
+	bn.count = len(x.Data) / ch
+	mean := make([]float64, ch)
+	variance := make([]float64, ch)
+	for i := 0; i < len(x.Data); i += ch {
+		for c := 0; c < ch; c++ {
+			mean[c] += x.Data[i+c]
+		}
+	}
+	m := float64(bn.count)
+	for c := range mean {
+		mean[c] /= m
+	}
+	for i := 0; i < len(x.Data); i += ch {
+		for c := 0; c < ch; c++ {
+			d := x.Data[i+c] - mean[c]
+			variance[c] += d * d
+		}
+	}
+	inv := make([]float64, ch)
+	for c := range variance {
+		variance[c] /= m
+		inv[c] = 1 / math.Sqrt(variance[c]+bn.Eps)
+		bn.RunMean[c] = bn.Momentum*bn.RunMean[c] + (1-bn.Momentum)*mean[c]
+		bn.RunVar[c] = bn.Momentum*bn.RunVar[c] + (1-bn.Momentum)*variance[c]
+	}
+	xhat := make([]float64, len(x.Data))
+	for i := 0; i < len(x.Data); i += ch {
+		for c := 0; c < ch; c++ {
+			xhat[i+c] = (x.Data[i+c] - mean[c]) * inv[c]
+			y.Data[i+c] = bn.Gamma.Val[c]*xhat[i+c] + bn.Beta.Val[c]
+		}
+	}
+	bn.xhat = xhat
+	bn.mean = mean
+	bn.inv = inv
+	return y
+}
+
+// Backward implements Layer (training mode only).
+func (bn *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	ch := grad.C
+	m := float64(bn.count)
+	sumG := make([]float64, ch)
+	sumGX := make([]float64, ch)
+	for i := 0; i < len(grad.Data); i += ch {
+		for c := 0; c < ch; c++ {
+			sumG[c] += grad.Data[i+c]
+			sumGX[c] += grad.Data[i+c] * bn.xhat[i+c]
+		}
+	}
+	for c := 0; c < ch; c++ {
+		bn.Beta.Grad[c] += sumG[c]
+		bn.Gamma.Grad[c] += sumGX[c]
+	}
+	gx := grad.Clone()
+	for i := 0; i < len(grad.Data); i += ch {
+		for c := 0; c < ch; c++ {
+			g := grad.Data[i+c]
+			gx.Data[i+c] = bn.Gamma.Val[c] * bn.inv[c] *
+				(g - sumG[c]/m - bn.xhat[i+c]*sumGX[c]/m)
+		}
+	}
+	return gx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm) Params() []*Param { return []*Param{bn.Gamma, bn.Beta} }

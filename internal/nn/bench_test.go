@@ -1,0 +1,37 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"netcut/internal/hands"
+)
+
+func BenchmarkTrainEpoch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := hands.Generate(hands.Config{N: 64, Size: 12, Seed: 1})
+	m, err := Build(MiniConfig{InputH: 12, Blocks: 2, Classes: 5}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := NewAdam(1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(m, ds, TrainConfig{Epochs: 1, BatchSize: 16, Optimizer: opt, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ds := hands.Generate(hands.Config{N: 64, Size: 12, Seed: 2})
+	m, err := Build(MiniConfig{InputH: 12, Blocks: 2, Classes: 5}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Evaluate(m, ds)
+	}
+}

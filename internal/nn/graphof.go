@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// ToGraph converts a miniature model into the analytical layer-graph IR
+// so real trained networks can be timed on the simulated device,
+// profiled, and explored by NetCut exactly like the paper-scale zoo.
+// Model blocks become removable IR blocks; the head is marked as
+// classification layers.
+func ToGraph(m *Model, name string, inputH, inputW, inputC, classes int) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, graph.Shape{H: inputH, W: inputW, C: inputC}, classes)
+	x := b.Input()
+	x, err := emitLayer(b, m.Stem, x)
+	if err != nil {
+		return nil, err
+	}
+	for i, blk := range m.Blocks {
+		b.BeginBlock(fmt.Sprintf("block%d", i+1))
+		x, err = emitLayer(b, blk, x)
+		if err != nil {
+			return nil, err
+		}
+		b.EndBlock()
+	}
+	b.BeginHead()
+	x, err = emitLayer(b, m.Head, x)
+	if err != nil {
+		return nil, err
+	}
+	b.Softmax(x)
+	return b.Finish()
+}
+
+// emitLayer lowers one nn layer (possibly a container) to IR nodes and
+// returns the output node ID.
+func emitLayer(b *graph.Builder, l Layer, x int) (int, error) {
+	switch v := l.(type) {
+	case *Sequential:
+		var err error
+		for _, c := range v.Layers {
+			x, err = emitLayer(b, c, x)
+			if err != nil {
+				return 0, err
+			}
+		}
+		return x, nil
+	case *Residual:
+		y, err := emitLayer(b, v.Body, x)
+		if err != nil {
+			return 0, err
+		}
+		return b.Add(y, x), nil
+	case *Conv:
+		return b.Conv(x, v.KH, v.OutC, v.Stride, padMode(v.Same)), nil
+	case *DWConv:
+		return b.DWConv(x, v.K, v.Stride, padMode(v.Same)), nil
+	case *Dense:
+		return b.Dense(x, v.OutC), nil
+	case *BatchNorm:
+		return b.BN(x), nil
+	case *ReLU:
+		return b.ReLU(x), nil
+	case *MaxPool:
+		return b.MaxPool(x, v.K, v.Stride, padMode(v.Same)), nil
+	case *GlobalAvgPool:
+		return b.GlobalAvgPool(x), nil
+	default:
+		// Parameter-free inference decorations (e.g. quant observers)
+		// have no timing-relevant IR representation of their own.
+		if len(l.Params()) == 0 {
+			return x, nil
+		}
+		return 0, fmt.Errorf("nn: cannot lower layer %T to graph IR", l)
+	}
+}
+
+func padMode(same bool) graph.PadMode {
+	if same {
+		return graph.Same
+	}
+	return graph.Valid
+}

@@ -1,0 +1,333 @@
+// Package nn is a real, from-scratch trainable neural-network stack:
+// layers with forward and backward passes over internal/tensor, SGD and
+// Adam optimizers, soft-label cross-entropy, and the two-phase
+// fine-tuning protocol of Sec. III-B3 (frozen features at lr 1e-3, then
+// full fine-tuning at 1e-4).
+//
+// It exists to demonstrate the paper's mechanics for real at miniature
+// scale — pretraining, transfer, layer removal, retraining, and
+// angular-distance evaluation on the synthetic HANDS task — while
+// internal/transfer supplies the calibrated paper-scale behaviour.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"netcut/internal/tensor"
+)
+
+// Param is one learnable parameter vector with its gradient.
+type Param struct {
+	Name string
+	Val  []float64
+	Grad []float64
+}
+
+func newParam(name string, n int) *Param {
+	return &Param{Name: name, Val: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// Layer is a differentiable network layer. Forward caches whatever
+// Backward needs; Backward returns the gradient w.r.t. the layer input
+// and accumulates parameter gradients.
+type Layer interface {
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Params() []*Param
+}
+
+// Conv is a 2-D convolution with bias.
+type Conv struct {
+	W      *Param // [KH,KW,InC,OutC]
+	B      *Param
+	KH, KW int
+	InC    int
+	OutC   int
+	Stride int
+	Same   bool
+
+	x *tensor.Tensor
+}
+
+// NewConv builds a conv layer with He-initialized weights.
+func NewConv(rng *rand.Rand, k, inC, outC, stride int, same bool) *Conv {
+	c := &Conv{
+		W: newParam("conv.w", k*k*inC*outC), B: newParam("conv.b", outC),
+		KH: k, KW: k, InC: inC, OutC: outC, Stride: stride, Same: same,
+	}
+	std := math.Sqrt(2.0 / float64(k*k*inC))
+	for i := range c.W.Val {
+		c.W.Val[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+func (c *Conv) weights() *tensor.Tensor {
+	return &tensor.Tensor{N: c.KH, H: c.KW, W: c.InC, C: c.OutC, Data: c.W.Val}
+}
+
+// Forward implements Layer.
+func (c *Conv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	c.x = x
+	return tensor.Conv2D(x, c.weights(), c.B.Val, c.Stride, c.Same)
+}
+
+// Backward implements Layer.
+func (c *Conv) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.Conv2DBackward(c.x, c.weights(), grad, true, c.Stride, c.Same)
+	accumulate(c.W.Grad, gw.Data)
+	accumulate(c.B.Grad, gb)
+	return gx
+}
+
+// Params implements Layer.
+func (c *Conv) Params() []*Param { return []*Param{c.W, c.B} }
+
+// DWConv is a depthwise convolution with bias.
+type DWConv struct {
+	W      *Param // [K,K,C,1]
+	B      *Param
+	K      int
+	C      int
+	Stride int
+	Same   bool
+
+	x *tensor.Tensor
+}
+
+// NewDWConv builds a depthwise conv layer.
+func NewDWConv(rng *rand.Rand, k, ch, stride int, same bool) *DWConv {
+	d := &DWConv{
+		W: newParam("dwconv.w", k*k*ch), B: newParam("dwconv.b", ch),
+		K: k, C: ch, Stride: stride, Same: same,
+	}
+	std := math.Sqrt(2.0 / float64(k*k))
+	for i := range d.W.Val {
+		d.W.Val[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+func (d *DWConv) weights() *tensor.Tensor {
+	return &tensor.Tensor{N: d.K, H: d.K, W: d.C, C: 1, Data: d.W.Val}
+}
+
+// Forward implements Layer.
+func (d *DWConv) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	return tensor.DWConv2D(x, d.weights(), d.B.Val, d.Stride, d.Same)
+}
+
+// Backward implements Layer.
+func (d *DWConv) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.DWConv2DBackward(d.x, d.weights(), grad, true, d.Stride, d.Same)
+	accumulate(d.W.Grad, gw.Data)
+	accumulate(d.B.Grad, gb)
+	return gx
+}
+
+// Params implements Layer.
+func (d *DWConv) Params() []*Param { return []*Param{d.W, d.B} }
+
+// Dense is a fully connected layer over flattened (1x1 spatial) inputs.
+type Dense struct {
+	W    *Param // [1,1,InC,OutC]
+	B    *Param
+	InC  int
+	OutC int
+
+	x *tensor.Tensor
+}
+
+// NewDense builds a dense layer with He initialization.
+func NewDense(rng *rand.Rand, inC, outC int) *Dense {
+	d := &Dense{W: newParam("dense.w", inC*outC), B: newParam("dense.b", outC), InC: inC, OutC: outC}
+	std := math.Sqrt(2.0 / float64(inC))
+	for i := range d.W.Val {
+		d.W.Val[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+func (d *Dense) weights() *tensor.Tensor {
+	return &tensor.Tensor{N: 1, H: 1, W: d.InC, C: d.OutC, Data: d.W.Val}
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	d.x = x
+	return tensor.Dense(x, d.weights(), d.B.Val)
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gx, gw, gb := tensor.DenseBackward(d.x, d.weights(), grad, true)
+	accumulate(d.W.Grad, gw.Data)
+	accumulate(d.B.Grad, gb)
+	return gx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU is the rectifier activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		if v <= 0 {
+			y.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data {
+		if !r.mask[i] {
+			g.Data[i] = 0
+		}
+	}
+	return g
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// MaxPool is k x k max pooling.
+type MaxPool struct {
+	K      int
+	Stride int
+	Same   bool
+
+	x   *tensor.Tensor
+	arg []int
+}
+
+// Forward implements Layer.
+func (m *MaxPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	m.x = x
+	y, arg := tensor.MaxPool(x, m.K, m.Stride, m.Same)
+	m.arg = arg
+	return y
+}
+
+// Backward implements Layer.
+func (m *MaxPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.MaxPoolBackward(m.x, grad, m.arg)
+}
+
+// Params implements Layer.
+func (m *MaxPool) Params() []*Param { return nil }
+
+// GlobalAvgPool reduces spatial dimensions to 1x1.
+type GlobalAvgPool struct {
+	x *tensor.Tensor
+}
+
+// Forward implements Layer.
+func (g *GlobalAvgPool) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g.x = x
+	return tensor.GlobalAvgPool(x)
+}
+
+// Backward implements Layer.
+func (g *GlobalAvgPool) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return tensor.GlobalAvgPoolBackward(g.x, grad)
+}
+
+// Params implements Layer.
+func (g *GlobalAvgPool) Params() []*Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a sequential container.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Residual wraps a body with an identity skip connection: y = body(x)+x.
+// The body must preserve shape.
+type Residual struct {
+	Body Layer
+}
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	if !y.ShapeEq(x) {
+		panic(fmt.Sprintf("nn: residual body changed shape %s -> %s", x.ShapeString(), y.ShapeString()))
+	}
+	out := y.Clone()
+	for i := range out.Data {
+		out.Data[i] += x.Data[i]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gBody := r.Body.Backward(grad)
+	out := gBody.Clone()
+	for i := range out.Data {
+		out.Data[i] += grad.Data[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+func accumulate(dst, src []float64) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"netcut/internal/tensor"
+)
+
+// Softmax converts logits to probabilities along the channel dimension.
+// The input must be spatially flat.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.H != 1 || logits.W != 1 {
+		panic(fmt.Sprintf("nn: softmax over non-flat tensor %s", logits.ShapeString()))
+	}
+	y := logits.Clone()
+	c := logits.C
+	for n := 0; n < logits.N; n++ {
+		row := y.Data[n*c : (n+1)*c]
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			row[i] = math.Exp(v - maxV)
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	return y
+}
+
+// SoftCrossEntropy computes the cross-entropy between softmax(logits)
+// and soft target distributions (one per batch row), returning the mean
+// loss and the gradient w.r.t. the logits. Soft targets are exactly
+// what the HANDS labels are (Sec. III-B2): probabilistic grasp
+// preferences rather than one-hot classes.
+func SoftCrossEntropy(logits *tensor.Tensor, targets [][]float64) (float64, *tensor.Tensor) {
+	if logits.N != len(targets) {
+		panic(fmt.Sprintf("nn: %d logit rows but %d targets", logits.N, len(targets)))
+	}
+	probs := Softmax(logits)
+	c := logits.C
+	grad := tensor.New(logits.N, 1, 1, c)
+	var loss float64
+	invN := 1.0 / float64(logits.N)
+	for n := 0; n < logits.N; n++ {
+		t := targets[n]
+		if len(t) != c {
+			panic(fmt.Sprintf("nn: target %d has %d classes, want %d", n, len(t), c))
+		}
+		for i := 0; i < c; i++ {
+			p := probs.Data[n*c+i]
+			if t[i] > 0 {
+				loss -= t[i] * math.Log(math.Max(p, 1e-12))
+			}
+			grad.Data[n*c+i] = (p - t[i]) * invN
+		}
+	}
+	return loss * invN, grad
+}

@@ -1,0 +1,150 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlockKind selects the removable-block flavour of a miniature network,
+// mirroring the architecture families of the zoo.
+type BlockKind string
+
+const (
+	// PlainBlocks are Conv/BN/ReLU stacks (VGG-like).
+	PlainBlocks BlockKind = "plain"
+	// ResidualBlocks are identity-skip Conv/BN/ReLU/Conv/BN blocks
+	// (ResNet-like).
+	ResidualBlocks BlockKind = "residual"
+	// MobileBlocks are DWConv/BN/ReLU + 1x1 Conv/BN/ReLU separable
+	// blocks (MobileNet-like).
+	MobileBlocks BlockKind = "mobile"
+)
+
+// MiniConfig describes a miniature network.
+type MiniConfig struct {
+	InputH, InputW, InputC int
+	StemC                  int // stem output channels
+	Width                  int // block channels
+	Blocks                 int // number of removable blocks
+	Classes                int
+	Kind                   BlockKind
+	HeadHidden             int // hidden units of the FC head (paper: 2 FC/ReLU layers)
+}
+
+func (c *MiniConfig) fill() {
+	if c.InputH == 0 {
+		c.InputH = 16
+	}
+	if c.InputW == 0 {
+		c.InputW = c.InputH
+	}
+	if c.InputC == 0 {
+		c.InputC = 1
+	}
+	if c.StemC == 0 {
+		c.StemC = 8
+	}
+	if c.Width == 0 {
+		c.Width = 12
+	}
+	if c.Blocks == 0 {
+		c.Blocks = 4
+	}
+	if c.Classes == 0 {
+		c.Classes = 5
+	}
+	if c.Kind == "" {
+		c.Kind = ResidualBlocks
+	}
+	if c.HeadHidden == 0 {
+		c.HeadHidden = 24
+	}
+}
+
+// Build constructs a miniature network: Conv/BN/ReLU stem + MaxPool,
+// cfg.Blocks removable blocks, and the paper's replacement-head shape
+// (GAP + 2 FC/ReLU + FC producing logits).
+func Build(cfg MiniConfig, rng *rand.Rand) (*Model, error) {
+	cfg.fill()
+	if cfg.Blocks < 0 {
+		return nil, fmt.Errorf("nn: negative block count %d", cfg.Blocks)
+	}
+	m := &Model{
+		Stem: NewSequential(
+			NewConv(rng, 3, cfg.InputC, cfg.StemC, 1, true),
+			NewBatchNorm(cfg.StemC),
+			&ReLU{},
+			&MaxPool{K: 2, Stride: 2, Same: false},
+			NewConv(rng, 3, cfg.StemC, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+			&ReLU{},
+		),
+	}
+	for i := 0; i < cfg.Blocks; i++ {
+		m.Blocks = append(m.Blocks, buildBlock(cfg, rng))
+	}
+	m.Head = BuildHead(cfg.Width, cfg.HeadHidden, cfg.Classes, rng)
+	return m, nil
+}
+
+func buildBlock(cfg MiniConfig, rng *rand.Rand) Layer {
+	switch cfg.Kind {
+	case PlainBlocks:
+		return NewSequential(
+			NewConv(rng, 3, cfg.Width, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+			&ReLU{},
+		)
+	case MobileBlocks:
+		return NewSequential(
+			NewDWConv(rng, 3, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+			&ReLU{},
+			NewConv(rng, 1, cfg.Width, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+			&ReLU{},
+		)
+	default: // ResidualBlocks
+		return &Residual{Body: NewSequential(
+			NewConv(rng, 3, cfg.Width, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+			&ReLU{},
+			NewConv(rng, 3, cfg.Width, cfg.Width, 1, true),
+			NewBatchNorm(cfg.Width),
+		)}
+	}
+}
+
+// BuildHead constructs the transfer head: GAP + FC/ReLU + FC/ReLU + FC
+// (logits), mirroring Sec. III-B3's replacement head.
+func BuildHead(inC, hidden, classes int, rng *rand.Rand) *Sequential {
+	return NewSequential(
+		&GlobalAvgPool{},
+		NewDense(rng, inC, hidden),
+		&ReLU{},
+		NewDense(rng, hidden, hidden/2),
+		&ReLU{},
+		NewDense(rng, hidden/2, classes),
+	)
+}
+
+// CutModel builds the miniature TRN: the first (Blocks - removed)
+// blocks of src with transferred weights and a fresh head for the
+// target task. The source model is left untouched.
+func CutModel(src *Model, cfg MiniConfig, removed, classes int, rng *rand.Rand) (*Model, error) {
+	cfg.fill()
+	if removed < 0 || removed > len(src.Blocks) {
+		return nil, fmt.Errorf("nn: cannot remove %d of %d blocks", removed, len(src.Blocks))
+	}
+	trnCfg := cfg
+	trnCfg.Blocks = len(src.Blocks) - removed
+	trnCfg.Classes = classes
+	trn, err := Build(trnCfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := CopyFeatureWeights(trn, src); err != nil {
+		return nil, err
+	}
+	return trn, nil
+}

@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"fmt"
+
+	"netcut/internal/tensor"
+)
+
+// Model mirrors the TRN structure at miniature scale: a stem, a list of
+// removable blocks, and a classification head. Layer removal truncates
+// Blocks and replaces Head, exactly like trim.Cut does on the IR.
+type Model struct {
+	Stem   *Sequential
+	Blocks []Layer
+	Head   *Sequential
+}
+
+// Forward runs the model to logits.
+func (m *Model) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	x = m.Stem.Forward(x, train)
+	for _, b := range m.Blocks {
+		x = b.Forward(x, train)
+	}
+	return m.Head.Forward(x, train)
+}
+
+// Backward propagates the loss gradient through the whole model.
+func (m *Model) Backward(grad *tensor.Tensor) {
+	grad = m.Head.Backward(grad)
+	for i := len(m.Blocks) - 1; i >= 0; i-- {
+		grad = m.Blocks[i].Backward(grad)
+	}
+	m.Stem.Backward(grad)
+}
+
+// Predict returns class probabilities.
+func (m *Model) Predict(x *tensor.Tensor) *tensor.Tensor {
+	return Softmax(m.Forward(x, false))
+}
+
+// Params returns all parameters.
+func (m *Model) Params() []*Param {
+	out := m.FeatureParams()
+	return append(out, m.HeadParams()...)
+}
+
+// FeatureParams returns stem and block parameters — frozen during the
+// first fine-tuning phase.
+func (m *Model) FeatureParams() []*Param {
+	out := append([]*Param(nil), m.Stem.Params()...)
+	for _, b := range m.Blocks {
+		out = append(out, b.Params()...)
+	}
+	return out
+}
+
+// HeadParams returns classification-head parameters.
+func (m *Model) HeadParams() []*Param { return m.Head.Params() }
+
+// ParamCount returns the number of scalar parameters.
+func (m *Model) ParamCount() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += len(p.Val)
+	}
+	return n
+}
+
+// CopyFeatureWeights transfers stem and block weights from src to dst
+// positionally; dst may have fewer blocks (a trimmed model). This is
+// the transfer-learning step: pretrained features move to the TRN, the
+// head starts fresh.
+func CopyFeatureWeights(dst, src *Model) error {
+	dp, sp := dst.FeatureParams(), src.FeatureParams()
+	if len(dp) > len(sp) {
+		return fmt.Errorf("nn: destination has %d feature params, source only %d", len(dp), len(sp))
+	}
+	for i := range dp {
+		if len(dp[i].Val) != len(sp[i].Val) {
+			return fmt.Errorf("nn: feature param %d size mismatch: %d vs %d (architectures diverge)",
+				i, len(dp[i].Val), len(sp[i].Val))
+		}
+		copy(dp[i].Val, sp[i].Val)
+	}
+	// Batch-norm running statistics travel with the weights.
+	db, sb := collectBN(dst), collectBN(src)
+	if len(db) > len(sb) {
+		return fmt.Errorf("nn: destination has %d feature BNs, source only %d", len(db), len(sb))
+	}
+	for i := range db {
+		copy(db[i].RunMean, sb[i].RunMean)
+		copy(db[i].RunVar, sb[i].RunVar)
+	}
+	return nil
+}
+
+// collectBN gathers feature-extractor batch norms in traversal order.
+func collectBN(m *Model) []*BatchNorm {
+	var out []*BatchNorm
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *BatchNorm:
+			out = append(out, v)
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.Body)
+		}
+	}
+	walk(m.Stem)
+	for _, b := range m.Blocks {
+		walk(b)
+	}
+	return out
+}

@@ -1,0 +1,313 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netcut/internal/hands"
+	"netcut/internal/tensor"
+)
+
+func TestSoftmaxKnownValues(t *testing.T) {
+	x := tensor.New(1, 1, 1, 3)
+	copy(x.Data, []float64{1, 1, 1})
+	p := Softmax(x)
+	for _, v := range p.Data {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("uniform softmax = %v", p.Data)
+		}
+	}
+	x2 := tensor.New(1, 1, 1, 2)
+	copy(x2.Data, []float64{1000, 0}) // overflow-safe
+	p2 := Softmax(x2)
+	if p2.Data[0] < 0.999 || math.IsNaN(p2.Data[0]) {
+		t.Fatalf("softmax overflow handling broken: %v", p2.Data)
+	}
+}
+
+func TestSoftCrossEntropyGradientRowsSumToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	logits := tensor.New(4, 1, 1, 5)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	targets := make([][]float64, 4)
+	for i := range targets {
+		targets[i] = []float64{0.5, 0.2, 0.1, 0.1, 0.1}
+	}
+	loss, grad := SoftCrossEntropy(logits, targets)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	for n := 0; n < 4; n++ {
+		var s float64
+		for c := 0; c < 5; c++ {
+			s += grad.Data[n*5+c]
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("row %d gradient sums to %v, want 0", n, s)
+		}
+	}
+}
+
+func TestSoftCrossEntropyNumericalGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	logits := tensor.New(2, 1, 1, 4)
+	for i := range logits.Data {
+		logits.Data[i] = rng.NormFloat64()
+	}
+	targets := [][]float64{{0.7, 0.1, 0.1, 0.1}, {0.25, 0.25, 0.25, 0.25}}
+	_, grad := SoftCrossEntropy(logits, targets)
+	const eps = 1e-6
+	for i := range logits.Data {
+		orig := logits.Data[i]
+		logits.Data[i] = orig + eps
+		lp, _ := SoftCrossEntropy(logits, targets)
+		logits.Data[i] = orig - eps
+		lm, _ := SoftCrossEntropy(logits, targets)
+		logits.Data[i] = orig
+		num := (lp - lm) / (2 * eps)
+		if math.Abs(num-grad.Data[i]) > 1e-6 {
+			t.Fatalf("logit grad %d: analytic %v vs numeric %v", i, grad.Data[i], num)
+		}
+	}
+}
+
+// TestModelGradientCheck verifies end-to-end backprop through a model
+// containing conv, BN, ReLU, pooling, residual and dense layers by
+// spot-checking parameter gradients against finite differences.
+func TestModelGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := Build(MiniConfig{InputH: 8, StemC: 4, Width: 6, Blocks: 1, Classes: 3, HeadHidden: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(2, 8, 8, 1)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	targets := [][]float64{{0.6, 0.3, 0.1}, {0.1, 0.2, 0.7}}
+
+	lossAt := func() float64 {
+		logits := m.Forward(x, true)
+		l, _ := SoftCrossEntropy(logits, targets)
+		return l
+	}
+	logits := m.Forward(x, true)
+	_, grad := SoftCrossEntropy(logits, targets)
+	for _, p := range m.Params() {
+		p.ZeroGrad()
+	}
+	m.Backward(grad)
+
+	const eps = 1e-5
+	checked := 0
+	for _, p := range m.Params() {
+		// Spot-check a few entries of every parameter tensor.
+		for _, i := range []int{0, len(p.Val) / 2, len(p.Val) - 1} {
+			orig := p.Val[i]
+			p.Val[i] = orig + eps
+			lp := lossAt()
+			p.Val[i] = orig - eps
+			lm := lossAt()
+			p.Val[i] = orig
+			num := (lp - lm) / (2 * eps)
+			if math.Abs(num-p.Grad[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.Grad[i], num)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d gradient entries checked", checked)
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	bn := NewBatchNorm(2)
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(8, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = 3 + 2*rng.NormFloat64()
+	}
+	for i := 0; i < 50; i++ {
+		bn.Forward(x, true)
+	}
+	y := bn.Forward(x, false)
+	// After training on the same batch repeatedly, inference output
+	// should be near-normalized.
+	var mean float64
+	for _, v := range y.Data {
+		mean += v
+	}
+	mean /= float64(len(y.Data))
+	if math.Abs(mean) > 0.2 {
+		t.Fatalf("inference mean %v, want ~0", mean)
+	}
+}
+
+func TestTrainingLearnsGraspTask(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := hands.Generate(hands.Config{N: 100, Size: 12, Seed: 1})
+	m, err := Build(MiniConfig{InputH: 12, StemC: 6, Width: 8, Blocks: 1, Classes: 5, HeadHidden: 16, Kind: PlainBlocks}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Evaluate(m, ds)
+	losses, err := Train(m, ds, TrainConfig{Epochs: 24, BatchSize: 16, Optimizer: NewAdam(3e-3), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if losses[len(losses)-1] >= losses[0] {
+		t.Fatalf("loss did not decrease: %v", losses)
+	}
+	after := Evaluate(m, ds)
+	if after <= before+0.1 {
+		t.Fatalf("training did not improve accuracy: %.3f -> %.3f", before, after)
+	}
+	if after < 0.85 {
+		t.Fatalf("trained accuracy %.3f too low", after)
+	}
+}
+
+func TestHeadOnlyTrainingFreezesFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := hands.Generate(hands.Config{N: 40, Size: 12, Seed: 2})
+	m, err := Build(MiniConfig{InputH: 12, Blocks: 1, Classes: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	featBefore := snapshot(m.FeatureParams())
+	headBefore := snapshot(m.HeadParams())
+	if _, err := Train(m, ds, TrainConfig{Epochs: 2, BatchSize: 8, Optimizer: NewAdam(1e-3), HeadOnly: true, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !equalSnapshot(featBefore, snapshot(m.FeatureParams())) {
+		t.Fatal("head-only training mutated feature weights")
+	}
+	if equalSnapshot(headBefore, snapshot(m.HeadParams())) {
+		t.Fatal("head-only training did not update the head")
+	}
+}
+
+func TestFineTuneProtocol(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := hands.Generate(hands.Config{N: 60, Size: 12, Seed: 3})
+	m, err := Build(MiniConfig{InputH: 12, Blocks: 1, Classes: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	losses, err := FineTune(m, ds, 2, 2, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != 4 {
+		t.Fatalf("%d epoch losses, want 4", len(losses))
+	}
+}
+
+func TestCutModelTransfersPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := MiniConfig{InputH: 12, StemC: 4, Width: 6, Blocks: 3, Classes: 8, HeadHidden: 12}
+	src, err := Build(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trn, err := CutModel(src, cfg, 1, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trn.Blocks) != 2 {
+		t.Fatalf("TRN has %d blocks, want 2", len(trn.Blocks))
+	}
+	// Transferred prefix weights are identical.
+	sp, dp := src.FeatureParams(), trn.FeatureParams()
+	for i := range dp {
+		for j := range dp[i].Val {
+			if dp[i].Val[j] != sp[i].Val[j] {
+				t.Fatalf("feature param %d diverges at %d", i, j)
+			}
+		}
+	}
+	// Head output matches the new task.
+	x := tensor.New(1, 12, 12, 1)
+	if out := trn.Forward(x, false); out.C != 5 {
+		t.Fatalf("TRN outputs %d classes, want 5", out.C)
+	}
+	// Mutating the TRN must not touch the source (independent copies).
+	dp[0].Val[0] += 42
+	if sp[0].Val[0] == dp[0].Val[0] {
+		t.Fatal("TRN aliases source weights")
+	}
+	if _, err := CutModel(src, cfg, 99, 5, rng); err == nil {
+		t.Fatal("over-deep cut accepted")
+	}
+}
+
+func TestTrainConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := hands.Generate(hands.Config{N: 10, Size: 12, Seed: 4})
+	m, _ := Build(MiniConfig{InputH: 12, Blocks: 1}, rng)
+	if _, err := Train(m, ds, TrainConfig{Epochs: 0, BatchSize: 4, Optimizer: NewAdam(1e-3)}); err == nil {
+		t.Fatal("zero epochs accepted")
+	}
+	if _, err := Train(m, ds, TrainConfig{Epochs: 1, BatchSize: 4}); err == nil {
+		t.Fatal("nil optimizer accepted")
+	}
+	if _, err := Train(m, &hands.Dataset{}, TrainConfig{Epochs: 1, BatchSize: 4, Optimizer: NewAdam(1e-3)}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestOptimizersMinimizeQuadratic(t *testing.T) {
+	for name, mk := range map[string]func() Optimizer{
+		"sgd":  func() Optimizer { return NewSGD(0.1, 0.9) },
+		"adam": func() Optimizer { return NewAdam(0.1) },
+	} {
+		p := newParam("w", 2)
+		p.Val[0], p.Val[1] = 3, -4
+		opt := mk()
+		for i := 0; i < 200; i++ {
+			// f = 0.5*(w0^2 + w1^2); grad = w.
+			p.Grad[0], p.Grad[1] = p.Val[0], p.Val[1]
+			opt.Step([]*Param{p})
+		}
+		if math.Abs(p.Val[0]) > 1e-2 || math.Abs(p.Val[1]) > 1e-2 {
+			t.Fatalf("%s did not converge: %v", name, p.Val)
+		}
+	}
+}
+
+func TestMobileAndPlainBlocksTrainable(t *testing.T) {
+	for _, kind := range []BlockKind{PlainBlocks, MobileBlocks, ResidualBlocks} {
+		rng := rand.New(rand.NewSource(10))
+		m, err := Build(MiniConfig{InputH: 12, Blocks: 2, Classes: 5, Kind: kind}, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		ds := hands.Generate(hands.Config{N: 20, Size: 12, Seed: 5})
+		if _, err := Train(m, ds, TrainConfig{Epochs: 1, BatchSize: 10, Optimizer: NewAdam(1e-3), Seed: 6}); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+}
+
+func snapshot(params []*Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Val...)
+	}
+	return out
+}
+
+func equalSnapshot(a, b [][]float64) bool {
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param)
+	SetLR(lr float64)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel map[*Param][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: map[*Param][]float64{}}
+}
+
+// SetLR implements Optimizer.
+func (o *SGD) SetLR(lr float64) { o.LR = lr }
+
+// Step implements Optimizer.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		v, ok := o.vel[p]
+		if !ok {
+			v = make([]float64, len(p.Val))
+			o.vel[p] = v
+		}
+		for i := range p.Val {
+			v[i] = o.Momentum*v[i] - o.LR*p.Grad[i]
+			p.Val[i] += v[i]
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard defaults for the
+// moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param][]float64{}, v: map[*Param][]float64{},
+	}
+}
+
+// SetLR implements Optimizer.
+func (o *Adam) SetLR(lr float64) { o.LR = lr }
+
+// Step implements Optimizer.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = make([]float64, len(p.Val))
+			o.m[p] = m
+			o.v[p] = make([]float64, len(p.Val))
+		}
+		v := o.v[p]
+		for i := range p.Val {
+			g := p.Grad[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			p.Val[i] -= o.LR * (m[i] / c1) / (math.Sqrt(v[i]/c2) + o.Eps)
+		}
+		p.ZeroGrad()
+	}
+}

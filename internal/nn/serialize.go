@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// checkpoint is the on-wire weight format: parameter vectors in model
+// traversal order plus batch-norm running statistics. Architecture is
+// not serialized — load into a model built from the same MiniConfig.
+type checkpoint struct {
+	Params   [][]float64
+	RunMeans [][]float64
+	RunVars  [][]float64
+}
+
+// Save writes the model's weights (and BN statistics) to w. The
+// receiving side must construct an identical architecture before Load.
+func Save(m *Model, w io.Writer) error {
+	cp := checkpoint{}
+	for _, p := range m.Params() {
+		cp.Params = append(cp.Params, p.Val)
+	}
+	for _, bn := range allBN(m) {
+		cp.RunMeans = append(cp.RunMeans, bn.RunMean)
+		cp.RunVars = append(cp.RunVars, bn.RunVar)
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores weights saved by Save into a model with identical
+// architecture.
+func Load(m *Model, r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	params := m.Params()
+	if len(cp.Params) != len(params) {
+		return fmt.Errorf("nn: load: checkpoint has %d parameter tensors, model has %d (architecture mismatch)",
+			len(cp.Params), len(params))
+	}
+	for i, p := range params {
+		if len(cp.Params[i]) != len(p.Val) {
+			return fmt.Errorf("nn: load: parameter %d has %d values, model expects %d",
+				i, len(cp.Params[i]), len(p.Val))
+		}
+		copy(p.Val, cp.Params[i])
+	}
+	bns := allBN(m)
+	if len(cp.RunMeans) != len(bns) {
+		return fmt.Errorf("nn: load: checkpoint has %d batch norms, model has %d", len(cp.RunMeans), len(bns))
+	}
+	for i, bn := range bns {
+		if len(cp.RunMeans[i]) != len(bn.RunMean) {
+			return fmt.Errorf("nn: load: batch norm %d width mismatch", i)
+		}
+		copy(bn.RunMean, cp.RunMeans[i])
+		copy(bn.RunVar, cp.RunVars[i])
+	}
+	return nil
+}
+
+// allBN gathers every batch norm in the model, including the head.
+func allBN(m *Model) []*BatchNorm {
+	out := collectBN(m)
+	var walk func(l Layer)
+	walk = func(l Layer) {
+		switch v := l.(type) {
+		case *BatchNorm:
+			out = append(out, v)
+		case *Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *Residual:
+			walk(v.Body)
+		}
+	}
+	walk(m.Head)
+	return out
+}

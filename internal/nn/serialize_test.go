@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"netcut/internal/hands"
+	"netcut/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := MiniConfig{InputH: 12, StemC: 6, Width: 8, Blocks: 2, Classes: 5}
+	m, err := Build(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := hands.Generate(hands.Config{N: 40, Size: 12, Seed: 1})
+	if _, err := Train(m, ds, TrainConfig{Epochs: 3, BatchSize: 8, Optimizer: NewAdam(1e-3), Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := Build(cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(m2, &buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.New(1, 12, 12, 1)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64()
+	}
+	a, b := m.Predict(x), m2.Predict(x)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("loaded model diverges at %d: %v vs %v", i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestLoadArchitectureMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, _ := Build(MiniConfig{InputH: 12, Blocks: 2, Classes: 5}, rng)
+	b, _ := Build(MiniConfig{InputH: 12, Blocks: 3, Classes: 5}, rng)
+	var buf bytes.Buffer
+	if err := Save(a, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(b, &buf); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+	// Width mismatch with same tensor count must also fail.
+	c, _ := Build(MiniConfig{InputH: 12, Blocks: 2, Width: 24, Classes: 5}, rng)
+	buf.Reset()
+	if err := Save(a, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(c, &buf); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, _ := Build(MiniConfig{InputH: 12, Blocks: 1, Classes: 5}, rng)
+	if err := Load(m, bytes.NewReader([]byte("not a checkpoint"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

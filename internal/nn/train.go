@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netcut/internal/metric"
+	"netcut/internal/tensor"
+)
+
+// Dataset yields (image, soft label) examples for training and
+// evaluation. Images are single-example tensors (N = 1).
+type Dataset interface {
+	Len() int
+	Example(i int) (*tensor.Tensor, []float64)
+}
+
+// Batch stacks the given examples into one tensor and label matrix.
+func Batch(ds Dataset, idx []int) (*tensor.Tensor, [][]float64) {
+	if len(idx) == 0 {
+		panic("nn: empty batch")
+	}
+	first, _ := ds.Example(idx[0])
+	x := tensor.New(len(idx), first.H, first.W, first.C)
+	labels := make([][]float64, len(idx))
+	per := first.H * first.W * first.C
+	for bi, i := range idx {
+		img, lbl := ds.Example(i)
+		if img.Len() != per {
+			panic(fmt.Sprintf("nn: example %d shape %s differs from batch shape %s", i, img.ShapeString(), first.ShapeString()))
+		}
+		copy(x.Data[bi*per:(bi+1)*per], img.Data)
+		labels[bi] = lbl
+	}
+	return x, labels
+}
+
+// TrainConfig parameterizes one training phase.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	Optimizer Optimizer
+	// HeadOnly freezes the feature extractor (phase one of the paper's
+	// fine-tuning protocol).
+	HeadOnly bool
+	Seed     int64
+}
+
+// Train runs mini-batch training and returns the mean loss per epoch.
+func Train(m *Model, ds Dataset, cfg TrainConfig) ([]float64, error) {
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 {
+		return nil, fmt.Errorf("nn: invalid train config %+v", cfg)
+	}
+	if cfg.Optimizer == nil {
+		return nil, fmt.Errorf("nn: nil optimizer")
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("nn: empty dataset")
+	}
+	params := m.Params()
+	if cfg.HeadOnly {
+		params = m.HeadParams()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	losses := make([]float64, 0, cfg.Epochs)
+	order := rng.Perm(ds.Len())
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var epochLoss float64
+		var batches int
+		for at := 0; at < len(order); at += cfg.BatchSize {
+			end := at + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			x, labels := Batch(ds, order[at:end])
+			logits := m.Forward(x, true)
+			loss, grad := SoftCrossEntropy(logits, labels)
+			m.Backward(grad)
+			cfg.Optimizer.Step(params)
+			if cfg.HeadOnly {
+				// Feature gradients accumulated during backward are
+				// discarded, not applied.
+				for _, p := range m.FeatureParams() {
+					p.ZeroGrad()
+				}
+			}
+			epochLoss += loss
+			batches++
+		}
+		losses = append(losses, epochLoss/float64(batches))
+	}
+	return losses, nil
+}
+
+// FineTune runs the paper's two-phase transfer protocol (Sec. III-B3)
+// at the paper's learning rates: first the replacement head alone at
+// lr 1e-3 with features frozen, then the whole network at 1e-4.
+func FineTune(m *Model, ds Dataset, frozenEpochs, fullEpochs, batch int, seed int64) ([]float64, error) {
+	return FineTuneLR(m, ds, frozenEpochs, fullEpochs, batch, seed, 1e-3, 1e-4)
+}
+
+// FineTuneLR is FineTune with explicit phase learning rates. Miniature
+// networks trained for tens (not tens of thousands) of steps need a
+// larger full-phase rate than the paper's 1e-4 to converge.
+func FineTuneLR(m *Model, ds Dataset, frozenEpochs, fullEpochs, batch int, seed int64, frozenLR, fullLR float64) ([]float64, error) {
+	l1, err := Train(m, ds, TrainConfig{
+		Epochs: frozenEpochs, BatchSize: batch,
+		Optimizer: NewAdam(frozenLR), HeadOnly: true, Seed: seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nn: frozen phase: %w", err)
+	}
+	l2, err := Train(m, ds, TrainConfig{
+		Epochs: fullEpochs, BatchSize: batch,
+		Optimizer: NewAdam(fullLR), Seed: seed + 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("nn: full phase: %w", err)
+	}
+	return append(l1, l2...), nil
+}
+
+// Evaluate returns the mean angular similarity between the model's
+// predicted distributions and the dataset's soft labels — the accuracy
+// definition of Sec. III-B3.
+func Evaluate(m *Model, ds Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	var preds, labels [][]float64
+	const chunk = 32
+	for at := 0; at < ds.Len(); at += chunk {
+		end := at + chunk
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, 0, end-at)
+		for i := at; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, lbls := Batch(ds, idx)
+		probs := m.Predict(x)
+		c := probs.C
+		for n := 0; n < probs.N; n++ {
+			row := make([]float64, c)
+			copy(row, probs.Data[n*c:(n+1)*c])
+			preds = append(preds, row)
+			labels = append(labels, lbls[n])
+		}
+	}
+	return metric.MeanAngularSimilarity(preds, labels)
+}

@@ -1,0 +1,109 @@
+// Package pareto implements the latency/accuracy trade-off analysis of
+// the paper's Figs. 1, 6 and 7: dominance, frontier extraction, and the
+// deadline-relative accuracy-gap and slack-time quantities that motivate
+// layer removal.
+package pareto
+
+import "sort"
+
+// Point is one network on the latency/accuracy plane.
+type Point struct {
+	Label    string
+	Latency  float64 // milliseconds, lower is better
+	Accuracy float64 // angular similarity, higher is better
+}
+
+// Dominates reports whether a is at least as good as b on both axes and
+// strictly better on at least one.
+func Dominates(a, b Point) bool {
+	if a.Latency > b.Latency || a.Accuracy < b.Accuracy {
+		return false
+	}
+	return a.Latency < b.Latency || a.Accuracy > b.Accuracy
+}
+
+// Frontier returns the Pareto-optimal subset of points, sorted by
+// latency ascending. Duplicate-latency points keep only the most
+// accurate one.
+func Frontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Latency != sorted[j].Latency {
+			return sorted[i].Latency < sorted[j].Latency
+		}
+		return sorted[i].Accuracy > sorted[j].Accuracy
+	})
+	var out []Point
+	best := -1.0
+	for _, p := range sorted {
+		if p.Accuracy > best {
+			out = append(out, p)
+			best = p.Accuracy
+		}
+	}
+	return out
+}
+
+// BestUnderDeadline returns the most accurate point with latency not
+// exceeding the deadline, and whether one exists. Ties prefer the lower
+// latency.
+func BestUnderDeadline(points []Point, deadline float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.Latency > deadline {
+			continue
+		}
+		if !found || p.Accuracy > best.Accuracy ||
+			(p.Accuracy == best.Accuracy && p.Latency < best.Latency) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// GapAnalysis quantifies Fig. 1's "accuracy gap" and "slack time" for a
+// deadline: the selected network, the slack it leaves on the table, and
+// the accuracy it forgoes relative to the next network beyond the
+// deadline.
+type GapAnalysis struct {
+	Deadline float64
+	Selected Point
+	// SlackMs is Deadline - Selected.Latency: time the selection leaves
+	// unused.
+	SlackMs float64
+	// NextBeyond is the cheapest frontier point past the deadline, if any.
+	NextBeyond Point
+	HasNext    bool
+	// AccuracyGap is NextBeyond.Accuracy - Selected.Accuracy: accuracy
+	// unreachable because no candidate fits the slack.
+	AccuracyGap float64
+}
+
+// Gap computes the GapAnalysis for points under the given deadline. The
+// boolean is false when no point meets the deadline.
+func Gap(points []Point, deadline float64) (GapAnalysis, bool) {
+	sel, ok := BestUnderDeadline(points, deadline)
+	if !ok {
+		return GapAnalysis{Deadline: deadline}, false
+	}
+	ga := GapAnalysis{
+		Deadline: deadline,
+		Selected: sel,
+		SlackMs:  deadline - sel.Latency,
+	}
+	front := Frontier(points)
+	for _, p := range front {
+		if p.Latency > deadline && p.Accuracy > sel.Accuracy {
+			ga.NextBeyond = p
+			ga.HasNext = true
+			ga.AccuracyGap = p.Accuracy - sel.Accuracy
+			break
+		}
+	}
+	return ga, true
+}

@@ -1,0 +1,179 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var pts = []Point{
+	{"a", 0.2, 0.73},
+	{"b", 0.36, 0.81},
+	{"c", 1.0, 0.87},
+	{"d", 1.4, 0.885},
+	{"e", 1.8, 0.90},
+	{"slowbad", 2.0, 0.60}, // dominated
+	{"fastbad", 0.3, 0.50}, // dominated
+}
+
+func TestDominates(t *testing.T) {
+	if !Dominates(Point{"", 1, 0.9}, Point{"", 2, 0.8}) {
+		t.Fatal("clear dominance not detected")
+	}
+	if Dominates(Point{"", 1, 0.9}, Point{"", 1, 0.9}) {
+		t.Fatal("equal points must not dominate each other")
+	}
+	if Dominates(Point{"", 1, 0.8}, Point{"", 2, 0.9}) {
+		t.Fatal("trade-off wrongly called dominance")
+	}
+	if !Dominates(Point{"", 1, 0.9}, Point{"", 1, 0.8}) {
+		t.Fatal("same-latency higher accuracy must dominate")
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	f := Frontier(pts)
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(f) != len(want) {
+		t.Fatalf("frontier size %d, want %d: %v", len(f), len(want), f)
+	}
+	for i, p := range f {
+		if p.Label != want[i] {
+			t.Fatalf("frontier[%d] = %s, want %s", i, p.Label, want[i])
+		}
+	}
+}
+
+func TestFrontierEmpty(t *testing.T) {
+	if Frontier(nil) != nil {
+		t.Fatal("empty frontier should be nil")
+	}
+}
+
+func TestFrontierDuplicateLatency(t *testing.T) {
+	f := Frontier([]Point{{"x", 1, 0.5}, {"y", 1, 0.7}})
+	if len(f) != 1 || f[0].Label != "y" {
+		t.Fatalf("duplicate latency frontier = %v", f)
+	}
+}
+
+func TestBestUnderDeadline(t *testing.T) {
+	p, ok := BestUnderDeadline(pts, 0.9)
+	if !ok || p.Label != "b" {
+		t.Fatalf("best under 0.9 = %v %v, want b", p, ok)
+	}
+	p, ok = BestUnderDeadline(pts, 5)
+	if !ok || p.Label != "e" {
+		t.Fatalf("best under 5 = %v, want e", p)
+	}
+	if _, ok := BestUnderDeadline(pts, 0.1); ok {
+		t.Fatal("impossible deadline should report no selection")
+	}
+}
+
+func TestGap(t *testing.T) {
+	ga, ok := Gap(pts, 0.9)
+	if !ok {
+		t.Fatal("gap analysis failed")
+	}
+	if ga.Selected.Label != "b" {
+		t.Fatalf("selected %s, want b", ga.Selected.Label)
+	}
+	if ga.SlackMs <= 0.5 || ga.SlackMs >= 0.6 {
+		t.Fatalf("slack = %v, want 0.54", ga.SlackMs)
+	}
+	if !ga.HasNext || ga.NextBeyond.Label != "c" {
+		t.Fatalf("next beyond = %v", ga.NextBeyond)
+	}
+	if ga.AccuracyGap <= 0.05 || ga.AccuracyGap >= 0.07 {
+		t.Fatalf("accuracy gap = %v, want 0.06", ga.AccuracyGap)
+	}
+	if _, ok := Gap(pts, 0.05); ok {
+		t.Fatal("gap with impossible deadline should fail")
+	}
+}
+
+func TestGapAtTopOfFrontier(t *testing.T) {
+	ga, ok := Gap(pts, 10)
+	if !ok || ga.HasNext {
+		t.Fatalf("top-of-frontier gap should have no next: %+v", ga)
+	}
+}
+
+// Properties of frontier extraction over random point clouds.
+func TestFrontierProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(40)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{
+				Latency:  0.1 + 4*rng.Float64(),
+				Accuracy: 0.4 + 0.6*rng.Float64(),
+			}
+		}
+		front := Frontier(points)
+		if len(front) == 0 {
+			return false
+		}
+		// 1. Frontier points are mutually non-dominating.
+		for i := range front {
+			for j := range front {
+				if i != j && Dominates(front[i], front[j]) {
+					return false
+				}
+			}
+		}
+		// 2. Every input point is dominated by or equal to a frontier point.
+		for _, p := range points {
+			ok := false
+			for _, fp := range front {
+				if fp == p || Dominates(fp, p) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		// 3. Frontier is sorted by latency and accuracy ascending.
+		for i := 1; i < len(front); i++ {
+			if front[i].Latency <= front[i-1].Latency || front[i].Accuracy <= front[i-1].Accuracy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BestUnderDeadline result always meets the deadline and no
+// other point under the deadline beats it.
+func TestBestUnderDeadlineProperty(t *testing.T) {
+	f := func(seed int64, dRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		points := make([]Point, n)
+		for i := range points {
+			points[i] = Point{Latency: 4 * rng.Float64(), Accuracy: rng.Float64()}
+		}
+		deadline := float64(dRaw) / 64.0
+		best, ok := BestUnderDeadline(points, deadline)
+		anyMeets := false
+		for _, p := range points {
+			if p.Latency <= deadline {
+				anyMeets = true
+				if ok && p.Accuracy > best.Accuracy {
+					return false
+				}
+			}
+		}
+		return ok == anyMeets && (!ok || best.Latency <= deadline)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

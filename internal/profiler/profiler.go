@@ -1,0 +1,159 @@
+// Package profiler implements the measurement protocol of Sec. IV-B2 and
+// the per-layer latency tables of Sec. V-B1.
+//
+// Performance results follow the paper's protocol exactly: the device is
+// warmed up with 200 inferences, then latency is reported as the average
+// over another 800 timed runs. Per-layer tables are collected with
+// event-style instrumentation, whose overhead makes the table sum
+// slightly exceed the end-to-end latency — the effect the profiler-based
+// estimator's ratio formulation (Eq. 1) cancels.
+package profiler
+
+import (
+	"fmt"
+
+	"netcut/internal/device"
+	"netcut/internal/graph"
+	"netcut/internal/metric"
+)
+
+// Protocol fixes the measurement counts. The zero value is invalid; use
+// PaperProtocol.
+type Protocol struct {
+	WarmupRuns int
+	TimedRuns  int
+}
+
+// PaperProtocol is the paper's 200-warm-up / 800-run protocol.
+func PaperProtocol() Protocol { return Protocol{WarmupRuns: 200, TimedRuns: 800} }
+
+func (p Protocol) validate() error {
+	if p.WarmupRuns < 0 || p.TimedRuns <= 0 {
+		return fmt.Errorf("profiler: invalid protocol %+v", p)
+	}
+	return nil
+}
+
+// Measurement is the end-to-end latency summary of one network.
+type Measurement struct {
+	Network string
+	MeanMs  float64
+	StdMs   float64
+	Runs    int
+}
+
+// LayerStat is one row of a per-layer latency table: the mean measured
+// latency of one layer across the timed runs.
+type LayerStat struct {
+	NodeID int
+	Name   string
+	Kind   graph.OpKind
+	MeanMs float64
+}
+
+// Table is the per-layer profile of one network — the artefact Eq. (1)
+// consumes. One table is built per unmodified network (Sec. V-B1: "the
+// number of tables generated is equal to the number of unmodified
+// networks").
+type Table struct {
+	Network string
+	Layers  []LayerStat
+	// EndToEndMs is the mean plain (non-instrumented) latency measured
+	// under the same protocol.
+	EndToEndMs float64
+	// byID indexes Layers by graph node ID.
+	byID map[int]int
+}
+
+// SumMs returns the sum of per-layer mean latencies; due to event
+// overhead it exceeds EndToEndMs.
+func (t *Table) SumMs() float64 {
+	var s float64
+	for _, l := range t.Layers {
+		s += l.MeanMs
+	}
+	return s
+}
+
+// LayerMs returns the mean latency of the layer with the given graph
+// node ID and whether it is present.
+func (t *Table) LayerMs(nodeID int) (float64, bool) {
+	i, ok := t.byID[nodeID]
+	if !ok {
+		return 0, false
+	}
+	return t.Layers[i].MeanMs, true
+}
+
+// Profiler measures networks on a device.
+type Profiler struct {
+	dev   *device.Device
+	proto Protocol
+	seed  int64
+}
+
+// New returns a Profiler using the given device and protocol.
+func New(dev *device.Device, proto Protocol, seed int64) (*Profiler, error) {
+	if err := proto.validate(); err != nil {
+		return nil, err
+	}
+	return &Profiler{dev: dev, proto: proto, seed: seed}, nil
+}
+
+// Measure runs the warm-up/timed protocol and returns the end-to-end
+// latency summary of g.
+func (p *Profiler) Measure(g *graph.Graph) Measurement {
+	s := p.dev.Open(g, p.seed)
+	for i := 0; i < p.proto.WarmupRuns; i++ {
+		s.InferMs()
+	}
+	lat := make([]float64, p.proto.TimedRuns)
+	for i := range lat {
+		lat[i] = s.InferMs()
+	}
+	return Measurement{
+		Network: g.Name,
+		MeanMs:  metric.Mean(lat),
+		StdMs:   metric.Std(lat),
+		Runs:    p.proto.TimedRuns,
+	}
+}
+
+// Profile runs the protocol with per-layer event instrumentation and
+// returns the layer table for g.
+func (p *Profiler) Profile(g *graph.Graph) *Table {
+	s := p.dev.Open(g, p.seed)
+	for i := 0; i < p.proto.WarmupRuns; i++ {
+		s.InferMs()
+	}
+	sums := map[int]float64{}
+	names := map[int]graph.OpKind{}
+	order := []int{}
+	var endToEnd float64
+	for i := 0; i < p.proto.TimedRuns; i++ {
+		rows, total := s.InferProfiledMs()
+		endToEnd += total
+		for _, r := range rows {
+			if _, seen := sums[r.NodeID]; !seen {
+				order = append(order, r.NodeID)
+				names[r.NodeID] = r.Kind
+			}
+			sums[r.NodeID] += r.Ms
+		}
+	}
+	tbl := &Table{
+		Network:    g.Name,
+		EndToEndMs: endToEnd / float64(p.proto.TimedRuns),
+		byID:       map[int]int{},
+	}
+	for _, id := range order {
+		tbl.byID[id] = len(tbl.Layers)
+		tbl.Layers = append(tbl.Layers, LayerStat{
+			NodeID: id,
+			Name:   g.Node(id).Name,
+			Kind:   names[id],
+			MeanMs: sums[id] / float64(p.proto.TimedRuns),
+		})
+	}
+	return tbl
+}

@@ -1,0 +1,104 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"netcut/internal/device"
+	"netcut/internal/zoo"
+)
+
+func newProfiler(t *testing.T, proto Protocol) *Profiler {
+	t.Helper()
+	p, err := New(device.New(device.Xavier()), proto, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInvalidProtocolRejected(t *testing.T) {
+	if _, err := New(device.New(device.Xavier()), Protocol{}, 1); err == nil {
+		t.Fatal("zero protocol accepted")
+	}
+	if _, err := New(device.New(device.Xavier()), Protocol{WarmupRuns: -1, TimedRuns: 5}, 1); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+func TestMeasureMatchesSteadyState(t *testing.T) {
+	p := newProfiler(t, PaperProtocol())
+	d := device.New(device.Xavier())
+	g, _ := zoo.ByName("MobileNetV1 (0.5)")
+	m := p.Measure(g)
+	want := d.LatencyMs(g)
+	if math.Abs(m.MeanMs-want)/want > 0.01 {
+		t.Fatalf("measured %.4f, steady state %.4f", m.MeanMs, want)
+	}
+	if m.StdMs <= 0 {
+		t.Fatal("no measurement spread recorded")
+	}
+	if m.Runs != 800 {
+		t.Fatalf("runs = %d, want 800", m.Runs)
+	}
+}
+
+func TestMeasureWithoutWarmupIsBiased(t *testing.T) {
+	// Omitting warm-up must inflate the mean: the protocol exists for a
+	// reason.
+	cold := newProfiler(t, Protocol{WarmupRuns: 0, TimedRuns: 50})
+	warm := newProfiler(t, Protocol{WarmupRuns: 200, TimedRuns: 50})
+	g, _ := zoo.ByName("MobileNetV1 (0.25)")
+	if c, w := cold.Measure(g).MeanMs, warm.Measure(g).MeanMs; c <= w*1.05 {
+		t.Fatalf("cold mean %.4f not noticeably above warm mean %.4f", c, w)
+	}
+}
+
+func TestProfileTable(t *testing.T) {
+	p := newProfiler(t, Protocol{WarmupRuns: 200, TimedRuns: 100})
+	g, _ := zoo.ByName("ResNet-50")
+	tbl := p.Profile(g)
+	if len(tbl.Layers) != g.LayerCount() {
+		t.Fatalf("table has %d layers, want %d", len(tbl.Layers), g.LayerCount())
+	}
+	if tbl.SumMs() <= tbl.EndToEndMs {
+		t.Fatalf("table sum %.4f should exceed end-to-end %.4f (event overhead)",
+			tbl.SumMs(), tbl.EndToEndMs)
+	}
+	if tbl.SumMs() > tbl.EndToEndMs*1.3 {
+		t.Fatalf("event overhead implausible: sum %.4f vs %.4f", tbl.SumMs(), tbl.EndToEndMs)
+	}
+	// Lookup by node ID works and the input node is absent.
+	if _, ok := tbl.LayerMs(0); ok {
+		t.Fatal("input node should not be profiled")
+	}
+	if ms, ok := tbl.LayerMs(1); !ok || ms <= 0 {
+		t.Fatalf("first conv layer missing or non-positive: %v %v", ms, ok)
+	}
+}
+
+func TestProfileDeterministicWithSeed(t *testing.T) {
+	a := newProfiler(t, Protocol{WarmupRuns: 10, TimedRuns: 20})
+	b := newProfiler(t, Protocol{WarmupRuns: 10, TimedRuns: 20})
+	g, _ := zoo.ByName("MobileNetV1 (0.25)")
+	ta, tb := a.Profile(g), b.Profile(g)
+	if ta.SumMs() != tb.SumMs() || ta.EndToEndMs != tb.EndToEndMs {
+		t.Fatal("same seed produced different tables")
+	}
+}
+
+func TestSevenTablesForSevenNetworks(t *testing.T) {
+	// Sec. V-B1: one table per unmodified network.
+	p := newProfiler(t, Protocol{WarmupRuns: 20, TimedRuns: 30})
+	seen := map[string]bool{}
+	for _, g := range zoo.Paper7() {
+		tbl := p.Profile(g)
+		if seen[tbl.Network] {
+			t.Fatalf("duplicate table for %s", tbl.Network)
+		}
+		seen[tbl.Network] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("built %d tables, want 7", len(seen))
+	}
+}

@@ -1,0 +1,101 @@
+package quant
+
+import (
+	"math"
+
+	"netcut/internal/nn"
+)
+
+// foldModel folds Conv+BN and DWConv+BN pairs throughout the model and
+// returns the number of batch norms eliminated. Folding uses the BN's
+// running statistics, so it is an inference-time transformation:
+//
+//	w' = w * gamma / sqrt(var + eps)
+//	b' = (b - mean) * gamma / sqrt(var + eps) + beta
+func foldModel(m *nn.Model) int {
+	n := 0
+	var rewrite func(l nn.Layer) nn.Layer
+	rewrite = func(l nn.Layer) nn.Layer {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			var out []nn.Layer
+			for i := 0; i < len(v.Layers); i++ {
+				cur := rewrite(v.Layers[i])
+				if i+1 < len(v.Layers) {
+					if bn, ok := v.Layers[i+1].(*nn.BatchNorm); ok && foldInto(cur, bn) {
+						n++
+						i++ // skip the folded BN
+					}
+				}
+				out = append(out, cur)
+			}
+			v.Layers = out
+			return v
+		case *nn.Residual:
+			v.Body = rewrite(v.Body)
+			return v
+		default:
+			return l
+		}
+	}
+	m.Stem = rewrite(m.Stem).(*nn.Sequential)
+	for i := range m.Blocks {
+		m.Blocks[i] = rewrite(m.Blocks[i])
+	}
+	m.Head = rewrite(m.Head).(*nn.Sequential)
+	return n
+}
+
+// foldInto folds bn into the preceding layer if it is a conv kind.
+func foldInto(l nn.Layer, bn *nn.BatchNorm) bool {
+	switch v := l.(type) {
+	case *nn.Conv:
+		foldParams(v.W.Val, v.B.Val, v.OutC, bn)
+		return true
+	case *nn.DWConv:
+		foldParams(v.W.Val, v.B.Val, v.C, bn)
+		return true
+	}
+	return false
+}
+
+func foldParams(w, b []float64, ch int, bn *nn.BatchNorm) {
+	for c := 0; c < ch; c++ {
+		inv := 1 / math.Sqrt(bn.RunVar[c]+bn.Eps)
+		scale := bn.Gamma.Val[c] * inv
+		for i := c; i < len(w); i += ch {
+			w[i] *= scale
+		}
+		b[c] = (b[c]-bn.RunMean[c])*scale + bn.Beta.Val[c]
+	}
+}
+
+// IntegerDense executes a dense layer on a genuine int8/int32 integer
+// path: inputs and weights are quantized to int8, accumulated in int32,
+// and dequantized once at the end. It demonstrates that the fake-quant
+// float path reproduces integer-kernel arithmetic (within the final
+// rounding of the accumulator dequantization).
+func IntegerDense(x []float64, xScale float64, w []float64, wScales []float64, b []float64, outC int) []float64 {
+	inC := len(x)
+	xq := make([]int32, inC)
+	for i, v := range x {
+		q := math.Round(v / xScale)
+		if q > Levels {
+			q = Levels
+		} else if q < -Levels {
+			q = -Levels
+		}
+		xq[i] = int32(q)
+	}
+	out := make([]float64, outC)
+	for oc := 0; oc < outC; oc++ {
+		var acc int64
+		ws := wScales[oc]
+		for ic := 0; ic < inC; ic++ {
+			wq := int32(math.Round(w[ic*outC+oc] / ws))
+			acc += int64(xq[ic]) * int64(wq)
+		}
+		out[oc] = float64(acc)*xScale*ws + b[oc]
+	}
+	return out
+}

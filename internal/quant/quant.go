@@ -1,0 +1,294 @@
+// Package quant implements the deployment optimizations of Sec. III-B4
+// on the real nn stack: batch-norm folding (layer fusion at the weight
+// level), post-training int8 quantization of weights (per-feature, i.e.
+// per output channel, offline) and activations (per-tensor, calibrated
+// on a random 10% of the training set by minimizing quantization MSE).
+//
+// Quantization here is "fake quant": values are snapped to the int8
+// grid and dequantized, so the float execution path exercises exactly
+// the arithmetic an integer kernel would produce. IntegerDense proves
+// the equivalence on a real int8/int32 accumulation path.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"netcut/internal/nn"
+	"netcut/internal/tensor"
+)
+
+// Levels is the symmetric int8 quantization range.
+const Levels = 127
+
+// Config parameterizes Apply.
+type Config struct {
+	// FoldBN folds batch norms into preceding convolutions first.
+	FoldBN bool
+	// ActCandidates is the number of clip candidates searched per
+	// activation scale (minimum-MSE selection); 0 = 31.
+	ActCandidates int
+	// MaxSamples bounds the activation samples retained per observer;
+	// 0 = 50000.
+	MaxSamples int
+}
+
+func (c *Config) fill() {
+	if c.ActCandidates == 0 {
+		c.ActCandidates = 31
+	}
+	if c.MaxSamples == 0 {
+		c.MaxSamples = 50000
+	}
+}
+
+// Report summarizes a quantization pass.
+type Report struct {
+	FoldedBN        int
+	QuantizedParams int
+	ActObservers    int
+	// WeightMSE is the mean squared error introduced into the weights.
+	WeightMSE float64
+}
+
+// Apply quantizes a trained model in place for inference: folds BN
+// (optionally), fake-quantizes conv/dense weights per output channel,
+// inserts per-tensor activation quantizers after every ReLU, and
+// calibrates their scales on the given calibration set. The model
+// should be treated as inference-only afterwards.
+func Apply(m *nn.Model, calib nn.Dataset, cfg Config) (*Report, error) {
+	if calib == nil || calib.Len() == 0 {
+		return nil, fmt.Errorf("quant: empty calibration set")
+	}
+	cfg.fill()
+	rep := &Report{}
+	if cfg.FoldBN {
+		rep.FoldedBN = foldModel(m)
+	}
+	quantizeModelWeights(m, rep)
+	obs := insertActQuant(m, cfg)
+	rep.ActObservers = len(obs)
+
+	// Calibration pass: observers record activations.
+	for _, o := range obs {
+		o.observing = true
+	}
+	const chunk = 16
+	for at := 0; at < calib.Len(); at += chunk {
+		end := at + chunk
+		if end > calib.Len() {
+			end = calib.Len()
+		}
+		idx := make([]int, 0, end-at)
+		for i := at; i < end; i++ {
+			idx = append(idx, i)
+		}
+		x, _ := nn.Batch(calib, idx)
+		m.Forward(x, false)
+	}
+	for _, o := range obs {
+		o.calibrate(cfg.ActCandidates)
+		o.observing = false
+	}
+	return rep, nil
+}
+
+// quantizeChannelwise fake-quantizes vals viewed as rows of length ch
+// (channel-last layout), one symmetric scale per channel. Returns the
+// scales and the introduced MSE.
+func quantizeChannelwise(vals []float64, ch int) ([]float64, float64) {
+	scales := make([]float64, ch)
+	for c := 0; c < ch; c++ {
+		var maxAbs float64
+		for i := c; i < len(vals); i += ch {
+			maxAbs = math.Max(maxAbs, math.Abs(vals[i]))
+		}
+		if maxAbs == 0 {
+			scales[c] = 1
+			continue
+		}
+		scales[c] = maxAbs / Levels
+	}
+	var mse float64
+	for c := 0; c < ch; c++ {
+		s := scales[c]
+		for i := c; i < len(vals); i += ch {
+			q := math.Round(vals[i] / s)
+			if q > Levels {
+				q = Levels
+			} else if q < -Levels {
+				q = -Levels
+			}
+			nv := q * s
+			d := nv - vals[i]
+			mse += d * d
+			vals[i] = nv
+		}
+	}
+	return scales, mse / float64(len(vals))
+}
+
+func quantizeModelWeights(m *nn.Model, rep *Report) {
+	var totalMSE float64
+	var count int
+	var walk func(l nn.Layer)
+	walk = func(l nn.Layer) {
+		switch v := l.(type) {
+		case *nn.Conv:
+			_, mse := quantizeChannelwise(v.W.Val, v.OutC)
+			totalMSE += mse
+			count++
+			rep.QuantizedParams += len(v.W.Val)
+		case *nn.DWConv:
+			// Depthwise weights are [K,K,C,1]: the channel is the
+			// innermost varying dimension of the flat layout.
+			_, mse := quantizeChannelwise(v.W.Val, v.C)
+			totalMSE += mse
+			count++
+			rep.QuantizedParams += len(v.W.Val)
+		case *nn.Dense:
+			_, mse := quantizeChannelwise(v.W.Val, v.OutC)
+			totalMSE += mse
+			count++
+			rep.QuantizedParams += len(v.W.Val)
+		case *nn.Sequential:
+			for _, c := range v.Layers {
+				walk(c)
+			}
+		case *nn.Residual:
+			walk(v.Body)
+		}
+	}
+	walk(m.Stem)
+	for _, b := range m.Blocks {
+		walk(b)
+	}
+	walk(m.Head)
+	if count > 0 {
+		rep.WeightMSE = totalMSE / float64(count)
+	}
+}
+
+// ActQuant is a per-tensor activation fake-quantizer with an observer
+// mode for calibration. Backward is straight-through.
+type ActQuant struct {
+	Scale     float64
+	observing bool
+	samples   []float64
+	maxSample int
+	stride    int
+	seen      int
+}
+
+// Forward implements nn.Layer.
+func (a *ActQuant) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if a.observing {
+		for _, v := range x.Data {
+			a.seen++
+			if a.seen%a.strideOr1() == 0 && len(a.samples) < a.maxSample {
+				a.samples = append(a.samples, v)
+			}
+		}
+		return x
+	}
+	if a.Scale == 0 {
+		return x
+	}
+	y := x.Clone()
+	for i, v := range y.Data {
+		q := math.Round(v / a.Scale)
+		if q > Levels {
+			q = Levels
+		} else if q < -Levels {
+			q = -Levels
+		}
+		y.Data[i] = q * a.Scale
+	}
+	return y
+}
+
+func (a *ActQuant) strideOr1() int {
+	if a.stride <= 0 {
+		return 1
+	}
+	return a.stride
+}
+
+// Backward implements nn.Layer (straight-through estimator).
+func (a *ActQuant) Backward(grad *tensor.Tensor) *tensor.Tensor { return grad }
+
+// Params implements nn.Layer.
+func (a *ActQuant) Params() []*nn.Param { return nil }
+
+// calibrate selects the clip scale minimizing quantization MSE over the
+// observed samples — the "scaling factors which minimize the
+// information loss" of Sec. III-B4.
+func (a *ActQuant) calibrate(candidates int) {
+	if len(a.samples) == 0 {
+		a.Scale = 0
+		return
+	}
+	var maxAbs float64
+	for _, v := range a.samples {
+		maxAbs = math.Max(maxAbs, math.Abs(v))
+	}
+	if maxAbs == 0 {
+		a.Scale = 0
+		return
+	}
+	best, bestMSE := maxAbs/Levels, math.Inf(1)
+	for i := 0; i < candidates; i++ {
+		clip := maxAbs * (0.3 + 0.7*float64(i)/float64(candidates-1))
+		s := clip / Levels
+		var mse float64
+		for _, v := range a.samples {
+			q := math.Round(v / s)
+			if q > Levels {
+				q = Levels
+			} else if q < -Levels {
+				q = -Levels
+			}
+			d := q*s - v
+			mse += d * d
+		}
+		if mse < bestMSE {
+			bestMSE, best = mse, s
+		}
+	}
+	a.Scale = best
+	a.samples = nil
+}
+
+// insertActQuant places an ActQuant after every ReLU in the model and
+// returns the inserted observers.
+func insertActQuant(m *nn.Model, cfg Config) []*ActQuant {
+	var obs []*ActQuant
+	var rewrite func(l nn.Layer) nn.Layer
+	rewrite = func(l nn.Layer) nn.Layer {
+		switch v := l.(type) {
+		case *nn.Sequential:
+			var out []nn.Layer
+			for _, c := range v.Layers {
+				out = append(out, rewrite(c))
+				if _, isReLU := c.(*nn.ReLU); isReLU {
+					a := &ActQuant{maxSample: cfg.MaxSamples, stride: 3}
+					obs = append(obs, a)
+					out = append(out, a)
+				}
+			}
+			v.Layers = out
+			return v
+		case *nn.Residual:
+			v.Body = rewrite(v.Body)
+			return v
+		default:
+			return l
+		}
+	}
+	m.Stem = rewrite(m.Stem).(*nn.Sequential)
+	for i := range m.Blocks {
+		m.Blocks[i] = rewrite(m.Blocks[i])
+	}
+	m.Head = rewrite(m.Head).(*nn.Sequential)
+	return obs
+}

@@ -1,0 +1,217 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"netcut/internal/hands"
+	"netcut/internal/nn"
+	"netcut/internal/tensor"
+)
+
+func trainedModel(t *testing.T, seed int64) (*nn.Model, *hands.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ds := hands.Generate(hands.Config{N: 120, Size: 12, Seed: seed})
+	m, err := nn.Build(nn.MiniConfig{InputH: 12, StemC: 6, Width: 8, Blocks: 2, Classes: 5, HeadHidden: 16}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nn.Train(m, ds, nn.TrainConfig{Epochs: 20, BatchSize: 16, Optimizer: nn.NewAdam(3e-3), Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	return m, ds
+}
+
+func TestQuantizeChannelwiseOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), vals...)
+	scales, mse := quantizeChannelwise(vals, 4)
+	if len(scales) != 4 {
+		t.Fatalf("%d scales, want 4", len(scales))
+	}
+	for c := 0; c < 4; c++ {
+		if scales[c] <= 0 {
+			t.Fatalf("scale %d = %v", c, scales[c])
+		}
+		for i := c; i < len(vals); i += 4 {
+			q := vals[i] / scales[c]
+			if math.Abs(q-math.Round(q)) > 1e-9 {
+				t.Fatalf("value %v not on the int8 grid (scale %v)", vals[i], scales[c])
+			}
+			if math.Abs(math.Round(q)) > Levels {
+				t.Fatalf("quantized level %v exceeds +-127", q)
+			}
+		}
+	}
+	if mse <= 0 || mse > 0.01 {
+		t.Fatalf("weight MSE %v implausible", mse)
+	}
+	// Error is small relative to the data.
+	var worst float64
+	for i := range vals {
+		worst = math.Max(worst, math.Abs(vals[i]-orig[i]))
+	}
+	if worst > 0.05 {
+		t.Fatalf("max weight error %v too large", worst)
+	}
+}
+
+func TestQuantizeZeroChannel(t *testing.T) {
+	vals := []float64{0, 1, 0, 2}
+	scales, _ := quantizeChannelwise(vals, 2)
+	if scales[0] != 1 {
+		t.Fatalf("zero channel scale = %v, want fallback 1", scales[0])
+	}
+	if vals[0] != 0 || vals[2] != 0 {
+		t.Fatal("zero channel values changed")
+	}
+}
+
+func TestFoldBNPreservesInference(t *testing.T) {
+	m, ds := trainedModel(t, 2)
+	img, _ := ds.Example(0)
+	before := m.Predict(img).Clone()
+	folded := foldModel(m)
+	if folded < 3 {
+		t.Fatalf("folded %d BNs, expected several", folded)
+	}
+	after := m.Predict(img)
+	for i := range before.Data {
+		if math.Abs(before.Data[i]-after.Data[i]) > 1e-9 {
+			t.Fatalf("folding changed prediction: %v vs %v", before.Data[i], after.Data[i])
+		}
+	}
+	// No BatchNorm layers should remain adjacent to convs in the stem.
+	for i, l := range m.Stem.Layers {
+		if _, ok := l.(*nn.BatchNorm); ok {
+			if i > 0 {
+				if _, conv := m.Stem.Layers[i-1].(*nn.Conv); conv {
+					t.Fatal("unfolded Conv+BN pair remains")
+				}
+			}
+		}
+	}
+}
+
+func TestApplyQuantizationAccuracy(t *testing.T) {
+	m, ds := trainedModel(t, 3)
+	train, val := hands.Split(ds, 0.8, 1)
+	calib := hands.CalibrationSet(train, 2)
+	accBefore := nn.Evaluate(m, val)
+
+	rep, err := Apply(m, calib, Config{FoldBN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FoldedBN == 0 || rep.QuantizedParams == 0 || rep.ActObservers == 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+	accAfter := nn.Evaluate(m, val)
+	if accBefore-accAfter > 0.05 {
+		t.Fatalf("quantization cost %.3f accuracy (%.3f -> %.3f), want < 0.05",
+			accBefore-accAfter, accBefore, accAfter)
+	}
+}
+
+func TestApplyRejectsEmptyCalibration(t *testing.T) {
+	m, _ := trainedModel(t, 4)
+	if _, err := Apply(m, &hands.Dataset{}, Config{}); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+	if _, err := Apply(m, nil, Config{}); err == nil {
+		t.Fatal("nil calibration accepted")
+	}
+}
+
+func TestActQuantCalibrationMinimizesMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := &ActQuant{maxSample: 60000, stride: 1}
+	a.observing = true
+	// A large bulk plus one outlier: with enough bulk mass, the
+	// min-MSE scale clips the outlier rather than stretching the grid
+	// (one int8 step over 50k samples costs more than one clipped
+	// value).
+	x := tensor.New(1, 1, 1, 50000)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	x.Data[0] = 10 // outlier
+	a.Forward(x, false)
+	a.calibrate(31)
+	a.observing = false
+	naive := 10.0 / Levels
+	if a.Scale >= naive {
+		t.Fatalf("calibrated scale %v did not clip the outlier (naive %v)", a.Scale, naive)
+	}
+	if a.Scale <= 0 {
+		t.Fatal("non-positive scale")
+	}
+	// Quantized output stays on the grid and within the clip.
+	y := a.Forward(x, false)
+	for _, v := range y.Data {
+		q := v / a.Scale
+		if math.Abs(q-math.Round(q)) > 1e-9 || math.Abs(q) > Levels {
+			t.Fatalf("output %v off grid", v)
+		}
+	}
+}
+
+func TestIntegerDenseMatchesFakeQuant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const inC, outC = 12, 4
+	w := make([]float64, inC*outC)
+	for i := range w {
+		w[i] = rng.NormFloat64() * 0.3
+	}
+	b := []float64{0.1, -0.2, 0.05, 0}
+	wScales, _ := quantizeChannelwise(w, outC) // w now fake-quantized
+	x := make([]float64, inC)
+	for i := range x {
+		x[i] = math.Abs(rng.NormFloat64())
+	}
+	xScale := 3.0 / Levels
+
+	got := IntegerDense(x, xScale, w, wScales, b, outC)
+
+	// Reference: fake-quantize x in float and run the float dense.
+	xq := make([]float64, inC)
+	for i, v := range x {
+		q := math.Round(v / xScale)
+		if q > Levels {
+			q = Levels
+		}
+		xq[i] = q * xScale
+	}
+	for oc := 0; oc < outC; oc++ {
+		var want float64
+		for ic := 0; ic < inC; ic++ {
+			want += xq[ic] * w[ic*outC+oc]
+		}
+		want += b[oc]
+		if math.Abs(got[oc]-want) > 1e-9 {
+			t.Fatalf("integer path diverges at %d: %v vs %v", oc, got[oc], want)
+		}
+	}
+}
+
+func TestQuantizedModelStillDeterministic(t *testing.T) {
+	m, ds := trainedModel(t, 7)
+	calib := hands.CalibrationSet(ds, 3)
+	if _, err := Apply(m, calib, Config{FoldBN: true}); err != nil {
+		t.Fatal(err)
+	}
+	img, _ := ds.Example(1)
+	a := m.Predict(img)
+	b := m.Predict(img)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("quantized inference not deterministic")
+		}
+	}
+}

@@ -1,0 +1,276 @@
+// Package robot simulates the robotic prosthetic hand's control loop
+// (Sec. III-A, Fig. 2): camera frames arrive at a fixed rate, each is
+// preprocessed and classified by the visual network under a per-frame
+// deadline, EMG predictions tick continuously, and fused evidence must
+// reach a confident decision before the hand contacts the object so the
+// actuation can form the grasp in time.
+//
+// This is the application context that produces the paper's 0.9 ms
+// visual-classifier deadline and that examples/prosthetichand drives
+// end to end with NetCut-selected networks.
+package robot
+
+import (
+	"fmt"
+	"math/rand"
+
+	"netcut/internal/emg"
+	"netcut/internal/fusion"
+	"netcut/internal/hands"
+	"netcut/internal/metric"
+)
+
+// Config describes the control loop timing and fusion policy.
+type Config struct {
+	CameraPeriodMs    float64 // frame interval (e.g. 33.3 for 30 fps)
+	PreprocessMs      float64 // per-frame preprocessing before inference
+	VisionDeadlineMs  float64 // per-frame inference budget (paper: 0.9)
+	ReachDurationMs   float64 // reach start to object contact
+	ActuationMs       float64 // time the hand needs to form the grasp
+	DecisionThreshold float64 // fused confidence required to commit
+	EMGWeight         float64 // fusion weight of each EMG prediction
+	VisionWeight      float64 // fusion weight of each vision prediction
+	// EMGConfusionProb is the chance a reach event suffers a systematic
+	// EMG mislabel (electrode shift, fatigue): the whole trial's EMG
+	// stream then points at a wrong grasp. This is the "EMG alone lacks
+	// robustness" failure mode that makes the visual classifier
+	// necessary (Sec. III-A). Negative disables; 0 uses the default.
+	EMGConfusionProb float64
+	Seed             int64
+}
+
+// DefaultConfig returns control-loop constants consistent with the
+// paper's narrative: a 30 fps palm camera, a 0.9 ms inference budget
+// and a sub-second reach.
+func DefaultConfig() Config {
+	return Config{
+		CameraPeriodMs:    33.3,
+		PreprocessMs:      4.0,
+		VisionDeadlineMs:  0.9,
+		ReachDurationMs:   900,
+		ActuationMs:       350,
+		DecisionThreshold: 0.80,
+		EMGWeight:         0.35,
+		VisionWeight:      1.0,
+		EMGConfusionProb:  0.25,
+	}
+}
+
+func (c *Config) emgConfusion() float64 {
+	switch {
+	case c.EMGConfusionProb < 0:
+		return 0
+	case c.EMGConfusionProb == 0:
+		return 0.25
+	default:
+		return c.EMGConfusionProb
+	}
+}
+
+func (c *Config) validate() error {
+	if c.CameraPeriodMs <= 0 || c.ReachDurationMs <= 0 || c.ActuationMs < 0 {
+		return fmt.Errorf("robot: invalid timing config %+v", *c)
+	}
+	if c.ActuationMs >= c.ReachDurationMs {
+		return fmt.Errorf("robot: actuation window %.1f ms leaves no decision time in a %.1f ms reach",
+			c.ActuationMs, c.ReachDurationMs)
+	}
+	if c.DecisionThreshold <= 0 || c.DecisionThreshold > 1 {
+		return fmt.Errorf("robot: decision threshold %v out of (0,1]", c.DecisionThreshold)
+	}
+	return nil
+}
+
+// VisionModel abstracts the deployed visual classifier: a latency
+// sampler (per-inference, milliseconds) and an accuracy level (mean
+// angular similarity on the grasp task) that shapes its outputs.
+type VisionModel struct {
+	Name string
+	// LatencyMs samples one inference latency.
+	LatencyMs func() float64
+	// Accuracy is the retrained angular-similarity accuracy.
+	Accuracy float64
+}
+
+// TrialResult is the outcome of one reach event.
+type TrialResult struct {
+	Grasp          int
+	Decided        bool
+	Decision       int
+	Correct        bool
+	DecisionTimeMs float64
+	FramesSeen     int
+	FramesUsed     int // vision predictions that met the deadline
+	DeadlineMisses int
+	FusedSim       float64 // angular similarity of fused dist vs label
+}
+
+// Summary aggregates trials.
+type Summary struct {
+	Trials         int
+	SuccessRate    float64 // decided in time and correct
+	DecisionRate   float64 // decided in time at all
+	MissRate       float64 // fraction of frames whose inference was late
+	MeanDecisionMs float64
+	MeanFusedSim   float64
+}
+
+// Robot simulates reach events for one deployed vision model.
+type Robot struct {
+	cfg    Config
+	vision VisionModel
+	emg    *emg.Classifier
+	rng    *rand.Rand
+}
+
+// New builds a Robot; the EMG classifier is constructed from the same
+// seed so runs are reproducible.
+func New(cfg Config, vision VisionModel) (*Robot, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if vision.LatencyMs == nil {
+		return nil, fmt.Errorf("robot: vision model needs a latency sampler")
+	}
+	if vision.Accuracy <= 0 || vision.Accuracy > 1 {
+		return nil, fmt.Errorf("robot: vision accuracy %v out of (0,1]", vision.Accuracy)
+	}
+	return &Robot{
+		cfg:    cfg,
+		vision: vision,
+		emg:    emg.New(emg.Config{Seed: cfg.Seed + 1}),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// visionPredict synthesizes a vision output whose expected angular
+// similarity against the label matches the model's accuracy: with
+// probability tied to the accuracy it emits a sharpened version of the
+// label, otherwise a random distribution.
+func (r *Robot) visionPredict(label []float64) []float64 {
+	const simGood, simBad = 0.97, 0.55
+	p := (r.vision.Accuracy - simBad) / (simGood - simBad)
+	if p < 0.02 {
+		p = 0.02
+	}
+	if p > 0.98 {
+		p = 0.98
+	}
+	out := make([]float64, len(label))
+	if r.rng.Float64() < p {
+		for i, v := range label {
+			out[i] = v*v + 1e-3 // sharpen
+		}
+	} else {
+		for i := range out {
+			out[i] = r.rng.Float64()
+		}
+	}
+	return metric.Normalize(out)
+}
+
+// RunTrial simulates one reach event toward an object whose intended
+// grasp distribution is the given soft label.
+func (r *Robot) RunTrial(grasp int, label []float64) (TrialResult, error) {
+	if grasp < 0 || grasp >= hands.NumGrasps {
+		return TrialResult{}, fmt.Errorf("robot: unknown grasp %d", grasp)
+	}
+	res := TrialResult{Grasp: grasp, Decision: -1}
+	acc := fusion.NewAccumulator(hands.NumGrasps)
+	decideBy := r.cfg.ReachDurationMs - r.cfg.ActuationMs
+
+	// Systematic EMG failure for this trial: the stream points at a
+	// wrong grasp for the whole reach.
+	emgGrasp := grasp
+	if r.rng.Float64() < r.cfg.emgConfusion() {
+		emgGrasp = (grasp + 1 + r.rng.Intn(hands.NumGrasps-1)) % hands.NumGrasps
+	}
+
+	for t := r.cfg.CameraPeriodMs; t <= r.cfg.ReachDurationMs; t += r.cfg.CameraPeriodMs {
+		// EMG ticks once per frame interval.
+		ed, err := r.emg.Predict(emgGrasp)
+		if err != nil {
+			return TrialResult{}, err
+		}
+		if err := acc.Add(ed, r.cfg.EMGWeight); err != nil {
+			return TrialResult{}, err
+		}
+
+		// Vision processes the frame under its per-frame budget.
+		res.FramesSeen++
+		lat := r.vision.LatencyMs()
+		if lat <= r.cfg.VisionDeadlineMs {
+			res.FramesUsed++
+			vd := r.visionPredict(label)
+			if err := acc.Add(vd, r.cfg.VisionWeight); err != nil {
+				return TrialResult{}, err
+			}
+		} else {
+			res.DeadlineMisses++
+		}
+
+		frameDone := t + r.cfg.PreprocessMs + lat
+		if frameDone > decideBy {
+			continue // too late for this evidence to drive actuation
+		}
+		if cls, ok := acc.Decide(r.cfg.DecisionThreshold); ok {
+			res.Decided = true
+			res.Decision = cls
+			res.DecisionTimeMs = frameDone
+			break
+		}
+	}
+	res.FusedSim = fusion.Similarity(acc.Distribution(), label)
+	if res.Decided {
+		res.Correct = res.Decision == argmax(label)
+	}
+	return res, nil
+}
+
+// RunTrials simulates n reach events over objects cycling through the
+// grasp classes with fresh probabilistic labels.
+func (r *Robot) RunTrials(n int) (Summary, error) {
+	if n <= 0 {
+		return Summary{}, fmt.Errorf("robot: need at least one trial")
+	}
+	ds := hands.Generate(hands.Config{N: n, Seed: r.cfg.Seed + 7})
+	var sum Summary
+	var decMs, fused []float64
+	var frames, misses int
+	for i := 0; i < n; i++ {
+		_, label := ds.Example(i)
+		tr, err := r.RunTrial(i%hands.NumGrasps, label)
+		if err != nil {
+			return Summary{}, err
+		}
+		sum.Trials++
+		if tr.Decided {
+			sum.DecisionRate++
+			decMs = append(decMs, tr.DecisionTimeMs)
+			if tr.Correct {
+				sum.SuccessRate++
+			}
+		}
+		fused = append(fused, tr.FusedSim)
+		frames += tr.FramesSeen
+		misses += tr.DeadlineMisses
+	}
+	sum.SuccessRate /= float64(n)
+	sum.DecisionRate /= float64(n)
+	if frames > 0 {
+		sum.MissRate = float64(misses) / float64(frames)
+	}
+	sum.MeanDecisionMs = metric.Mean(decMs)
+	sum.MeanFusedSim = metric.Mean(fused)
+	return sum, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package robot
+
+import (
+	"testing"
+)
+
+func fastAccurateVision() VisionModel {
+	return VisionModel{
+		Name:      "fast",
+		LatencyMs: func() float64 { return 0.85 },
+		Accuracy:  0.85,
+	}
+}
+
+func slowVision() VisionModel {
+	return VisionModel{
+		Name:      "slow",
+		LatencyMs: func() float64 { return 3.8 },
+		Accuracy:  0.92,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ActuationMs = cfg.ReachDurationMs
+	if _, err := New(cfg, fastAccurateVision()); err == nil {
+		t.Fatal("actuation >= reach accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.DecisionThreshold = 1.5
+	if _, err := New(cfg, fastAccurateVision()); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	cfg = DefaultConfig()
+	if _, err := New(cfg, VisionModel{Accuracy: 0.8}); err == nil {
+		t.Fatal("nil latency sampler accepted")
+	}
+	if _, err := New(cfg, VisionModel{LatencyMs: func() float64 { return 1 }, Accuracy: 0}); err == nil {
+		t.Fatal("zero accuracy accepted")
+	}
+}
+
+func TestFastVisionMeetsDeadlines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	r, err := New(cfg, fastAccurateVision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.RunTrials(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MissRate != 0 {
+		t.Fatalf("fast vision missed %.2f of frames", sum.MissRate)
+	}
+	if sum.DecisionRate < 0.9 {
+		t.Fatalf("decision rate %.2f too low with working vision", sum.DecisionRate)
+	}
+	if sum.SuccessRate < 0.7 {
+		t.Fatalf("success rate %.2f too low with accurate fused pipeline", sum.SuccessRate)
+	}
+	if sum.MeanDecisionMs <= 0 || sum.MeanDecisionMs > cfg.ReachDurationMs {
+		t.Fatalf("mean decision time %.1f out of range", sum.MeanDecisionMs)
+	}
+}
+
+func TestSlowVisionMissesEveryFrame(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	r, err := New(cfg, slowVision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := r.RunTrials(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MissRate != 1 {
+		t.Fatalf("3.8 ms inferences should miss every 0.9 ms budget; miss rate %.2f", sum.MissRate)
+	}
+	// EMG-only fusion still works sometimes but clearly worse.
+	fast, _ := New(DefaultConfig(), fastAccurateVision())
+	cfgF := DefaultConfig()
+	cfgF.Seed = 2
+	fast, _ = New(cfgF, fastAccurateVision())
+	fsum, err := fast.RunTrials(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.SuccessRate >= fsum.SuccessRate {
+		t.Fatalf("slow vision (%.2f) should underperform fast vision (%.2f)",
+			sum.SuccessRate, fsum.SuccessRate)
+	}
+	// Note: MeanFusedSim is measured at decision time, so early-stopping
+	// confident trials can make it non-monotone in vision quality; the
+	// success-rate comparison above is the meaningful one.
+}
+
+func TestMoreAccurateVisionImprovesFusedSimilarity(t *testing.T) {
+	mk := func(acc float64) Summary {
+		cfg := DefaultConfig()
+		cfg.Seed = 3
+		r, err := New(cfg, VisionModel{
+			Name:      "v",
+			LatencyMs: func() float64 { return 0.8 },
+			Accuracy:  acc,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.RunTrials(60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	lo := mk(0.62)
+	hi := mk(0.90)
+	if hi.MeanFusedSim <= lo.MeanFusedSim {
+		t.Fatalf("accuracy 0.90 fused sim %.3f not above accuracy 0.62's %.3f",
+			hi.MeanFusedSim, lo.MeanFusedSim)
+	}
+	if hi.SuccessRate < lo.SuccessRate {
+		t.Fatalf("success rate should not drop with better vision: %.2f vs %.2f",
+			hi.SuccessRate, lo.SuccessRate)
+	}
+}
+
+func TestRunTrialValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	r, err := New(cfg, fastAccurateVision())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunTrial(99, []float64{1, 0, 0, 0, 0}); err == nil {
+		t.Fatal("bad grasp accepted")
+	}
+	if _, err := r.RunTrials(0); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	mk := func() Summary {
+		cfg := DefaultConfig()
+		cfg.Seed = 9
+		r, _ := New(cfg, fastAccurateVision())
+		s, _ := r.RunTrials(20)
+		return s
+	}
+	if mk() != mk() {
+		t.Fatal("same seed produced different summaries")
+	}
+}

@@ -1,0 +1,53 @@
+package svr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func svrData(n int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(1))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = math.Sin(X[i][0]) + 0.5*X[i][1]
+	}
+	return X, y
+}
+
+func BenchmarkTrainSVR(b *testing.B) {
+	X, y := svrData(40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 1e4, Epsilon: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGridSearch(b *testing.B) {
+	X, y := svrData(30)
+	grid := []GridPoint{{0.1, 1e4}, {1, 1e4}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GridSearch(X, y, grid, 5, 0.05, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	X, y := svrData(60)
+	m, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 1e4, Epsilon: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{0.3, -0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Predict(x)
+	}
+}

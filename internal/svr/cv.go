@@ -1,0 +1,95 @@
+package svr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KFold returns k disjoint validation index sets covering 0..n-1,
+// shuffled with the given seed. Fold sizes differ by at most one.
+func KFold(n, k int, seed int64) ([][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("svr: cannot split %d samples into %d folds", n, k)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	folds := make([][]int, k)
+	for i, v := range idx {
+		folds[i%k] = append(folds[i%k], v)
+	}
+	return folds, nil
+}
+
+// GridPoint is one hyper-parameter combination of the search.
+type GridPoint struct {
+	Gamma float64 // RBF kernel coefficient
+	C     float64
+}
+
+// PaperGrid returns the search grid. It brackets the paper's reported
+// optimum (gamma = 1e-1, C = 1e6) the way a practitioner's log-spaced
+// grid would (Sec. V-B2; the paper found grid search beat random search
+// at this sample size).
+func PaperGrid() []GridPoint {
+	var grid []GridPoint
+	for _, g := range []float64{1e-3, 1e-2, 1e-1, 1, 10} {
+		for _, c := range []float64{1e2, 1e4, 1e6} {
+			grid = append(grid, GridPoint{Gamma: g, C: c})
+		}
+	}
+	return grid
+}
+
+// CVResult reports the cross-validated error of one grid point.
+type CVResult struct {
+	Point GridPoint
+	RMSE  float64
+}
+
+// GridSearch selects the grid point minimizing k-fold cross-validated
+// RMSE of an RBF epsilon-SVR on (X, y). X should be standardized.
+// Returns the winner and the full result table, sorted as given in grid.
+func GridSearch(X [][]float64, y []float64, grid []GridPoint, k int, epsilon float64, seed int64) (CVResult, []CVResult, error) {
+	if len(grid) == 0 {
+		return CVResult{}, nil, fmt.Errorf("svr: empty grid")
+	}
+	folds, err := KFold(len(X), k, seed)
+	if err != nil {
+		return CVResult{}, nil, err
+	}
+	results := make([]CVResult, 0, len(grid))
+	best := CVResult{RMSE: math.Inf(1)}
+	for _, gp := range grid {
+		var sqSum float64
+		var cnt int
+		for _, val := range folds {
+			inVal := map[int]bool{}
+			for _, i := range val {
+				inVal[i] = true
+			}
+			var trX [][]float64
+			var trY []float64
+			for i := range X {
+				if !inVal[i] {
+					trX = append(trX, X[i])
+					trY = append(trY, y[i])
+				}
+			}
+			m, err := Train(trX, trY, RBF{Gamma: gp.Gamma}, Params{C: gp.C, Epsilon: epsilon})
+			if err != nil {
+				return CVResult{}, nil, fmt.Errorf("svr: grid point %+v: %w", gp, err)
+			}
+			for _, i := range val {
+				d := m.Predict(X[i]) - y[i]
+				sqSum += d * d
+				cnt++
+			}
+		}
+		r := CVResult{Point: gp, RMSE: math.Sqrt(sqSum / float64(cnt))}
+		results = append(results, r)
+		if r.RMSE < best.RMSE {
+			best = r
+		}
+	}
+	return best, results, nil
+}

@@ -1,0 +1,123 @@
+// Package svr implements epsilon-Support Vector Regression from scratch:
+// the analytical latency model of Sec. V-B2. It provides the RBF kernel
+// the paper selects (gamma = 1e-1, C = 1e6 tuned by 10-fold
+// cross-validated grid search), a linear kernel, k-fold cross-validation
+// with grid search, and the ordinary-least-squares baseline whose
+// 23.81% error the paper contrasts with the SVR's 4.28%.
+//
+// The solver maximizes the standard epsilon-SVR dual in the
+// beta_i = alpha_i - alpha_i* parametrization
+//
+//	D(beta) = -1/2 beta^T K beta + y^T beta - epsilon * ||beta||_1
+//	s.t.     sum_i beta_i = 0,   |beta_i| <= C
+//
+// by exact two-coordinate ascent: each update moves a pair (i, j) along
+// the constraint manifold (beta_i += t, beta_j -= t), maximizing the
+// piecewise-quadratic objective in t exactly over its three smooth
+// pieces. This is SMO-style optimization with an exact line search, well
+// suited to the small design matrices latency estimation produces.
+package svr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a positive-semidefinite similarity function.
+type Kernel interface {
+	Eval(a, b []float64) float64
+	String() string
+}
+
+// RBF is the radial-basis-function kernel exp(-gamma*||a-b||^2), the
+// paper's choice for the analytical model.
+type RBF struct {
+	Gamma float64
+}
+
+// Eval implements Kernel.
+func (k RBF) Eval(a, b []float64) float64 {
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-k.Gamma * d2)
+}
+
+func (k RBF) String() string { return fmt.Sprintf("rbf(gamma=%g)", k.Gamma) }
+
+// Linear is the dot-product kernel; an SVR over it is a (regularized)
+// linear model, used in ablations.
+type Linear struct{}
+
+// Eval implements Kernel.
+func (Linear) Eval(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func (Linear) String() string { return "linear" }
+
+// Scaler standardizes features to zero mean and unit variance —
+// essential for RBF kernels over features spanning many orders of
+// magnitude (FLOPs vs layer counts).
+type Scaler struct {
+	Mean []float64
+	Std  []float64
+}
+
+// FitScaler computes per-feature statistics over the rows of X.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("svr: cannot fit scaler on empty data")
+	}
+	d := len(X[0])
+	s := &Scaler{Mean: make([]float64, d), Std: make([]float64, d)}
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("svr: ragged design matrix (%d vs %d columns)", len(row), d)
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			dlt := v - s.Mean[j]
+			s.Std[j] += dlt * dlt
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1 // constant feature: pass through centered
+		}
+	}
+	return s, nil
+}
+
+// Transform returns the standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes every row of X.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}

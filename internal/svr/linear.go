@@ -1,0 +1,129 @@
+package svr
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is an ordinary-least-squares (optionally ridge-stabilized)
+// linear regression — the baseline whose 23.81% relative latency error
+// the paper contrasts with the RBF SVR (Sec. V-C).
+type LinearModel struct {
+	W []float64
+	B float64
+}
+
+// FitLinear solves min ||Xw + b - y||^2 + ridge*||w||^2 by centered
+// normal equations with Gaussian elimination. ridge = 0 gives plain OLS;
+// a tiny ridge stabilizes collinear latency features.
+func FitLinear(X [][]float64, y []float64, ridge float64) (*LinearModel, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("svr: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svr: %d rows but %d targets", n, len(y))
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("svr: negative ridge %v", ridge)
+	}
+	d := len(X[0])
+	// Center features and target so the intercept separates out.
+	mx := make([]float64, d)
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("svr: ragged design matrix")
+		}
+		for j, v := range row {
+			mx[j] += v
+		}
+	}
+	for j := range mx {
+		mx[j] /= float64(n)
+	}
+	var my float64
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(n)
+
+	// A = Xc^T Xc + ridge*I, rhs = Xc^T yc.
+	A := make([][]float64, d)
+	rhs := make([]float64, d)
+	for i := range A {
+		A[i] = make([]float64, d)
+	}
+	for r, row := range X {
+		yc := y[r] - my
+		for i := 0; i < d; i++ {
+			xi := row[i] - mx[i]
+			rhs[i] += xi * yc
+			for j := i; j < d; j++ {
+				A[i][j] += xi * (row[j] - mx[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		A[i][i] += ridge
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+
+	w, err := solve(A, rhs)
+	if err != nil {
+		return nil, err
+	}
+	b := my
+	for j := range w {
+		b -= w[j] * mx[j]
+	}
+	return &LinearModel{W: w, B: b}, nil
+}
+
+// Predict evaluates the linear model at x.
+func (m *LinearModel) Predict(x []float64) float64 {
+	s := m.B
+	for j, w := range m.W {
+		s += w * x[j]
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// A and rhs.
+func solve(A [][]float64, rhs []float64) ([]float64, error) {
+	d := len(A)
+	m := make([][]float64, d)
+	for i := range m {
+		m[i] = append(append([]float64(nil), A[i]...), rhs[i])
+	}
+	for col := 0; col < d; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("svr: singular normal equations (column %d); add ridge", col)
+		}
+		m[col], m[p] = m[p], m[col]
+		for r := col + 1; r < d; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c <= d; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := m[r][d]
+		for c := r + 1; c < d; c++ {
+			s -= m[r][c] * w[c]
+		}
+		w[r] = s / m[r][r]
+	}
+	return w, nil
+}

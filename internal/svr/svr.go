@@ -1,0 +1,216 @@
+package svr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Params are the epsilon-SVR hyper-parameters.
+type Params struct {
+	C       float64 // box constraint (regularization)
+	Epsilon float64 // insensitive-tube half width, in target units
+}
+
+// Model is a trained epsilon-SVR.
+type Model struct {
+	kernel Kernel
+	x      [][]float64 // support data (all training rows; zero-beta rows skipped at predict)
+	beta   []float64
+	b      float64
+}
+
+// Train fits an epsilon-SVR on (X, y) with the given kernel. X rows must
+// share a length and y must match X. Inputs are retained by the model;
+// callers should standardize features first (see Scaler).
+func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) {
+	n := len(X)
+	if n == 0 {
+		return nil, fmt.Errorf("svr: empty training set")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("svr: %d rows but %d targets", n, len(y))
+	}
+	if p.C <= 0 || p.Epsilon < 0 {
+		return nil, fmt.Errorf("svr: invalid params %+v", p)
+	}
+	d := len(X[0])
+	for _, row := range X {
+		if len(row) != d {
+			return nil, fmt.Errorf("svr: ragged design matrix")
+		}
+	}
+
+	// Precompute the kernel matrix; n is small for latency estimation.
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := kernel.Eval(X[i], X[j])
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+
+	beta := make([]float64, n)
+	f := make([]float64, n) // f_i = (K beta)_i
+
+	// deltaD returns the dual-objective gain of beta_i += t, beta_j -= t.
+	deltaD := func(i, j int, t float64) float64 {
+		eta := K[i][i] + K[j][j] - 2*K[i][j]
+		lin := (y[i] - f[i]) - (y[j] - f[j])
+		gain := t*lin - 0.5*t*t*eta
+		gain -= p.Epsilon * (math.Abs(beta[i]+t) - math.Abs(beta[i]) +
+			math.Abs(beta[j]-t) - math.Abs(beta[j]))
+		return gain
+	}
+
+	// bestStep maximizes deltaD over the feasible interval exactly, by
+	// taking the clipped vertex of each smooth piece plus the kink
+	// breakpoints.
+	bestStep := func(i, j int) (float64, float64) {
+		lo := math.Max(-p.C-beta[i], beta[j]-p.C)
+		hi := math.Min(p.C-beta[i], beta[j]+p.C)
+		if lo >= hi {
+			return 0, 0
+		}
+		eta := K[i][i] + K[j][j] - 2*K[i][j]
+		if eta < 1e-12 {
+			eta = 1e-12
+		}
+		cands := []float64{lo, hi}
+		// Kinks where beta_i + t or beta_j - t change sign.
+		for _, k := range []float64{-beta[i], beta[j]} {
+			if k > lo && k < hi {
+				cands = append(cands, k)
+			}
+		}
+		// Vertices of the four sign-region quadratics.
+		base := (y[i] - f[i]) - (y[j] - f[j])
+		for _, si := range []float64{-1, 1} {
+			for _, sj := range []float64{-1, 1} {
+				t := (base - p.Epsilon*(si-sj)) / eta
+				if t > lo && t < hi {
+					cands = append(cands, t)
+				}
+			}
+		}
+		bt, bg := 0.0, 0.0
+		for _, t := range cands {
+			if g := deltaD(i, j, t); g > bg {
+				bg, bt = g, t
+			}
+		}
+		return bt, bg
+	}
+
+	apply := func(i, j int, t float64) {
+		beta[i] += t
+		beta[j] -= t
+		for k := 0; k < n; k++ {
+			f[k] += t * (K[k][i] - K[k][j])
+		}
+	}
+
+	// Optimization loop: alternate greedy extreme-pair steps with full
+	// random-pair sweeps until a sweep yields no meaningful gain.
+	rng := rand.New(rand.NewSource(1))
+	scale := 0.0
+	for _, v := range y {
+		scale += v * v
+	}
+	tol := 1e-10 * (scale + 1)
+	maxSweeps := 400
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		improved := 0.0
+		// Greedy step: pair the most-violating extremes by gradient.
+		gi, gj := -1, -1
+		var gmax, gmin float64 = math.Inf(-1), math.Inf(1)
+		for k := 0; k < n; k++ {
+			g := y[k] - f[k]
+			if g > gmax {
+				gmax, gi = g, k
+			}
+			if g < gmin {
+				gmin, gj = g, k
+			}
+		}
+		if gi != gj {
+			if t, gain := bestStep(gi, gj); gain > 0 {
+				apply(gi, gj, t)
+				improved += gain
+			}
+		}
+		// Randomized sweep over adjacent pairs of a fresh permutation.
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for k := 0; k+1 < n; k++ {
+			i, j := perm[k], perm[k+1]
+			if t, gain := bestStep(i, j); gain > 0 {
+				apply(i, j, t)
+				improved += gain
+			}
+		}
+		if improved < tol {
+			break
+		}
+	}
+
+	m := &Model{kernel: kernel, x: X, beta: beta}
+	m.b = bias(beta, f, y, p)
+	return m, nil
+}
+
+// bias recovers the intercept from the KKT conditions: free support
+// vectors (0 < |beta| < C) sit exactly on the epsilon tube boundary.
+func bias(beta, f, y []float64, p Params) float64 {
+	var sum float64
+	var cnt int
+	margin := p.C * 1e-8
+	for i := range beta {
+		switch {
+		case beta[i] > margin && beta[i] < p.C-margin:
+			sum += y[i] - f[i] - p.Epsilon
+			cnt++
+		case beta[i] < -margin && beta[i] > -p.C+margin:
+			sum += y[i] - f[i] + p.Epsilon
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		return sum / float64(cnt)
+	}
+	// No free vectors (e.g. everything inside the tube): center the
+	// residuals instead.
+	for i := range y {
+		sum += y[i] - f[i]
+	}
+	return sum / float64(len(y))
+}
+
+// Predict evaluates the regression function at x.
+func (m *Model) Predict(x []float64) float64 {
+	s := m.b
+	for i, bi := range m.beta {
+		if bi == 0 {
+			continue
+		}
+		s += bi * m.kernel.Eval(m.x[i], x)
+	}
+	return s
+}
+
+// SupportVectors returns the number of training points with non-zero
+// dual coefficients.
+func (m *Model) SupportVectors() int {
+	n := 0
+	for _, b := range m.beta {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}

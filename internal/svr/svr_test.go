@@ -1,0 +1,323 @@
+package svr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRBFKernelProperties(t *testing.T) {
+	k := RBF{Gamma: 0.5}
+	a := []float64{1, 2}
+	b := []float64{3, -1}
+	if got := k.Eval(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("K(a,a) = %v, want 1", got)
+	}
+	if k.Eval(a, b) != k.Eval(b, a) {
+		t.Fatal("kernel not symmetric")
+	}
+	if v := k.Eval(a, b); v <= 0 || v >= 1 {
+		t.Fatalf("K(a,b) = %v, want in (0,1)", v)
+	}
+}
+
+func TestScaler(t *testing.T) {
+	X := [][]float64{{1, 100}, {3, 300}, {5, 500}}
+	s, err := FitScaler(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Z := s.TransformAll(X)
+	for j := 0; j < 2; j++ {
+		var m, v float64
+		for i := range Z {
+			m += Z[i][j]
+		}
+		m /= 3
+		for i := range Z {
+			v += (Z[i][j] - m) * (Z[i][j] - m)
+		}
+		if math.Abs(m) > 1e-12 || math.Abs(v/3-1) > 1e-9 {
+			t.Fatalf("column %d not standardized: mean %v var %v", j, m, v/3)
+		}
+	}
+	if _, err := FitScaler(nil); err == nil {
+		t.Fatal("empty scaler accepted")
+	}
+	if _, err := FitScaler([][]float64{{1}, {1, 2}}); err == nil {
+		t.Fatal("ragged scaler accepted")
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	s, err := FitScaler([][]float64{{5, 1}, {5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := s.Transform([]float64{5, 1.5})
+	if z[0] != 0 {
+		t.Fatalf("constant feature should center to 0, got %v", z[0])
+	}
+}
+
+func TestSVRFitsLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64()*4 - 2}
+		X = append(X, x)
+		y = append(y, 3*x[0]+1)
+	}
+	m, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 100, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1.5, 0, 1.5} {
+		got := m.Predict([]float64{x})
+		want := 3*x + 1
+		if math.Abs(got-want) > 0.08 {
+			t.Fatalf("f(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestSVRFitsSine(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 80; i++ {
+		x := float64(i) / 79 * 2 * math.Pi
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(x))
+	}
+	m, err := Train(X, y, RBF{Gamma: 1.0}, Params{C: 1000, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxErr float64
+	for i, x := range X {
+		maxErr = math.Max(maxErr, math.Abs(m.Predict(x)-y[i]))
+	}
+	// epsilon-SVR should fit within roughly the tube width.
+	if maxErr > 0.05 {
+		t.Fatalf("max train error %v, want < 0.05", maxErr)
+	}
+	// And interpolate between samples.
+	if got := m.Predict([]float64{1.0}); math.Abs(got-math.Sin(1.0)) > 0.05 {
+		t.Fatalf("interp f(1.0) = %v, want %v", got, math.Sin(1.0))
+	}
+}
+
+func TestSVRRespectsEpsilonTube(t *testing.T) {
+	// With a wide tube and smooth data, most points need no support
+	// vector: sparsity is the signature of epsilon-insensitivity.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x := float64(i) / 10
+		X = append(X, []float64{x})
+		y = append(y, 0.1*x)
+	}
+	m, err := Train(X, y, RBF{Gamma: 0.3}, Params{C: 100, Epsilon: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv := m.SupportVectors(); sv > 10 {
+		t.Fatalf("wide tube kept %d support vectors, want few", sv)
+	}
+}
+
+func TestSVRHugePaperC(t *testing.T) {
+	// The paper's C = 1e6 must stay numerically stable and fit tightly.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		x := float64(i) / 39 * 3
+		X = append(X, []float64{x})
+		y = append(y, 1.5*x*x-x)
+	}
+	m, err := Train(X, y, RBF{Gamma: 0.1}, Params{C: 1e6, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range X {
+		if d := math.Abs(m.Predict(x) - y[i]); d > 0.15 {
+			t.Fatalf("train residual %v at %v too large for C=1e6", d, x)
+		}
+	}
+}
+
+func TestSVRInputValidation(t *testing.T) {
+	if _, err := Train(nil, nil, RBF{Gamma: 1}, Params{C: 1, Epsilon: 0.1}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1, 2}, RBF{Gamma: 1}, Params{C: 1, Epsilon: 0.1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Train([][]float64{{1}, {1, 2}}, []float64{1, 2}, RBF{Gamma: 1}, Params{C: 1, Epsilon: 0.1}); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1}, RBF{Gamma: 1}, Params{C: 0, Epsilon: 0.1}); err == nil {
+		t.Fatal("C=0 accepted")
+	}
+	if _, err := Train([][]float64{{1}}, []float64{1}, RBF{Gamma: 1}, Params{C: 1, Epsilon: -1}); err == nil {
+		t.Fatal("negative epsilon accepted")
+	}
+}
+
+// Property: the dual equality constraint holds after training.
+func TestSVRDualFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(30)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = X[i][0] - 2*X[i][1] + 0.1*rng.NormFloat64()
+		}
+		m, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 10, Epsilon: 0.05})
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, b := range m.beta {
+			if math.Abs(b) > 10+1e-9 {
+				return false // box violated
+			}
+			sum += b
+		}
+		return math.Abs(sum) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearRegressionExact(t *testing.T) {
+	X := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 3}, {4, 1}}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 2*x[0] - 3*x[1] + 5
+	}
+	m, err := FitLinear(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.W[0]-2) > 1e-9 || math.Abs(m.W[1]+3) > 1e-9 || math.Abs(m.B-5) > 1e-9 {
+		t.Fatalf("fit = %+v, want w=[2,-3] b=5", m)
+	}
+}
+
+func TestLinearRegressionSingular(t *testing.T) {
+	// Perfectly collinear features: OLS fails, ridge recovers.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := FitLinear(X, y, 0); err == nil {
+		t.Fatal("singular OLS accepted")
+	}
+	m, err := FitLinear(X, y, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(m.Predict([]float64{5, 10}) - 5); d > 1e-3 {
+		t.Fatalf("ridge prediction off by %v", d)
+	}
+}
+
+func TestLinearCannotFitQuadratic(t *testing.T) {
+	// The motivation for the RBF kernel: linear models leave large
+	// residuals on curved responses.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		x := float64(i) / 10
+		X = append(X, []float64{x})
+		y = append(y, x*x)
+	}
+	lin, err := FitLinear(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svr, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 1000, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linErr, svrErr float64
+	for i, x := range X {
+		linErr += math.Abs(lin.Predict(x) - y[i])
+		svrErr += math.Abs(svr.Predict(x) - y[i])
+	}
+	if svrErr*3 > linErr {
+		t.Fatalf("RBF SVR (%v) not clearly better than linear (%v)", svrErr, linErr)
+	}
+}
+
+func TestKFold(t *testing.T) {
+	folds, err := KFold(25, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 10 {
+		t.Fatalf("%d folds, want 10", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		if len(f) < 2 || len(f) > 3 {
+			t.Fatalf("fold size %d, want 2 or 3", len(f))
+		}
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 25 {
+		t.Fatalf("folds cover %d indices, want 25", len(seen))
+	}
+	if _, err := KFold(5, 10, 1); err == nil {
+		t.Fatal("more folds than samples accepted")
+	}
+	if _, err := KFold(5, 1, 1); err == nil {
+		t.Fatal("single fold accepted")
+	}
+}
+
+func TestGridSearchPrefersGoodGamma(t *testing.T) {
+	// Data with a length scale of ~1 in standardized units: tiny or huge
+	// gamma should lose to a moderate one.
+	rng := rand.New(rand.NewSource(9))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 60; i++ {
+		x := rng.NormFloat64()
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(2*x)+0.02*rng.NormFloat64())
+	}
+	best, all, err := GridSearch(X, y, PaperGrid(), 10, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(PaperGrid()) {
+		t.Fatalf("result table %d entries, want %d", len(all), len(PaperGrid()))
+	}
+	if best.Point.Gamma < 1e-2 {
+		t.Fatalf("grid search picked gamma %v; too small for unit-scale data", best.Point.Gamma)
+	}
+	if best.RMSE > 0.2 {
+		t.Fatalf("best CV RMSE %v implausibly high", best.RMSE)
+	}
+}
+
+func TestGridSearchErrors(t *testing.T) {
+	if _, _, err := GridSearch(nil, nil, nil, 10, 0.1, 1); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	if _, _, err := GridSearch(X, y, PaperGrid(), 10, 0.1, 1); err == nil {
+		t.Fatal("k > n accepted")
+	}
+}

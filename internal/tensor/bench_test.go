@@ -1,0 +1,53 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkConv2DForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 4, 16, 16, 16)
+	w := randTensor(rng, 3, 3, 16, 16)
+	bias := make([]float64, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(x, w, bias, 1, true)
+	}
+}
+
+func BenchmarkConv2DBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 4, 16, 16, 16)
+	w := randTensor(rng, 3, 3, 16, 16)
+	y := Conv2D(x, w, nil, 1, true)
+	g := ones(y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2DBackward(x, w, g, true, 1, true)
+	}
+}
+
+func BenchmarkDWConv2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 4, 16, 16, 32)
+	w := randTensor(rng, 3, 3, 32, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DWConv2D(x, w, nil, 1, true)
+	}
+}
+
+func BenchmarkDense(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 16, 1, 1, 256)
+	w := randTensor(rng, 1, 1, 256, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dense(x, w, nil)
+	}
+}

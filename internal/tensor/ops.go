@@ -1,0 +1,343 @@
+package tensor
+
+import "fmt"
+
+// Conv2D computes a standard 2-D convolution. x is [N,H,W,InC], w is
+// [KH,KW,InC,OutC] (see Tensor layout note), b is per-output-channel
+// bias (nil for none).
+func Conv2D(x, w *Tensor, b []float64, stride int, same bool) *Tensor {
+	kh, kw, inC, outC := w.N, w.H, w.W, w.C
+	if x.C != inC {
+		panic(fmt.Sprintf("tensor: conv input channels %d != weight %d", x.C, inC))
+	}
+	outH, padH := convGeom(x.H, kh, stride, same)
+	outW, padW := convGeom(x.W, kw, stride, same)
+	y := New(x.N, outH, outW, outC)
+	for n := 0; n < x.N; n++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				for kyy := 0; kyy < kh; kyy++ {
+					ih := oh*stride + kyy - padH
+					if ih < 0 || ih >= x.H {
+						continue
+					}
+					for kxx := 0; kxx < kw; kxx++ {
+						iw := ow*stride + kxx - padW
+						if iw < 0 || iw >= x.W {
+							continue
+						}
+						xBase := x.idx(n, ih, iw, 0)
+						wBase := w.idx(kyy, kxx, 0, 0)
+						yBase := y.idx(n, oh, ow, 0)
+						for ic := 0; ic < inC; ic++ {
+							xv := x.Data[xBase+ic]
+							if xv == 0 {
+								continue
+							}
+							wRow := w.Data[wBase+ic*outC : wBase+(ic+1)*outC]
+							yRow := y.Data[yBase : yBase+outC]
+							for oc := range wRow {
+								yRow[oc] += xv * wRow[oc]
+							}
+						}
+					}
+				}
+				if b != nil {
+					yBase := y.idx(n, oh, ow, 0)
+					for oc := 0; oc < outC; oc++ {
+						y.Data[yBase+oc] += b[oc]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Conv2DBackward computes gradients for Conv2D. gradY is the loss
+// gradient at the output; the returned gradX matches x, gradW matches
+// w, and gradB is per-output-channel (nil if b was nil).
+func Conv2DBackward(x, w, gradY *Tensor, hasBias bool, stride int, same bool) (gradX, gradW *Tensor, gradB []float64) {
+	kh, kw, inC, outC := w.N, w.H, w.W, w.C
+	_, padH := convGeom(x.H, kh, stride, same)
+	_, padW := convGeom(x.W, kw, stride, same)
+	gradX = New(x.N, x.H, x.W, x.C)
+	gradW = New(kh, kw, inC, outC)
+	if hasBias {
+		gradB = make([]float64, outC)
+	}
+	for n := 0; n < x.N; n++ {
+		for oh := 0; oh < gradY.H; oh++ {
+			for ow := 0; ow < gradY.W; ow++ {
+				gyBase := gradY.idx(n, oh, ow, 0)
+				gyRow := gradY.Data[gyBase : gyBase+outC]
+				if hasBias {
+					for oc, gv := range gyRow {
+						gradB[oc] += gv
+					}
+				}
+				for kyy := 0; kyy < kh; kyy++ {
+					ih := oh*stride + kyy - padH
+					if ih < 0 || ih >= x.H {
+						continue
+					}
+					for kxx := 0; kxx < kw; kxx++ {
+						iw := ow*stride + kxx - padW
+						if iw < 0 || iw >= x.W {
+							continue
+						}
+						xBase := x.idx(n, ih, iw, 0)
+						wBase := w.idx(kyy, kxx, 0, 0)
+						for ic := 0; ic < inC; ic++ {
+							xv := x.Data[xBase+ic]
+							wRow := w.Data[wBase+ic*outC : wBase+(ic+1)*outC]
+							gwRow := gradW.Data[wBase+ic*outC : wBase+(ic+1)*outC]
+							var gx float64
+							for oc, gv := range gyRow {
+								gwRow[oc] += gv * xv
+								gx += gv * wRow[oc]
+							}
+							gradX.Data[xBase+ic] += gx
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradW, gradB
+}
+
+// DWConv2D computes a depthwise convolution. w is [KH,KW,C,1].
+func DWConv2D(x, w *Tensor, b []float64, stride int, same bool) *Tensor {
+	kh, kw := w.N, w.H
+	if w.W != x.C || w.C != 1 {
+		panic(fmt.Sprintf("tensor: dwconv weight shape %s does not match input channels %d", w.ShapeString(), x.C))
+	}
+	outH, padH := convGeom(x.H, kh, stride, same)
+	outW, padW := convGeom(x.W, kw, stride, same)
+	y := New(x.N, outH, outW, x.C)
+	for n := 0; n < x.N; n++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				yBase := y.idx(n, oh, ow, 0)
+				for kyy := 0; kyy < kh; kyy++ {
+					ih := oh*stride + kyy - padH
+					if ih < 0 || ih >= x.H {
+						continue
+					}
+					for kxx := 0; kxx < kw; kxx++ {
+						iw := ow*stride + kxx - padW
+						if iw < 0 || iw >= x.W {
+							continue
+						}
+						xBase := x.idx(n, ih, iw, 0)
+						wBase := w.idx(kyy, kxx, 0, 0)
+						for c := 0; c < x.C; c++ {
+							y.Data[yBase+c] += x.Data[xBase+c] * w.Data[wBase+c]
+						}
+					}
+				}
+				if b != nil {
+					for c := 0; c < x.C; c++ {
+						y.Data[yBase+c] += b[c]
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// DWConv2DBackward computes gradients for DWConv2D.
+func DWConv2DBackward(x, w, gradY *Tensor, hasBias bool, stride int, same bool) (gradX, gradW *Tensor, gradB []float64) {
+	kh, kw := w.N, w.H
+	_, padH := convGeom(x.H, kh, stride, same)
+	_, padW := convGeom(x.W, kw, stride, same)
+	gradX = New(x.N, x.H, x.W, x.C)
+	gradW = New(kh, kw, x.C, 1)
+	if hasBias {
+		gradB = make([]float64, x.C)
+	}
+	for n := 0; n < x.N; n++ {
+		for oh := 0; oh < gradY.H; oh++ {
+			for ow := 0; ow < gradY.W; ow++ {
+				gyBase := gradY.idx(n, oh, ow, 0)
+				if hasBias {
+					for c := 0; c < x.C; c++ {
+						gradB[c] += gradY.Data[gyBase+c]
+					}
+				}
+				for kyy := 0; kyy < kh; kyy++ {
+					ih := oh*stride + kyy - padH
+					if ih < 0 || ih >= x.H {
+						continue
+					}
+					for kxx := 0; kxx < kw; kxx++ {
+						iw := ow*stride + kxx - padW
+						if iw < 0 || iw >= x.W {
+							continue
+						}
+						xBase := x.idx(n, ih, iw, 0)
+						wBase := w.idx(kyy, kxx, 0, 0)
+						for c := 0; c < x.C; c++ {
+							gv := gradY.Data[gyBase+c]
+							gradW.Data[wBase+c] += gv * x.Data[xBase+c]
+							gradX.Data[xBase+c] += gv * w.Data[wBase+c]
+						}
+					}
+				}
+			}
+		}
+	}
+	return gradX, gradW, gradB
+}
+
+// Dense computes y = x*W + b for flattened inputs. x is [N,1,1,InC], w
+// is [1,1,InC,OutC].
+func Dense(x, w *Tensor, b []float64) *Tensor {
+	inC, outC := w.W, w.C
+	if x.H != 1 || x.W != 1 || x.C != inC {
+		panic(fmt.Sprintf("tensor: dense input %s incompatible with weights %s", x.ShapeString(), w.ShapeString()))
+	}
+	y := New(x.N, 1, 1, outC)
+	for n := 0; n < x.N; n++ {
+		xBase := x.idx(n, 0, 0, 0)
+		yBase := y.idx(n, 0, 0, 0)
+		for ic := 0; ic < inC; ic++ {
+			xv := x.Data[xBase+ic]
+			if xv == 0 {
+				continue
+			}
+			wRow := w.Data[ic*outC : (ic+1)*outC]
+			for oc := range wRow {
+				y.Data[yBase+oc] += xv * wRow[oc]
+			}
+		}
+		if b != nil {
+			for oc := 0; oc < outC; oc++ {
+				y.Data[yBase+oc] += b[oc]
+			}
+		}
+	}
+	return y
+}
+
+// DenseBackward computes gradients for Dense.
+func DenseBackward(x, w, gradY *Tensor, hasBias bool) (gradX, gradW *Tensor, gradB []float64) {
+	inC, outC := w.W, w.C
+	gradX = New(x.N, 1, 1, inC)
+	gradW = New(1, 1, inC, outC)
+	if hasBias {
+		gradB = make([]float64, outC)
+	}
+	for n := 0; n < x.N; n++ {
+		xBase := x.idx(n, 0, 0, 0)
+		gyBase := gradY.idx(n, 0, 0, 0)
+		gyRow := gradY.Data[gyBase : gyBase+outC]
+		if hasBias {
+			for oc, gv := range gyRow {
+				gradB[oc] += gv
+			}
+		}
+		for ic := 0; ic < inC; ic++ {
+			wRow := w.Data[ic*outC : (ic+1)*outC]
+			gwRow := gradW.Data[ic*outC : (ic+1)*outC]
+			xv := x.Data[xBase+ic]
+			var gx float64
+			for oc, gv := range gyRow {
+				gwRow[oc] += gv * xv
+				gx += gv * wRow[oc]
+			}
+			gradX.Data[xBase+ic] = gx
+		}
+	}
+	return gradX, gradW, gradB
+}
+
+// MaxPool computes k x k max pooling and returns the output plus the
+// argmax indices needed by the backward pass.
+func MaxPool(x *Tensor, k, stride int, same bool) (*Tensor, []int) {
+	outH, padH := convGeom(x.H, k, stride, same)
+	outW, padW := convGeom(x.W, k, stride, same)
+	y := New(x.N, outH, outW, x.C)
+	arg := make([]int, y.Len())
+	for n := 0; n < x.N; n++ {
+		for oh := 0; oh < outH; oh++ {
+			for ow := 0; ow < outW; ow++ {
+				for c := 0; c < x.C; c++ {
+					best := 0.0
+					bestIdx := -1
+					for kyy := 0; kyy < k; kyy++ {
+						ih := oh*stride + kyy - padH
+						if ih < 0 || ih >= x.H {
+							continue
+						}
+						for kxx := 0; kxx < k; kxx++ {
+							iw := ow*stride + kxx - padW
+							if iw < 0 || iw >= x.W {
+								continue
+							}
+							idx := x.idx(n, ih, iw, c)
+							if bestIdx < 0 || x.Data[idx] > best {
+								best = x.Data[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oi := y.idx(n, oh, ow, c)
+					y.Data[oi] = best
+					arg[oi] = bestIdx
+				}
+			}
+		}
+	}
+	return y, arg
+}
+
+// MaxPoolBackward scatters output gradients to the argmax positions.
+func MaxPoolBackward(x, gradY *Tensor, arg []int) *Tensor {
+	gradX := New(x.N, x.H, x.W, x.C)
+	for oi, gi := range arg {
+		if gi >= 0 {
+			gradX.Data[gi] += gradY.Data[oi]
+		}
+	}
+	return gradX
+}
+
+// GlobalAvgPool reduces the spatial dimensions to 1 x 1.
+func GlobalAvgPool(x *Tensor) *Tensor {
+	y := New(x.N, 1, 1, x.C)
+	inv := 1.0 / float64(x.H*x.W)
+	for n := 0; n < x.N; n++ {
+		for h := 0; h < x.H; h++ {
+			for w := 0; w < x.W; w++ {
+				base := x.idx(n, h, w, 0)
+				yBase := y.idx(n, 0, 0, 0)
+				for c := 0; c < x.C; c++ {
+					y.Data[yBase+c] += x.Data[base+c] * inv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// GlobalAvgPoolBackward spreads output gradients uniformly over the
+// spatial positions.
+func GlobalAvgPoolBackward(x, gradY *Tensor) *Tensor {
+	gradX := New(x.N, x.H, x.W, x.C)
+	inv := 1.0 / float64(x.H*x.W)
+	for n := 0; n < x.N; n++ {
+		gyBase := gradY.idx(n, 0, 0, 0)
+		for h := 0; h < x.H; h++ {
+			for w := 0; w < x.W; w++ {
+				base := gradX.idx(n, h, w, 0)
+				for c := 0; c < x.C; c++ {
+					gradX.Data[base+c] = gradY.Data[gyBase+c] * inv
+				}
+			}
+		}
+	}
+	return gradX
+}

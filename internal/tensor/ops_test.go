@@ -1,0 +1,283 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randTensor(rng *rand.Rand, n, h, w, c int) *Tensor {
+	t := New(n, h, w, c)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// numGrad computes the finite-difference gradient of sum(f()) w.r.t.
+// the elements of p.
+func numGrad(p *Tensor, f func() *Tensor) []float64 {
+	const eps = 1e-6
+	out := make([]float64, len(p.Data))
+	for i := range p.Data {
+		orig := p.Data[i]
+		p.Data[i] = orig + eps
+		plus := sum(f())
+		p.Data[i] = orig - eps
+		minus := sum(f())
+		p.Data[i] = orig
+		out[i] = (plus - minus) / (2 * eps)
+	}
+	return out
+}
+
+func sum(t *Tensor) float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+func ones(t *Tensor) *Tensor {
+	o := New(t.N, t.H, t.W, t.C)
+	o.Fill(1)
+	return o
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		m = math.Max(m, math.Abs(a[i]-b[i]))
+	}
+	return m
+}
+
+func TestTensorBasics(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	if x.Len() != 120 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	x.Set(1, 2, 3, 4, 7)
+	if x.At(1, 2, 3, 4) != 7 {
+		t.Fatal("At/Set broken")
+	}
+	x.Add(1, 2, 3, 4, 3)
+	if x.At(1, 2, 3, 4) != 10 {
+		t.Fatal("Add broken")
+	}
+	c := x.Clone()
+	c.Set(0, 0, 0, 0, 99)
+	if x.At(0, 0, 0, 0) == 99 {
+		t.Fatal("Clone aliases data")
+	}
+	s := x.Slice(1)
+	if s.N != 1 || s.At(0, 2, 3, 4) != 10 {
+		t.Fatal("Slice broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape accepted")
+		}
+	}()
+	New(0, 1, 1, 1)
+}
+
+func TestConvKnownValue(t *testing.T) {
+	// 1x3x3x1 input, 3x3 kernel of ones, valid: output = sum of input.
+	x := New(1, 3, 3, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i + 1)
+	}
+	w := New(3, 3, 1, 1)
+	w.Fill(1)
+	y := Conv2D(x, w, nil, 1, false)
+	if y.H != 1 || y.W != 1 || y.Data[0] != 45 {
+		t.Fatalf("conv = %v (%s), want 45 at 1x1", y.Data, y.ShapeString())
+	}
+}
+
+func TestConvSameGeometry(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensor(rng, 1, 7, 7, 3)
+	w := randTensor(rng, 3, 3, 3, 4)
+	y := Conv2D(x, w, nil, 2, true)
+	if y.H != 4 || y.W != 4 || y.C != 4 {
+		t.Fatalf("same-pad stride-2 output %s, want 1x4x4x4", y.ShapeString())
+	}
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randTensor(rng, 2, 5, 5, 2)
+	w := randTensor(rng, 3, 3, 2, 3)
+	b := []float64{0.1, -0.2, 0.3}
+	forward := func() *Tensor { return Conv2D(x, w, b, 1, true) }
+	y := forward()
+	gradX, gradW, gradB := Conv2DBackward(x, w, ones(y), true, 1, true)
+
+	if d := maxAbsDiff(gradX.Data, numGrad(x, forward)); d > 1e-5 {
+		t.Fatalf("conv gradX off by %v", d)
+	}
+	if d := maxAbsDiff(gradW.Data, numGrad(w, forward)); d > 1e-5 {
+		t.Fatalf("conv gradW off by %v", d)
+	}
+	bT := &Tensor{N: 1, H: 1, W: 1, C: 3, Data: b}
+	if d := maxAbsDiff(gradB, numGrad(bT, forward)); d > 1e-5 {
+		t.Fatalf("conv gradB off by %v", d)
+	}
+}
+
+func TestConvStridedGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 1, 6, 6, 2)
+	w := randTensor(rng, 3, 3, 2, 2)
+	forward := func() *Tensor { return Conv2D(x, w, nil, 2, true) }
+	y := forward()
+	gradX, gradW, _ := Conv2DBackward(x, w, ones(y), false, 2, true)
+	if d := maxAbsDiff(gradX.Data, numGrad(x, forward)); d > 1e-5 {
+		t.Fatalf("strided conv gradX off by %v", d)
+	}
+	if d := maxAbsDiff(gradW.Data, numGrad(w, forward)); d > 1e-5 {
+		t.Fatalf("strided conv gradW off by %v", d)
+	}
+}
+
+func TestDWConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randTensor(rng, 2, 5, 5, 3)
+	w := randTensor(rng, 3, 3, 3, 1)
+	b := []float64{0.1, 0.2, -0.1}
+	forward := func() *Tensor { return DWConv2D(x, w, b, 1, true) }
+	y := forward()
+	gradX, gradW, gradB := DWConv2DBackward(x, w, ones(y), true, 1, true)
+	if d := maxAbsDiff(gradX.Data, numGrad(x, forward)); d > 1e-5 {
+		t.Fatalf("dwconv gradX off by %v", d)
+	}
+	if d := maxAbsDiff(gradW.Data, numGrad(w, forward)); d > 1e-5 {
+		t.Fatalf("dwconv gradW off by %v", d)
+	}
+	bT := &Tensor{N: 1, H: 1, W: 1, C: 3, Data: b}
+	if d := maxAbsDiff(gradB, numGrad(bT, forward)); d > 1e-5 {
+		t.Fatalf("dwconv gradB off by %v", d)
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := randTensor(rng, 3, 1, 1, 4)
+	w := randTensor(rng, 1, 1, 4, 2)
+	b := []float64{0.5, -0.5}
+	forward := func() *Tensor { return Dense(x, w, b) }
+	y := forward()
+	gradX, gradW, gradB := DenseBackward(x, w, ones(y), true)
+	if d := maxAbsDiff(gradX.Data, numGrad(x, forward)); d > 1e-6 {
+		t.Fatalf("dense gradX off by %v", d)
+	}
+	if d := maxAbsDiff(gradW.Data, numGrad(w, forward)); d > 1e-6 {
+		t.Fatalf("dense gradW off by %v", d)
+	}
+	bT := &Tensor{N: 1, H: 1, W: 1, C: 2, Data: b}
+	if d := maxAbsDiff(gradB, numGrad(bT, forward)); d > 1e-6 {
+		t.Fatalf("dense gradB off by %v", d)
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	x := New(1, 4, 4, 1)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	y, arg := MaxPool(x, 2, 2, false)
+	want := []float64{5, 7, 13, 15}
+	for i, v := range want {
+		if y.Data[i] != v {
+			t.Fatalf("maxpool out %v, want %v", y.Data, want)
+		}
+	}
+	gy := ones(y)
+	gx := MaxPoolBackward(x, gy, arg)
+	// Gradient lands only on the argmax cells.
+	var nz int
+	for _, v := range gx.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz != 4 {
+		t.Fatalf("maxpool backward touched %d cells, want 4", nz)
+	}
+	if gx.Data[5] != 1 || gx.Data[15] != 1 {
+		t.Fatal("maxpool gradient misplaced")
+	}
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randTensor(rng, 2, 3, 3, 2)
+	forward := func() *Tensor { return GlobalAvgPool(x) }
+	y := forward()
+	gradX := GlobalAvgPoolBackward(x, ones(y))
+	if d := maxAbsDiff(gradX.Data, numGrad(x, forward)); d > 1e-6 {
+		t.Fatalf("gap gradX off by %v", d)
+	}
+	if y.H != 1 || y.W != 1 {
+		t.Fatalf("gap output %s", y.ShapeString())
+	}
+}
+
+// Property: convolution is linear in its input: conv(a*x) = a*conv(x).
+func TestConvLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := randTensor(rng, 3, 3, 2, 2)
+	f := func(scaleRaw uint8) bool {
+		scale := float64(scaleRaw%10) + 0.5
+		x := randTensor(rng, 1, 4, 4, 2)
+		y1 := Conv2D(x, w, nil, 1, true)
+		xs := x.Clone()
+		for i := range xs.Data {
+			xs.Data[i] *= scale
+		}
+		y2 := Conv2D(xs, w, nil, 1, true)
+		for i := range y1.Data {
+			if math.Abs(y2.Data[i]-scale*y1.Data[i]) > 1e-9*(1+math.Abs(y1.Data[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pooling never invents values — max pool outputs are always
+// elements of the input.
+func TestMaxPoolMembershipProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(_ uint8) bool {
+		x := randTensor(rng, 1, 6, 6, 2)
+		y, arg := MaxPool(x, 2, 2, false)
+		for i, a := range arg {
+			if a < 0 || x.Data[a] != y.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	x := New(1, 4, 4, 3)
+	w := New(3, 3, 2, 4) // wrong input channels
+	defer func() {
+		if recover() == nil {
+			t.Fatal("channel mismatch accepted")
+		}
+	}()
+	Conv2D(x, w, nil, 1, true)
+}

@@ -1,0 +1,102 @@
+// Package tensor provides dense NHWC float64 tensors and the
+// forward/backward compute kernels (convolution, pooling, dense) used
+// by the real trainable network stack in internal/nn. It is the
+// miniature-scale counterpart of the analytical graph IR: internal/nn
+// executes real arithmetic on these tensors, whereas internal/graph
+// only accounts for it.
+package tensor
+
+import "fmt"
+
+// Tensor is a dense batch-major NHWC tensor. Fully connected layers use
+// H = W = 1. Convolution weights are stored in [KH, KW, InC, OutC]
+// layout via the same struct: N = KH, H = KW, W = InC, C = OutC.
+type Tensor struct {
+	N, H, W, C int
+	Data       []float64
+}
+
+// New allocates a zero tensor of the given shape.
+func New(n, h, w, c int) *Tensor {
+	if n <= 0 || h <= 0 || w <= 0 || c <= 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%dx%dx%d", n, h, w, c))
+	}
+	return &Tensor{N: n, H: h, W: w, C: c, Data: make([]float64, n*h*w*c)}
+}
+
+// Len returns the number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// ShapeEq reports whether two tensors have identical shapes.
+func (t *Tensor) ShapeEq(o *Tensor) bool {
+	return t.N == o.N && t.H == o.H && t.W == o.W && t.C == o.C
+}
+
+// ShapeString formats the shape.
+func (t *Tensor) ShapeString() string {
+	return fmt.Sprintf("%dx%dx%dx%d", t.N, t.H, t.W, t.C)
+}
+
+// idx computes the flat index of (n, h, w, c).
+func (t *Tensor) idx(n, h, w, c int) int {
+	return ((n*t.H+h)*t.W+w)*t.C + c
+}
+
+// At returns the element at (n, h, w, c).
+func (t *Tensor) At(n, h, w, c int) float64 { return t.Data[t.idx(n, h, w, c)] }
+
+// Set stores v at (n, h, w, c).
+func (t *Tensor) Set(n, h, w, c int, v float64) { t.Data[t.idx(n, h, w, c)] = v }
+
+// Add accumulates v at (n, h, w, c).
+func (t *Tensor) Add(n, h, w, c int, v float64) { t.Data[t.idx(n, h, w, c)] += v }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	o := &Tensor{N: t.N, H: t.H, W: t.W, C: t.C, Data: make([]float64, len(t.Data))}
+	copy(o.Data, t.Data)
+	return o
+}
+
+// Zero clears all elements in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Slice returns a view-copy of one batch element as an N=1 tensor.
+func (t *Tensor) Slice(n int) *Tensor {
+	o := New(1, t.H, t.W, t.C)
+	per := t.H * t.W * t.C
+	copy(o.Data, t.Data[n*per:(n+1)*per])
+	return o
+}
+
+// samePad computes TF-style "same" padding: output ceil(in/stride) with
+// the total padding split front-light.
+func samePad(in, k, stride int) (out, padBeg int) {
+	out = (in + stride - 1) / stride
+	padTotal := (out-1)*stride + k - in
+	if padTotal < 0 {
+		padTotal = 0
+	}
+	return out, padTotal / 2
+}
+
+func validOut(in, k, stride int) int { return (in-k)/stride + 1 }
+
+// convGeom resolves the output size and leading pad for one dimension.
+func convGeom(in, k, stride int, same bool) (out, pad int) {
+	if same {
+		return samePad(in, k, stride)
+	}
+	return validOut(in, k, stride), 0
+}

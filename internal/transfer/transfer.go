@@ -1,0 +1,394 @@
+// Package transfer simulates retraining TRNs on the HANDS grasp task
+// (substitution S3 in DESIGN.md).
+//
+// The paper retrains 148 blockwise TRNs for 183 GPU-hours and measures
+// angular-distance accuracy on HANDS. NetCut itself never inspects
+// training: it consumes only (TRN -> accuracy) and (TRN -> training
+// hours). This package supplies both through
+//
+//   - per-architecture accuracy response curves: monotone piecewise-
+//     linear control-point curves over "feature layers removed",
+//     calibrated to the published shapes of Fig. 5 (DenseNet/Inception
+//     tolerate >100 removed layers, MobileNets collapse immediately,
+//     ResNet sits between and beats the equally deep MobileNetV2);
+//   - a within-block retention model: keeping a partial block recovers
+//     at most ~0.025 accuracy over cutting the whole block, the paper's
+//     < 0.03 observation that justifies blockwise search (Fig. 4);
+//   - deterministic seeded retraining noise, so repeated experiments are
+//     reproducible while distinct TRNs decorrelate;
+//   - a training-cost model (two-phase fine-tuning: frozen head-only
+//     epochs, then full-network epochs) calibrated so the 148-candidate
+//     blockwise sweep costs about the paper's 183 hours on a
+//     K20m-class trainer.
+//
+// A genuinely trained miniature pipeline lives in internal/nn; this
+// package is what makes paper-scale experiments tractable.
+package transfer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"netcut/internal/trim"
+)
+
+// ControlPoint anchors an accuracy response curve.
+type ControlPoint struct {
+	Removed  int     // feature layers removed
+	Accuracy float64 // angular-similarity accuracy after retraining
+}
+
+// Profile is the transfer behaviour of one architecture.
+type Profile struct {
+	Network string
+	// Points are the response-curve anchors, ascending in Removed, with
+	// the first at Removed = 0 (head-only transfer accuracy, Fig. 1).
+	Points []ControlPoint
+	// TrainNoise is the sigma of the seeded retraining noise.
+	TrainNoise float64
+	// WithinBlockBonus caps the accuracy a partially retained block can
+	// recover over removing it entirely (< 0.03 per the paper).
+	WithinBlockBonus float64
+}
+
+func (p *Profile) validate() error {
+	if len(p.Points) < 2 {
+		return fmt.Errorf("transfer: profile %s needs >= 2 control points", p.Network)
+	}
+	if p.Points[0].Removed != 0 {
+		return fmt.Errorf("transfer: profile %s must anchor Removed=0", p.Network)
+	}
+	for i := 1; i < len(p.Points); i++ {
+		if p.Points[i].Removed <= p.Points[i-1].Removed {
+			return fmt.Errorf("transfer: profile %s control points not ascending", p.Network)
+		}
+		if p.Points[i].Accuracy > p.Points[i-1].Accuracy {
+			return fmt.Errorf("transfer: profile %s accuracy not monotone non-increasing", p.Network)
+		}
+	}
+	return nil
+}
+
+// curve evaluates the piecewise-linear response at r layers removed,
+// clamping beyond the anchors.
+func (p *Profile) curve(r float64) float64 {
+	pts := p.Points
+	if r <= float64(pts[0].Removed) {
+		return pts[0].Accuracy
+	}
+	last := pts[len(pts)-1]
+	if r >= float64(last.Removed) {
+		return last.Accuracy
+	}
+	i := sort.Search(len(pts), func(i int) bool { return float64(pts[i].Removed) >= r })
+	lo, hi := pts[i-1], pts[i]
+	f := (r - float64(lo.Removed)) / float64(hi.Removed-lo.Removed)
+	return lo.Accuracy + f*(hi.Accuracy-lo.Accuracy)
+}
+
+// PaperProfiles returns response curves calibrated to Fig. 5. The
+// anchors at the paper's reported operating points are:
+//
+//   - MobileNetV1 (0.5): one block removed (6 layers) keeps 0.806, the
+//     +10.43% over MobileNetV1 (0.25)'s 0.73 (Sec. IV-C);
+//   - ResNet-50: 94 removed -> 0.856 (+5.7% over 0.81), 114 removed ->
+//     0.828 (+2.2%), the Fig. 10 selections;
+//   - InceptionV3: 210/224 removed land near 0.80-0.82;
+//   - DenseNet-121: flat out to >100 removed, then a smooth drop.
+func PaperProfiles() map[string]*Profile {
+	ps := []*Profile{
+		{
+			Network: "MobileNetV1 (0.25)",
+			Points: []ControlPoint{
+				{0, 0.730}, {6, 0.700}, {12, 0.655}, {24, 0.580},
+				{40, 0.535}, {60, 0.500}, {81, 0.470},
+			},
+		},
+		{
+			Network: "MobileNetV1 (0.5)",
+			Points: []ControlPoint{
+				{0, 0.810}, {6, 0.806}, {12, 0.770}, {24, 0.700},
+				{40, 0.625}, {60, 0.550}, {81, 0.480},
+			},
+		},
+		{
+			Network: "MobileNetV2 (1.0)",
+			Points: []ControlPoint{
+				{0, 0.875}, {11, 0.845}, {20, 0.800}, {40, 0.720},
+				{70, 0.630}, {100, 0.570}, {150, 0.500},
+			},
+		},
+		{
+			Network: "MobileNetV2 (1.4)",
+			Points: []ControlPoint{
+				{0, 0.885}, {11, 0.862}, {25, 0.825}, {37, 0.800},
+				{46, 0.780}, {70, 0.700}, {100, 0.600}, {150, 0.510},
+			},
+		},
+		{
+			Network: "ResNet-50",
+			Points: []ControlPoint{
+				{0, 0.900}, {24, 0.893}, {52, 0.880}, {82, 0.866},
+				{94, 0.856}, {114, 0.828}, {134, 0.770}, {154, 0.680},
+				{172, 0.550},
+			},
+		},
+		{
+			Network: "InceptionV3",
+			Points: []ControlPoint{
+				{0, 0.915}, {62, 0.905}, {114, 0.890}, {178, 0.852},
+				{210, 0.818}, {224, 0.800}, {255, 0.720}, {285, 0.620},
+				{310, 0.520},
+			},
+		},
+		{
+			Network: "DenseNet-121",
+			Points: []ControlPoint{
+				{0, 0.930}, {100, 0.916}, {200, 0.886}, {300, 0.846},
+				{376, 0.795}, {390, 0.780}, {410, 0.700}, {424, 0.550},
+			},
+		},
+	}
+	out := make(map[string]*Profile, len(ps))
+	for _, p := range ps {
+		p.TrainNoise = 0.004
+		p.WithinBlockBonus = 0.025
+		if err := p.validate(); err != nil {
+			panic(err) // static table, covered by tests
+		}
+		out[p.Network] = p
+	}
+	return out
+}
+
+// ExtensionProfiles returns response curves for the extended zoo
+// (zoo.ExtendedNames). These have no anchor in the paper — they are our
+// extension, shaped by the same reasoning Fig. 5 supports: the heavier
+// classical VGG-16 transfers robustly (few, wide stages of generic
+// features), while the compact SqueezeNet collapses like the MobileNets
+// (every fire module earns its keep).
+func ExtensionProfiles() map[string]*Profile {
+	ps := []*Profile{
+		{
+			Network: "VGG-16",
+			Points: []ControlPoint{
+				{0, 0.880}, {10, 0.866}, {20, 0.832}, {30, 0.760}, {44, 0.600},
+			},
+		},
+		{
+			Network: "SqueezeNet-1.1",
+			Points: []ControlPoint{
+				{0, 0.775}, {10, 0.740}, {21, 0.700}, {42, 0.620},
+				{62, 0.550}, {84, 0.480},
+			},
+		},
+	}
+	out := make(map[string]*Profile, len(ps))
+	for _, p := range ps {
+		p.TrainNoise = 0.004
+		p.WithinBlockBonus = 0.025
+		if err := p.validate(); err != nil {
+			panic(err) // static table, covered by tests
+		}
+		out[p.Network] = p
+	}
+	return out
+}
+
+// TrainCost parameterizes the two-phase fine-tuning cost model
+// (Sec. III-B3: frozen features at lr 1e-3, then 50 full epochs at 1e-4).
+type TrainCost struct {
+	DatasetSize  int     // HANDS-scale image count
+	EpochsFrozen int     // head-only warm-up epochs
+	EpochsFull   int     // full fine-tuning epochs
+	TrainerMACs  float64 // effective MAC/s of the exploration trainer
+}
+
+// K20mCost returns the cost model calibrated so the 148-TRN blockwise
+// sweep totals roughly the paper's 183 hours on an NVIDIA Tesla K20m.
+func K20mCost() TrainCost {
+	return TrainCost{
+		DatasetSize:  10000,
+		EpochsFrozen: 10,
+		EpochsFull:   50,
+		TrainerMACs:  0.42e12,
+	}
+}
+
+// Result is the outcome of retraining one TRN.
+type Result struct {
+	Accuracy   float64 // angular similarity on the HANDS-like task
+	TrainHours float64 // simulated wall-clock training cost
+}
+
+// Simulator produces retraining results for TRNs.
+type Simulator struct {
+	profiles map[string]*Profile
+	cost     TrainCost
+	seed     int64
+
+	mu         sync.Mutex
+	boundaries map[string][]int // cumulative layers removed per blockwise cutpoint
+}
+
+// NewSimulator returns a Simulator over the paper profiles plus the
+// extended-zoo profiles, with the K20m cost model. The seed fixes the
+// retraining-noise stream.
+func NewSimulator(seed int64) *Simulator {
+	profiles := PaperProfiles()
+	for k, v := range ExtensionProfiles() {
+		profiles[k] = v
+	}
+	return &Simulator{
+		profiles:   profiles,
+		cost:       K20mCost(),
+		seed:       seed,
+		boundaries: map[string][]int{},
+	}
+}
+
+// Cost returns the training cost model in use.
+func (s *Simulator) Cost() TrainCost { return s.cost }
+
+// SetCost overrides the training cost model.
+func (s *Simulator) SetCost(c TrainCost) { s.cost = c }
+
+func (s *Simulator) profile(network string) (*Profile, error) {
+	p, ok := s.profiles[network]
+	if !ok {
+		return nil, fmt.Errorf("transfer: no profile for network %q", network)
+	}
+	return p, nil
+}
+
+// blockBoundaries returns, for t's parent, the cumulative feature layers
+// removed at each blockwise cutpoint (index = blocks removed). The table
+// is computed once per parent by enumerating blockwise cuts.
+func (s *Simulator) blockBoundaries(t *trim.TRN) ([]int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.boundaries[t.Parent.Name]; ok {
+		return b, nil
+	}
+	nb := t.Parent.BlockCount()
+	bounds := make([]int, nb+1)
+	for c := 0; c <= nb; c++ {
+		cut, err := trim.Cut(t.Parent, c, trim.DefaultHead)
+		if err != nil {
+			return nil, fmt.Errorf("transfer: boundary table for %s: %w", t.Parent.Name, err)
+		}
+		bounds[c] = cut.LayersRemoved
+	}
+	s.boundaries[t.Parent.Name] = bounds
+	return bounds, nil
+}
+
+// noise returns the deterministic retraining perturbation for a TRN:
+// same (seed, network, layers removed) always trains to the same
+// accuracy, mimicking a fixed training seed.
+func (s *Simulator) noise(network string, removed int, sigma float64) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d", s.seed, network, removed)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return sigma * rng.NormFloat64()
+}
+
+// Accuracy returns the retrained accuracy of a TRN without the cost
+// accounting.
+func (s *Simulator) Accuracy(t *trim.TRN) (float64, error) {
+	p, err := s.profile(t.Parent.Name)
+	if err != nil {
+		return 0, err
+	}
+	r := t.LayersRemoved
+	var acc float64
+	if t.Cutpoint >= 0 {
+		// Blockwise cut: exactly on the response curve.
+		acc = p.curve(float64(r))
+	} else {
+		// Exhaustive cut inside a block: the retained partial block
+		// recovers at most WithinBlockBonus over removing it entirely.
+		bounds, err := s.blockBoundaries(t)
+		if err != nil {
+			return 0, err
+		}
+		acc = s.partialBlockAccuracy(p, bounds, r)
+	}
+	acc += s.noise(t.Parent.Name, r, p.TrainNoise)
+	return clamp01(acc), nil
+}
+
+func (s *Simulator) partialBlockAccuracy(p *Profile, bounds []int, r int) float64 {
+	// Find the enclosing blockwise boundaries lo <= r <= hi.
+	i := sort.SearchInts(bounds, r)
+	if i < len(bounds) && bounds[i] == r {
+		return p.curve(float64(r)) // exactly at a boundary
+	}
+	if i == 0 {
+		return p.curve(float64(r))
+	}
+	if i == len(bounds) {
+		// Deeper than the last blockwise cut (inside the stem).
+		return p.curve(float64(r))
+	}
+	lo, hi := bounds[i-1], bounds[i]
+	whole := p.curve(float64(hi))
+	atLo := p.curve(float64(lo))
+	frac := float64(hi-r) / float64(hi-lo) // fraction of the block retained
+	bonus := (atLo - whole) * frac
+	if bonus > p.WithinBlockBonus {
+		bonus = p.WithinBlockBonus
+	}
+	return whole + bonus
+}
+
+// TrainHours returns the simulated cost of retraining a TRN: a frozen
+// phase (forward-only features, trainable head) followed by full
+// fine-tuning (forward + backward everywhere).
+func (s *Simulator) TrainHours(t *trim.TRN) float64 {
+	var featMACs, headMACs float64
+	for _, n := range t.Graph.Nodes {
+		if n.Head {
+			headMACs += float64(n.MACs)
+		} else {
+			featMACs += float64(n.MACs)
+		}
+	}
+	c := s.cost
+	n := float64(c.DatasetSize)
+	frozen := (featMACs + 3*headMACs) * n * float64(c.EpochsFrozen)
+	full := 3 * (featMACs + headMACs) * n * float64(c.EpochsFull)
+	return (frozen + full) / c.TrainerMACs / 3600
+}
+
+// Retrain simulates retraining a TRN, returning accuracy and cost.
+func (s *Simulator) Retrain(t *trim.TRN) (Result, error) {
+	acc, err := s.Accuracy(t)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Accuracy: acc, TrainHours: s.TrainHours(t)}, nil
+}
+
+// OffTheShelfAccuracy returns the accuracy of a network after standard
+// transfer learning with no layers removed (the y-axis of Fig. 1).
+func (s *Simulator) OffTheShelfAccuracy(network string) (float64, error) {
+	p, err := s.profile(network)
+	if err != nil {
+		return 0, err
+	}
+	return clamp01(p.Points[0].Accuracy + s.noise(network, 0, p.TrainNoise)), nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,28 @@
+package trim
+
+import (
+	"testing"
+
+	"netcut/internal/zoo"
+)
+
+func BenchmarkCutResNet(b *testing.B) {
+	g := zoo.ResNet50()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cut(g, 9, DefaultHead); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateBlockwiseDenseNet(b *testing.B) {
+	g := zoo.DenseNet121()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateBlockwise(g, DefaultHead, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package trim implements layer removal: the construction of TRimmed
+// Networks (TRNs) from a pretrained network by removing problem-specific
+// top layers and attaching a fresh transfer-learning head (Sec. IV of the
+// paper, Fig. 3).
+//
+// Two granularities are supported:
+//
+//   - blockwise removal (Cut, EnumerateBlockwise): whole trailing blocks
+//     are removed — the heuristic the paper adopts after showing
+//     within-block cuts move accuracy by < 0.03 (Fig. 4);
+//   - exhaustive removal (CutAtNode, EnumerateExhaustive): the network is
+//     cut at an arbitrary layer, keeping that layer's dependency-closed
+//     ancestor subgraph — the baseline of Fig. 4.
+package trim
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// HeadSpec describes the replacement classification head: one global
+// average pooling layer, two FC/ReLU layers, and a final FC/Softmax
+// (Sec. III-B3).
+type HeadSpec struct {
+	Hidden1 int // units of the first FC/ReLU layer
+	Hidden2 int // units of the second FC/ReLU layer
+	Classes int // output classes
+}
+
+// DefaultHead is the replacement head used for the 5-grasp HANDS task.
+var DefaultHead = HeadSpec{Hidden1: 256, Hidden2: 128, Classes: 5}
+
+func (h HeadSpec) validate() error {
+	if h.Hidden1 <= 0 || h.Hidden2 <= 0 || h.Classes <= 0 {
+		return fmt.Errorf("trim: head spec %+v has non-positive sizes", h)
+	}
+	return nil
+}
+
+// TRN is a trimmed network: a prefix of a parent network with a fresh
+// transfer head.
+type TRN struct {
+	Graph  *graph.Graph // the trimmed network, head attached
+	Parent *graph.Graph // the original network
+
+	// Cutpoint is the number of trailing blocks removed for blockwise
+	// cuts, or -1 for exhaustive (node-granularity) cuts.
+	Cutpoint int
+	// CutNode is the parent node ID whose output the new head consumes.
+	CutNode int
+	// LayersRemoved counts parent feature layers absent from the TRN —
+	// the x-axis of Figs. 4, 5 and 8 and the "/94" in "ResNet-50/94".
+	LayersRemoved int
+	// RemovedIDs lists the parent-graph IDs of removed feature layers
+	// (excluding the parent's head), as consumed by Eq. (1).
+	RemovedIDs []int
+}
+
+// Name returns the paper-style label, e.g. "ResNet-50/94".
+func (t *TRN) Name() string {
+	return fmt.Sprintf("%s/%d", t.Parent.Name, t.LayersRemoved)
+}
+
+// Cut removes the last `blocks` blocks of g and attaches the replacement
+// head. blocks = 0 replaces only the head (transfer learning on the full
+// feature extractor); blocks = g.BlockCount() leaves only the stem.
+func Cut(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
+	if err := head.validate(); err != nil {
+		return nil, err
+	}
+	nb := g.BlockCount()
+	if blocks < 0 || blocks > nb {
+		return nil, fmt.Errorf("trim: cutpoint %d out of range [0,%d] for %s", blocks, nb, g.Name)
+	}
+	var keepLast int
+	switch {
+	case blocks == 0:
+		keepLast = g.LastFeatureNode()
+	case blocks == nb:
+		// All blocks removed: cut at the last stem node before block 0.
+		keepLast = g.Blocks[0].Nodes[0] - 1
+	default:
+		// Blocks [0, nb-blocks) survive; the cut tensor is the output of
+		// the last surviving block.
+		keepLast = g.Blocks[nb-blocks-1].Output
+	}
+	trn, err := cutAt(g, keepLast, head)
+	if err != nil {
+		return nil, err
+	}
+	trn.Cutpoint = blocks
+	return trn, nil
+}
+
+// CutAtNode cuts g at an arbitrary non-head node, keeping the node's
+// ancestor subgraph, and attaches the replacement head.
+func CutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
+	if err := head.validate(); err != nil {
+		return nil, err
+	}
+	if nodeID <= 0 || nodeID >= len(g.Nodes) {
+		return nil, fmt.Errorf("trim: node %d out of range for %s", nodeID, g.Name)
+	}
+	if g.Nodes[nodeID].Head {
+		return nil, fmt.Errorf("trim: node %d of %s is a head layer", nodeID, g.Name)
+	}
+	trn, err := cutAt(g, nodeID, head)
+	if err != nil {
+		return nil, err
+	}
+	trn.Cutpoint = -1
+	return trn, nil
+}
+
+func cutAt(g *graph.Graph, keepLast int, head HeadSpec) (*TRN, error) {
+	keep := g.Ancestors(keepLast)
+	inSet := make(map[int]bool, len(keep))
+	for _, id := range keep {
+		inSet[id] = true
+	}
+	var removed []int
+	for _, n := range g.Nodes {
+		if n.Kind == graph.OpInput || n.Head || inSet[n.ID] {
+			continue
+		}
+		removed = append(removed, n.ID)
+	}
+
+	b, last := graph.SubgraphBuilder("", g, keep, head.Classes)
+	b.BeginHead()
+	x := b.GlobalAvgPool(last)
+	x = b.Dense(x, head.Hidden1)
+	x = b.ReLU(x)
+	x = b.Dense(x, head.Hidden2)
+	x = b.ReLU(x)
+	x = b.Dense(x, head.Classes)
+	b.Softmax(x)
+	ng, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("trim: cutting %s at node %d: %w", g.Name, keepLast, err)
+	}
+
+	trn := &TRN{
+		Graph:         ng,
+		Parent:        g,
+		CutNode:       keepLast,
+		LayersRemoved: len(removed),
+		RemovedIDs:    removed,
+	}
+	ng.Name = trn.Name()
+	return trn, nil
+}
+
+// EnumerateBlockwise returns the blockwise TRN family of g for cutpoints
+// 1..BlockCount — the candidate set whose total across the paper's seven
+// networks is 148. Set includeZero to also prepend the cut-0 (head-only)
+// TRN.
+func EnumerateBlockwise(g *graph.Graph, head HeadSpec, includeZero bool) ([]*TRN, error) {
+	var out []*TRN
+	start := 1
+	if includeZero {
+		start = 0
+	}
+	for c := start; c <= g.BlockCount(); c++ {
+		t, err := Cut(g, c, head)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// EnumerateExhaustive returns one TRN per eligible cut node (every
+// non-input, non-head node), in ascending cut-node order — the
+// "iteratively removing each layer" baseline of Fig. 4.
+func EnumerateExhaustive(g *graph.Graph, head HeadSpec) ([]*TRN, error) {
+	var out []*TRN
+	for id := 1; id < len(g.Nodes); id++ {
+		if g.Nodes[id].Head {
+			continue
+		}
+		t, err := CutAtNode(g, id, head)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+package zoo
+
+import "testing"
+
+func BenchmarkBuildDenseNet121(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DenseNet121()
+	}
+}
+
+func BenchmarkBuildInceptionV3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		InceptionV3()
+	}
+}

@@ -1,0 +1,64 @@
+package zoo
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// DenseNet121 builds the densely connected network (Huang et al., 2017)
+// with growth rate 32 and dense-block sizes 6/12/24/16. The removable
+// unit is one dense unit (BN/ReLU/1x1/BN/ReLU/3x3/Concat) or one
+// transition layer — 58 units + 3 transitions = 61 removable blocks,
+// which is what makes DenseNet dominate the paper's 148-candidate count.
+func DenseNet121() *graph.Graph {
+	const growth = 32
+	b := graph.NewBuilder("DenseNet-121", graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+
+	x := b.Input()
+	x = b.ConvBNReLU(x, 7, 64, 2, graph.Same)
+	x = b.MaxPool(x, 3, 2, graph.Same)
+
+	sizes := []int{6, 12, 24, 16}
+	for bi, n := range sizes {
+		for u := 1; u <= n; u++ {
+			b.BeginBlock(fmt.Sprintf("dense%d_%d", bi+1, u))
+			x = denseUnit(b, x, growth)
+			b.EndBlock()
+		}
+		if bi < len(sizes)-1 {
+			b.BeginBlock(fmt.Sprintf("transition%d", bi+1))
+			x = transition(b, x)
+			b.EndBlock()
+		}
+	}
+
+	// Final BN/ReLU before the head, outside any removable block.
+	x = b.BN(x)
+	x = b.ReLU(x)
+
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// denseUnit adds one BN-ReLU-Conv(1x1,4k)-BN-ReLU-Conv(3x3,k) unit whose
+// output is concatenated onto its input, growing the channel count by k.
+func denseUnit(b *graph.Builder, x, growth int) int {
+	y := b.BN(x)
+	y = b.ReLU(y)
+	y = b.Conv(y, 1, 4*growth, 1, graph.Same)
+	y = b.BN(y)
+	y = b.ReLU(y)
+	y = b.Conv(y, 3, growth, 1, graph.Same)
+	return b.Concat(x, y)
+}
+
+// transition adds the BN-ReLU-Conv(1x1, C/2)-AvgPool(2) compression layer
+// between dense blocks.
+func transition(b *graph.Builder, x int) int {
+	c := b.Shape(x).C / 2
+	y := b.BN(x)
+	y = b.ReLU(y)
+	y = b.Conv(y, 1, c, 1, graph.Same)
+	return b.AvgPool(y, 2, 2, graph.Valid)
+}

@@ -1,0 +1,109 @@
+package zoo
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// ExtendedNames lists additional architectures beyond the paper's seven.
+// They are our extension (the paper's source methodology considered 23
+// off-the-shelf networks before pruning to 7): a much heavier classical
+// network and a much lighter one, stretching both ends of the Fig. 1
+// trade-off and exercising new block flavours (plain conv stages and
+// fire modules).
+var ExtendedNames = []string{
+	"SqueezeNet-1.1",
+	"VGG-16",
+}
+
+// ExtendedByName builds an extension network by name; it also accepts
+// the paper's seven.
+func ExtendedByName(name string) (*graph.Graph, error) {
+	switch name {
+	case "SqueezeNet-1.1":
+		return SqueezeNet11(), nil
+	case "VGG-16":
+		return VGG16(), nil
+	}
+	return ByName(name)
+}
+
+// ExtendedZoo returns the paper's seven networks plus the extensions.
+func ExtendedZoo() []*graph.Graph {
+	gs := Paper7()
+	for _, n := range ExtendedNames {
+		g, err := ExtendedByName(n)
+		if err != nil {
+			panic(err) // static table, covered by tests
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+// VGG16 builds the 16-layer VGG (Simonyan & Zisserman, 2015) with batch
+// norm. The removable unit is one conv stage; there are 5. VGG's bulk
+// (15.5G MACs, 138M parameters) puts it beyond DenseNet-121 on the
+// latency axis.
+func VGG16() *graph.Graph {
+	b := graph.NewBuilder("VGG-16", graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+	x := b.Input()
+	// (convs per stage, channels).
+	cfg := []struct{ n, c int }{
+		{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+	}
+	for si, st := range cfg {
+		b.BeginBlock(fmt.Sprintf("stage%d", si+1))
+		for i := 0; i < st.n; i++ {
+			x = b.ConvBNReLU(x, 3, st.c, 1, graph.Same)
+		}
+		x = b.MaxPool(x, 2, 2, graph.Valid)
+		b.EndBlock()
+	}
+	// The original VGG FC head is enormous; the transfer flow replaces
+	// it anyway, so the zoo version carries the GAP head like the rest.
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// SqueezeNet11 builds SqueezeNet 1.1 (Iandola et al., 2016): fire
+// modules (a squeeze 1x1 conv feeding concatenated 1x1 and 3x3 expand
+// convs). The removable unit is one fire module; there are 8. At ~0.4G
+// MACs and ~1.2M parameters it probes the fast end of the frontier.
+func SqueezeNet11() *graph.Graph {
+	b := graph.NewBuilder("SqueezeNet-1.1", graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 64, 2, graph.Same)
+	x = b.MaxPool(x, 3, 2, graph.Same)
+
+	type fireCfg struct {
+		squeeze, expand int
+		poolAfter       bool
+	}
+	fires := []fireCfg{
+		{16, 64, false}, {16, 64, true},
+		{32, 128, false}, {32, 128, true},
+		{48, 192, false}, {48, 192, false},
+		{64, 256, false}, {64, 256, false},
+	}
+	for i, f := range fires {
+		b.BeginBlock(fmt.Sprintf("fire%d", i+2))
+		x = fire(b, x, f.squeeze, f.expand)
+		if f.poolAfter {
+			x = b.MaxPool(x, 3, 2, graph.Same)
+		}
+		b.EndBlock()
+	}
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// fire adds one fire module: squeeze 1x1 to s channels, expand to e
+// channels through parallel 1x1 and 3x3 convs, concatenated.
+func fire(b *graph.Builder, x, s, e int) int {
+	sq := b.ConvBNReLU(x, 1, s, 1, graph.Same)
+	e1 := b.ConvBNReLU(sq, 1, e, 1, graph.Same)
+	e3 := b.ConvBNReLU(sq, 3, e, 1, graph.Same)
+	return b.Concat(e1, e3)
+}

@@ -1,0 +1,79 @@
+package zoo
+
+import (
+	"math"
+	"testing"
+
+	"netcut/internal/graph"
+)
+
+func TestExtendedZooBuilds(t *testing.T) {
+	gs := ExtendedZoo()
+	if len(gs) != 9 {
+		t.Fatalf("extended zoo has %d networks, want 9", len(gs))
+	}
+	for _, g := range gs {
+		if err := graph.Validate(g); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+	}
+}
+
+func TestExtendedBlockCounts(t *testing.T) {
+	v := VGG16()
+	if v.BlockCount() != 5 {
+		t.Fatalf("VGG-16 has %d blocks, want 5 conv stages", v.BlockCount())
+	}
+	s := SqueezeNet11()
+	if s.BlockCount() != 8 {
+		t.Fatalf("SqueezeNet has %d blocks, want 8 fire modules", s.BlockCount())
+	}
+}
+
+func TestExtendedMACs(t *testing.T) {
+	// Published MAC counts: VGG-16 ~15.5G, SqueezeNet 1.1 ~0.35G.
+	v := float64(VGG16().TotalMACs())
+	if math.Abs(v-15.5e9)/15.5e9 > 0.15 {
+		t.Errorf("VGG-16 MACs = %.3g, want ~15.5G", v)
+	}
+	s := float64(SqueezeNet11().TotalMACs())
+	if math.Abs(s-0.35e9)/0.35e9 > 0.40 {
+		t.Errorf("SqueezeNet MACs = %.3g, want ~0.35G", s)
+	}
+}
+
+func TestExtendedParams(t *testing.T) {
+	// SqueezeNet's claim to fame: ~1.2M parameters (plus our BN + GAP
+	// head variations).
+	s := float64(SqueezeNet11().TotalParams())
+	if s > 2.5e6 {
+		t.Errorf("SqueezeNet params = %.3g, want < 2.5M", s)
+	}
+	// VGG-16 conv parameters ~14.7M (the 123M FC head is replaced by
+	// GAP in the zoo build).
+	v := float64(VGG16().TotalParams())
+	if v < 12e6 || v > 20e6 {
+		t.Errorf("VGG-16 params = %.3g, want ~15M convs + head", v)
+	}
+}
+
+func TestExtendedByName(t *testing.T) {
+	if g, err := ExtendedByName("VGG-16"); err != nil || g.Name != "VGG-16" {
+		t.Fatalf("ExtendedByName(VGG-16): %v %v", g, err)
+	}
+	// Falls through to the paper zoo.
+	if g, err := ExtendedByName("ResNet-50"); err != nil || g.Name != "ResNet-50" {
+		t.Fatalf("ExtendedByName(ResNet-50): %v %v", g, err)
+	}
+	if _, err := ExtendedByName("AlexNet"); err == nil {
+		t.Fatal("unknown extended network accepted")
+	}
+}
+
+func TestFireModuleChannels(t *testing.T) {
+	s := SqueezeNet11()
+	// First fire module output: 64+64 = 128 channels.
+	if out := s.Node(s.Blocks[0].Output).Out; out.C != 128 {
+		t.Fatalf("fire2 output channels = %d, want 128", out.C)
+	}
+}

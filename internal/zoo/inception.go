@@ -1,0 +1,154 @@
+package zoo
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// InceptionV3 builds the factorized inception network (Szegedy et al.,
+// 2016) at 299x299 input. The removable unit is one inception module
+// ("mixed" block); there are 11: three 35x35 modules, one grid reduction,
+// four 17x17 modules, a second grid reduction, and two 8x8 modules.
+func InceptionV3() *graph.Graph {
+	b := graph.NewBuilder("InceptionV3", graph.Shape{H: 299, W: 299, C: 3}, ImageNetClasses)
+
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 32, 2, graph.Valid)  // 149
+	x = b.ConvBNReLU(x, 3, 32, 1, graph.Valid)  // 147
+	x = b.ConvBNReLU(x, 3, 64, 1, graph.Same)   // 147
+	x = b.MaxPool(x, 3, 2, graph.Valid)         // 73
+	x = b.ConvBNReLU(x, 1, 80, 1, graph.Valid)  // 73
+	x = b.ConvBNReLU(x, 3, 192, 1, graph.Valid) // 71
+	x = b.MaxPool(x, 3, 2, graph.Valid)         // 35
+
+	// Three 35x35 modules (mixed0..mixed2); pool-projection widths differ.
+	for i, poolC := range []int{32, 64, 64} {
+		b.BeginBlock(fmt.Sprintf("mixed%d", i))
+		x = inceptionA(b, x, poolC)
+		b.EndBlock()
+	}
+
+	// Grid reduction 35 -> 17 (mixed3).
+	b.BeginBlock("mixed3")
+	x = reductionA(b, x)
+	b.EndBlock()
+
+	// Four 17x17 modules (mixed4..mixed7); 7x7-branch widths 128/160/160/192.
+	for i, w := range []int{128, 160, 160, 192} {
+		b.BeginBlock(fmt.Sprintf("mixed%d", i+4))
+		x = inceptionB(b, x, w)
+		b.EndBlock()
+	}
+
+	// Grid reduction 17 -> 8 (mixed8).
+	b.BeginBlock("mixed8")
+	x = reductionB(b, x)
+	b.EndBlock()
+
+	// Two 8x8 modules (mixed9, mixed10).
+	for i := 0; i < 2; i++ {
+		b.BeginBlock(fmt.Sprintf("mixed%d", i+9))
+		x = inceptionC(b, x)
+		b.EndBlock()
+	}
+
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// inceptionA is the 35x35 module: 1x1, 5x5, double-3x3 and pooled-1x1
+// branches concatenated.
+func inceptionA(b *graph.Builder, x, poolC int) int {
+	b1 := b.ConvBNReLU(x, 1, 64, 1, graph.Same)
+
+	b5 := b.ConvBNReLU(x, 1, 48, 1, graph.Same)
+	b5 = b.ConvBNReLU(b5, 5, 64, 1, graph.Same)
+
+	b3 := b.ConvBNReLU(x, 1, 64, 1, graph.Same)
+	b3 = b.ConvBNReLU(b3, 3, 96, 1, graph.Same)
+	b3 = b.ConvBNReLU(b3, 3, 96, 1, graph.Same)
+
+	bp := b.AvgPool(x, 3, 1, graph.Same)
+	bp = b.ConvBNReLU(bp, 1, poolC, 1, graph.Same)
+
+	return b.Concat(b1, b5, b3, bp)
+}
+
+// reductionA is the 35->17 grid reduction: strided 3x3, strided
+// double-3x3 and max-pool branches.
+func reductionA(b *graph.Builder, x int) int {
+	b3 := b.ConvBNReLU(x, 3, 384, 2, graph.Valid)
+
+	bd := b.ConvBNReLU(x, 1, 64, 1, graph.Same)
+	bd = b.ConvBNReLU(bd, 3, 96, 1, graph.Same)
+	bd = b.ConvBNReLU(bd, 3, 96, 2, graph.Valid)
+
+	bp := b.MaxPool(x, 3, 2, graph.Valid)
+
+	return b.Concat(b3, bd, bp)
+}
+
+// inceptionB is the 17x17 module with factorized 7x7 convolutions; w is
+// the bottleneck width of the 7x7 branches.
+func inceptionB(b *graph.Builder, x, w int) int {
+	b1 := b.ConvBNReLU(x, 1, 192, 1, graph.Same)
+
+	b7 := b.ConvBNReLU(x, 1, w, 1, graph.Same)
+	b7 = convBNReLURect(b, b7, 1, 7, w)
+	b7 = convBNReLURect(b, b7, 7, 1, 192)
+
+	bd := b.ConvBNReLU(x, 1, w, 1, graph.Same)
+	bd = convBNReLURect(b, bd, 7, 1, w)
+	bd = convBNReLURect(b, bd, 1, 7, w)
+	bd = convBNReLURect(b, bd, 7, 1, w)
+	bd = convBNReLURect(b, bd, 1, 7, 192)
+
+	bp := b.AvgPool(x, 3, 1, graph.Same)
+	bp = b.ConvBNReLU(bp, 1, 192, 1, graph.Same)
+
+	return b.Concat(b1, b7, bd, bp)
+}
+
+// reductionB is the 17->8 grid reduction.
+func reductionB(b *graph.Builder, x int) int {
+	b3 := b.ConvBNReLU(x, 1, 192, 1, graph.Same)
+	b3 = b.ConvBNReLU(b3, 3, 320, 2, graph.Valid)
+
+	b7 := b.ConvBNReLU(x, 1, 192, 1, graph.Same)
+	b7 = convBNReLURect(b, b7, 1, 7, 192)
+	b7 = convBNReLURect(b, b7, 7, 1, 192)
+	b7 = b.ConvBNReLU(b7, 3, 192, 2, graph.Valid)
+
+	bp := b.MaxPool(x, 3, 2, graph.Valid)
+
+	return b.Concat(b3, b7, bp)
+}
+
+// inceptionC is the 8x8 module with expanded 3x3 branches (1x3 and 3x1
+// outputs concatenated).
+func inceptionC(b *graph.Builder, x int) int {
+	b1 := b.ConvBNReLU(x, 1, 320, 1, graph.Same)
+
+	b3 := b.ConvBNReLU(x, 1, 384, 1, graph.Same)
+	b3a := convBNReLURect(b, b3, 1, 3, 384)
+	b3b := convBNReLURect(b, b3, 3, 1, 384)
+	b3m := b.Concat(b3a, b3b)
+
+	bd := b.ConvBNReLU(x, 1, 448, 1, graph.Same)
+	bd = b.ConvBNReLU(bd, 3, 384, 1, graph.Same)
+	bda := convBNReLURect(b, bd, 1, 3, 384)
+	bdb := convBNReLURect(b, bd, 3, 1, 384)
+	bdm := b.Concat(bda, bdb)
+
+	bp := b.AvgPool(x, 3, 1, graph.Same)
+	bp = b.ConvBNReLU(bp, 1, 192, 1, graph.Same)
+
+	return b.Concat(b1, b3m, bdm, bp)
+}
+
+func convBNReLURect(b *graph.Builder, x, kh, kw, outC int) int {
+	y := b.ConvRect(x, kh, kw, outC, 1, graph.Same)
+	y = b.BN(y)
+	return b.ReLU(y)
+}

@@ -1,0 +1,104 @@
+package zoo
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// MobileNetV1 builds the depthwise-separable MobileNet (Howard et al.,
+// 2017) at the given width multiplier. The removable unit is one
+// depthwise-separable block (DWConv/BN/ReLU6 + 1x1 Conv/BN/ReLU6);
+// there are 13 such blocks.
+func MobileNetV1(alpha float64) *graph.Graph {
+	name := "MobileNetV1 (" + alphaString(alpha) + ")"
+	b := graph.NewBuilder(name, graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+	ch := func(c int) int { return makeDivisible(float64(c)*alpha, 8) }
+
+	x := b.Input()
+	x = b.ConvBNReLU6(x, 3, ch(32), 2, graph.Same)
+
+	// (filters, stride) for the 13 separable blocks.
+	cfg := []struct{ c, s int }{
+		{64, 1},
+		{128, 2}, {128, 1},
+		{256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, c := range cfg {
+		b.BeginBlock(fmt.Sprintf("sep%d", i+1))
+		x = b.DWConv(x, 3, c.s, graph.Same)
+		x = b.BN(x)
+		x = b.ReLU6(x)
+		x = b.Conv(x, 1, ch(c.c), 1, graph.Same)
+		x = b.BN(x)
+		x = b.ReLU6(x)
+		b.EndBlock()
+	}
+
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// MobileNetV2 builds the inverted-residual MobileNetV2 (Sandler et al.,
+// 2018) at the given width multiplier. The removable unit is one
+// inverted-residual block; there are 17.
+func MobileNetV2(alpha float64) *graph.Graph {
+	name := "MobileNetV2 (" + alphaString(alpha) + ")"
+	b := graph.NewBuilder(name, graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+	ch := func(c int) int { return makeDivisible(float64(c)*alpha, 8) }
+
+	x := b.Input()
+	x = b.ConvBNReLU6(x, 3, ch(32), 2, graph.Same)
+
+	// (expansion t, output channels c, repeats n, first stride s).
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		outC := ch(c.c)
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			blk++
+			b.BeginBlock(fmt.Sprintf("invres%d", blk))
+			inShape := b.Shape(x)
+			y := x
+			if c.t > 1 {
+				y = b.ConvBNReLU6(y, 1, c.t*inShape.C, 1, graph.Same)
+			}
+			y = b.DWConv(y, 3, stride, graph.Same)
+			y = b.BN(y)
+			y = b.ReLU6(y)
+			y = b.Conv(y, 1, outC, 1, graph.Same) // linear projection
+			y = b.BN(y)
+			if stride == 1 && inShape.C == outC {
+				y = b.Add(y, x)
+			}
+			x = y
+			b.EndBlock()
+		}
+	}
+
+	// Feature-mixing 1x1 conv after the last block. It sits outside any
+	// removable block: any TRN with cutpoint >= 1 drops it along with the
+	// blocks above the cut.
+	last := 1280
+	if alpha > 1.0 {
+		last = makeDivisible(1280*alpha, 8)
+	}
+	x = b.ConvBNReLU6(x, 1, last, 1, graph.Same)
+
+	imageNetHead(b, x)
+	return b.MustFinish()
+}

@@ -1,0 +1,56 @@
+package zoo
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// ResNet50 builds the 50-layer residual network (He et al., 2016) with
+// bottleneck blocks. The removable unit is one residual block; there are
+// 16, arranged in four stages of 3, 4, 6 and 3.
+func ResNet50() *graph.Graph {
+	b := graph.NewBuilder("ResNet-50", graph.Shape{H: 224, W: 224, C: 3}, ImageNetClasses)
+
+	x := b.Input()
+	x = b.ConvBNReLU(x, 7, 64, 2, graph.Same)
+	x = b.MaxPool(x, 3, 2, graph.Same)
+
+	// (bottleneck width, output channels, repeats, first stride).
+	cfg := []struct{ w, c, n, s int }{
+		{64, 256, 3, 1},
+		{128, 512, 4, 2},
+		{256, 1024, 6, 2},
+		{512, 2048, 3, 2},
+	}
+	blk := 0
+	for stage, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = c.s
+			}
+			blk++
+			b.BeginBlock(fmt.Sprintf("res%d_%d", stage+2, i+1))
+			x = bottleneck(b, x, c.w, c.c, stride, i == 0)
+			b.EndBlock()
+		}
+	}
+
+	imageNetHead(b, x)
+	return b.MustFinish()
+}
+
+// bottleneck adds a 1x1-3x3-1x1 residual bottleneck. The first block of
+// each stage uses a projection shortcut (1x1 conv + BN) to match shape.
+func bottleneck(b *graph.Builder, x, width, outC, stride int, project bool) int {
+	shortcut := x
+	if project {
+		shortcut = b.ConvBN(x, 1, outC, stride, graph.Same)
+	}
+	y := b.ConvBNReLU(x, 1, width, stride, graph.Same)
+	y = b.ConvBNReLU(y, 3, width, 1, graph.Same)
+	y = b.ConvBN(y, 1, outC, 1, graph.Same)
+	y = b.Add(y, shortcut)
+	return b.ReLU(y)
+}
