@@ -2,6 +2,7 @@ package netcut
 
 import (
 	"fmt"
+	"sync"
 
 	"netcut/internal/core"
 	"netcut/internal/device"
@@ -17,7 +18,10 @@ import (
 // Re-exported core types, so downstream users need only this package
 // for the common flows.
 type (
-	// Graph is a network as a layer graph.
+	// Graph is a network as a layer graph. Graphs are immutable once
+	// built: the measurement and planning layers memoize per graph
+	// structure, so mutating a Graph's fields after passing it to any
+	// function in this package yields stale cached results.
 	Graph = graph.Graph
 	// TRN is a trimmed network.
 	TRN = trim.TRN
@@ -171,16 +175,26 @@ func buildLab(opts Options) (*exp.Lab, estimate.Estimator, error) {
 	return lab, est, nil
 }
 
+// defaultDevice is the shared calibrated device behind the
+// package-level measurement helpers. Sharing one device (rather than
+// building one per call) keeps its kernel-plan cache warm across calls:
+// repeated MeasureMs/ProfileTable queries for the same network hit the
+// memoized plan instead of re-running the fusion pass and roofline.
+var defaultDevice = sync.OnceValue(func() *device.Device {
+	return device.New(device.Xavier())
+})
+
 // MeasureMs reports the simulated steady-state latency of any graph on
-// the calibrated device.
+// the calibrated device. g must not be mutated afterwards (see Graph).
 func MeasureMs(g *Graph) float64 {
-	return device.New(device.Xavier()).LatencyMs(g)
+	return defaultDevice().LatencyMs(g)
 }
 
 // ProfileTable measures the per-layer latency table of a network under
-// the paper's 200/800 protocol.
+// the paper's 200/800 protocol. g must not be mutated afterwards (see
+// Graph).
 func ProfileTable(g *Graph, seed int64) (*profiler.Table, error) {
-	p, err := profiler.New(device.New(device.Xavier()), profiler.PaperProtocol(), seed)
+	p, err := profiler.New(defaultDevice(), profiler.PaperProtocol(), seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,51 @@
+package netcut
+
+import (
+	"runtime"
+	"testing"
+)
+
+// selectionKey flattens the fields of a Selection that the determinism
+// contract covers into one comparable value.
+func selectionKey(s *Selection) [2]interface{} {
+	return [2]interface{}{
+		[4]string{s.Network, s.Parent},
+		[5]float64{float64(s.BlocksRemoved), float64(s.LayersRemoved),
+			s.EstimatedMs, s.MeasuredMs, s.Accuracy},
+	}
+}
+
+// TestSelectDeterministicAcrossRunsAndWidths pins the end-to-end
+// determinism contract at the public API: the same Options.Seed must
+// yield an identical Selection on repeated runs and at any GOMAXPROCS,
+// even though profiling, the sweep, SVR cross-validation and Algorithm 1
+// all fan out over worker pools internally.
+func TestSelectDeterministicAcrossRunsAndWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full pipeline three times")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func() *Selection {
+		t.Helper()
+		sel, err := Select(Options{DeadlineMs: 0.9, Estimator: AnalyticalEstimator, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel
+	}
+
+	runtime.GOMAXPROCS(1)
+	serial := run()
+	runtime.GOMAXPROCS(4)
+	wide := run()
+	repeat := run()
+
+	if selectionKey(serial) != selectionKey(wide) {
+		t.Fatalf("GOMAXPROCS=1 selection %+v differs from GOMAXPROCS=4 selection %+v", serial, wide)
+	}
+	if selectionKey(wide) != selectionKey(repeat) {
+		t.Fatalf("repeated run selected %+v then %+v", wide, repeat)
+	}
+}

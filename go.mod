@@ -1,0 +1,3 @@
+module netcut
+
+go 1.24

@@ -12,6 +12,7 @@ import (
 
 	"netcut/internal/estimate"
 	"netcut/internal/graph"
+	"netcut/internal/par"
 	"netcut/internal/pareto"
 	"netcut/internal/trim"
 )
@@ -80,6 +81,11 @@ type Result struct {
 // deadline. Only those TRNs are retrained. Candidates whose deepest cut
 // still misses the deadline are reported as infeasible rather than
 // failing the run.
+//
+// Per-candidate explorations are independent (the estimator and
+// retrainer are read-only/schedule-free), so they run on a worker pool;
+// proposals, infeasibles and Best are assembled in candidate order, so
+// the result is identical to a serial run.
 func Explore(cands []Candidate, deadlineMs float64, est estimate.Estimator, rt Retrainer, head trim.HeadSpec) (*Result, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("netcut: no candidate networks")
@@ -87,22 +93,36 @@ func Explore(cands []Candidate, deadlineMs float64, est estimate.Estimator, rt R
 	if deadlineMs <= 0 {
 		return nil, fmt.Errorf("netcut: non-positive deadline %v", deadlineMs)
 	}
-	res := &Result{DeadlineMs: deadlineMs, EstimatorName: est.Name()}
 	for _, c := range cands {
 		if c.Graph == nil {
 			return nil, fmt.Errorf("netcut: nil candidate graph")
 		}
-		p, feasible, err := exploreOne(c, deadlineMs, est, rt, head)
+	}
+	type outcome struct {
+		p        Proposal
+		feasible bool
+	}
+	outs := make([]outcome, len(cands))
+	err := par.ForEach(len(cands), func(i int) error {
+		p, feasible, err := exploreOne(cands[i], deadlineMs, est, rt, head)
 		if err != nil {
-			return nil, fmt.Errorf("netcut: exploring %s: %w", c.Graph.Name, err)
+			return fmt.Errorf("netcut: exploring %s: %w", cands[i].Graph.Name, err)
 		}
-		if !feasible {
-			res.Infeasible = append(res.Infeasible, c.Graph.Name)
+		outs[i] = outcome{p: p, feasible: feasible}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{DeadlineMs: deadlineMs, EstimatorName: est.Name()}
+	for i := range outs {
+		if !outs[i].feasible {
+			res.Infeasible = append(res.Infeasible, cands[i].Graph.Name)
 			continue
 		}
-		res.Proposals = append(res.Proposals, p)
-		res.ExplorationHours += p.TrainHours
-		if p.Cutpoint > 0 {
+		res.Proposals = append(res.Proposals, outs[i].p)
+		res.ExplorationHours += outs[i].p.TrainHours
+		if outs[i].p.Cutpoint > 0 {
 			res.RetrainedCount++
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"netcut/internal/graph"
+	"netcut/internal/par"
 	"netcut/internal/pareto"
 	"netcut/internal/trim"
 )
@@ -31,17 +32,26 @@ type Measurer func(g *graph.Graph) float64
 // BlockwiseSweep retrains and measures the full blockwise TRN family of
 // every candidate (cutpoints 1..BlockCount; the cut-0 entries reuse the
 // candidates' known accuracy and latency and cost nothing extra).
+//
+// The retrain+measure work of all entries runs on a worker pool: entry
+// order, TotalHours (summed in entry order) and every measurement are
+// independent of scheduling, because each task writes only its own
+// pre-assigned slot and the retrainer/measurer derive their noise from
+// the TRN itself, not from call order.
 func BlockwiseSweep(cands []Candidate, rt Retrainer, measure Measurer, head trim.HeadSpec) (*Sweep, error) {
 	if measure == nil {
 		return nil, fmt.Errorf("netcut: nil measurer")
 	}
-	sw := &Sweep{}
+	// Enumerate the full entry list first (cheap, serial), leaving the
+	// expensive retrain+measure of cut>0 entries to the pool.
+	var entries []SweepEntry
+	var todo []int // indices of entries needing retrain+measure
 	for _, c := range cands {
 		zero, err := trim.Cut(c.Graph, 0, head)
 		if err != nil {
 			return nil, err
 		}
-		sw.Entries = append(sw.Entries, SweepEntry{
+		entries = append(entries, SweepEntry{
 			TRN:        zero,
 			Accuracy:   c.Accuracy,
 			MeasuredMs: c.MeasuredMs,
@@ -51,18 +61,27 @@ func BlockwiseSweep(cands []Candidate, rt Retrainer, measure Measurer, head trim
 			return nil, err
 		}
 		for _, tr := range trns {
-			res, err := rt.Retrain(tr)
-			if err != nil {
-				return nil, fmt.Errorf("netcut: sweep retraining %s: %w", tr.Name(), err)
-			}
-			sw.Entries = append(sw.Entries, SweepEntry{
-				TRN:        tr,
-				Accuracy:   res.Accuracy,
-				TrainHours: res.TrainHours,
-				MeasuredMs: measure(tr.Graph),
-			})
-			sw.TotalHours += res.TrainHours
+			todo = append(todo, len(entries))
+			entries = append(entries, SweepEntry{TRN: tr})
 		}
+	}
+	err := par.ForEach(len(todo), func(i int) error {
+		e := &entries[todo[i]]
+		res, err := rt.Retrain(e.TRN)
+		if err != nil {
+			return fmt.Errorf("netcut: sweep retraining %s: %w", e.TRN.Name(), err)
+		}
+		e.Accuracy = res.Accuracy
+		e.TrainHours = res.TrainHours
+		e.MeasuredMs = measure(e.TRN.Graph)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sw := &Sweep{Entries: entries}
+	for _, e := range entries {
+		sw.TotalHours += e.TrainHours
 	}
 	return sw, nil
 }

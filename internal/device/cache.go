@@ -1,0 +1,99 @@
+package device
+
+import (
+	"runtime"
+	"weak"
+
+	"netcut/internal/graph"
+)
+
+// planInfo is the memoized execution state of one graph on one device:
+// each kernel's noise-free steady-state time and their sum, and the
+// per-kernel row templates that profiled inference charges fused layers
+// with. Everything here is loop-invariant across measurement runs, so a
+// Session computes none of it — the 200-warm-up/800-run protocol
+// touches only the noise stream. planInfo holds no reference to the
+// graph it was built from, which is what lets the pointer-level cache
+// below use weak keys.
+type planInfo struct {
+	key      uint64    // the structural fingerprint this plan is cached under
+	baseMs   []float64 // per-kernel steady-state latency (KernelTimeMs)
+	steadyMs float64   // sum of baseMs: the noise-free end-to-end latency
+	// rowTmpl[ki] holds one template row per fused node of kernel ki —
+	// node identity plus its MAC share of the kernel — so profiled
+	// inference fills in nothing but the two noise terms per row.
+	rowTmpl [][]profRow
+	rows    int // total fused nodes, sizing profiled-row buffers
+}
+
+// profRow is the loop-invariant part of one profiled-table row.
+type profRow struct {
+	nodeID int
+	name   string
+	kind   graph.OpKind
+	share  float64 // MAC share of the owning kernel's time
+}
+
+// plan returns the memoized execution state of g, building it on first
+// use. The fast path is a weak-pointer-keyed hit (repeated queries on
+// the same graph object); fresh pointers fall back to the structural
+// fingerprint, so re-cut copies of a TRN share one planInfo. The
+// pointer level evicts itself when a graph is collected (the cache
+// must not keep caller graphs alive), while the fingerprint level is
+// bounded by the number of distinct network structures seen. Safe for
+// concurrent callers; on a race both build the same deterministic
+// value and one copy wins.
+func (d *Device) plan(g *graph.Graph) *planInfo {
+	wp := weak.Make(g)
+	if v, ok := d.byPtr.Load(wp); ok {
+		return v.(*planInfo)
+	}
+	key := graph.Fingerprint(g)
+	v, ok := d.byPrint.Load(key)
+	if !ok {
+		v, _ = d.byPrint.LoadOrStore(key, d.buildPlan(g, key))
+	}
+	info := v.(*planInfo)
+	if _, loaded := d.byPtr.LoadOrStore(wp, info); !loaded {
+		runtime.AddCleanup(g, func(k weak.Pointer[graph.Graph]) {
+			d.byPtr.Delete(k)
+		}, wp)
+	}
+	return info
+}
+
+// PlanKey returns the structural cache key of g on this device. Two
+// graphs with the same key execute identically — same plan, same
+// steady-state kernel times — which is what lets higher layers memoize
+// whole measurements per key.
+func (d *Device) PlanKey(g *graph.Graph) uint64 { return d.plan(g).key }
+
+func (d *Device) buildPlan(g *graph.Graph, key uint64) *planInfo {
+	kernels := d.cfg.Plan(g)
+	info := &planInfo{
+		key:     key,
+		baseMs:  make([]float64, len(kernels)),
+		rowTmpl: make([][]profRow, len(kernels)),
+	}
+	for i := range kernels {
+		k := &kernels[i]
+		info.baseMs[i] = d.KernelTimeMs(k)
+		info.steadyMs += info.baseMs[i]
+		var macs int64
+		for _, id := range k.Nodes {
+			macs += g.Node(id).MACs
+		}
+		tmpl := make([]profRow, len(k.Nodes))
+		for j, id := range k.Nodes {
+			n := g.Node(id)
+			share := 1.0 / float64(len(k.Nodes))
+			if macs > 0 {
+				share = float64(n.MACs) / float64(macs)
+			}
+			tmpl[j] = profRow{nodeID: id, name: n.Name, kind: n.Kind, share: share}
+		}
+		info.rowTmpl[i] = tmpl
+		info.rows += len(k.Nodes)
+	}
+	return info
+}

@@ -3,13 +3,23 @@ package device
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"netcut/internal/graph"
 )
 
-// Device is a simulated embedded GPU.
+// Device is a simulated embedded GPU. It memoizes the fused execution
+// plan and steady-state kernel times of every graph it sees, the way a
+// deployed engine caches compiled engines: repeated latency queries and
+// session opens on the same network cost a cache hit, not a re-plan.
+// The cache is two-level — by (weak) graph pointer for O(1) repeats
+// that never outlive the graph, by structural fingerprint so
+// independently built copies of the same network (e.g. a TRN re-cut by
+// two explorations) share one plan.
 type Device struct {
-	cfg Config
+	cfg     Config
+	byPtr   sync.Map // weak.Pointer[graph.Graph] -> *planInfo, self-evicting
+	byPrint sync.Map // graph.Fingerprint (uint64) -> *planInfo
 }
 
 // New returns a Device for the given configuration. Configurations are
@@ -68,40 +78,33 @@ func (d *Device) KernelTimeMs(k *Kernel) float64 {
 }
 
 // LatencyMs returns the noise-free steady-state end-to-end inference
-// latency of g in milliseconds.
+// latency of g in milliseconds. After the first query for a graph this
+// is a cache lookup.
 func (d *Device) LatencyMs(g *graph.Graph) float64 {
-	total := 0.0
-	for _, k := range d.cfg.Plan(g) {
-		total += d.KernelTimeMs(&k)
-	}
-	return total
+	return d.plan(g).steadyMs
 }
 
 // Session is an open execution context for one network on the device.
 // It tracks warm-up state and yields noisy per-run measurements, the way
-// repeated timed inferences on real hardware do.
+// repeated timed inferences on real hardware do. The execution plan is
+// shared, immutable cache state; only the run counter and noise stream
+// are per-session.
 type Session struct {
 	dev  *Device
 	g    *graph.Graph
-	plan []Kernel
-	base []float64 // per-kernel steady-state ms
+	info *planInfo
 	runs int
 	rng  *rand.Rand
 }
 
-// Open prepares a session for g. The seed makes the measurement-noise
+// Open prepares a session for g, reusing the device's memoized plan and
+// steady-state kernel times. The seed makes the measurement-noise
 // stream reproducible.
 func (d *Device) Open(g *graph.Graph, seed int64) *Session {
-	plan := d.cfg.Plan(g)
-	base := make([]float64, len(plan))
-	for i := range plan {
-		base[i] = d.KernelTimeMs(&plan[i])
-	}
 	return &Session{
 		dev:  d,
 		g:    g,
-		plan: plan,
-		base: base,
+		info: d.plan(g),
 		rng:  rand.New(rand.NewSource(seed)),
 	}
 }
@@ -139,7 +142,7 @@ func (s *Session) InferMs() float64 {
 	run := s.runNoise()
 	s.runs++
 	total := 0.0
-	for _, b := range s.base {
+	for _, b := range s.info.baseMs {
 		total += b * s.kernelNoise()
 	}
 	return total * run * cold
@@ -156,34 +159,33 @@ type LayerTimeMs struct {
 // InferProfiledMs executes one inference with per-layer event recording,
 // returning a per-layer latency table and the end-to-end latency the
 // run would have had without events. Kernel time is attributed to its
-// fused layers proportionally to their MAC share, and each recorded
-// layer pays the event overhead — which is why the table's sum slightly
-// exceeds the end-to-end latency, the effect Eq. (1) divides away.
+// fused layers proportionally to their MAC share (precomputed once per
+// plan, not per run), and each recorded layer pays the event overhead —
+// which is why the table's sum slightly exceeds the end-to-end latency,
+// the effect Eq. (1) divides away.
 func (s *Session) InferProfiledMs() ([]LayerTimeMs, float64) {
+	return s.InferProfiledInto(make([]LayerTimeMs, 0, s.info.rows))
+}
+
+// InferProfiledInto is InferProfiledMs appending into rows (which it
+// returns re-sliced), so a measurement-protocol loop can reuse one
+// buffer across its hundreds of runs. Pass rows[:0] to recycle.
+func (s *Session) InferProfiledInto(rows []LayerTimeMs) ([]LayerTimeMs, float64) {
 	cold := s.coldFactor()
 	run := s.runNoise()
 	s.runs++
-	var rows []LayerTimeMs
 	total := 0.0
 	ev := s.dev.cfg.EventOverheadMs
-	for ki, k := range s.plan {
-		t := s.base[ki] * s.kernelNoise() * run * cold
+	for ki, tmpl := range s.info.rowTmpl {
+		t := s.info.baseMs[ki] * s.kernelNoise() * run * cold
 		total += t
-		var macs int64
-		for _, id := range k.Nodes {
-			macs += s.g.Node(id).MACs
-		}
-		for _, id := range k.Nodes {
-			n := s.g.Node(id)
-			share := 1.0 / float64(len(k.Nodes))
-			if macs > 0 {
-				share = float64(n.MACs) / float64(macs)
-			}
+		for ri := range tmpl {
+			r := &tmpl[ri]
 			rows = append(rows, LayerTimeMs{
-				NodeID: id,
-				Name:   n.Name,
-				Kind:   n.Kind,
-				Ms:     t*share + ev*(1+0.1*s.rng.NormFloat64()),
+				NodeID: r.nodeID,
+				Name:   r.name,
+				Kind:   r.kind,
+				Ms:     t*r.share + ev*(1+0.1*s.rng.NormFloat64()),
 			})
 		}
 	}

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"netcut/internal/profiler"
+)
+
+// renderAll builds a fresh Lab and renders every figure into one byte
+// stream.
+func renderAll(t *testing.T, seed int64) []byte {
+	t.Helper()
+	l, err := NewLab(Config{
+		Seed:     seed,
+		Protocol: profiler.Protocol{WarmupRuns: 30, TimedRuns: 60},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := l.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, f := range figs {
+		if err := f.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestAllDeterministicAcrossGOMAXPROCS is the determinism contract: a
+// fixed Config.Seed must produce byte-identical figure renders
+// regardless of how many workers the measurement pipeline fans out
+// over, because every task derives its noise from the seed plus its own
+// identity, never from scheduling.
+func TestAllDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure three times")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	runtime.GOMAXPROCS(1)
+	serial := renderAll(t, 7)
+	runtime.GOMAXPROCS(4)
+	wide := renderAll(t, 7)
+	repeat := renderAll(t, 7)
+
+	if !bytes.Equal(serial, wide) {
+		t.Fatal("GOMAXPROCS=4 render differs from GOMAXPROCS=1 render for the same seed")
+	}
+	if !bytes.Equal(wide, repeat) {
+		t.Fatal("repeated parallel render differs from itself for the same seed")
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+// TestSeedChangesRender guards the other side of the contract: the seed
+// must actually steer the measurement noise, or the determinism test
+// above would pass vacuously on constant output.
+func TestSeedChangesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every figure twice")
+	}
+	a := renderAll(t, 7)
+	b := renderAll(t, 8)
+	if bytes.Equal(a, b) {
+		t.Fatal("different seeds produced identical renders; noise stream is not seeded")
+	}
+}
+
+// TestSharedStateEscapes verifies the accessors hand out copies: mutating
+// what they return must not corrupt the lab's internal state.
+func TestSharedStateEscapes(t *testing.T) {
+	l, err := NewLab(Config{
+		Seed:     3,
+		Protocol: profiler.Protocol{WarmupRuns: 10, TimedRuns: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nets := l.Networks()
+	nets[0] = nil
+	if l.Networks()[0] == nil {
+		t.Fatal("Networks() leaked the internal slice")
+	}
+
+	tbls := l.Tables()
+	n := len(tbls)
+	for k := range tbls {
+		delete(tbls, k)
+	}
+	tbls["bogus"] = nil
+	if got := len(l.Tables()); got != n {
+		t.Fatalf("Tables() leaked the internal map: %d entries after caller mutation, want %d", got, n)
+	}
+
+	cands, err := l.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands[0].Graph = nil
+	fresh, err := l.Candidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh[0].Graph == nil {
+		t.Fatal("Candidates() leaked the internal slice")
+	}
+
+	samples, err := l.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples[0].TRN = nil
+	freshS, err := l.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freshS[0].TRN == nil {
+		t.Fatal("Samples() leaked the internal slice")
+	}
+}
+
+// TestConcurrentLazyInitSingleflight hammers every lazy accessor from
+// many goroutines; under -race this proves the singleflight init is
+// sound, and the equality checks prove all callers observe one build.
+func TestConcurrentLazyInitSingleflight(t *testing.T) {
+	l, err := NewLab(Config{
+		Seed:     5,
+		Protocol: profiler.Protocol{WarmupRuns: 10, TimedRuns: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const loops = 8
+	sweeps := make([]interface{ TRNCount() int }, loops)
+	done := make(chan error, 4*loops)
+	for i := 0; i < loops; i++ {
+		i := i
+		go func() {
+			sw, err := l.Sweep()
+			sweeps[i] = sw
+			done <- err
+		}()
+		go func() {
+			_, err := l.Candidates()
+			done <- err
+		}()
+		go func() {
+			_, err := l.AnalyticalEstimator()
+			done <- err
+		}()
+		go func() {
+			l.Tables()
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4*loops; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < loops; i++ {
+		if sweeps[i] != sweeps[0] {
+			t.Fatal("concurrent Sweep() calls built distinct sweeps; singleflight failed")
+		}
+	}
+}

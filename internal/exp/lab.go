@@ -8,6 +8,7 @@ import (
 	"netcut/internal/device"
 	"netcut/internal/estimate"
 	"netcut/internal/graph"
+	"netcut/internal/par"
 	"netcut/internal/profiler"
 	"netcut/internal/transfer"
 	"netcut/internal/trim"
@@ -51,10 +52,33 @@ func (c *Config) fill() {
 	}
 }
 
+// lazy is a singleflight cell: the first caller builds the value, every
+// concurrent caller blocks on that one build, and the result (value and
+// error alike) is immutable afterwards. It replaces the Lab's previous
+// single big mutex, under which concurrent figure generators serialized
+// even when they needed disjoint state.
+type lazy[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *lazy[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
+}
+
 // Lab owns the shared experimental state: the simulated device, the
 // profiled tables, the 148-TRN blockwise families with measured
 // latencies and retrained accuracies, and the trained estimators. All
 // figure generators draw from the same measurements, as the paper's do.
+//
+// Every shared artefact is built at most once behind a singleflight
+// cell, is immutable after its build, and fans its measurement work out
+// over a worker pool. Determinism contract: all per-task randomness is
+// derived from Config.Seed plus the task's own identity (network name,
+// TRN), never from execution order, so any interleaving of generators
+// at any GOMAXPROCS produces bit-identical figures for a fixed seed.
 type Lab struct {
 	cfg Config
 
@@ -63,16 +87,13 @@ type Lab struct {
 	sim  *transfer.Simulator
 	rt   core.Retrainer
 
-	mu sync.Mutex
-	// Lazily built shared state.
-	nets       []*graph.Graph
-	tables     map[string]*profiler.Table
-	candidates []core.Candidate
-	samples    []estimate.Sample // blockwise TRNs with measured latency
-	accuracies map[string]float64
-	sweep      *core.Sweep
-	analytical *estimate.AnalyticalEstimator
-	linear     *estimate.LinearEstimator
+	nets       lazy[[]*graph.Graph]
+	candidates lazy[[]core.Candidate]
+	tables     lazy[map[string]*profiler.Table]
+	samples    lazy[[]estimate.Sample]
+	sweep      lazy[*core.Sweep]
+	analytical lazy[*estimate.AnalyticalEstimator]
+	linear     lazy[*estimate.LinearEstimator]
 }
 
 // NewLab builds a Lab for the given configuration.
@@ -85,12 +106,10 @@ func NewLab(cfg Config) (*Lab, error) {
 	}
 	sim := transfer.NewSimulator(cfg.Seed)
 	l := &Lab{
-		cfg:        cfg,
-		dev:        dev,
-		prof:       prof,
-		sim:        sim,
-		tables:     map[string]*profiler.Table{},
-		accuracies: map[string]float64{},
+		cfg:  cfg,
+		dev:  dev,
+		prof: prof,
+		sim:  sim,
 	}
 	l.rt = core.RetrainerFunc(func(t *trim.TRN) (core.TrainResult, error) {
 		r, err := sim.Retrain(t)
@@ -105,117 +124,132 @@ func (l *Lab) Deadline() float64 { return l.cfg.DeadlineMs }
 // Device returns the simulated device.
 func (l *Lab) Device() *device.Device { return l.dev }
 
-// Networks returns the seven paper networks (built once).
+// networks returns the shared network slice; callers must not mutate it.
+func (l *Lab) networks() []*graph.Graph {
+	nets, _ := l.nets.get(func() ([]*graph.Graph, error) { return zoo.Paper7(), nil })
+	return nets
+}
+
+// Networks returns the seven paper networks (built once). The returned
+// slice is the caller's to mutate.
 func (l *Lab) Networks() []*graph.Graph {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.nets == nil {
-		l.nets = zoo.Paper7()
-	}
-	return l.nets
+	return append([]*graph.Graph(nil), l.networks()...)
 }
 
-// Candidates returns the Algorithm-1 inputs: each network with measured
-// latency and transfer-learned accuracy.
-func (l *Lab) Candidates() ([]core.Candidate, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.candidatesLocked()
-}
-
-func (l *Lab) candidatesLocked() ([]core.Candidate, error) {
-	if l.candidates != nil {
-		return l.candidates, nil
-	}
-	if l.nets == nil {
-		l.nets = zoo.Paper7()
-	}
-	for _, g := range l.nets {
+// buildCandidates measures and accuracy-scores the zoo, one worker per
+// network.
+func (l *Lab) buildCandidates() ([]core.Candidate, error) {
+	nets := l.networks()
+	out := make([]core.Candidate, len(nets))
+	err := par.ForEach(len(nets), func(i int) error {
+		g := nets[i]
 		acc, err := l.sim.OffTheShelfAccuracy(g.Name)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		m := l.prof.Measure(g)
-		l.accuracies[g.Name] = acc
-		l.candidates = append(l.candidates, core.Candidate{
+		out[i] = core.Candidate{
 			Graph:      g,
-			MeasuredMs: m.MeanMs,
+			MeasuredMs: l.prof.Measure(g).MeanMs,
 			Accuracy:   acc,
-		})
-	}
-	return l.candidates, nil
-}
-
-// Tables returns the per-layer profile tables, one per network.
-func (l *Lab) Tables() map[string]*profiler.Table {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.tablesLocked()
-}
-
-func (l *Lab) tablesLocked() map[string]*profiler.Table {
-	if len(l.tables) == 0 {
-		if l.nets == nil {
-			l.nets = zoo.Paper7()
 		}
-		for _, g := range l.nets {
-			l.tables[g.Name] = l.prof.Profile(g)
-		}
-	}
-	return l.tables
-}
-
-// Samples returns the 148 blockwise TRNs with measured ground-truth
-// latencies — the regression dataset of Sec. V-B2.
-func (l *Lab) Samples() ([]estimate.Sample, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.samplesLocked()
-}
-
-func (l *Lab) samplesLocked() ([]estimate.Sample, error) {
-	if l.samples != nil {
-		return l.samples, nil
-	}
-	cands, err := l.candidatesLocked()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// Candidates returns the Algorithm-1 inputs: each network with measured
+// latency and transfer-learned accuracy. The returned slice is a copy.
+func (l *Lab) Candidates() ([]core.Candidate, error) {
+	c, err := l.candidates.get(l.buildCandidates)
+	if err != nil {
+		return nil, err
+	}
+	return append([]core.Candidate(nil), c...), nil
+}
+
+func (l *Lab) buildTables() (map[string]*profiler.Table, error) {
+	nets := l.networks()
+	tbls := make([]*profiler.Table, len(nets))
+	err := par.ForEach(len(nets), func(i int) error {
+		tbls[i] = l.prof.Profile(nets[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*profiler.Table, len(nets))
+	for i, g := range nets {
+		out[g.Name] = tbls[i]
+	}
+	return out, nil
+}
+
+// Tables returns the per-layer profile tables, one per network. The map
+// is a copy (the *Table values are shared and immutable), so callers may
+// add or remove entries freely.
+func (l *Lab) Tables() map[string]*profiler.Table {
+	t, _ := l.tables.get(l.buildTables)
+	out := make(map[string]*profiler.Table, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// buildSamples enumerates the blockwise TRN family of every candidate
+// (cheap, serial) and fans the 148 ground-truth measurements out over
+// the pool; each measurement's noise stream is derived from the TRN's
+// own name, so the sample list is identical in any schedule.
+func (l *Lab) buildSamples() ([]estimate.Sample, error) {
+	cands, err := l.candidates.get(l.buildCandidates)
+	if err != nil {
+		return nil, err
+	}
+	var out []estimate.Sample
 	for _, c := range cands {
 		trns, err := trim.EnumerateBlockwise(c.Graph, l.cfg.Head, false)
 		if err != nil {
 			return nil, err
 		}
 		for _, tr := range trns {
-			l.samples = append(l.samples, estimate.Sample{
-				TRN:             tr,
-				ParentLatencyMs: c.MeasuredMs,
-				MeasuredMs:      l.prof.Measure(tr.Graph).MeanMs,
-			})
+			out = append(out, estimate.Sample{TRN: tr, ParentLatencyMs: c.MeasuredMs})
 		}
 	}
-	return l.samples, nil
+	err = par.ForEach(len(out), func(i int) error {
+		out[i].MeasuredMs = l.prof.Measure(out[i].TRN.Graph).MeanMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Samples returns the 148 blockwise TRNs with measured ground-truth
+// latencies — the regression dataset of Sec. V-B2. The returned slice
+// is a copy.
+func (l *Lab) Samples() ([]estimate.Sample, error) {
+	s, err := l.samples.get(l.buildSamples)
+	if err != nil {
+		return nil, err
+	}
+	return append([]estimate.Sample(nil), s...), nil
 }
 
 // Sweep returns the blockwise exploration baseline: all 148 TRNs
 // retrained and measured.
 func (l *Lab) Sweep() (*core.Sweep, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.sweep != nil {
-		return l.sweep, nil
-	}
-	cands, err := l.candidatesLocked()
-	if err != nil {
-		return nil, err
-	}
-	measure := core.Measurer(func(g *graph.Graph) float64 { return l.prof.Measure(g).MeanMs })
-	sw, err := core.BlockwiseSweep(cands, l.rt, measure, l.cfg.Head)
-	if err != nil {
-		return nil, err
-	}
-	l.sweep = sw
-	return sw, nil
+	return l.sweep.get(func() (*core.Sweep, error) {
+		cands, err := l.candidates.get(l.buildCandidates)
+		if err != nil {
+			return nil, err
+		}
+		measure := core.Measurer(func(g *graph.Graph) float64 { return l.prof.Measure(g).MeanMs })
+		return core.BlockwiseSweep(cands, l.rt, measure, l.cfg.Head)
+	})
 }
 
 // ProfilerEstimator returns the Eq. (1) estimator over the lab's tables.
@@ -226,47 +260,31 @@ func (l *Lab) ProfilerEstimator() *estimate.ProfilerEstimator {
 // AnalyticalEstimator returns the SVR estimator trained on the
 // stratified 20% split of the measured TRN samples.
 func (l *Lab) AnalyticalEstimator() (*estimate.AnalyticalEstimator, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.analytical != nil {
-		return l.analytical, nil
-	}
-	samples, err := l.samplesLocked()
-	if err != nil {
-		return nil, err
-	}
-	train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
-	e, err := estimate.TrainAnalytical(train, estimate.AnalyticalConfig{Seed: l.cfg.Seed})
-	if err != nil {
-		return nil, err
-	}
-	l.analytical = e
-	return e, nil
+	return l.analytical.get(func() (*estimate.AnalyticalEstimator, error) {
+		samples, err := l.samples.get(l.buildSamples)
+		if err != nil {
+			return nil, err
+		}
+		train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
+		return estimate.TrainAnalytical(train, estimate.AnalyticalConfig{Seed: l.cfg.Seed})
+	})
 }
 
 // LinearEstimator returns the OLS baseline trained on the same split.
 func (l *Lab) LinearEstimator() (*estimate.LinearEstimator, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.linear != nil {
-		return l.linear, nil
-	}
-	samples, err := l.samplesLocked()
-	if err != nil {
-		return nil, err
-	}
-	train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
-	e, err := estimate.TrainLinear(train)
-	if err != nil {
-		return nil, err
-	}
-	l.linear = e
-	return e, nil
+	return l.linear.get(func() (*estimate.LinearEstimator, error) {
+		samples, err := l.samples.get(l.buildSamples)
+		if err != nil {
+			return nil, err
+		}
+		train, _ := estimate.StratifiedSplit(samples, l.cfg.TrainFraction, l.cfg.Seed)
+		return estimate.TrainLinear(train)
+	})
 }
 
 // TestSamples returns the held-out 80% of the measured TRN samples.
 func (l *Lab) TestSamples() ([]estimate.Sample, error) {
-	samples, err := l.Samples()
+	samples, err := l.samples.get(l.buildSamples)
 	if err != nil {
 		return nil, err
 	}
@@ -284,19 +302,10 @@ func (l *Lab) Explore(est estimate.Estimator) (*core.Result, error) {
 }
 
 // OffTheShelfAccuracy returns the transfer-learned accuracy of a
-// network.
+// network. The simulator derives it deterministically from (seed,
+// network), so no caching layer is needed here.
 func (l *Lab) OffTheShelfAccuracy(name string) (float64, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if acc, ok := l.accuracies[name]; ok {
-		return acc, nil
-	}
-	acc, err := l.sim.OffTheShelfAccuracy(name)
-	if err != nil {
-		return 0, err
-	}
-	l.accuracies[name] = acc
-	return acc, nil
+	return l.sim.OffTheShelfAccuracy(name)
 }
 
 // Retrainer exposes the lab's retraining backend.
@@ -305,7 +314,11 @@ func (l *Lab) Retrainer() core.Retrainer { return l.rt }
 // Simulator exposes the retraining simulator.
 func (l *Lab) Simulator() *transfer.Simulator { return l.sim }
 
-// All runs every figure and table generator in paper order.
+// All runs every figure and table generator in paper order. The
+// generators execute concurrently — shared state they contend on is
+// built once by whichever worker gets there first and reused by the
+// rest — and the output order is fixed, so the rendered artefact stream
+// is the same as a serial run's.
 func (l *Lab) All() ([]*Figure, error) {
 	type gen struct {
 		name string
@@ -328,13 +341,17 @@ func (l *Lab) All() ([]*Figure, error) {
 		{"abl-extended", l.AblExtendedZoo},
 		{"abl-earlyexit", l.AblEarlyExit},
 	}
-	var out []*Figure
-	for _, g := range gens {
-		f, err := g.fn()
+	out := make([]*Figure, len(gens))
+	err := par.ForEach(len(gens), func(i int) error {
+		f, err := gens[i].fn()
 		if err != nil {
-			return nil, fmt.Errorf("exp: generating %s: %w", g.name, err)
+			return fmt.Errorf("exp: generating %s: %w", gens[i].name, err)
 		}
-		out = append(out, f)
+		out[i] = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

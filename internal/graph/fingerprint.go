@@ -1,0 +1,57 @@
+package graph
+
+// Fingerprint returns a structural identity hash of g covering every
+// field the caching layers downstream depend on: node identity, name,
+// op kind, accounting (MACs, weight/IO bytes), output channels, wiring
+// and block/head membership, the block table (which layer removal cuts
+// along), and the graph name. Two graphs with equal fingerprints
+// execute identically, profile identically (per-layer row names
+// included) and cut identically, which is what lets the device,
+// profiler and trim layers memoize per structure instead of per
+// object. Graphs are immutable once built (see the Graph doc);
+// mutating a graph after it has been fingerprinted would poison those
+// caches.
+func Fingerprint(g *Graph) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime
+	}
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime
+		}
+		mix(uint64(len(s)))
+	}
+	str(g.Name)
+	mix(uint64(len(g.Nodes)))
+	for _, n := range g.Nodes {
+		mix(uint64(n.ID))
+		str(n.Name)
+		mix(uint64(n.Kind))
+		mix(uint64(n.MACs))
+		mix(uint64(n.WeightBytes))
+		mix(uint64(n.IOBytes))
+		mix(uint64(n.Out.C))
+		mix(uint64(n.Block))
+		if n.Head {
+			mix(1)
+		} else {
+			mix(0)
+		}
+		mix(uint64(len(n.Inputs)))
+		for _, in := range n.Inputs {
+			mix(uint64(in))
+		}
+	}
+	mix(uint64(len(g.Blocks)))
+	for _, b := range g.Blocks {
+		mix(uint64(b.Index))
+		mix(uint64(b.Output))
+		mix(uint64(len(b.Nodes)))
+		for _, id := range b.Nodes {
+			mix(uint64(id))
+		}
+	}
+	return h
+}

@@ -1,0 +1,78 @@
+// Package par provides the bounded worker-pool primitives the
+// measurement pipeline fans out with.
+//
+// The pipeline's determinism contract (see doc.go at the repo root)
+// requires that parallel execution change only wall-clock time, never
+// results. Every fan-out in this codebase therefore writes into a slot
+// indexed by task position and derives any randomness from a per-task
+// seed, so ForEach can schedule tasks in any order on any number of
+// workers and the assembled output is byte-identical to a serial run.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the fan-out width: GOMAXPROCS, floored at 1.
+func Workers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
+}
+
+// ForEach runs fn(0), ..., fn(n-1) across min(Workers(), n) goroutines
+// and blocks until every call has returned. Tasks are handed out by an
+// atomic counter, so callers must make fn(i) write only into its own
+// index-i slot (or otherwise synchronize).
+//
+// If any calls fail, the error of the lowest failing index is returned,
+// so error reporting is as deterministic as the results themselves.
+func ForEach(n int, fn func(i int) error) error {
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	if w <= 1 {
+		// Serial fast path. Like the parallel path it runs every task,
+		// so a caller observes the same slots written and the same
+		// lowest-index error regardless of width.
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

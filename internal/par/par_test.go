@@ -1,0 +1,74 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		hits := make([]int32, n)
+		if err := ForEach(n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := func(i int) error { return fmt.Errorf("task %d failed", i) }
+	err := ForEach(64, func(i int) error {
+		if i == 3 || i == 40 {
+			return wantErr(i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("got %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachSerialWidthMatchesParallel(t *testing.T) {
+	// The determinism contract: results and the reported error must not
+	// depend on GOMAXPROCS.
+	run := func() ([]int, error) {
+		out := make([]int, 50)
+		err := ForEach(50, func(i int) error {
+			out[i] = i * i
+			if i == 17 {
+				return errors.New("boom")
+			}
+			return nil
+		})
+		return out, err
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serial, serialErr := run()
+	runtime.GOMAXPROCS(4)
+	parallel, parallelErr := run()
+	runtime.GOMAXPROCS(prev)
+	if (serialErr == nil) != (parallelErr == nil) {
+		t.Fatalf("error mismatch: %v vs %v", serialErr, parallelErr)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("slot %d: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -11,6 +11,9 @@ package profiler
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
 
 	"netcut/internal/device"
 	"netcut/internal/graph"
@@ -86,10 +89,22 @@ func (t *Table) LayerMs(nodeID int) (float64, bool) {
 }
 
 // Profiler measures networks on a device.
+//
+// A Profiler's measurements are pure functions of the graph: the device
+// is a deterministic simulation, the protocol and base seed are fixed
+// at construction, and each network's noise stream derives from its own
+// name (sessionSeed). Measure and Profile therefore memoize their
+// results per structural plan key — re-measuring a network the paper's
+// pipeline already measured (the sweep re-visits every sample TRN, the
+// figure generators re-cut and re-measure proposals) is a cache hit
+// that returns the byte-identical Measurement or Table.
 type Profiler struct {
 	dev   *device.Device
 	proto Protocol
 	seed  int64
+
+	measurements sync.Map // device plan key (uint64) -> Measurement
+	tables       sync.Map // device plan key (uint64) -> *Table
 }
 
 // New returns a Profiler using the given device and protocol.
@@ -100,10 +115,34 @@ func New(dev *device.Device, proto Protocol, seed int64) (*Profiler, error) {
 	return &Profiler{dev: dev, proto: proto, seed: seed}, nil
 }
 
+// sessionSeed derives the per-network measurement seed from the
+// profiler's base seed: seed XOR a hash of the network name. Each
+// network therefore draws its own reproducible noise stream that is
+// independent of every other network's, which is what lets the
+// experiment harness measure many networks concurrently and still get
+// results that are bit-identical to a serial run in any order.
+func sessionSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	return base ^ int64(h.Sum64())
+}
+
 // Measure runs the warm-up/timed protocol and returns the end-to-end
-// latency summary of g.
+// latency summary of g. Structurally identical graphs share one cached
+// result (see the Profiler doc comment for why this is exact).
 func (p *Profiler) Measure(g *graph.Graph) Measurement {
-	s := p.dev.Open(g, p.seed)
+	key := p.dev.PlanKey(g)
+	if v, ok := p.measurements.Load(key); ok {
+		return v.(Measurement)
+	}
+	m := p.measure(g)
+	// A concurrent miss computes the identical value; either store wins.
+	p.measurements.Store(key, m)
+	return m
+}
+
+func (p *Profiler) measure(g *graph.Graph) Measurement {
+	s := p.dev.Open(g, sessionSeed(p.seed, g.Name))
 	for i := 0; i < p.proto.WarmupRuns; i++ {
 		s.InferMs()
 	}
@@ -120,39 +159,55 @@ func (p *Profiler) Measure(g *graph.Graph) Measurement {
 }
 
 // Profile runs the protocol with per-layer event instrumentation and
-// returns the layer table for g.
+// returns the layer table for g. Structurally identical graphs share
+// one cached table; callers treat tables as immutable.
 func (p *Profiler) Profile(g *graph.Graph) *Table {
-	s := p.dev.Open(g, p.seed)
+	key := p.dev.PlanKey(g)
+	if v, ok := p.tables.Load(key); ok {
+		return v.(*Table)
+	}
+	tbl := p.profile(g)
+	p.tables.Store(key, tbl)
+	return tbl
+}
+
+func (p *Profiler) profile(g *graph.Graph) *Table {
+	s := p.dev.Open(g, sessionSeed(p.seed, g.Name))
 	for i := 0; i < p.proto.WarmupRuns; i++ {
 		s.InferMs()
 	}
-	sums := map[int]float64{}
-	names := map[int]graph.OpKind{}
-	order := []int{}
+	// The execution plan — and therefore the profiled row order — is
+	// identical on every run, so the first run fixes the layer order and
+	// the remaining runs accumulate positionally, with no map ops in the
+	// hot loop.
 	var endToEnd float64
+	var rows []device.LayerTimeMs
+	var sums []float64
 	for i := 0; i < p.proto.TimedRuns; i++ {
-		rows, total := s.InferProfiledMs()
+		var total float64
+		rows, total = s.InferProfiledInto(rows[:0])
 		endToEnd += total
-		for _, r := range rows {
-			if _, seen := sums[r.NodeID]; !seen {
-				order = append(order, r.NodeID)
-				names[r.NodeID] = r.Kind
-			}
-			sums[r.NodeID] += r.Ms
+		if sums == nil {
+			sums = make([]float64, len(rows))
+		}
+		for ri := range rows {
+			sums[ri] += rows[ri].Ms
 		}
 	}
 	tbl := &Table{
 		Network:    g.Name,
 		EndToEndMs: endToEnd / float64(p.proto.TimedRuns),
-		byID:       map[int]int{},
+		Layers:     make([]LayerStat, 0, len(rows)),
+		byID:       make(map[int]int, len(rows)),
 	}
-	for _, id := range order {
-		tbl.byID[id] = len(tbl.Layers)
+	for ri := range rows {
+		r := &rows[ri]
+		tbl.byID[r.NodeID] = len(tbl.Layers)
 		tbl.Layers = append(tbl.Layers, LayerStat{
-			NodeID: id,
-			Name:   g.Node(id).Name,
-			Kind:   names[id],
-			MeanMs: sums[id] / float64(p.proto.TimedRuns),
+			NodeID: r.NodeID,
+			Name:   r.Name,
+			Kind:   r.Kind,
+			MeanMs: sums[ri] / float64(p.proto.TimedRuns),
 		})
 	}
 	return tbl

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"netcut/internal/par"
 )
 
 // KFold returns k disjoint validation index sets covering 0..n-1,
@@ -46,9 +48,50 @@ type CVResult struct {
 	RMSE  float64
 }
 
+// foldSplit is one fold's training matrix and validation index set,
+// built once and shared read-only across every grid point (the serial
+// implementation rebuilt it len(grid) times).
+type foldSplit struct {
+	trX [][]float64
+	trY []float64
+	val []int
+}
+
+func makeFoldSplits(X [][]float64, y []float64, folds [][]int) []foldSplit {
+	splits := make([]foldSplit, len(folds))
+	inVal := make([]bool, len(X))
+	for fi, val := range folds {
+		for _, i := range val {
+			inVal[i] = true
+		}
+		s := foldSplit{
+			trX: make([][]float64, 0, len(X)-len(val)),
+			trY: make([]float64, 0, len(X)-len(val)),
+			val: val,
+		}
+		for i := range X {
+			if !inVal[i] {
+				s.trX = append(s.trX, X[i])
+				s.trY = append(s.trY, y[i])
+			}
+		}
+		for _, i := range val {
+			inVal[i] = false
+		}
+		splits[fi] = s
+	}
+	return splits
+}
+
 // GridSearch selects the grid point minimizing k-fold cross-validated
 // RMSE of an RBF epsilon-SVR on (X, y). X should be standardized.
 // Returns the winner and the full result table, sorted as given in grid.
+//
+// The grid-point x fold training tasks run on a worker pool. Each task
+// is a pure function of its (shared, read-only) fold split and grid
+// point, and fold errors are reduced in fold order per grid point, so
+// the selected winner and the result table are independent of
+// scheduling and GOMAXPROCS.
 func GridSearch(X [][]float64, y []float64, grid []GridPoint, k int, epsilon float64, seed int64) (CVResult, []CVResult, error) {
 	if len(grid) == 0 {
 		return CVResult{}, nil, fmt.Errorf("svr: empty grid")
@@ -57,33 +100,42 @@ func GridSearch(X [][]float64, y []float64, grid []GridPoint, k int, epsilon flo
 	if err != nil {
 		return CVResult{}, nil, err
 	}
+	splits := makeFoldSplits(X, y, folds)
+
+	type foldErr struct {
+		sqSum float64
+		cnt   int
+	}
+	errsByTask := make([]foldErr, len(grid)*len(splits))
+	err = par.ForEach(len(errsByTask), func(ti int) error {
+		gp := grid[ti/len(splits)]
+		s := &splits[ti%len(splits)]
+		m, err := Train(s.trX, s.trY, RBF{Gamma: gp.Gamma}, Params{C: gp.C, Epsilon: epsilon})
+		if err != nil {
+			return fmt.Errorf("svr: grid point %+v: %w", gp, err)
+		}
+		var fe foldErr
+		for _, i := range s.val {
+			d := m.Predict(X[i]) - y[i]
+			fe.sqSum += d * d
+			fe.cnt++
+		}
+		errsByTask[ti] = fe
+		return nil
+	})
+	if err != nil {
+		return CVResult{}, nil, err
+	}
+
 	results := make([]CVResult, 0, len(grid))
 	best := CVResult{RMSE: math.Inf(1)}
-	for _, gp := range grid {
+	for gi, gp := range grid {
 		var sqSum float64
 		var cnt int
-		for _, val := range folds {
-			inVal := map[int]bool{}
-			for _, i := range val {
-				inVal[i] = true
-			}
-			var trX [][]float64
-			var trY []float64
-			for i := range X {
-				if !inVal[i] {
-					trX = append(trX, X[i])
-					trY = append(trY, y[i])
-				}
-			}
-			m, err := Train(trX, trY, RBF{Gamma: gp.Gamma}, Params{C: gp.C, Epsilon: epsilon})
-			if err != nil {
-				return CVResult{}, nil, fmt.Errorf("svr: grid point %+v: %w", gp, err)
-			}
-			for _, i := range val {
-				d := m.Predict(X[i]) - y[i]
-				sqSum += d * d
-				cnt++
-			}
+		for fi := range splits {
+			fe := errsByTask[gi*len(splits)+fi]
+			sqSum += fe.sqSum
+			cnt += fe.cnt
 		}
 		r := CVResult{Point: gp, RMSE: math.Sqrt(sqSum / float64(cnt))}
 		results = append(results, r)

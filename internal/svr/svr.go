@@ -67,7 +67,8 @@ func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) 
 
 	// bestStep maximizes deltaD over the feasible interval exactly, by
 	// taking the clipped vertex of each smooth piece plus the kink
-	// breakpoints.
+	// breakpoints. Candidates live in a fixed-size stack array — this
+	// runs hundreds of times per sweep and must not allocate.
 	bestStep := func(i, j int) (float64, float64) {
 		lo := math.Max(-p.C-beta[i], beta[j]-p.C)
 		hi := math.Min(p.C-beta[i], beta[j]+p.C)
@@ -78,25 +79,29 @@ func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) 
 		if eta < 1e-12 {
 			eta = 1e-12
 		}
-		cands := []float64{lo, hi}
+		var cands [8]float64
+		cands[0], cands[1] = lo, hi
+		nc := 2
 		// Kinks where beta_i + t or beta_j - t change sign.
-		for _, k := range []float64{-beta[i], beta[j]} {
+		for _, k := range [2]float64{-beta[i], beta[j]} {
 			if k > lo && k < hi {
-				cands = append(cands, k)
+				cands[nc] = k
+				nc++
 			}
 		}
 		// Vertices of the four sign-region quadratics.
 		base := (y[i] - f[i]) - (y[j] - f[j])
-		for _, si := range []float64{-1, 1} {
-			for _, sj := range []float64{-1, 1} {
+		for _, si := range [2]float64{-1, 1} {
+			for _, sj := range [2]float64{-1, 1} {
 				t := (base - p.Epsilon*(si-sj)) / eta
 				if t > lo && t < hi {
-					cands = append(cands, t)
+					cands[nc] = t
+					nc++
 				}
 			}
 		}
 		bt, bg := 0.0, 0.0
-		for _, t := range cands {
+		for _, t := range cands[:nc] {
 			if g := deltaD(i, j, t); g > bg {
 				bg, bt = g, t
 			}
@@ -107,8 +112,11 @@ func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) 
 	apply := func(i, j int, t float64) {
 		beta[i] += t
 		beta[j] -= t
+		// K is symmetric, so walk rows i and j sequentially instead of
+		// striding down column i and j of every row.
+		Ki, Kj := K[i], K[j]
 		for k := 0; k < n; k++ {
-			f[k] += t * (K[k][i] - K[k][j])
+			f[k] += t * (Ki[k] - Kj[k])
 		}
 	}
 

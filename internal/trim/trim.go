@@ -15,6 +15,7 @@ package trim
 
 import (
 	"fmt"
+	"sync"
 
 	"netcut/internal/graph"
 )
@@ -62,13 +63,49 @@ func (t *TRN) Name() string {
 	return fmt.Sprintf("%s/%d", t.Parent.Name, t.LayersRemoved)
 }
 
+// cutKey identifies one memoized cut: the parent graph (by structural
+// fingerprint, so the cache is bounded by the number of distinct
+// architectures seen in the process, not by how many times equal graphs
+// are rebuilt), the cut position, its granularity and the head attached.
+type cutKey struct {
+	parent    uint64 // graph.Fingerprint of the parent
+	at        int    // blocks for blockwise cuts, node ID for exhaustive cuts
+	blockwise bool
+	head      HeadSpec
+}
+
+// cutCache memoizes built TRNs. Cutting is deterministic, and TRNs are
+// immutable once built (nothing in this codebase writes to a TRN or its
+// graph after construction), so Algorithm 1's inner loop — which
+// re-derives the same cuts for every estimator and every deadline —
+// costs one subgraph build per distinct cut instead of one per query.
+// Note a cache hit may return a TRN whose Parent pointer is a different
+// (structurally identical) graph object than the argument; nothing in
+// this codebase compares parents by pointer identity.
+var cutCache sync.Map // cutKey -> *TRN
+
 // Cut removes the last `blocks` blocks of g and attaches the replacement
 // head. blocks = 0 replaces only the head (transfer learning on the full
 // feature extractor); blocks = g.BlockCount() leaves only the stem.
+// The returned TRN may be shared with other callers; treat it as
+// immutable.
 func Cut(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
 	if err := head.validate(); err != nil {
 		return nil, err
 	}
+	key := cutKey{parent: graph.Fingerprint(g), at: blocks, blockwise: true, head: head}
+	if v, ok := cutCache.Load(key); ok {
+		return v.(*TRN), nil
+	}
+	trn, err := cutBlocks(g, blocks, head)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := cutCache.LoadOrStore(key, trn)
+	return v.(*TRN), nil
+}
+
+func cutBlocks(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
 	nb := g.BlockCount()
 	if blocks < 0 || blocks > nb {
 		return nil, fmt.Errorf("trim: cutpoint %d out of range [0,%d] for %s", blocks, nb, g.Name)
@@ -94,11 +131,25 @@ func Cut(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
 }
 
 // CutAtNode cuts g at an arbitrary non-head node, keeping the node's
-// ancestor subgraph, and attaches the replacement head.
+// ancestor subgraph, and attaches the replacement head. The returned
+// TRN may be shared with other callers; treat it as immutable.
 func CutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
 	if err := head.validate(); err != nil {
 		return nil, err
 	}
+	key := cutKey{parent: graph.Fingerprint(g), at: nodeID, blockwise: false, head: head}
+	if v, ok := cutCache.Load(key); ok {
+		return v.(*TRN), nil
+	}
+	trn, err := cutAtNode(g, nodeID, head)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := cutCache.LoadOrStore(key, trn)
+	return v.(*TRN), nil
+}
+
+func cutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
 	if nodeID <= 0 || nodeID >= len(g.Nodes) {
 		return nil, fmt.Errorf("trim: node %d out of range for %s", nodeID, g.Name)
 	}

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# bench.sh — run the figure-regeneration and end-to-end benchmarks and
+# emit a machine-readable BENCH_<date>.json so successive PRs accumulate
+# a performance trajectory.
+#
+# Usage: scripts/bench.sh [output-dir] [benchtime]
+#   output-dir  where BENCH_<date>.json lands (default: repo root)
+#   benchtime   go test -benchtime value (default: 1x — each figure
+#               generator is macro-scale, one iteration is meaningful)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT_DIR="${1:-.}"
+BENCHTIME="${2:-1x}"
+DATE="$(date -u +%Y-%m-%d)"
+OUT="$OUT_DIR/BENCH_${DATE}.json"
+
+RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Fig|Tab|Abl' \
+  -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
+
+{
+  echo "{"
+  echo "  \"date\": \"${DATE}\","
+  echo "  \"host\": \"$(uname -srm)\","
+  echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN),"
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"benchtime\": \"${BENCHTIME}\","
+  echo "  \"benchmarks\": ["
+  echo "$RAW" | awk '{
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", sep, name, $2, $3
+    sep = ",\n"
+  } END { print "" }'
+  echo "  ],"
+  TOTAL=$(echo "$RAW" | awk '{s += $3} END {print s}')
+  echo "  \"total_ns\": ${TOTAL}"
+  echo "}"
+} > "$OUT"
+
+echo "wrote $OUT"
