@@ -11,6 +11,7 @@ import (
 	"netcut/internal/graph"
 	"netcut/internal/pareto"
 	"netcut/internal/profiler"
+	"netcut/internal/serve"
 	"netcut/internal/trim"
 	"netcut/internal/zoo"
 )
@@ -216,3 +217,33 @@ func BlockwiseTRNs(g *Graph, head HeadSpec) ([]*TRN, error) {
 // Frontier extracts the Pareto-optimal subset of latency/accuracy
 // points.
 func Frontier(points []Point) []Point { return pareto.Frontier(points) }
+
+// Planner is the long-lived, concurrency-safe planning service: one
+// Planner accepts Select-style requests from many goroutines, shares a
+// single device/profiler/retraining simulator across all of them, and
+// keeps every structure-keyed cache bounded so a stream of arbitrary
+// user graphs plans in constant memory. Responses are pure functions of
+// (PlannerConfig, PlanRequest): concurrency and cache eviction change
+// wall-clock time only, never results.
+type (
+	Planner = serve.Planner
+	// PlannerConfig parameterizes a Planner: seed, device, protocol,
+	// head, and the LRU caps of the shared caches (0 = package default,
+	// negative = unbounded).
+	PlannerConfig = serve.Config
+	// PlanRequest is one planning request: graph + deadline + estimator
+	// kind ("profiler", "analytical" or "linear").
+	PlanRequest = serve.Request
+	// PlanResponse is the planning outcome: the highest-accuracy cut
+	// meeting the deadline, or Feasible == false.
+	PlanResponse = serve.Response
+	// PlannerStats snapshots the planner's request and cache counters.
+	PlannerStats = serve.Stats
+)
+
+// NewPlanner builds the planning service. Unlike Select — which builds
+// a fresh Lab per call — a Planner amortizes profiling across requests:
+// repeated or structurally identical graphs are cache hits end to end,
+// and its proposals are byte-identical to single-use Select for the
+// same seed.
+func NewPlanner(cfg PlannerConfig) (*Planner, error) { return serve.New(cfg) }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"netcut/internal/exp"
+	"netcut/internal/trim"
 )
 
 // The benchmark harness regenerates every figure and table of the
@@ -152,4 +153,77 @@ func BenchmarkSelectEndToEnd(b *testing.B) {
 		}
 		printedMu.Unlock()
 	}
+}
+
+// BenchmarkPlannerSelectCold measures a cold planner request: a fresh
+// Planner per iteration with the process-wide cut cache purged, so
+// every architecture is planned, profiled and cut from scratch — the
+// baseline the warm benchmark's cache-hit speedup is read against in
+// BENCH_<date>.json.
+func BenchmarkPlannerSelectCold(b *testing.B) {
+	g, err := NetworkByName("ResNet-50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		trim.PurgeCutCache()
+		p, err := NewPlanner(PlannerConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerSelectWarm measures the repeated-config request the
+// planning service exists for: one long-lived Planner, the same
+// request over and over — every iteration is served from the shared
+// bounded caches.
+func BenchmarkPlannerSelectWarm(b *testing.B) {
+	g, err := NetworkByName("ResNet-50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPlanner(PlannerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerConcurrentThroughput measures service throughput: a
+// shared warm Planner serving a zoo-cycling request stream from
+// RunParallel workers.
+func BenchmarkPlannerConcurrentThroughput(b *testing.B) {
+	nets := Networks()
+	p, err := NewPlanner(PlannerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range nets { // warm every architecture once
+		if _, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			g := nets[i%len(nets)]
+			i++
+			if _, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -1,0 +1,151 @@
+// netserve demonstrates the concurrent planning service: it streams
+// Select-style requests (paper networks plus synthetic "user" graphs)
+// through one shared netcut.Planner from many goroutines, then prints
+// throughput and the shared-cache counters that make repeat traffic
+// cheap.
+//
+// Usage:
+//
+//	netserve                          # 8 workers, 64 requests, 0.9 ms
+//	netserve -workers 16 -requests 256
+//	netserve -deadline 0.5 -estimator analytical
+//	netserve -arbitrary 12            # mix in 12 distinct non-zoo graphs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"netcut"
+	"netcut/internal/graph"
+)
+
+func userNet(i int) *netcut.Graph {
+	b := graph.NewBuilder(fmt.Sprintf("user-net-%d", i), graph.Shape{H: 32, W: 32, C: 3}, 8)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 8+i%4, 2, graph.Same)
+	for blk := 0; blk < 3+i%3; blk++ {
+		b.BeginBlock(fmt.Sprintf("b%d", blk))
+		y := b.ConvBNReLU(x, 3, 8+i%4, 1, graph.Same)
+		x = b.Add(y, x)
+		x = b.ReLU(x)
+		b.EndBlock()
+	}
+	b.BeginHead()
+	x = b.GlobalAvgPool(x)
+	x = b.Dense(x, 8)
+	b.Softmax(x)
+	return b.MustFinish()
+}
+
+func main() {
+	workers := flag.Int("workers", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 64, "total requests to issue")
+	deadline := flag.Float64("deadline", 0.9, "application deadline in milliseconds")
+	seed := flag.Int64("seed", 1, "measurement and retraining seed")
+	estimator := flag.String("estimator", "profiler", "latency estimator: profiler, analytical or linear")
+	arbitrary := flag.Int("arbitrary", 6, "distinct synthetic non-zoo graphs mixed into the stream")
+	flag.Parse()
+
+	planner, err := netcut.NewPlanner(netcut.PlannerConfig{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// The request universe: the paper zoo plus synthetic user graphs.
+	// The stream cycles through it, so most requests repeat an
+	// architecture the service has already profiled — the cross-request
+	// cache-sharing case the Planner exists for.
+	universe := netcut.Networks()
+	for i := 0; i < *arbitrary; i++ {
+		universe = append(universe, userNet(i))
+	}
+
+	type outcome struct {
+		resp *netcut.PlanResponse
+		err  error
+	}
+	outs := make([]outcome, *requests)
+	var next int64
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(*requests) {
+			return -1
+		}
+		next++
+		return int(next - 1)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				g := universe[i%len(universe)]
+				resp, err := planner.Select(netcut.PlanRequest{
+					Graph:      g,
+					DeadlineMs: *deadline,
+					Estimator:  *estimator,
+				})
+				outs[i] = outcome{resp: resp, err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// One summary line per distinct architecture, in universe order.
+	seen := map[string]bool{}
+	for i, o := range outs {
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "request %d: %v\n", i, o.err)
+			os.Exit(1)
+		}
+		name := o.resp.Parent
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if o.resp.Feasible {
+			fmt.Printf("%-24s -> %-28s est %.4f ms  measured %.4f ms  acc %.3f\n",
+				name, o.resp.Network, o.resp.EstimatedMs, o.resp.MeasuredMs, o.resp.Accuracy)
+		} else {
+			fmt.Printf("%-24s -> infeasible at %.3f ms\n", name, *deadline)
+		}
+	}
+
+	s := planner.Stats()
+	fmt.Printf("\n%d requests x %d workers in %v (%.1f req/s)\n",
+		*requests, *workers, elapsed.Round(time.Millisecond),
+		float64(*requests)/elapsed.Seconds())
+	rows := []struct {
+		name string
+		len  int
+		cap  int
+		hits uint64
+		miss uint64
+		rate float64
+	}{
+		{"kernel plans", s.Plans.Len, s.Plans.Cap, s.Plans.Hits, s.Plans.Misses, s.Plans.HitRate()},
+		{"measurements", s.Measurements.Len, s.Measurements.Cap, s.Measurements.Hits, s.Measurements.Misses, s.Measurements.HitRate()},
+		{"layer tables", s.Tables.Len, s.Tables.Cap, s.Tables.Hits, s.Tables.Misses, s.Tables.HitRate()},
+		{"TRN cuts", s.Cuts.Len, s.Cuts.Cap, s.Cuts.Hits, s.Cuts.Misses, s.Cuts.HitRate()},
+	}
+	fmt.Println("shared caches:")
+	for _, r := range rows {
+		fmt.Printf("  %-13s %5d/%d resident  %6d hits  %5d misses  (%.1f%% hit rate)\n",
+			r.name, r.len, r.cap, r.hits, r.miss, 100*r.rate)
+	}
+}

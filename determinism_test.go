@@ -1,8 +1,13 @@
 package netcut
 
 import (
+	"fmt"
 	"runtime"
+	"sync"
 	"testing"
+
+	"netcut/internal/graph"
+	"netcut/internal/profiler"
 )
 
 // selectionKey flattens the fields of a Selection that the determinism
@@ -47,5 +52,133 @@ func TestSelectDeterministicAcrossRunsAndWidths(t *testing.T) {
 	}
 	if selectionKey(wide) != selectionKey(repeat) {
 		t.Fatalf("repeated run selected %+v then %+v", wide, repeat)
+	}
+}
+
+// planKey flattens the fields of a PlanResponse that the determinism
+// contract covers into one comparable value.
+func planKey(r *PlanResponse) [10]interface{} {
+	return [10]interface{}{
+		r.Feasible, r.Network, r.Parent, r.BlocksRemoved, r.LayersRemoved,
+		r.EstimatedMs, r.MeasuredMs, r.Accuracy, r.TrainHours, r.Iterations,
+	}
+}
+
+// stressNet builds one of M structurally distinct user graphs.
+func stressNet(i int) *Graph {
+	b := graph.NewBuilder(fmt.Sprintf("stress-net-%d", i), graph.Shape{H: 32, W: 32, C: 3}, 8)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 8+i%4, 2, graph.Same)
+	for blk := 0; blk < 2+i%3; blk++ {
+		b.BeginBlock(fmt.Sprintf("b%d", blk))
+		y := b.ConvBNReLU(x, 3, 8+i%4, 1, graph.Same)
+		x = b.Add(y, x)
+		x = b.ReLU(x)
+		b.EndBlock()
+	}
+	b.BeginHead()
+	x = b.GlobalAvgPool(x)
+	x = b.Dense(x, 8)
+	b.Softmax(x)
+	return b.MustFinish()
+}
+
+// stressProto keeps the stress matrix fast; the determinism contract is
+// protocol-independent because every noise stream is seeded per network.
+var stressProto = profiler.Protocol{WarmupRuns: 10, TimedRuns: 40}
+
+// TestPlannerDeterministicUnderConcurrentStress extends the determinism
+// contract to the shared-cache Planner: N goroutines times M distinct
+// graphs, with every graph also requested repeatedly, must produce
+// byte-identical PlanResponses to a serial replay on a fresh Planner,
+// regardless of interleaving and GOMAXPROCS. Run under -race in CI,
+// this is also the planner's data-race probe.
+func TestPlannerDeterministicUnderConcurrentStress(t *testing.T) {
+	const (
+		goroutines = 8
+		distinct   = 5
+		rounds     = 3
+		seed       = 19
+	)
+	newPlanner := func() *Planner {
+		p, err := NewPlanner(PlannerConfig{Seed: seed, Protocol: stressProto})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Serial reference, one fresh planner, GOMAXPROCS pinned to 1.
+	prev := runtime.GOMAXPROCS(1)
+	ref := newPlanner()
+	want := make([][10]interface{}, distinct)
+	for i := range want {
+		r, err := ref.Select(PlanRequest{Graph: stressNet(i), DeadlineMs: 0.35})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = planKey(r)
+	}
+	runtime.GOMAXPROCS(prev)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, width := range []int{1, 4} {
+		runtime.GOMAXPROCS(width)
+		p := newPlanner()
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for round := 0; round < rounds; round++ {
+					for j := 0; j < distinct; j++ {
+						i := (j + w + round) % distinct
+						r, err := p.Select(PlanRequest{Graph: stressNet(i), DeadlineMs: 0.35})
+						if err != nil {
+							errs <- err
+							return
+						}
+						if planKey(r) != want[i] {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d round %d: %s diverged from serial replay:\n got %v\nwant %v",
+								width, w, round, stressNet(i).Name, planKey(r), want[i])
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPlannerRepeatedRequestIsCacheHit pins the cross-request sharing
+// the Planner exists for: a repeated identical request must be served
+// from the shared caches (no new measurement-cache misses) and return
+// the byte-identical response.
+func TestPlannerRepeatedRequestIsCacheHit(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Seed: 5, Protocol: stressProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stressNet(0)
+	first, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterCold := p.Stats().Measurements.Misses
+	second, err := p.Select(PlanRequest{Graph: g, DeadlineMs: 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planKey(first) != planKey(second) {
+		t.Fatalf("repeated request diverged: %v vs %v", planKey(first), planKey(second))
+	}
+	if got := p.Stats().Measurements.Misses; got != missesAfterCold {
+		t.Fatalf("repeated request caused %d new measurement misses", got-missesAfterCold)
 	}
 }

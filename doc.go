@@ -61,6 +61,46 @@
 // renders and Select output are byte-identical for a fixed seed across
 // repeated runs and any GOMAXPROCS.
 //
+// # The Planner service
+//
+// Select builds a fresh measurement lab per call; the Planner
+// (NewPlanner, internal/serve) is the long-lived alternative for
+// serving a stream of requests:
+//
+//	planner, err := netcut.NewPlanner(netcut.PlannerConfig{Seed: 1})
+//	resp, err := planner.Select(netcut.PlanRequest{Graph: g, DeadlineMs: 0.9})
+//
+// Lifecycle: construct once, share freely. A Planner is safe for
+// arbitrarily many concurrent Select calls and never needs shutdown —
+// it owns no goroutines or descriptors, only caches. All requests
+// share one simulated device, one profiler and one retraining
+// simulator, so each distinct architecture pays for kernel planning,
+// the 200/800 measurement protocol and TRN construction once; repeated
+// or structurally identical requests are cache hits end to end
+// (Planner.Stats exposes the hit counters). Graphs outside the
+// calibrated zoo are admitted after graph.Validate and retrain against
+// a generic transfer profile derived deterministically from the
+// graph's own name and depth.
+//
+// Cache bounding: every structure-keyed cache is a bounded LRU, so a
+// stream of never-repeating graphs runs in constant memory. The knobs
+// live on PlannerConfig — PlanCacheCap (device kernel plans, default
+// 4096), MeasurementCacheCap (8192) and TableCacheCap (1024) are
+// per-planner; CutCacheCap re-bounds the TRN cut cache, which is
+// process-wide and shared by every Planner (default 8192; set it once
+// at startup in multi-tenant processes). 0 keeps the current setting
+// and a negative value unbounds the layer.
+//
+// Determinism across shared caches: every cached value is a pure
+// function of (seed, device config, graph structure), never of request
+// order, so the caches are transparent — a hit returns exactly what a
+// recompute would, and eviction merely restores the recompute cost.
+// Consequently a Planner's responses are byte-identical to single-use
+// Select for the same seed, to a serial replay of any concurrent
+// request interleaving, and across GOMAXPROCS settings; the planner
+// stress tests in determinism_test.go and the eviction-transparency
+// tests in internal/{device,profiler,trim,serve} pin all three.
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package netcut

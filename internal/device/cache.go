@@ -39,21 +39,19 @@ type profRow struct {
 // the same graph object); fresh pointers fall back to the structural
 // fingerprint, so re-cut copies of a TRN share one planInfo. The
 // pointer level evicts itself when a graph is collected (the cache
-// must not keep caller graphs alive), while the fingerprint level is
-// bounded by the number of distinct network structures seen. Safe for
-// concurrent callers; on a race both build the same deterministic
-// value and one copy wins.
+// must not keep caller graphs alive), while the fingerprint level is a
+// bounded LRU — eviction is transparent because buildPlan is a pure
+// function of (config, structure). Safe for concurrent callers; on a
+// race both build the same deterministic value and one copy wins.
 func (d *Device) plan(g *graph.Graph) *planInfo {
 	wp := weak.Make(g)
 	if v, ok := d.byPtr.Load(wp); ok {
 		return v.(*planInfo)
 	}
 	key := graph.Fingerprint(g)
-	v, ok := d.byPrint.Load(key)
-	if !ok {
-		v, _ = d.byPrint.LoadOrStore(key, d.buildPlan(g, key))
-	}
-	info := v.(*planInfo)
+	info := d.byPrint.GetOrCompute(key, func() *planInfo {
+		return d.buildPlan(g, key)
+	})
 	if _, loaded := d.byPtr.LoadOrStore(wp, info); !loaded {
 		runtime.AddCleanup(g, func(k weak.Pointer[graph.Graph]) {
 			d.byPtr.Delete(k)

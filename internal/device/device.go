@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"netcut/internal/graph"
+	"netcut/internal/lru"
 )
 
 // Device is a simulated embedded GPU. It memoizes the fused execution
@@ -15,12 +16,21 @@ import (
 // The cache is two-level — by (weak) graph pointer for O(1) repeats
 // that never outlive the graph, by structural fingerprint so
 // independently built copies of the same network (e.g. a TRN re-cut by
-// two explorations) share one plan.
+// two explorations) share one plan. The fingerprint level is a bounded
+// LRU (DefaultPlanCacheCap), so a service planning a stream of
+// arbitrary user graphs runs in constant memory; plans are pure
+// functions of (config, structure), so eviction is transparent.
 type Device struct {
 	cfg     Config
 	byPtr   sync.Map // weak.Pointer[graph.Graph] -> *planInfo, self-evicting
-	byPrint sync.Map // graph.Fingerprint (uint64) -> *planInfo
+	byPrint *lru.Cache[uint64, *planInfo]
 }
+
+// DefaultPlanCacheCap bounds the fingerprint-keyed plan cache. It
+// comfortably covers the paper pipeline's working set (7 networks, 148
+// blockwise TRNs, a few hundred exhaustive cuts) while capping what a
+// stream of distinct user graphs can pin.
+const DefaultPlanCacheCap = 4096
 
 // New returns a Device for the given configuration. Configurations are
 // static calibration tables, so an invalid one panics rather than
@@ -29,8 +39,15 @@ func New(cfg Config) *Device {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Device{cfg: cfg}
+	return &Device{cfg: cfg, byPrint: lru.New[uint64, *planInfo](DefaultPlanCacheCap)}
 }
+
+// SetPlanCacheCap re-bounds the fingerprint-keyed plan cache, evicting
+// least-recently-used plans if needed. cap <= 0 means unbounded.
+func (d *Device) SetPlanCacheCap(cap int) { d.byPrint.Resize(cap) }
+
+// PlanCacheStats reports the plan cache's size and hit counters.
+func (d *Device) PlanCacheStats() lru.Stats { return d.byPrint.Stats() }
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }

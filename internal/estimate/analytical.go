@@ -2,6 +2,7 @@ package estimate
 
 import (
 	"fmt"
+	"maps"
 
 	"netcut/internal/metric"
 	"netcut/internal/svr"
@@ -96,9 +97,26 @@ func TrainAnalytical(samples []Sample, cfg AnalyticalConfig) (*AnalyticalEstimat
 func (e *AnalyticalEstimator) Name() string { return "analytical" }
 
 // SetParentLatency registers the measured latency of a parent network so
-// TRNs of parents unseen at training time can be estimated.
+// TRNs of parents unseen at training time can be estimated. It mutates
+// the receiver; concurrent services should use WithParentLatency.
 func (e *AnalyticalEstimator) SetParentLatency(network string, ms float64) {
 	e.parents[network] = ms
+}
+
+// WithParentLatency returns an estimator that additionally knows the
+// given parent latency, without mutating the receiver: if the latency
+// is already registered with the same value, the receiver itself is
+// returned; otherwise a shallow copy with a copied parent map is built.
+// This lets one long-lived trained model serve concurrent requests for
+// parents unseen at training time with no shared-map writes.
+func (e *AnalyticalEstimator) WithParentLatency(network string, ms float64) *AnalyticalEstimator {
+	if v, ok := e.parents[network]; ok && v == ms {
+		return e
+	}
+	cp := *e
+	cp.parents = maps.Clone(e.parents)
+	cp.parents[network] = ms
+	return &cp
 }
 
 // EstimateMs implements Estimator.
@@ -149,8 +167,22 @@ func TrainLinear(samples []Sample) (*LinearEstimator, error) {
 func (e *LinearEstimator) Name() string { return "linear" }
 
 // SetParentLatency registers the measured latency of a parent network.
+// It mutates the receiver; concurrent services should use
+// WithParentLatency.
 func (e *LinearEstimator) SetParentLatency(network string, ms float64) {
 	e.parents[network] = ms
+}
+
+// WithParentLatency is the non-mutating variant of SetParentLatency;
+// see AnalyticalEstimator.WithParentLatency.
+func (e *LinearEstimator) WithParentLatency(network string, ms float64) *LinearEstimator {
+	if v, ok := e.parents[network]; ok && v == ms {
+		return e
+	}
+	cp := *e
+	cp.parents = maps.Clone(e.parents)
+	cp.parents[network] = ms
+	return &cp
 }
 
 // EstimateMs implements Estimator.

@@ -7,6 +7,7 @@ import (
 	"netcut/internal/core"
 	"netcut/internal/estimate"
 	"netcut/internal/metric"
+	"netcut/internal/par"
 	"netcut/internal/pareto"
 	"netcut/internal/trim"
 	"netcut/internal/zoo"
@@ -65,13 +66,22 @@ func (l *Lab) Fig4() (*Figure, error) {
 		r   int
 		err float64
 	}
-	var epts []pt
-	for _, tr := range exhaustive {
-		acc, err := l.sim.Accuracy(tr)
+	// The exhaustive family is the figure's hot loop (one accuracy
+	// evaluation per eligible cut node); fan it out over the pool into
+	// position-indexed slots, so the assembled point list — and the
+	// unstable sort below, which sees the identical input order — match
+	// a serial run exactly.
+	epts := make([]pt, len(exhaustive))
+	err = par.ForEach(len(exhaustive), func(i int) error {
+		acc, err := l.sim.Accuracy(exhaustive[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		epts = append(epts, pt{tr.LayersRemoved, 1 - acc})
+		epts[i] = pt{exhaustive[i].LayersRemoved, 1 - acc}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(epts, func(i, j int) bool { return epts[i].r < epts[j].r })
 	for _, p := range epts {

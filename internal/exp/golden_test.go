@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden markdown artefacts")
+
+// TestMarkdownArtefactsMatchGolden renders every figure and table the
+// way `netexp -markdown` does (same Lab config as the binary's flag
+// defaults: seed 1, deadline 0.9 ms) and compares each against its
+// golden file byte for byte. This pins the whole numeric surface of
+// the reproduction: any refactor of the measurement pipeline, the
+// parallel fan-outs (e.g. Fig4's exhaustive loop), the SVR warm-start
+// chains or the cache layers that changes a single emitted byte fails
+// here.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/exp -run Golden -update
+func TestMarkdownArtefactsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every artefact")
+	}
+	lab, err := NewLab(Config{Seed: 1, DeadlineMs: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := lab.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range figs {
+		t.Run(f.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := f.Markdown(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", f.ID+".md")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("markdown for %s diverged from golden %s\n-- got --\n%s\n-- want --\n%s",
+					f.ID, path, truncate(buf.String()), truncate(string(want)))
+			}
+		})
+	}
+}
+
+func truncate(s string) string {
+	const max = 2000
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (truncated)"
+}

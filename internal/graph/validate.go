@@ -11,9 +11,23 @@ import "fmt"
 //   - blocks are contiguous, non-empty, ordered, and non-head
 //   - head layers form a suffix of the node list
 //   - accounting fields are non-negative
+//
+// Validate is the service boundary for untrusted graphs: it must
+// return an error — never panic — on arbitrary input, and every graph
+// it accepts must survive the downstream pipeline (fingerprinting,
+// kernel planning, measurement, blockwise cutting) without panicking.
+// Both properties are pinned by the fuzz targets in fuzz_test.go.
 func Validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("graph: nil")
+	}
 	if len(g.Nodes) == 0 {
 		return fmt.Errorf("graph %s: empty", g.Name)
+	}
+	for i, n := range g.Nodes {
+		if n == nil {
+			return fmt.Errorf("graph %s: node %d is nil", g.Name, i)
+		}
 	}
 	if g.Nodes[0].Kind != OpInput {
 		return fmt.Errorf("graph %s: first node must be Input, got %s", g.Name, g.Nodes[0].Kind)
@@ -26,6 +40,9 @@ func Validate(g *Graph) error {
 		if n.Kind == OpInput {
 			if i != 0 {
 				return fmt.Errorf("graph %s: extra Input node at %d", g.Name, i)
+			}
+			if n.Block >= 0 {
+				return fmt.Errorf("graph %s: input node inside block %d", g.Name, n.Block)
 			}
 		} else if len(n.Inputs) == 0 {
 			return fmt.Errorf("graph %s: node %d (%s) has no inputs", g.Name, i, n.Name)
@@ -50,6 +67,15 @@ func Validate(g *Graph) error {
 				return fmt.Errorf("graph %s: head node %d (%s) inside block %d", g.Name, i, n.Name, n.Block)
 			}
 		}
+		if n.Block < -1 || n.Block >= len(g.Blocks) {
+			return fmt.Errorf("graph %s: node %d (%s) claims nonexistent block %d", g.Name, i, n.Name, n.Block)
+		}
+	}
+	claimed := make([]int, len(g.Blocks))
+	for _, n := range g.Nodes {
+		if n.Block >= 0 {
+			claimed[n.Block]++
+		}
 	}
 	for bi, blk := range g.Blocks {
 		if blk.Index != bi {
@@ -68,6 +94,9 @@ func Validate(g *Graph) error {
 			if g.Nodes[id].Block != bi {
 				return fmt.Errorf("graph %s: node %d claims block %d but listed in block %d", g.Name, id, g.Nodes[id].Block, bi)
 			}
+		}
+		if claimed[bi] != len(blk.Nodes) {
+			return fmt.Errorf("graph %s: block %d (%s) lists %d nodes but %d claim it", g.Name, bi, blk.Label, len(blk.Nodes), claimed[bi])
 		}
 		if bi > 0 {
 			prev := g.Blocks[bi-1]

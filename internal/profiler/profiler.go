@@ -13,10 +13,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
-	"sync"
 
 	"netcut/internal/device"
 	"netcut/internal/graph"
+	"netcut/internal/lru"
 	"netcut/internal/metric"
 )
 
@@ -98,21 +98,52 @@ func (t *Table) LayerMs(nodeID int) (float64, bool) {
 // pipeline already measured (the sweep re-visits every sample TRN, the
 // figure generators re-cut and re-measure proposals) is a cache hit
 // that returns the byte-identical Measurement or Table.
+//
+// Both memoization layers are bounded LRUs (DefaultMeasurementCacheCap,
+// DefaultTableCacheCap): measurements are pure functions of
+// (seed, structure), so an evicted entry recomputes to the identical
+// value and a stream of arbitrary user graphs runs in constant memory.
 type Profiler struct {
 	dev   *device.Device
 	proto Protocol
 	seed  int64
 
-	measurements sync.Map // device plan key (uint64) -> Measurement
-	tables       sync.Map // device plan key (uint64) -> *Table
+	measurements *lru.Cache[uint64, Measurement] // by device plan key
+	tables       *lru.Cache[uint64, *Table]      // by device plan key
 }
+
+// DefaultMeasurementCacheCap bounds the end-to-end measurement cache;
+// DefaultTableCacheCap bounds the (larger, rarer) per-layer tables.
+const (
+	DefaultMeasurementCacheCap = 8192
+	DefaultTableCacheCap       = 1024
+)
 
 // New returns a Profiler using the given device and protocol.
 func New(dev *device.Device, proto Protocol, seed int64) (*Profiler, error) {
 	if err := proto.validate(); err != nil {
 		return nil, err
 	}
-	return &Profiler{dev: dev, proto: proto, seed: seed}, nil
+	return &Profiler{
+		dev:          dev,
+		proto:        proto,
+		seed:         seed,
+		measurements: lru.New[uint64, Measurement](DefaultMeasurementCacheCap),
+		tables:       lru.New[uint64, *Table](DefaultTableCacheCap),
+	}, nil
+}
+
+// SetCacheCaps re-bounds the measurement and table caches (<= 0 means
+// unbounded), evicting least-recently-used entries as needed.
+func (p *Profiler) SetCacheCaps(measurements, tables int) {
+	p.measurements.Resize(measurements)
+	p.tables.Resize(tables)
+}
+
+// CacheStats reports the measurement- and table-cache counters, in that
+// order.
+func (p *Profiler) CacheStats() (measurements, tables lru.Stats) {
+	return p.measurements.Stats(), p.tables.Stats()
 }
 
 // sessionSeed derives the per-network measurement seed from the
@@ -131,14 +162,10 @@ func sessionSeed(base int64, name string) int64 {
 // latency summary of g. Structurally identical graphs share one cached
 // result (see the Profiler doc comment for why this is exact).
 func (p *Profiler) Measure(g *graph.Graph) Measurement {
-	key := p.dev.PlanKey(g)
-	if v, ok := p.measurements.Load(key); ok {
-		return v.(Measurement)
-	}
-	m := p.measure(g)
 	// A concurrent miss computes the identical value; either store wins.
-	p.measurements.Store(key, m)
-	return m
+	return p.measurements.GetOrCompute(p.dev.PlanKey(g), func() Measurement {
+		return p.measure(g)
+	})
 }
 
 func (p *Profiler) measure(g *graph.Graph) Measurement {
@@ -162,13 +189,9 @@ func (p *Profiler) measure(g *graph.Graph) Measurement {
 // returns the layer table for g. Structurally identical graphs share
 // one cached table; callers treat tables as immutable.
 func (p *Profiler) Profile(g *graph.Graph) *Table {
-	key := p.dev.PlanKey(g)
-	if v, ok := p.tables.Load(key); ok {
-		return v.(*Table)
-	}
-	tbl := p.profile(g)
-	p.tables.Store(key, tbl)
-	return tbl
+	return p.tables.GetOrCompute(p.dev.PlanKey(g), func() *Table {
+		return p.profile(g)
+	})
 }
 
 func (p *Profiler) profile(g *graph.Graph) *Table {

@@ -1,0 +1,406 @@
+// Package serve implements the long-lived, concurrency-safe planning
+// service on top of the NetCut substrates: one Planner accepts
+// Select-style requests (graph + deadline + estimator kind) from many
+// goroutines, shares a single simulated device, profiler and retraining
+// simulator across all of them, and keeps every structure-keyed cache
+// bounded, so a stream of arbitrary user graphs plans in constant
+// memory.
+//
+// This is the "production" counterpart of the figure-reproduction Lab
+// (internal/exp): where a Lab owns the paper's fixed 7-network zoo and
+// builds each artefact once, a Planner amortizes profiling across an
+// open-ended request stream. Measurement results are pure functions of
+// (seed, device config, graph structure), so cross-request sharing is
+// exact: a Planner's proposal for a paper network is byte-identical to
+// the one a fresh single-use Lab would produce for the same seed, and
+// repeated requests for the same architecture are cache hits end to
+// end.
+//
+// Determinism contract: the Planner inherits the repository-wide rule
+// that concurrency changes wall-clock time only. Every noise stream
+// derives from Config.Seed plus the network's own name, generic
+// transfer profiles derive from (name, layer count) alone, and caches
+// are transparent (eviction forces an identical recompute), so N
+// goroutines issuing any interleaving of requests receive byte-identical
+// responses to a serial replay — the property the root package's
+// planner stress tests pin.
+//
+// Because names seed those streams, admission enforces one structure
+// per name for the life of the service (zoo names are reserved for the
+// calibrated networks): a graph reusing an admitted name with a
+// different structure is rejected with an error instead of being
+// silently served with the earlier structure's curves.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netcut/internal/core"
+	"netcut/internal/device"
+	"netcut/internal/estimate"
+	"netcut/internal/graph"
+	"netcut/internal/lru"
+	"netcut/internal/par"
+	"netcut/internal/profiler"
+	"netcut/internal/transfer"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// Config parameterizes a Planner. The zero value serves with the
+// calibrated Xavier device, the paper's measurement protocol and head,
+// seed 0, and the package-default cache caps.
+type Config struct {
+	// Seed fixes every measurement and retraining noise stream; 0 is a
+	// valid seed.
+	Seed int64
+	// Device overrides the simulated device; nil uses device.Xavier.
+	Device *device.Config
+	// Protocol overrides the measurement protocol; zero uses the
+	// paper's 200/800.
+	Protocol profiler.Protocol
+	// Head overrides the replacement head; zero uses trim.DefaultHead.
+	Head trim.HeadSpec
+	// TrainFraction is the analytical estimator's train split; 0 = 20%.
+	TrainFraction float64
+
+	// Cache caps; 0 keeps each layer's current setting, negative means
+	// unbounded. PlanCacheCap bounds the device's fingerprint-keyed
+	// kernel plans and MeasurementCacheCap / TableCacheCap the profiler
+	// memos — all three are per-Planner.
+	PlanCacheCap        int
+	MeasurementCacheCap int
+	TableCacheCap       int
+	// CutCacheCap re-bounds the TRN cut cache, which is process-wide
+	// state shared by every Planner and direct trim.Cut caller: setting
+	// it here is a convenience for single-tenant processes and affects
+	// all of them (multi-tenant processes should call
+	// trim.SetCutCacheCap once at startup instead). 0 leaves the
+	// current cap — which may not be the package default if another
+	// Planner already changed it — untouched.
+	CutCacheCap int
+}
+
+func (c *Config) fill() {
+	if c.Device == nil {
+		cfg := device.Xavier()
+		c.Device = &cfg
+	}
+	if c.Protocol == (profiler.Protocol{}) {
+		c.Protocol = profiler.PaperProtocol()
+	}
+	if c.Head == (trim.HeadSpec{}) {
+		c.Head = trim.DefaultHead
+	}
+	if c.TrainFraction == 0 {
+		c.TrainFraction = 0.2
+	}
+}
+
+// cap maps the Config cap convention (0 = default, negative =
+// unbounded) onto the lru convention (<= 0 = unbounded).
+func capOrDefault(v, def int) int {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	default:
+		return v
+	}
+}
+
+// Request asks the Planner for the deepest-accuracy cut of one graph
+// that meets a deadline.
+type Request struct {
+	// Graph is the user network. It must pass graph.Validate and must
+	// not be mutated after submission (the caches key on structure).
+	Graph *graph.Graph
+	// DeadlineMs is the application deadline; 0 means the prosthetic
+	// hand's 0.9 ms.
+	DeadlineMs float64
+	// Estimator selects the latency estimator: "profiler" (default,
+	// Eq. 1 over the graph's own per-layer table), "analytical"
+	// (shared epsilon-SVR trained once on the paper zoo), or "linear".
+	Estimator string
+}
+
+// Response is the planning outcome for one request.
+type Response struct {
+	// Feasible reports whether any cut of the graph meets the deadline;
+	// when false the remaining fields are zero.
+	Feasible bool
+	// Network is the paper-style TRN label, e.g. "ResNet-50/104".
+	Network string
+	// Parent is the requested network's name.
+	Parent string
+	// BlocksRemoved / LayersRemoved describe the accepted cut.
+	BlocksRemoved int
+	LayersRemoved int
+	// EstimatedMs is the estimator's latency for the accepted TRN;
+	// MeasuredMs is the simulated ground truth.
+	EstimatedMs float64
+	MeasuredMs  float64
+	// Accuracy is the retrained accuracy; TrainHours its simulated cost.
+	Accuracy   float64
+	TrainHours float64
+	// Iterations counts the cutpoints Algorithm 1 examined.
+	Iterations int
+	// TRN is the accepted trimmed network (nil when infeasible).
+	TRN *trim.TRN
+}
+
+// lazy is a singleflight cell (see exp.Lab): first caller builds, every
+// concurrent caller blocks on that build, result is immutable after.
+type lazy[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *lazy[T]) get(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
+}
+
+// Planner is the long-lived planning service. One Planner is safe for
+// arbitrarily many concurrent Select calls; all requests share the
+// device's kernel-plan cache, the profiler's measurement and table
+// memos, the process-wide cut cache, and the lazily trained analytical
+// and linear estimators.
+type Planner struct {
+	cfg  Config
+	dev  *device.Device
+	prof *profiler.Profiler
+	sim  *transfer.Simulator
+	rt   core.Retrainer
+
+	// zooSamples is the 148-TRN measured regression set the shared
+	// analytical/linear estimators train on, built at most once.
+	zooSamples lazy[[]estimate.Sample]
+	analytical lazy[*estimate.AnalyticalEstimator]
+	linear     lazy[*estimate.LinearEstimator]
+
+	// names binds each admitted network name to its structural
+	// fingerprint. The measurement seeds, transfer profiles and
+	// boundary memos all key on the name, so one name must mean one
+	// structure for the life of the service; a graph reusing an
+	// admitted name with a different structure is rejected rather than
+	// silently served with the earlier structure's retraining curve.
+	// Zoo names are bound to the calibrated networks at construction.
+	names sync.Map // name -> graph fingerprint (uint64)
+
+	requests atomic.Uint64
+}
+
+// New builds a Planner and applies the configured cache bounds.
+func New(cfg Config) (*Planner, error) {
+	cfg.fill()
+	dev := device.New(*cfg.Device)
+	dev.SetPlanCacheCap(capOrDefault(cfg.PlanCacheCap, device.DefaultPlanCacheCap))
+	prof, err := profiler.New(dev, cfg.Protocol, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	prof.SetCacheCaps(
+		capOrDefault(cfg.MeasurementCacheCap, profiler.DefaultMeasurementCacheCap),
+		capOrDefault(cfg.TableCacheCap, profiler.DefaultTableCacheCap),
+	)
+	if cfg.CutCacheCap != 0 {
+		trim.SetCutCacheCap(capOrDefault(cfg.CutCacheCap, trim.DefaultCutCacheCap))
+	}
+	sim := transfer.NewSimulator(cfg.Seed)
+	p := &Planner{cfg: cfg, dev: dev, prof: prof, sim: sim}
+	p.rt = core.RetrainerFunc(func(t *trim.TRN) (core.TrainResult, error) {
+		r, err := sim.Retrain(t)
+		return core.TrainResult{Accuracy: r.Accuracy, TrainHours: r.TrainHours}, err
+	})
+	// Reserve the calibrated names: a user graph reusing a zoo name
+	// with a different structure must not inherit the zoo's curves.
+	for _, g := range zoo.Paper7() {
+		p.names.Store(g.Name, graph.Fingerprint(g))
+	}
+	return p, nil
+}
+
+// Seed returns the planner's base seed.
+func (p *Planner) Seed() int64 { return p.cfg.Seed }
+
+// Select plans one request: validate the graph, measure it on the
+// shared device (a cache hit for any structure seen before), run
+// Algorithm 1 with the requested estimator, and return the
+// highest-accuracy deadline-feasible cut. Safe for concurrent callers;
+// the response is a pure function of (Config, Request).
+func (p *Planner) Select(req Request) (*Response, error) {
+	p.requests.Add(1)
+	g := req.Graph
+	if g == nil {
+		return nil, fmt.Errorf("serve: nil graph")
+	}
+	if err := graph.Validate(g); err != nil {
+		return nil, fmt.Errorf("serve: rejecting graph: %w", err)
+	}
+	// Admission: one name, one structure (see the names field). The
+	// fingerprint-equal path is the common repeated-request case.
+	print := graph.Fingerprint(g)
+	if prev, loaded := p.names.LoadOrStore(g.Name, print); loaded && prev.(uint64) != print {
+		return nil, fmt.Errorf("serve: rejecting graph: name %q is already bound to a different structure", g.Name)
+	}
+	deadline := req.DeadlineMs
+	if deadline == 0 {
+		deadline = 0.9
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("serve: negative deadline %v", deadline)
+	}
+	if err := p.ensureProfile(g); err != nil {
+		return nil, err
+	}
+
+	meas := p.prof.Measure(g)
+	acc, err := p.sim.OffTheShelfAccuracy(g.Name)
+	if err != nil {
+		return nil, err
+	}
+	cand := core.Candidate{Graph: g, MeasuredMs: meas.MeanMs, Accuracy: acc}
+
+	est, err := p.estimator(req.Estimator, g, meas.MeanMs)
+	if err != nil {
+		return nil, err
+	}
+
+	res, err := core.Explore([]core.Candidate{cand}, deadline, est, p.rt, p.cfg.Head)
+	if err != nil {
+		return nil, err
+	}
+	if res.Best == nil {
+		return &Response{Parent: g.Name}, nil
+	}
+	best := res.Best
+	return &Response{
+		Feasible:      true,
+		Network:       best.TRN.Name(),
+		Parent:        g.Name,
+		BlocksRemoved: best.Cutpoint,
+		LayersRemoved: best.TRN.LayersRemoved,
+		EstimatedMs:   best.EstimateMs,
+		MeasuredMs:    p.dev.LatencyMs(best.TRN.Graph),
+		Accuracy:      best.Accuracy,
+		TrainHours:    best.TrainHours,
+		Iterations:    best.Iterations,
+		TRN:           best.TRN,
+	}, nil
+}
+
+// ensureProfile registers a deterministic generic transfer profile for
+// networks outside the calibrated zoo, so arbitrary user graphs can be
+// "retrained". Derived from (name, feature-layer count) alone, the
+// profile is the same whichever request registers it first.
+func (p *Planner) ensureProfile(g *graph.Graph) error {
+	if p.sim.HasProfile(g.Name) {
+		return nil
+	}
+	return p.sim.RegisterProfile(transfer.GenericProfile(g.Name, g.FeatureLayerCount()))
+}
+
+// estimator resolves the per-request estimator. The profiler kind
+// profiles the request's own graph (one bounded-cached table per
+// structure); the analytical and linear kinds share one model trained
+// on the paper zoo, overlaid — copy-on-write, never mutating the shared
+// model — with the request graph's measured parent latency.
+func (p *Planner) estimator(kind string, g *graph.Graph, parentMs float64) (estimate.Estimator, error) {
+	switch kind {
+	case "", "profiler":
+		tbl := p.prof.Profile(g)
+		return estimate.NewProfilerEstimator(map[string]*profiler.Table{g.Name: tbl}), nil
+	case "analytical":
+		base, err := p.analytical.get(p.buildAnalytical)
+		if err != nil {
+			return nil, err
+		}
+		return base.WithParentLatency(g.Name, parentMs), nil
+	case "linear":
+		base, err := p.linear.get(p.buildLinear)
+		if err != nil {
+			return nil, err
+		}
+		return base.WithParentLatency(g.Name, parentMs), nil
+	default:
+		return nil, fmt.Errorf("serve: unknown estimator %q", kind)
+	}
+}
+
+// buildZooSamples mirrors exp.Lab's sample construction exactly — same
+// zoo order, same enumeration, same per-TRN measurement seeds — so the
+// shared estimators train to byte-identical models.
+func (p *Planner) buildZooSamples() ([]estimate.Sample, error) {
+	nets := zoo.Paper7()
+	parentMs := make([]float64, len(nets))
+	err := par.ForEach(len(nets), func(i int) error {
+		parentMs[i] = p.prof.Measure(nets[i]).MeanMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []estimate.Sample
+	for i, g := range nets {
+		trns, err := trim.EnumerateBlockwise(g, p.cfg.Head, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range trns {
+			out = append(out, estimate.Sample{TRN: tr, ParentLatencyMs: parentMs[i]})
+		}
+	}
+	err = par.ForEach(len(out), func(i int) error {
+		out[i].MeasuredMs = p.prof.Measure(out[i].TRN.Graph).MeanMs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *Planner) buildAnalytical() (*estimate.AnalyticalEstimator, error) {
+	samples, err := p.zooSamples.get(p.buildZooSamples)
+	if err != nil {
+		return nil, err
+	}
+	train, _ := estimate.StratifiedSplit(samples, p.cfg.TrainFraction, p.cfg.Seed)
+	return estimate.TrainAnalytical(train, estimate.AnalyticalConfig{Seed: p.cfg.Seed})
+}
+
+func (p *Planner) buildLinear() (*estimate.LinearEstimator, error) {
+	samples, err := p.zooSamples.get(p.buildZooSamples)
+	if err != nil {
+		return nil, err
+	}
+	train, _ := estimate.StratifiedSplit(samples, p.cfg.TrainFraction, p.cfg.Seed)
+	return estimate.TrainLinear(train)
+}
+
+// Stats is a point-in-time snapshot of the planner's shared state.
+type Stats struct {
+	Requests     uint64
+	Plans        lru.Stats // device kernel-plan cache
+	Measurements lru.Stats // profiler end-to-end measurements
+	Tables       lru.Stats // profiler per-layer tables
+	Cuts         lru.Stats // process-wide TRN cut cache
+}
+
+// Stats reports request and cache counters, the service's
+// observability surface (cmd/netserve prints it).
+func (p *Planner) Stats() Stats {
+	m, t := p.prof.CacheStats()
+	return Stats{
+		Requests:     p.requests.Load(),
+		Plans:        p.dev.PlanCacheStats(),
+		Measurements: m,
+		Tables:       t,
+		Cuts:         trim.CutCacheStats(),
+	}
+}

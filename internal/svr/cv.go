@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"netcut/internal/par"
 )
@@ -83,13 +84,47 @@ func makeFoldSplits(X [][]float64, y []float64, folds [][]int) []foldSplit {
 	return splits
 }
 
+// gammaGroup is the warm-start unit of the grid: every point sharing
+// one gamma, ordered by ascending C. gridIdx maps back into the
+// caller's grid so the result table keeps its order.
+type gammaGroup struct {
+	gamma   float64
+	gridIdx []int
+}
+
+// groupByGamma partitions the grid into gamma groups (first-seen gamma
+// order) and sorts each group's points by ascending C, the direction in
+// which a smaller-C solution stays box-feasible.
+func groupByGamma(grid []GridPoint) []gammaGroup {
+	var groups []gammaGroup
+	byGamma := map[float64]int{}
+	for i, gp := range grid {
+		gi, ok := byGamma[gp.Gamma]
+		if !ok {
+			gi = len(groups)
+			byGamma[gp.Gamma] = gi
+			groups = append(groups, gammaGroup{gamma: gp.Gamma})
+		}
+		groups[gi].gridIdx = append(groups[gi].gridIdx, i)
+	}
+	for gi := range groups {
+		idx := groups[gi].gridIdx
+		sort.SliceStable(idx, func(a, b int) bool { return grid[idx[a]].C < grid[idx[b]].C })
+	}
+	return groups
+}
+
 // GridSearch selects the grid point minimizing k-fold cross-validated
 // RMSE of an RBF epsilon-SVR on (X, y). X should be standardized.
 // Returns the winner and the full result table, sorted as given in grid.
 //
-// The grid-point x fold training tasks run on a worker pool. Each task
-// is a pure function of its (shared, read-only) fold split and grid
-// point, and fold errors are reduced in fold order per grid point, so
+// The parallel unit is one (gamma group x fold) chain: within a chain,
+// C values are visited in ascending order and each solve warm-starts
+// from the previous one's dual vector (the kernel matrix is fixed per
+// gamma, and a smaller-C solution stays feasible as the box widens), so
+// the expensive large-C points start near their optimum. Chains are
+// pure functions of their (shared, read-only) fold split and gamma
+// group, and fold errors are reduced in fold order per grid point, so
 // the selected winner and the result table are independent of
 // scheduling and GOMAXPROCS.
 func GridSearch(X [][]float64, y []float64, grid []GridPoint, k int, epsilon float64, seed int64) (CVResult, []CVResult, error) {
@@ -101,26 +136,33 @@ func GridSearch(X [][]float64, y []float64, grid []GridPoint, k int, epsilon flo
 		return CVResult{}, nil, err
 	}
 	splits := makeFoldSplits(X, y, folds)
+	groups := groupByGamma(grid)
 
 	type foldErr struct {
 		sqSum float64
 		cnt   int
 	}
 	errsByTask := make([]foldErr, len(grid)*len(splits))
-	err = par.ForEach(len(errsByTask), func(ti int) error {
-		gp := grid[ti/len(splits)]
-		s := &splits[ti%len(splits)]
-		m, err := Train(s.trX, s.trY, RBF{Gamma: gp.Gamma}, Params{C: gp.C, Epsilon: epsilon})
-		if err != nil {
-			return fmt.Errorf("svr: grid point %+v: %w", gp, err)
+	err = par.ForEach(len(groups)*len(splits), func(ti int) error {
+		grp := &groups[ti/len(splits)]
+		fi := ti % len(splits)
+		s := &splits[fi]
+		var warm []float64
+		for _, gi := range grp.gridIdx {
+			gp := grid[gi]
+			m, err := TrainWarm(s.trX, s.trY, RBF{Gamma: gp.Gamma}, Params{C: gp.C, Epsilon: epsilon}, warm)
+			if err != nil {
+				return fmt.Errorf("svr: grid point %+v: %w", gp, err)
+			}
+			warm = m.beta
+			var fe foldErr
+			for _, i := range s.val {
+				d := m.Predict(X[i]) - y[i]
+				fe.sqSum += d * d
+				fe.cnt++
+			}
+			errsByTask[gi*len(splits)+fi] = fe
 		}
-		var fe foldErr
-		for _, i := range s.val {
-			d := m.Predict(X[i]) - y[i]
-			fe.sqSum += d * d
-			fe.cnt++
-		}
-		errsByTask[ti] = fe
 		return nil
 	})
 	if err != nil {

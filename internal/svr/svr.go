@@ -24,6 +24,24 @@ type Model struct {
 // share a length and y must match X. Inputs are retained by the model;
 // callers should standardize features first (see Scaler).
 func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) {
+	return TrainWarm(X, y, kernel, p, nil)
+}
+
+// TrainWarm is Train warm-started from an initial dual vector beta0 —
+// typically the solution at a smaller C on the same data, which stays
+// feasible as the box widens. Grid search walks each gamma's C values
+// in ascending order through this, so later grid points start near
+// their optimum instead of at zero.
+//
+// beta0 is copied; it is used only if it is dual-feasible for the new
+// box — every |beta0_i| <= C — since the solver's pairwise updates
+// preserve whatever the starting point's coefficient sum is, and a
+// clipped (or otherwise infeasible) start would silently converge to a
+// solution violating the SVR constraints. A nil, mismatched-length or
+// infeasible beta0 falls back to a cold start. Warm starts are
+// deterministic: the same (inputs, beta0) always reaches the same
+// model, because the solver's internal randomness is fixed-seeded.
+func TrainWarm(X [][]float64, y []float64, kernel Kernel, p Params, beta0 []float64) (*Model, error) {
 	n := len(X)
 	if n == 0 {
 		return nil, fmt.Errorf("svr: empty training set")
@@ -54,6 +72,27 @@ func Train(X [][]float64, y []float64, kernel Kernel, p Params) (*Model, error) 
 
 	beta := make([]float64, n)
 	f := make([]float64, n) // f_i = (K beta)_i
+	if len(beta0) == n {
+		feasible := true
+		for _, b := range beta0 {
+			if math.Abs(b) > p.C {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			copy(beta, beta0)
+			for i := 0; i < n; i++ {
+				if beta[i] == 0 {
+					continue
+				}
+				Ki := K[i]
+				for k := 0; k < n; k++ {
+					f[k] += beta[i] * Ki[k]
+				}
+			}
+		}
+	}
 
 	// deltaD returns the dual-objective gain of beta_i += t, beta_j -= t.
 	deltaD := func(i, j int, t float64) float64 {

@@ -1,0 +1,140 @@
+package svr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmData synthesizes a smooth 1-D regression problem.
+func warmData(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := 4*rng.Float64() - 2
+		X[i] = []float64{x}
+		y[i] = math.Sin(2*x) + 0.3*x
+	}
+	return X, y
+}
+
+// TestTrainWarmDeterministic pins warm-start determinism: the same
+// (data, params, beta0) must always reach the identical model.
+func TestTrainWarmDeterministic(t *testing.T) {
+	X, y := warmData(60, 5)
+	small, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 10, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Model {
+		m, err := TrainWarm(X, y, RBF{Gamma: 0.5}, Params{C: 1000, Epsilon: 0.01}, small.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	if a.b != b.b {
+		t.Fatalf("bias differs across identical warm starts: %v vs %v", a.b, b.b)
+	}
+	for i := range a.beta {
+		if a.beta[i] != b.beta[i] {
+			t.Fatalf("beta[%d] differs: %v vs %v", i, a.beta[i], b.beta[i])
+		}
+	}
+}
+
+// TestTrainWarmMatchesColdQuality checks a warm-started solve reaches
+// the same solution quality as a cold start at the same grid point.
+func TestTrainWarmMatchesColdQuality(t *testing.T) {
+	X, y := warmData(60, 7)
+	rmse := func(m *Model) float64 {
+		var s float64
+		for i := range X {
+			d := m.Predict(X[i]) - y[i]
+			s += d * d
+		}
+		return math.Sqrt(s / float64(len(X)))
+	}
+	small, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 1, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 1000, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := TrainWarm(X, y, RBF{Gamma: 0.5}, Params{C: 1000, Epsilon: 0.01}, small.beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, wr := rmse(cold), rmse(warm)
+	if wr > cr*1.2+1e-9 {
+		t.Fatalf("warm-started RMSE %v much worse than cold %v", wr, cr)
+	}
+	// The solution must stay inside the new box.
+	for i, b := range warm.beta {
+		if math.Abs(b) > 1000+1e-9 {
+			t.Fatalf("beta[%d] = %v outside box", i, b)
+		}
+	}
+}
+
+// TestTrainWarmIgnoresUnusableBeta checks that a wrong-length or
+// box-infeasible beta0 falls back to a cold start instead of seeding
+// the solver with a state it cannot repair (the pairwise updates
+// preserve the starting coefficient sum, so clipping would silently
+// violate the dual constraints).
+func TestTrainWarmIgnoresUnusableBeta(t *testing.T) {
+	X, y := warmData(30, 9)
+	cold, err := Train(X, y, RBF{Gamma: 0.5}, Params{C: 100, Epsilon: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infeasible := make([]float64, len(X))
+	for i := range infeasible {
+		infeasible[i] = 1e6 // far outside the C=100 box
+	}
+	for name, beta0 := range map[string][]float64{
+		"mismatched length": {1, 2, 3},
+		"box-infeasible":    infeasible,
+	} {
+		warm, err := TrainWarm(X, y, RBF{Gamma: 0.5}, Params{C: 100, Epsilon: 0.01}, beta0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range cold.beta {
+			if cold.beta[i] != warm.beta[i] {
+				t.Fatalf("%s beta0 changed the solve at %d", name, i)
+			}
+		}
+	}
+}
+
+// TestGroupByGamma checks the warm-start chains: first-seen gamma
+// order, ascending C within each chain, and full index coverage.
+func TestGroupByGamma(t *testing.T) {
+	grid := []GridPoint{
+		{Gamma: 1, C: 1e6}, {Gamma: 0.1, C: 1e2}, {Gamma: 1, C: 1e2},
+		{Gamma: 0.1, C: 1e4}, {Gamma: 1, C: 1e4},
+	}
+	groups := groupByGamma(grid)
+	if len(groups) != 2 || groups[0].gamma != 1 || groups[1].gamma != 0.1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	seen := map[int]bool{}
+	for _, g := range groups {
+		for i := 1; i < len(g.gridIdx); i++ {
+			if grid[g.gridIdx[i-1]].C >= grid[g.gridIdx[i]].C {
+				t.Fatalf("group gamma=%v not ascending in C: %+v", g.gamma, g.gridIdx)
+			}
+		}
+		for _, i := range g.gridIdx {
+			seen[i] = true
+		}
+	}
+	if len(seen) != len(grid) {
+		t.Fatalf("groups cover %d of %d grid points", len(seen), len(grid))
+	}
+}

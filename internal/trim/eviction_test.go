@@ -1,0 +1,55 @@
+package trim
+
+import (
+	"reflect"
+	"testing"
+
+	"netcut/internal/zoo"
+)
+
+// TestCutCacheEvictionTransparent shrinks the cut cache far below the
+// blockwise family of ResNet-50, re-enumerates, and checks every TRN is
+// rebuilt identically (same cut geometry, same removed layers, same
+// trimmed-graph fingerprint-relevant fields) while the cache never
+// exceeds its cap.
+func TestCutCacheEvictionTransparent(t *testing.T) {
+	prevCap := CutCacheStats().Cap
+	defer SetCutCacheCap(prevCap)
+
+	g := zoo.ResNet50()
+	before, err := EnumerateBlockwise(g, DefaultHead, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cap = 3 // far below ResNet-50's 17 cutpoints: every pass evicts
+	SetCutCacheCap(cap)
+	if n := CutCacheStats().Len; n > cap {
+		t.Fatalf("resize left %d > cap %d entries", n, cap)
+	}
+	after, err := EnumerateBlockwise(g, DefaultHead, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CutCacheStats().Len; n > cap {
+		t.Fatalf("cache holds %d > cap %d after enumeration", n, cap)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("family size changed: %d vs %d", len(after), len(before))
+	}
+	for i := range after {
+		a, b := after[i], before[i]
+		if a.Cutpoint != b.Cutpoint || a.CutNode != b.CutNode || a.LayersRemoved != b.LayersRemoved {
+			t.Fatalf("cut %d geometry changed: %+v vs %+v", i, a, b)
+		}
+		if !reflect.DeepEqual(a.RemovedIDs, b.RemovedIDs) {
+			t.Fatalf("cut %d removed IDs changed", i)
+		}
+		if a.Name() != b.Name() {
+			t.Fatalf("cut %d name changed: %s vs %s", i, a.Name(), b.Name())
+		}
+		if !reflect.DeepEqual(a.Graph.Nodes, b.Graph.Nodes) {
+			t.Fatalf("cut %d rebuilt trimmed graph differs", i)
+		}
+	}
+}

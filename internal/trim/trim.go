@@ -15,9 +15,9 @@ package trim
 
 import (
 	"fmt"
-	"sync"
 
 	"netcut/internal/graph"
+	"netcut/internal/lru"
 )
 
 // HeadSpec describes the replacement classification head: one global
@@ -82,7 +82,29 @@ type cutKey struct {
 // Note a cache hit may return a TRN whose Parent pointer is a different
 // (structurally identical) graph object than the argument; nothing in
 // this codebase compares parents by pointer identity.
-var cutCache sync.Map // cutKey -> *TRN
+//
+// The cache is a bounded LRU (DefaultCutCacheCap): cuts are pure
+// functions of (parent structure, position, head), so eviction is
+// transparent and a service cutting a stream of arbitrary user graphs
+// runs in constant memory.
+var cutCache = lru.New[cutKey, *TRN](DefaultCutCacheCap)
+
+// DefaultCutCacheCap bounds the package cut cache. The paper pipeline's
+// working set — 148 blockwise TRNs plus a few hundred exhaustive cuts
+// per ablation — stays resident with a wide margin.
+const DefaultCutCacheCap = 8192
+
+// SetCutCacheCap re-bounds the cut cache (<= 0 means unbounded),
+// evicting least-recently-used TRNs as needed.
+func SetCutCacheCap(cap int) { cutCache.Resize(cap) }
+
+// PurgeCutCache empties the cut cache. Cuts rebuild identically on the
+// next query (the cache is transparent); cold-path benchmarks use this
+// to keep earlier process activity from pre-warming their runs.
+func PurgeCutCache() { cutCache.Purge() }
+
+// CutCacheStats reports the cut cache's size and hit counters.
+func CutCacheStats() lru.Stats { return cutCache.Stats() }
 
 // Cut removes the last `blocks` blocks of g and attaches the replacement
 // head. blocks = 0 replaces only the head (transfer learning on the full
@@ -94,15 +116,14 @@ func Cut(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
 		return nil, err
 	}
 	key := cutKey{parent: graph.Fingerprint(g), at: blocks, blockwise: true, head: head}
-	if v, ok := cutCache.Load(key); ok {
-		return v.(*TRN), nil
+	if v, ok := cutCache.Get(key); ok {
+		return v, nil
 	}
 	trn, err := cutBlocks(g, blocks, head)
 	if err != nil {
 		return nil, err
 	}
-	v, _ := cutCache.LoadOrStore(key, trn)
-	return v.(*TRN), nil
+	return cutCache.Add(key, trn), nil
 }
 
 func cutBlocks(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
@@ -138,15 +159,14 @@ func CutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
 		return nil, err
 	}
 	key := cutKey{parent: graph.Fingerprint(g), at: nodeID, blockwise: false, head: head}
-	if v, ok := cutCache.Load(key); ok {
-		return v.(*TRN), nil
+	if v, ok := cutCache.Get(key); ok {
+		return v, nil
 	}
 	trn, err := cutAtNode(g, nodeID, head)
 	if err != nil {
 		return nil, err
 	}
-	v, _ := cutCache.LoadOrStore(key, trn)
-	return v.(*TRN), nil
+	return cutCache.Add(key, trn), nil
 }
 
 func cutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {

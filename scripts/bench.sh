@@ -13,9 +13,10 @@ cd "$(dirname "$0")/.."
 OUT_DIR="${1:-.}"
 BENCHTIME="${2:-1x}"
 DATE="$(date -u +%Y-%m-%d)"
+mkdir -p "$OUT_DIR"
 OUT="$OUT_DIR/BENCH_${DATE}.json"
 
-RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Fig|Tab|Abl' \
+RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Fig|Tab|Abl' \
   -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
 
 {
