@@ -8,6 +8,7 @@ import (
 	"netcut/internal/device"
 	"netcut/internal/estimate"
 	"netcut/internal/exp"
+	"netcut/internal/gateway"
 	"netcut/internal/graph"
 	"netcut/internal/pareto"
 	"netcut/internal/profiler"
@@ -247,3 +248,30 @@ type (
 // and its proposals are byte-identical to single-use Select for the
 // same seed.
 func NewPlanner(cfg PlannerConfig) (*Planner, error) { return serve.New(cfg) }
+
+// Gateway is the deadline-aware HTTP serving layer on top of a
+// Planner: a JSON planning API (POST /v1/plan) with singleflight
+// coalescing of identical requests, batch admission of compatible
+// ones, bounded-queue load shedding keyed to the client's own latency
+// budget, graceful drain, and a telemetry registry exposed at /metrics
+// (Prometheus text) and /debug/stats (JSON). Coalescing, batching and
+// shedding change which executions happen and when — never what any
+// execution returns: a coalesced or batched response body is
+// byte-identical to the same request served alone through a Planner.
+type (
+	Gateway = gateway.Gateway
+	// GatewayConfig parameterizes a Gateway: the embedded PlannerConfig
+	// plus the HTTP-side knobs (body size limit, queue depth, batch
+	// width, worker count, shed warm-up).
+	GatewayConfig = gateway.Config
+)
+
+// NewGateway builds the serving gateway and starts its batch workers.
+// Mount Handler() on an http.Server and call Shutdown to drain:
+//
+//	gw, err := netcut.NewGateway(netcut.GatewayConfig{})
+//	srv := &http.Server{Addr: ":8080", Handler: gw.Handler()}
+//	... srv.ListenAndServe() ...
+//	srv.Shutdown(ctx) // stop accepting, finish in-flight handlers
+//	gw.Shutdown(ctx)  // drain the admission queue, stop workers
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }

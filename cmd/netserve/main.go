@@ -1,151 +1,126 @@
-// netserve demonstrates the concurrent planning service: it streams
-// Select-style requests (paper networks plus synthetic "user" graphs)
-// through one shared netcut.Planner from many goroutines, then prints
-// throughput and the shared-cache counters that make repeat traffic
-// cheap.
+// netserve is the NetCut serving daemon: it mounts the deadline-aware
+// planning gateway — JSON planning API with request coalescing, batch
+// admission and load shedding — on an HTTP listener and runs until
+// SIGINT/SIGTERM, then drains gracefully.
+//
+// Endpoints:
+//
+//	POST /v1/plan     {"network":"ResNet-50","deadline_ms":0.9}
+//	                  {"graph":{...},"deadline_ms":0.35,"budget_ms":50}
+//	GET  /metrics     Prometheus text format
+//	GET  /debug/stats JSON snapshot (telemetry + cache counters)
+//	GET  /healthz     liveness probe
 //
 // Usage:
 //
-//	netserve                          # 8 workers, 64 requests, 0.9 ms
-//	netserve -workers 16 -requests 256
-//	netserve -deadline 0.5 -estimator analytical
-//	netserve -arbitrary 12            # mix in 12 distinct non-zoo graphs
+//	netserve                            # serve on :8080, seed 0
+//	netserve -addr 127.0.0.1:9090 -seed 7
+//	netserve -queue 512 -batch 32 -workers 4
+//	netserve -max-body 4194304 -drain-timeout 30s
+//
+// Exit codes: 0 after a clean SIGINT/SIGTERM drain; 1 on configuration,
+// bind or serve errors; 2 on flag misuse (from package flag).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
-	"sync"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"netcut"
-	"netcut/internal/graph"
 )
 
-func userNet(i int) *netcut.Graph {
-	b := graph.NewBuilder(fmt.Sprintf("user-net-%d", i), graph.Shape{H: 32, W: 32, C: 3}, 8)
-	x := b.Input()
-	x = b.ConvBNReLU(x, 3, 8+i%4, 2, graph.Same)
-	for blk := 0; blk < 3+i%3; blk++ {
-		b.BeginBlock(fmt.Sprintf("b%d", blk))
-		y := b.ConvBNReLU(x, 3, 8+i%4, 1, graph.Same)
-		x = b.Add(y, x)
-		x = b.ReLU(x)
-		b.EndBlock()
-	}
-	b.BeginHead()
-	x = b.GlobalAvgPool(x)
-	x = b.Dense(x, 8)
-	b.Softmax(x)
-	return b.MustFinish()
+func main() {
+	os.Exit(run())
 }
 
-func main() {
-	workers := flag.Int("workers", 8, "concurrent client goroutines")
-	requests := flag.Int("requests", 64, "total requests to issue")
-	deadline := flag.Float64("deadline", 0.9, "application deadline in milliseconds")
-	seed := flag.Int64("seed", 1, "measurement and retraining seed")
-	estimator := flag.String("estimator", "profiler", "latency estimator: profiler, analytical or linear")
-	arbitrary := flag.Int("arbitrary", 6, "distinct synthetic non-zoo graphs mixed into the stream")
+// run is main with an exit code, so every path unwinds defers before
+// the process exits.
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		seed         = flag.Int64("seed", 0, "measurement and retraining seed")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = default)")
+		batch        = flag.Int("batch", 0, "max requests per batched planner pass (0 = default)")
+		workers      = flag.Int("workers", 0, "batch worker goroutines (0 = default)")
+		maxBody      = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default, negative = unlimited)")
+		shedMin      = flag.Int("shed-min-samples", 0, "warm executions required before budget shedding activates (0 = default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "netserve: unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
 
-	planner, err := netcut.NewPlanner(netcut.PlannerConfig{Seed: *seed})
+	gw, err := netcut.NewGateway(netcut.GatewayConfig{
+		Planner:        netcut.PlannerConfig{Seed: *seed},
+		QueueDepth:     *queue,
+		BatchMax:       *batch,
+		Workers:        *workers,
+		MaxBodyBytes:   *maxBody,
+		ShedMinSamples: *shedMin,
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
+		return 1
 	}
 
-	// The request universe: the paper zoo plus synthetic user graphs.
-	// The stream cycles through it, so most requests repeat an
-	// architecture the service has already profiled — the cross-request
-	// cache-sharing case the Planner exists for.
-	universe := netcut.Networks()
-	for i := 0; i < *arbitrary; i++ {
-		universe = append(universe, userNet(i))
+	// Bind before daemonizing claims: a bad -addr must be a prompt,
+	// non-zero exit, not a goroutine's log line.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{
+		Handler: gw.Handler(),
+		// Header/idle timeouts bound what a slow or silent client can
+		// pin; WriteTimeout stays unset because a cold plan of a large
+		// graph legitimately takes a while and admission already sheds
+		// by the client's own budget.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 
-	type outcome struct {
-		resp *netcut.PlanResponse
-		err  error
-	}
-	outs := make([]outcome, *requests)
-	var next int64
-	var mu sync.Mutex
-	take := func() int {
-		mu.Lock()
-		defer mu.Unlock()
-		if next >= int64(*requests) {
-			return -1
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Printf("netserve: serving on %s (seed %d)\n", ln.Addr(), *seed)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("netserve: %v, draining (timeout %v)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Order matters: stop accepting and finish in-flight handlers
+		// first (they wait on gateway deliveries), then drain the
+		// gateway's own queue and workers.
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "netserve: drain: %v\n", err)
+			return 1
 		}
-		next++
-		return int(next - 1)
-	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < *workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := take()
-				if i < 0 {
-					return
-				}
-				g := universe[i%len(universe)]
-				resp, err := planner.Select(netcut.PlanRequest{
-					Graph:      g,
-					DeadlineMs: *deadline,
-					Estimator:  *estimator,
-				})
-				outs[i] = outcome{resp: resp, err: err}
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	// One summary line per distinct architecture, in universe order.
-	seen := map[string]bool{}
-	for i, o := range outs {
-		if o.err != nil {
-			fmt.Fprintf(os.Stderr, "request %d: %v\n", i, o.err)
-			os.Exit(1)
+		if err := gw.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "netserve: drain: %v\n", err)
+			return 1
 		}
-		name := o.resp.Parent
-		if seen[name] {
-			continue
+		fmt.Println("netserve: drained")
+		return 0
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
+			return 1
 		}
-		seen[name] = true
-		if o.resp.Feasible {
-			fmt.Printf("%-24s -> %-28s est %.4f ms  measured %.4f ms  acc %.3f\n",
-				name, o.resp.Network, o.resp.EstimatedMs, o.resp.MeasuredMs, o.resp.Accuracy)
-		} else {
-			fmt.Printf("%-24s -> infeasible at %.3f ms\n", name, *deadline)
-		}
-	}
-
-	s := planner.Stats()
-	fmt.Printf("\n%d requests x %d workers in %v (%.1f req/s)\n",
-		*requests, *workers, elapsed.Round(time.Millisecond),
-		float64(*requests)/elapsed.Seconds())
-	rows := []struct {
-		name string
-		len  int
-		cap  int
-		hits uint64
-		miss uint64
-		rate float64
-	}{
-		{"kernel plans", s.Plans.Len, s.Plans.Cap, s.Plans.Hits, s.Plans.Misses, s.Plans.HitRate()},
-		{"measurements", s.Measurements.Len, s.Measurements.Cap, s.Measurements.Hits, s.Measurements.Misses, s.Measurements.HitRate()},
-		{"layer tables", s.Tables.Len, s.Tables.Cap, s.Tables.Hits, s.Tables.Misses, s.Tables.HitRate()},
-		{"TRN cuts", s.Cuts.Len, s.Cuts.Cap, s.Cuts.Hits, s.Cuts.Misses, s.Cuts.HitRate()},
-	}
-	fmt.Println("shared caches:")
-	for _, r := range rows {
-		fmt.Printf("  %-13s %5d/%d resident  %6d hits  %5d misses  (%.1f%% hit rate)\n",
-			r.name, r.len, r.cap, r.hits, r.miss, 100*r.rate)
+		return 0
 	}
 }

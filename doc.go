@@ -101,6 +101,45 @@
 // stress tests in determinism_test.go and the eviction-transparency
 // tests in internal/{device,profiler,trim,serve} pin all three.
 //
+// # The serving gateway
+//
+// The Gateway (NewGateway, internal/gateway) puts a deadline-aware
+// HTTP front on a Planner; cmd/netserve is the daemon that mounts it:
+//
+//	gw, err := netcut.NewGateway(netcut.GatewayConfig{})
+//	srv := &http.Server{Addr: ":8080", Handler: gw.Handler()}
+//
+// POST /v1/plan accepts {"network": "ResNet-50", "deadline_ms": 0.9}
+// for calibrated zoo architectures or {"graph": {...}} for arbitrary
+// layer graphs (schema: internal/gateway wire format). The body is
+// size-limited and the decoded graph stops at graph.Validate —
+// malformed or oversized input is a structured 4xx, never a panic.
+//
+// Admission is deadline-aware in three stages. Identical in-flight
+// requests — same name, structure, deadline and estimator — coalesce
+// into one planner execution, singleflight-style, and all receive
+// byte-identical bodies. Distinct compatible requests drain from a
+// bounded queue into batched planner passes (Planner.SelectBatch). A
+// request carrying its own latency budget ("budget_ms") that cannot
+// cover the observed warm-path p99 is shed up front with 429 and a
+// retry hint — as is any arrival finding the queue full — consuming no
+// planner work. Gateway.Shutdown drains gracefully: new requests get
+// 503 while every admitted call completes and delivers.
+//
+// Coalescing, batching and shedding change which executions happen and
+// when — never what any execution returns: a coalesced or batched
+// response body is byte-identical to the same request served alone
+// through a Planner (pinned by the gateway package tests and its
+// GOMAXPROCS determinism guard).
+//
+// Observability: internal/telemetry is a dependency-free metrics
+// registry (counters, gauges, histograms) threaded through every cache
+// layer — device kernel plans, profiler measurements and tables, the
+// sharded TRN cut cache — plus the planner's execution counters and
+// cold/warm latency split and the gateway's queue/shed/coalesce
+// counters. The gateway serves it at /metrics (Prometheus text
+// format) and /debug/stats (JSON).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.
 package netcut

@@ -1,0 +1,150 @@
+// Example gateway: boots the deadline-aware serving gateway on a
+// loopback listener, drives it like a client — a zoo request, a custom
+// graph, a burst of identical requests that coalesce into one planner
+// execution, and a budget-constrained request that gets shed — then
+// scrapes /metrics and drains.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"netcut"
+	"netcut/internal/gateway"
+	"netcut/internal/graph"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+// customNet is a small residual network standing in for a user
+// architecture outside the calibrated zoo.
+func customNet() *netcut.Graph {
+	b := graph.NewBuilder("example-net", graph.Shape{H: 32, W: 32, C: 3}, 8)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 8, 2, graph.Same)
+	for blk := 0; blk < 4; blk++ {
+		b.BeginBlock(fmt.Sprintf("b%d", blk))
+		y := b.ConvBNReLU(x, 3, 8, 1, graph.Same)
+		x = b.Add(y, x)
+		x = b.ReLU(x)
+		b.EndBlock()
+	}
+	b.BeginHead()
+	x = b.GlobalAvgPool(x)
+	x = b.Dense(x, 8)
+	b.Softmax(x)
+	return b.MustFinish()
+}
+
+func post(base string, body string) (int, string) {
+	resp, err := http.Post(base+"/v1/plan", "application/json", strings.NewReader(body))
+	if err != nil {
+		die(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		die(err)
+	}
+	return resp.StatusCode, strings.TrimSpace(string(b))
+}
+
+func main() {
+	// ShedMinSamples 1 so this short demo reaches the shed path; the
+	// production default waits for a fuller warm histogram.
+	gw, err := netcut.NewGateway(netcut.GatewayConfig{
+		Planner:        netcut.PlannerConfig{Seed: 1},
+		ShedMinSamples: 1,
+	})
+	if err != nil {
+		die(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		die(err)
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("gateway listening on", base)
+
+	// 1. A calibrated zoo network by name — twice: the repeat is served
+	// warm from the shared caches and seeds the warm-latency histogram
+	// the shed path reads.
+	code, body := post(base, `{"network":"ResNet-50","deadline_ms":0.9}`)
+	fmt.Printf("\nzoo request         -> %d %s\n", code, body)
+	post(base, `{"network":"ResNet-50","deadline_ms":0.9}`)
+
+	// 2. A custom graph over the wire.
+	gjson, err := json.Marshal(gateway.EncodeGraph(customNet()))
+	if err != nil {
+		die(err)
+	}
+	code, body = post(base, fmt.Sprintf(`{"graph":%s,"deadline_ms":0.35}`, gjson))
+	fmt.Printf("custom graph        -> %d %s\n", code, body)
+
+	// 3. A burst of identical requests: arrivals that overlap an
+	// in-flight identical execution join it instead of planning again
+	// (stragglers landing after it completes run warm from the shared
+	// caches), and every body is byte-identical either way.
+	const burst = 16
+	before := gw.Planner().Executions()
+	var wg sync.WaitGroup
+	bodies := make([]string, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, bodies[i] = post(base, `{"network":"InceptionV3","deadline_ms":0.9}`)
+		}(i)
+	}
+	wg.Wait()
+	identical := true
+	for _, b := range bodies[1:] {
+		identical = identical && b == bodies[0]
+	}
+	fmt.Printf("burst of %d         -> %d planner execution(s), identical bodies: %v\n",
+		burst, gw.Planner().Executions()-before, identical)
+
+	// 4. A request whose own latency budget cannot cover the warm p99.
+	code, body = post(base, `{"network":"ResNet-50","deadline_ms":0.9,"budget_ms":0.000001}`)
+	fmt.Printf("tiny budget_ms      -> %d %s\n", code, body)
+
+	// 5. The observability surface.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		die(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\n/metrics excerpt:")
+	for _, line := range bytes.Split(metrics, []byte("\n")) {
+		s := string(line)
+		if strings.HasPrefix(s, "netcut_gateway_") && !strings.HasPrefix(s, "#") {
+			fmt.Println(" ", s)
+		}
+	}
+
+	// 6. Graceful drain.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		die(err)
+	}
+	if err := gw.Shutdown(ctx); err != nil {
+		die(err)
+	}
+	fmt.Println("\ndrained cleanly")
+}

@@ -7,6 +7,7 @@ import (
 
 	"netcut/internal/graph"
 	"netcut/internal/lru"
+	"netcut/internal/telemetry"
 )
 
 // Device is a simulated embedded GPU. It memoizes the fused execution
@@ -45,6 +46,12 @@ func New(cfg Config) *Device {
 // SetPlanCacheCap re-bounds the fingerprint-keyed plan cache, evicting
 // least-recently-used plans if needed. cap <= 0 means unbounded.
 func (d *Device) SetPlanCacheCap(cap int) { d.byPrint.Resize(cap) }
+
+// Instrument registers the kernel-plan cache's hit/miss/eviction/
+// occupancy series on reg under the netcut_device_plans prefix.
+func (d *Device) Instrument(reg *telemetry.Registry) {
+	lru.Instrument(reg, "netcut_device_plans", d.byPrint)
+}
 
 // PlanCacheStats reports the plan cache's size and hit counters.
 func (d *Device) PlanCacheStats() lru.Stats { return d.byPrint.Stats() }

@@ -37,6 +37,13 @@ func renderAll(t *testing.T, seed int64) []byte {
 // regardless of how many workers the measurement pipeline fans out
 // over, because every task derives its noise from the seed plus its own
 // identity, never from scheduling.
+//
+// The guard list extending this contract up the stack:
+// netcut.TestSelectDeterministicAcrossRunsAndWidths (public API),
+// netcut.TestPlannerDeterministicUnderConcurrentStress (the shared-
+// cache planning service), and
+// gateway.TestGatewayDeterministicAcrossGOMAXPROCS (the HTTP serving
+// layer with coalescing and batching).
 func TestAllDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("regenerates every figure three times")

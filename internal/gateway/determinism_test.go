@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestGatewayDeterministicAcrossGOMAXPROCS extends the repository's
+// GOMAXPROCS determinism guard (exp.TestAllDeterministicAcrossGOMAXPROCS,
+// netcut.TestPlannerDeterministicUnderConcurrentStress) to the serving
+// layer: any interleaving of concurrent gateway requests, at any
+// GOMAXPROCS and any coalescing/batching schedule, must produce bodies
+// byte-identical to a serial replay on a fresh gateway. Run under -race
+// in CI this is also the gateway's data-race probe.
+func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	const (
+		goroutines = 8
+		distinct   = 5
+		rounds     = 3
+		seed       = 17
+	)
+	mk := func(workers int) *Gateway {
+		cfg := quickConfig(seed)
+		cfg.Workers = workers
+		g, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	bodyFor := func(i int) string { return graphBody(t, userNet(i), 0.35, "") }
+
+	// Serial reference: one fresh gateway, one worker, GOMAXPROCS 1.
+	prev := runtime.GOMAXPROCS(1)
+	ref := mk(1)
+	want := make([][]byte, distinct)
+	for i := range want {
+		rec := post(ref, bodyFor(i))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("reference request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		want[i] = rec.Body.Bytes()
+	}
+	mustShutdown(t, ref)
+	runtime.GOMAXPROCS(prev)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, width := range []int{1, 4} {
+		runtime.GOMAXPROCS(width)
+		g := mk(2)
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		for w := 0; w < goroutines; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for round := 0; round < rounds; round++ {
+					for j := 0; j < distinct; j++ {
+						i := (j + w + round) % distinct
+						rec := post(g, bodyFor(i))
+						if rec.Code != http.StatusOK {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d: status %d: %s", width, w, rec.Code, rec.Body.String())
+							return
+						}
+						if !bytes.Equal(rec.Body.Bytes(), want[i]) {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d round %d: user-net-%d body diverged from serial replay:\n got %s\nwant %s",
+								width, w, round, i, rec.Body.Bytes(), want[i])
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		mustShutdown(t, g)
+	}
+}

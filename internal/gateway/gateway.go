@@ -1,0 +1,460 @@
+// Package gateway is the deadline-aware serving layer of NetCut: a
+// JSON-over-HTTP planning API on top of serve.Planner that admits,
+// coalesces, batches and — when the client's own latency budget cannot
+// be met — sheds requests, with a telemetry registry exposed in
+// Prometheus text format at /metrics and as JSON at /debug/stats.
+//
+// Request flow, in order:
+//
+//  1. Decode: the body is size-limited (Config.MaxBodyBytes) and the
+//     decoded graph stops at graph.Validate — malformed or oversized
+//     input is a structured 400/413, never a panic or an OOM.
+//  2. Coalesce: requests with identical (name, structure, deadline,
+//     estimator) share one in-flight planner execution and receive
+//     byte-identical response bodies, singleflight-style. Joining an
+//     in-flight call consumes no planner work and no queue slot.
+//  3. Shed: a would-be leader whose budget_ms cannot cover the observed
+//     warm-path p99 is rejected up front with 429 and a retry hint, as
+//     is any arrival finding the admission queue full. Shed requests
+//     never consume planner work.
+//  4. Batch: admitted leaders sit in a bounded queue; workers drain
+//     bursts of them and group compatible requests (same deadline and
+//     estimator) into one SelectBatch planner pass.
+//  5. Drain: Shutdown stops admission (503 + Retry-After), lets every
+//     queued call finish and deliver, then stops the workers.
+//
+// Determinism contract: coalescing, batching and shedding change which
+// executions happen and when — never what any execution returns. A
+// coalesced or batched response body is byte-identical to the same
+// request served alone through serve.Planner, pinned by the package
+// tests and the GOMAXPROCS determinism guard.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"netcut/internal/serve"
+	"netcut/internal/telemetry"
+)
+
+// Config parameterizes a Gateway. The zero value serves with the
+// default planner configuration and the documented knob defaults.
+type Config struct {
+	// Planner configures the underlying serve.Planner (seed, device,
+	// protocol, cache caps).
+	Planner serve.Config
+
+	// MaxBodyBytes caps a request body; larger bodies get 413.
+	// 0 means DefaultMaxBodyBytes; negative means no limit.
+	MaxBodyBytes int64
+	// QueueDepth bounds the admission queue; arrivals beyond it are
+	// shed with 429. 0 means DefaultQueueDepth.
+	QueueDepth int
+	// BatchMax caps how many queued requests one worker drains into a
+	// single planner pass. 0 means DefaultBatchMax.
+	BatchMax int
+	// Workers is the number of batch workers. 0 means DefaultWorkers.
+	Workers int
+	// ShedMinSamples is how many warm executions the latency histogram
+	// must hold before budget-based shedding activates (shedding on a
+	// cold estimate would reject half of a fresh server's first
+	// clients). 0 means DefaultShedMinSamples.
+	ShedMinSamples int
+}
+
+// Defaults for the Config knobs.
+const (
+	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB: ~10x the largest zoo graph's wire form
+	DefaultQueueDepth     = 256
+	DefaultBatchMax       = 16
+	DefaultWorkers        = 2
+	DefaultShedMinSamples = 64
+)
+
+func (c *Config) fill() error {
+	// MaxBodyBytes is the one knob where negative is meaningful (no
+	// limit); for the rest a negative value is a configuration error,
+	// surfaced from New rather than panicking in a channel make or a
+	// WaitGroup.
+	for _, k := range []struct {
+		name string
+		val  int
+	}{
+		{"QueueDepth", c.QueueDepth},
+		{"BatchMax", c.BatchMax},
+		{"Workers", c.Workers},
+		{"ShedMinSamples", c.ShedMinSamples},
+	} {
+		if k.val < 0 {
+			return fmt.Errorf("negative %s %d", k.name, k.val)
+		}
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.BatchMax == 0 {
+		c.BatchMax = DefaultBatchMax
+	}
+	if c.Workers == 0 {
+		c.Workers = DefaultWorkers
+	}
+	if c.ShedMinSamples == 0 {
+		c.ShedMinSamples = DefaultShedMinSamples
+	}
+	return nil
+}
+
+// call is one in-flight planner execution and the response every
+// coalesced waiter shares. body and status are written exactly once,
+// before done is closed.
+type call struct {
+	key    coalesceKey
+	req    serve.Request
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Gateway is the serving layer. Construct with New, expose Handler on
+// an http.Server, and call Shutdown to drain.
+type Gateway struct {
+	cfg     Config
+	planner *serve.Planner
+	reg     *telemetry.Registry
+	mux     *http.ServeMux
+	queue   chan *call
+
+	mu        sync.Mutex
+	inflight  map[coalesceKey]*call
+	draining  bool
+	drainDone chan struct{}  // closed once the drain completes
+	pending   sync.WaitGroup // queued, not yet delivered calls
+	workers   sync.WaitGroup
+
+	requests      *telemetry.Counter
+	coalesced     *telemetry.Counter
+	shedBudget    *telemetry.Counter
+	shedQueue     *telemetry.Counter
+	shedDraining  *telemetry.Counter
+	rejected      *telemetry.Counter
+	batches       *telemetry.Counter
+	batchedReqs   *telemetry.Counter
+	planErrors    *telemetry.Counter
+	requestLatMs  *telemetry.Histogram
+	testHookBatch func(n int) // test-only: runs in a worker before a planner pass of n requests
+}
+
+// New builds the gateway, instruments the planner and every cache layer
+// under it, and starts the batch workers. Callers own the HTTP server;
+// see Handler.
+func New(cfg Config) (*Gateway, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	p, err := serve.New(cfg.Planner)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: %w", err)
+	}
+	reg := telemetry.NewRegistry()
+	p.Instrument(reg)
+
+	g := &Gateway{
+		cfg:      cfg,
+		planner:  p,
+		reg:      reg,
+		queue:    make(chan *call, cfg.QueueDepth),
+		inflight: make(map[coalesceKey]*call),
+
+		requests:     reg.Counter("netcut_gateway_requests_total", "plan requests received"),
+		coalesced:    reg.Counter("netcut_gateway_coalesced_total", "requests that joined an identical in-flight execution"),
+		shedBudget:   reg.Counter("netcut_gateway_shed_budget_total", "requests shed because budget_ms cannot cover the warm p99"),
+		shedQueue:    reg.Counter("netcut_gateway_shed_queue_full_total", "requests shed because the admission queue was full"),
+		shedDraining: reg.Counter("netcut_gateway_shed_draining_total", "requests rejected during drain"),
+		rejected:     reg.Counter("netcut_gateway_rejected_total", "malformed requests rejected at the decode boundary"),
+		batches:      reg.Counter("netcut_gateway_batches_total", "planner passes executed by the batch workers"),
+		batchedReqs:  reg.Counter("netcut_gateway_batched_requests_total", "requests served through batched planner passes"),
+		planErrors:   reg.Counter("netcut_gateway_plan_errors_total", "admitted requests the planner returned an error for"),
+		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
+	}
+	reg.GaugeFunc("netcut_gateway_queue_depth", "requests waiting in the admission queue",
+		func() float64 { return float64(len(g.queue)) })
+	reg.GaugeFunc("netcut_gateway_inflight", "distinct in-flight executions (coalescing keys)",
+		func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return float64(len(g.inflight))
+		})
+
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("POST /v1/plan", g.handlePlan)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /debug/stats", g.handleStats)
+	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	g.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go g.worker()
+	}
+	return g, nil
+}
+
+// Handler returns the gateway's HTTP surface: POST /v1/plan,
+// GET /metrics, GET /debug/stats, GET /healthz.
+func (g *Gateway) Handler() http.Handler { return g.mux }
+
+// Planner exposes the underlying planning service (for embedding the
+// gateway and the planner API in one process).
+func (g *Gateway) Planner() *serve.Planner { return g.planner }
+
+// Registry exposes the telemetry registry, so embedders can add their
+// own series next to the gateway's.
+func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
+
+// Shutdown drains the gateway: new plan requests are rejected with 503,
+// every already-admitted call runs to completion and delivers its
+// response, then the workers stop. Safe to call more than once —
+// concurrent and repeated callers all wait on the same drain, so nil
+// always means "fully drained". The context bounds each caller's wait.
+func (g *Gateway) Shutdown(ctx context.Context) error {
+	g.mu.Lock()
+	if !g.draining {
+		g.draining = true
+		g.drainDone = make(chan struct{})
+		go func() {
+			g.pending.Wait() // all queued calls delivered
+			close(g.queue)   // no producer can enqueue once draining is set
+			g.workers.Wait()
+			close(g.drainDone)
+		}()
+	}
+	done := g.drainDone
+	g.mu.Unlock()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func (g *Gateway) writeErr(w http.ResponseWriter, e *apiError) {
+	if e.wire.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(int64(math.Ceil(e.wire.RetryAfterMs/1000))))
+	}
+	b, _ := json.Marshal(e.wire)
+	writeJSON(w, e.status, append(b, '\n'))
+}
+
+// handlePlan is the admission path described in the package comment.
+func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
+	g.requests.Inc()
+	body := r.Body
+	if g.cfg.MaxBodyBytes > 0 {
+		body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	}
+	dec, aerr := decodeRequest(body)
+	if aerr != nil {
+		g.rejected.Inc()
+		g.writeErr(w, aerr)
+		return
+	}
+
+	start := time.Now()
+	c, aerr := g.admit(dec)
+	if aerr != nil {
+		g.writeErr(w, aerr)
+		return
+	}
+
+	select {
+	case <-c.done:
+		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		writeJSON(w, c.status, c.body)
+	case <-r.Context().Done():
+		// The client went away; the execution keeps running for any
+		// remaining waiters (its result is cached work, not waste).
+	}
+}
+
+// admit coalesces, sheds or enqueues one decoded request, returning the
+// call to wait on.
+func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if g.draining {
+		g.shedDraining.Inc()
+		e := errf(http.StatusServiceUnavailable, "draining", "gateway is draining")
+		e.wire.RetryAfterMs = 1000
+		return nil, e
+	}
+	// Coalesce before shedding: joining an in-flight execution consumes
+	// no planner work, so even a budget-constrained request is better
+	// served than shed.
+	if c, ok := g.inflight[dec.key]; ok {
+		g.coalesced.Inc()
+		return c, nil
+	}
+	// Deadline-aware shedding: if the client's remaining budget cannot
+	// cover even the warm path's p99, queueing it only manufactures a
+	// guaranteed-late response.
+	if dec.budgetMs > 0 {
+		p99, samples := g.planner.WarmQuantile(0.99)
+		if samples >= uint64(g.cfg.ShedMinSamples) && dec.budgetMs < p99 {
+			g.shedBudget.Inc()
+			e := errf(http.StatusTooManyRequests, "budget_too_small",
+				"budget %.3f ms is below the warm-path p99 of %.3f ms", dec.budgetMs, p99)
+			e.wire.RetryAfterMs = p99
+			return nil, e
+		}
+	}
+	c := &call{key: dec.key, req: dec.req, done: make(chan struct{})}
+	select {
+	case g.queue <- c:
+		g.inflight[dec.key] = c
+		g.pending.Add(1)
+		return c, nil
+	default:
+		g.shedQueue.Inc()
+		e := errf(http.StatusTooManyRequests, "queue_full",
+			"admission queue of %d is full", g.cfg.QueueDepth)
+		p99, _ := g.planner.WarmQuantile(0.99)
+		e.wire.RetryAfterMs = math.Max(p99, 1)
+		return nil, e
+	}
+}
+
+// worker drains the admission queue: one blocking receive, a
+// cooperative yield, then an opportunistic non-blocking sweep up to
+// BatchMax, grouped into compatible planner passes.
+func (g *Gateway) worker() {
+	defer g.workers.Done()
+	for first := range g.queue {
+		// The yield lets the rest of a concurrent burst reach admission
+		// before this pass executes: arrivals for the same key join the
+		// in-flight call (coalesce), compatible distinct ones land in
+		// the queue for the sweep below (batch). Without it, a
+		// fully-loaded single-core scheduler runs the worker ahead of
+		// the burst's remaining handlers and serializes the burst into
+		// per-request executions. Costs nothing when idle.
+		runtime.Gosched()
+		batch := []*call{first}
+	sweep:
+		for len(batch) < g.cfg.BatchMax {
+			select {
+			case c, ok := <-g.queue:
+				if !ok {
+					break sweep
+				}
+				batch = append(batch, c)
+			default:
+				break sweep
+			}
+		}
+		g.execute(batch)
+	}
+}
+
+// execute groups a drained burst by (deadline, estimator) and runs each
+// group as one SelectBatch planner pass, delivering every call's
+// response. Grouping preserves arrival order within a group, and
+// responses are position-indexed, so batching cannot permute results.
+func (g *Gateway) execute(batch []*call) {
+	type groupKey struct {
+		deadline  float64
+		estimator string
+	}
+	order := make([]groupKey, 0, len(batch))
+	groups := make(map[groupKey][]*call, 1)
+	for _, c := range batch {
+		k := groupKey{c.req.DeadlineMs, c.req.Estimator}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, k := range order {
+		calls := groups[k]
+		if hook := g.testHookBatch; hook != nil {
+			hook(len(calls))
+		}
+		reqs := make([]serve.Request, len(calls))
+		for i, c := range calls {
+			reqs[i] = c.req
+		}
+		g.batches.Inc()
+		g.batchedReqs.Add(uint64(len(calls)))
+		resps, errs := g.planner.SelectBatch(reqs)
+		for i, c := range calls {
+			if errs[i] != nil {
+				g.planErrors.Inc()
+				e := planError(errs[i])
+				b, _ := json.Marshal(e.wire)
+				c.status, c.body = e.status, append(b, '\n')
+			} else {
+				c.status, c.body = http.StatusOK, EncodeResponse(resps[i])
+			}
+			g.deliver(c)
+		}
+	}
+}
+
+// planError maps a planner error to an HTTP status: admission conflicts
+// (a name already bound to a different structure) are the client's 409;
+// anything else is a 422 — the request was well-formed but could not be
+// planned.
+func planError(err error) *apiError {
+	if errors.Is(err, serve.ErrNameBound) {
+		return errf(http.StatusConflict, "name_conflict", "%v", err)
+	}
+	return errf(http.StatusUnprocessableEntity, "plan_failed", "%v", err)
+}
+
+// deliver publishes a call's response and retires its coalescing key.
+func (g *Gateway) deliver(c *call) {
+	g.mu.Lock()
+	delete(g.inflight, c.key)
+	g.mu.Unlock()
+	close(c.done)
+	g.pending.Done()
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.reg.WritePrometheus(w)
+}
+
+// handleStats serves the registry snapshot plus the planner's cache
+// stats as one JSON document.
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	doc := map[string]any{
+		"metrics": g.reg.Snapshot(),
+		"planner": g.planner.Stats(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}

@@ -1,0 +1,648 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netcut/internal/graph"
+	"netcut/internal/profiler"
+	"netcut/internal/serve"
+	"netcut/internal/zoo"
+)
+
+// quickProto keeps gateway tests fast; determinism is protocol-
+// independent because noise streams are seeded per network.
+var quickProto = profiler.Protocol{WarmupRuns: 10, TimedRuns: 40}
+
+func quickConfig(seed int64) Config {
+	return Config{Planner: serve.Config{Seed: seed, Protocol: quickProto}}
+}
+
+// userNet builds a structurally distinct blocked network per index,
+// mirroring the serve-package stress graphs.
+func userNet(i int) *graph.Graph {
+	b := graph.NewBuilder(fmt.Sprintf("user-net-%d", i), graph.Shape{H: 32, W: 32, C: 3}, 8)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 8+i%4, 2, graph.Same)
+	for blk := 0; blk < 3+i%3; blk++ {
+		b.BeginBlock(fmt.Sprintf("b%d", blk))
+		y := b.ConvBNReLU(x, 3, 8+i%4, 1, graph.Same)
+		x = b.Add(y, x)
+		x = b.ReLU(x)
+		b.EndBlock()
+	}
+	b.BeginHead()
+	x = b.GlobalAvgPool(x)
+	x = b.Dense(x, 8)
+	b.Softmax(x)
+	return b.MustFinish()
+}
+
+func mustShutdown(t *testing.T, g *Gateway) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := g.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// post drives the handler directly (no sockets): one request, recorded
+// response.
+func post(g *Gateway, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/plan", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+func get(g *Gateway, path string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// graphBody marshals a plan request wrapping g.
+func graphBody(t *testing.T, g *graph.Graph, deadline float64, extra string) string {
+	t.Helper()
+	gw, err := json.Marshal(EncodeGraph(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf(`{"graph":%s,"deadline_ms":%g%s}`, gw, deadline, extra)
+}
+
+// TestGatewayMatchesPlannerSelect pins the acceptance criterion: the
+// gateway's response body is byte-identical to encoding the response of
+// the same request served alone through a fresh serve.Planner.
+func TestGatewayMatchesPlannerSelect(t *testing.T) {
+	g, err := New(quickConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	solo, err := serve.New(serve.Config{Seed: 9, Protocol: quickProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, body := range map[string]string{
+		"zoo-shorthand": `{"network":"ResNet-50","deadline_ms":0.9}`,
+		"user-graph":    graphBody(t, userNet(0), 0.35, ""),
+	} {
+		rec := post(g, body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, rec.Code, rec.Body.String())
+		}
+		var req serve.Request
+		switch name {
+		case "zoo-shorthand":
+			zg, err := zoo.ByName("ResNet-50")
+			if err != nil {
+				t.Fatal(err)
+			}
+			req = serve.Request{Graph: zg, DeadlineMs: 0.9, Estimator: "profiler"}
+		default:
+			req = serve.Request{Graph: userNet(0), DeadlineMs: 0.35, Estimator: "profiler"}
+		}
+		want, err := solo.Select(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rec.Body.Bytes(), EncodeResponse(want)) {
+			t.Fatalf("%s: gateway body diverges from solo planner:\n gw: %s\nsolo: %s",
+				name, rec.Body.String(), EncodeResponse(want))
+		}
+	}
+}
+
+// TestGatewayCoalescesIdenticalRequests pins the singleflight contract:
+// N identical concurrent requests produce exactly one planner execution
+// (asserted via the telemetry counter) and byte-identical bodies.
+func TestGatewayCoalescesIdenticalRequests(t *testing.T) {
+	const n = 8
+	cfg := quickConfig(3)
+	cfg.Workers = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	// Gate the batch worker until every request has either become the
+	// leader or joined it, so the coalescing window is deterministic.
+	g.testHookBatch = func(int) {
+		deadline := time.Now().Add(10 * time.Second)
+		for g.coalesced.Value() < n-1 {
+			if time.Now().After(deadline) {
+				return // let the test's body comparison report the failure
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	body := graphBody(t, userNet(1), 0.35, "")
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := post(g, body)
+			codes[i], bodies[i] = rec.Code, rec.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d body differs:\n%s\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if got := g.planner.Executions(); got != 1 {
+		t.Fatalf("%d identical concurrent requests cost %d planner executions, want 1", n, got)
+	}
+	if got := g.coalesced.Value(); got != n-1 {
+		t.Fatalf("coalesced counter %d, want %d", got, n-1)
+	}
+}
+
+// TestGatewayShedsOnBudget pins deadline-aware load shedding: once the
+// warm histogram has samples, a request whose budget_ms cannot cover
+// the warm p99 is rejected with 429 + retry hint and consumes no
+// planner work.
+func TestGatewayShedsOnBudget(t *testing.T) {
+	cfg := quickConfig(5)
+	cfg.ShedMinSamples = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	body := graphBody(t, userNet(2), 0.35, "")
+	// First request is cold, second warm: seeds the warm histogram.
+	for i := 0; i < 2; i++ {
+		if rec := post(g, body); rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	if _, samples := g.planner.WarmQuantile(0.99); samples == 0 {
+		t.Fatal("no warm samples after a repeated request")
+	}
+
+	execs := g.planner.Executions()
+	rec := post(g, graphBody(t, userNet(2), 0.35, `,"budget_ms":0.00001`))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("tiny-budget request: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("shed body is not structured: %v", err)
+	}
+	if e.Code != "budget_too_small" || e.RetryAfterMs <= 0 {
+		t.Fatalf("shed body %+v, want budget_too_small with retry hint", e)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After header")
+	}
+	if got := g.planner.Executions(); got != execs {
+		t.Fatalf("shed request consumed planner work: executions %d -> %d", execs, got)
+	}
+	if g.shedBudget.Value() != 1 {
+		t.Fatalf("shed counter %d, want 1", g.shedBudget.Value())
+	}
+
+	// A generous budget passes.
+	if rec := post(g, graphBody(t, userNet(2), 0.35, `,"budget_ms":60000`)); rec.Code != http.StatusOK {
+		t.Fatalf("generous-budget request: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestGatewayShedsOnQueueFull pins the bounded-queue contract: arrivals
+// beyond QueueDepth are shed with 429 and never reach the planner.
+func TestGatewayShedsOnQueueFull(t *testing.T) {
+	cfg := quickConfig(7)
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.BatchMax = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	g.testHookBatch = func(int) {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	results := make(chan int, 2)
+	send := func(i int) {
+		rec := post(g, graphBody(t, userNet(i), 0.35, ""))
+		results <- rec.Code
+	}
+	// First request: picked up by the worker, which blocks in the hook.
+	go send(0)
+	<-entered
+	// Second request: sits in the depth-1 queue.
+	go send(1)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Third request: queue full, shed up front.
+	rec := post(g, graphBody(t, userNet(2), 0.35, ""))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow request: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != "queue_full" {
+		t.Fatalf("overflow body %s", rec.Body.String())
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Fatalf("admitted request %d: status %d", i, code)
+		}
+	}
+	if got := g.planner.Executions(); got != 2 {
+		t.Fatalf("planner executions %d, want 2 (shed request must not execute)", got)
+	}
+	if g.shedQueue.Value() != 1 {
+		t.Fatalf("queue-full shed counter %d, want 1", g.shedQueue.Value())
+	}
+}
+
+// TestGatewayBatchesCompatibleRequests checks distinct compatible
+// requests drain into one SelectBatch pass and that every batched body
+// equals the same request served alone.
+func TestGatewayBatchesCompatibleRequests(t *testing.T) {
+	const k = 4
+	cfg := quickConfig(11)
+	cfg.Workers = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 16)
+	var gateOnce atomic.Bool
+	var sizes []int
+	var sizesMu sync.Mutex
+	g.testHookBatch = func(n int) {
+		sizesMu.Lock()
+		sizes = append(sizes, n)
+		sizesMu.Unlock()
+		if gateOnce.CompareAndSwap(false, true) {
+			entered <- struct{}{}
+			<-gate
+		}
+	}
+
+	type result struct {
+		i    int
+		code int
+		body []byte
+	}
+	results := make(chan result, k+1)
+	send := func(i int) {
+		rec := post(g, graphBody(t, userNet(i), 0.35, ""))
+		results <- result{i, rec.Code, rec.Body.Bytes()}
+	}
+
+	// Block the worker on a sacrificial request, queue k distinct
+	// compatible requests behind it, then release: the worker sweeps
+	// all k into one batch.
+	go send(100)
+	<-entered
+	for i := 0; i < k; i++ {
+		go send(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(g.queue) < k {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests queued", len(g.queue), k)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+
+	got := make(map[int][]byte, k+1)
+	for i := 0; i < k+1; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", r.i, r.code, r.body)
+		}
+		got[r.i] = r.body
+	}
+
+	sizesMu.Lock()
+	maxBatch := 0
+	for _, s := range sizes {
+		if s > maxBatch {
+			maxBatch = s
+		}
+	}
+	sizesMu.Unlock()
+	if maxBatch < k {
+		t.Fatalf("largest planner pass covered %d requests, want %d in one batch", maxBatch, k)
+	}
+
+	solo, err := serve.New(serve.Config{Seed: 11, Protocol: quickProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		want, err := solo.Select(serve.Request{Graph: userNet(i), DeadlineMs: 0.35, Estimator: "profiler"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i], EncodeResponse(want)) {
+			t.Fatalf("batched response %d diverges from solo:\n gw: %s\nsolo: %s", i, got[i], EncodeResponse(want))
+		}
+	}
+}
+
+// TestGatewayRejectsNegativeConfig pins that bad knobs are a prompt
+// constructor error (netserve exits 1 on them), never a panic.
+func TestGatewayRejectsNegativeConfig(t *testing.T) {
+	for _, cfg := range []Config{
+		{QueueDepth: -1},
+		{BatchMax: -1},
+		{Workers: -1},
+		{ShedMinSamples: -1},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestGatewayRejectsMalformed covers the decode boundary: malformed
+// JSON, invalid graphs, oversized bodies, bad parameters — all
+// structured errors, never panics.
+func TestGatewayRejectsMalformed(t *testing.T) {
+	cfg := quickConfig(1)
+	cfg.MaxBodyBytes = 2048
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	cases := []struct {
+		name string
+		body string
+		code int
+		werr string
+	}{
+		{"empty", ``, http.StatusBadRequest, "invalid_json"},
+		{"syntax", `{"network":`, http.StatusBadRequest, "invalid_json"},
+		{"trailing", `{"network":"ResNet-50"} garbage`, http.StatusBadRequest, "invalid_json"},
+		{"missing", `{}`, http.StatusBadRequest, "missing_graph"},
+		{"both", `{"network":"ResNet-50","graph":{"name":"x"}}`, http.StatusBadRequest, "ambiguous_request"},
+		{"unknown-net", `{"network":"VGG-16"}`, http.StatusBadRequest, "unknown_network"},
+		{"bad-estimator", `{"network":"ResNet-50","estimator":"oracle"}`, http.StatusBadRequest, "invalid_estimator"},
+		{"neg-deadline", `{"network":"ResNet-50","deadline_ms":-1}`, http.StatusBadRequest, "invalid_deadline"},
+		{"neg-budget", `{"network":"ResNet-50","budget_ms":-1}`, http.StatusBadRequest, "invalid_budget"},
+		{"bad-kind", `{"graph":{"name":"x","num_classes":2,"nodes":[{"id":0,"kind":"Teleport","out":{"h":1,"w":1,"c":1}}]}}`,
+			http.StatusBadRequest, "invalid_graph"},
+		{"invalid-graph", `{"graph":{"name":"x","num_classes":2,"nodes":[{"id":0,"kind":"Conv","out":{"h":1,"w":1,"c":1}}]}}`,
+			http.StatusBadRequest, "invalid_graph"},
+		{"oversized", `{"graph":{"name":"` + strings.Repeat("x", 4096) + `"}}`,
+			http.StatusRequestEntityTooLarge, "body_too_large"},
+	}
+	for _, tc := range cases {
+		rec := post(g, tc.body)
+		if rec.Code != tc.code {
+			t.Fatalf("%s: status %d, want %d: %s", tc.name, rec.Code, tc.code, rec.Body.String())
+		}
+		var e ErrorWire
+		if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+			t.Fatalf("%s: unstructured error body %q", tc.name, rec.Body.String())
+		}
+		if e.Code != tc.werr {
+			t.Fatalf("%s: error code %q, want %q", tc.name, e.Code, tc.werr)
+		}
+	}
+	if got := g.planner.Executions(); got != 0 {
+		t.Fatalf("rejected requests reached the planner: %d executions", got)
+	}
+	if got, want := g.rejected.Value(), uint64(len(cases)); got != want {
+		t.Fatalf("rejected counter %d, want %d", got, want)
+	}
+
+	// Method discipline: GET on the plan route is a 405.
+	if rec := get(g, "/v1/plan"); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/plan: status %d", rec.Code)
+	}
+}
+
+// TestGatewayNameConflictIs409 maps the planner's one-name-one-
+// structure admission rule onto HTTP.
+func TestGatewayNameConflictIs409(t *testing.T) {
+	g, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	if rec := post(g, graphBody(t, userNet(0), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatalf("first request: %d", rec.Code)
+	}
+	imposter := userNet(1)
+	imposter.Name = "user-net-0"
+	rec := post(g, graphBody(t, imposter, 0.35, ""))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("imposter: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != "name_conflict" {
+		t.Fatalf("imposter body %s", rec.Body.String())
+	}
+}
+
+// TestGatewayDrain pins graceful shutdown: in-flight requests complete
+// and deliver, new requests are 503 with Retry-After, Shutdown returns
+// only after the queue is empty.
+func TestGatewayDrain(t *testing.T) {
+	cfg := quickConfig(13)
+	cfg.Workers = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	g.testHookBatch = func(int) {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	inflight := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		inflight <- post(g, graphBody(t, userNet(3), 0.35, ""))
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- g.Shutdown(ctx)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		draining := g.draining
+		g.mu.Unlock()
+		if draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining flag never set")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	rec := post(g, graphBody(t, userNet(4), 0.35, ""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("drain rejection missing Retry-After")
+	}
+
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if rec := <-inflight; rec.Code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d: %s", rec.Code, rec.Body.String())
+	}
+	// Shutdown is idempotent.
+	if err := g.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+// TestGatewayObservabilityEndpoints asserts /metrics serves the
+// gateway, planner and cache-layer series in Prometheus text format and
+// /debug/stats serves a JSON document.
+func TestGatewayObservabilityEndpoints(t *testing.T) {
+	g, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	if rec := post(g, `{"network":"MobileNetV1 (0.25)","deadline_ms":0.9}`); rec.Code != http.StatusOK {
+		t.Fatalf("seed request: %d", rec.Code)
+	}
+
+	rec := get(g, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	out := rec.Body.String()
+	for _, series := range []string{
+		"netcut_gateway_requests_total 1",
+		"netcut_gateway_queue_depth",
+		"netcut_gateway_shed_budget_total 0",
+		"netcut_planner_executions_total 1",
+		"netcut_planner_warm_ms_count",
+		"netcut_planner_cold_ms_count 1",
+		"netcut_device_plans_hits_total",
+		"netcut_profiler_measurements_misses_total",
+		"netcut_trim_cuts_entries",
+	} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("/metrics missing %q:\n%s", series, out)
+		}
+	}
+
+	rec = get(g, "/debug/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/debug/stats: %d", rec.Code)
+	}
+	var doc struct {
+		Metrics map[string]any `json:"metrics"`
+		Planner serve.Stats    `json:"planner"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/stats is not JSON: %v", err)
+	}
+	if doc.Planner.Requests != 1 {
+		t.Fatalf("stats planner requests = %d, want 1", doc.Planner.Requests)
+	}
+	if _, ok := doc.Metrics["netcut_gateway_requests_total"]; !ok {
+		t.Fatal("stats metrics missing gateway request counter")
+	}
+
+	if rec := get(g, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz: %d", rec.Code)
+	}
+}
+
+// TestGraphWireRoundTrip pins the codec: encode -> JSON -> decode
+// reproduces the graph field for field (and therefore fingerprint for
+// fingerprint).
+func TestGraphWireRoundTrip(t *testing.T) {
+	for _, src := range []*graph.Graph{userNet(0), zoo.ResNet50()} {
+		b, err := json.Marshal(EncodeGraph(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w GraphWire
+		if err := json.Unmarshal(b, &w); err != nil {
+			t.Fatal(err)
+		}
+		got, aerr := decodeGraph(&w)
+		if aerr != nil {
+			t.Fatalf("%s: decode: %v", src.Name, aerr)
+		}
+		if got.Name != src.Name || got.InputShape != src.InputShape || got.NumClasses != src.NumClasses {
+			t.Fatalf("%s: header fields changed", src.Name)
+		}
+		if !reflect.DeepEqual(got.Blocks, src.Blocks) {
+			t.Fatalf("%s: blocks changed", src.Name)
+		}
+		if len(got.Nodes) != len(src.Nodes) {
+			t.Fatalf("%s: node count %d -> %d", src.Name, len(src.Nodes), len(got.Nodes))
+		}
+		for i := range got.Nodes {
+			if !reflect.DeepEqual(*got.Nodes[i], *src.Nodes[i]) {
+				t.Fatalf("%s: node %d changed:\n got %+v\nwant %+v", src.Name, i, got.Nodes[i], src.Nodes[i])
+			}
+		}
+		if graph.Fingerprint(got) != graph.Fingerprint(src) {
+			t.Fatalf("%s: fingerprint changed across the wire", src.Name)
+		}
+	}
+}

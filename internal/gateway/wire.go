@@ -1,0 +1,401 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"netcut/internal/graph"
+	"netcut/internal/serve"
+	"netcut/internal/zoo"
+)
+
+// The JSON wire format of the planning API. A request names either a
+// calibrated zoo network ("network") or carries a full layer graph
+// ("graph"); the graph schema mirrors graph.Graph field for field, so
+// decode-encode is lossless and the decoded structure passes the same
+// graph.Validate boundary every other entry point uses.
+
+// ShapeWire is a feature-map shape.
+type ShapeWire struct {
+	H int `json:"h"`
+	W int `json:"w"`
+	C int `json:"c"`
+}
+
+func (s ShapeWire) shape() graph.Shape { return graph.Shape{H: s.H, W: s.W, C: s.C} }
+
+func wireShape(s graph.Shape) ShapeWire { return ShapeWire{H: s.H, W: s.W, C: s.C} }
+
+// NodeWire is one layer. Block is a pointer so that "absent" (stem or
+// head, -1 internally) is distinguishable from "block 0".
+type NodeWire struct {
+	ID          int        `json:"id"`
+	Name        string     `json:"name,omitempty"`
+	Kind        string     `json:"kind"`
+	Inputs      []int      `json:"inputs,omitempty"`
+	In          *ShapeWire `json:"in,omitempty"`
+	Out         ShapeWire  `json:"out"`
+	KH          int        `json:"kh,omitempty"`
+	KW          int        `json:"kw,omitempty"`
+	Stride      int        `json:"stride,omitempty"`
+	Pad         string     `json:"pad,omitempty"` // "same" or "valid"
+	MACs        int64      `json:"macs,omitempty"`
+	Params      int64      `json:"params,omitempty"`
+	WeightBytes int64      `json:"weight_bytes,omitempty"`
+	IOBytes     int64      `json:"io_bytes,omitempty"`
+	Block       *int       `json:"block,omitempty"`
+	Head        bool       `json:"head,omitempty"`
+}
+
+// BlockWire is one removable block.
+type BlockWire struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label,omitempty"`
+	Nodes  []int  `json:"nodes"`
+	Output int    `json:"output"`
+}
+
+// GraphWire is a full layer graph.
+type GraphWire struct {
+	Name       string      `json:"name"`
+	Input      ShapeWire   `json:"input"`
+	NumClasses int         `json:"num_classes"`
+	Nodes      []NodeWire  `json:"nodes"`
+	Blocks     []BlockWire `json:"blocks,omitempty"`
+}
+
+// PlanRequestWire is the body of POST /v1/plan.
+type PlanRequestWire struct {
+	// Network requests a calibrated zoo architecture by name; Graph
+	// submits an arbitrary layer graph. Exactly one must be set.
+	Network string     `json:"network,omitempty"`
+	Graph   *GraphWire `json:"graph,omitempty"`
+	// DeadlineMs is the inference deadline; 0 means the prosthetic
+	// hand's 0.9 ms.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Estimator is "profiler" (default), "analytical" or "linear".
+	Estimator string `json:"estimator,omitempty"`
+	// BudgetMs is the client's remaining latency budget for THIS call.
+	// 0 means unbounded; a positive budget below the gateway's observed
+	// warm-path p99 is shed up front with 429 instead of being queued
+	// into certain lateness.
+	BudgetMs float64 `json:"budget_ms,omitempty"`
+}
+
+// PlanResponseWire is the body of a successful plan. Field order is
+// fixed; together with encoding/json's deterministic float formatting
+// this makes response bodies byte-comparable, the property the
+// coalescing tests pin.
+type PlanResponseWire struct {
+	Feasible      bool    `json:"feasible"`
+	Network       string  `json:"network,omitempty"`
+	Parent        string  `json:"parent"`
+	BlocksRemoved int     `json:"blocks_removed"`
+	LayersRemoved int     `json:"layers_removed"`
+	EstimatedMs   float64 `json:"estimated_ms"`
+	MeasuredMs    float64 `json:"measured_ms"`
+	Accuracy      float64 `json:"accuracy"`
+	TrainHours    float64 `json:"train_hours"`
+	Iterations    int     `json:"iterations"`
+}
+
+// ErrorWire is the structured error body of every non-2xx response.
+type ErrorWire struct {
+	Code         string  `json:"code"`
+	Error        string  `json:"error"`
+	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+}
+
+// apiError carries an HTTP status plus the structured body.
+type apiError struct {
+	status int
+	wire   ErrorWire
+}
+
+func (e *apiError) Error() string { return e.wire.Error }
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{status: status, wire: ErrorWire{Code: code, Error: fmt.Sprintf(format, args...)}}
+}
+
+// EncodeResponse renders a planner response as the gateway's response
+// body. Exported so tests (and clients embedded in this repo) can pin
+// the byte-identity contract: a coalesced or batched gateway body
+// equals EncodeResponse of the same request served alone.
+func EncodeResponse(r *serve.Response) []byte {
+	b, err := json.Marshal(PlanResponseWire{
+		Feasible:      r.Feasible,
+		Network:       r.Network,
+		Parent:        r.Parent,
+		BlocksRemoved: r.BlocksRemoved,
+		LayersRemoved: r.LayersRemoved,
+		EstimatedMs:   r.EstimatedMs,
+		MeasuredMs:    r.MeasuredMs,
+		Accuracy:      r.Accuracy,
+		TrainHours:    r.TrainHours,
+		Iterations:    r.Iterations,
+	})
+	if err != nil {
+		// PlanResponseWire contains only marshalable scalars.
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// EncodeGraph renders g in the wire schema, the inverse of the request
+// decoder; the gateway example and load generators build request
+// bodies with it.
+func EncodeGraph(g *graph.Graph) *GraphWire {
+	w := &GraphWire{
+		Name:       g.Name,
+		Input:      wireShape(g.InputShape),
+		NumClasses: g.NumClasses,
+		Nodes:      make([]NodeWire, 0, len(g.Nodes)),
+		Blocks:     make([]BlockWire, 0, len(g.Blocks)),
+	}
+	for _, n := range g.Nodes {
+		nw := NodeWire{
+			ID:          n.ID,
+			Name:        n.Name,
+			Kind:        n.Kind.String(),
+			Inputs:      append([]int(nil), n.Inputs...),
+			Out:         wireShape(n.Out),
+			KH:          n.KH,
+			KW:          n.KW,
+			Stride:      n.Stride,
+			MACs:        n.MACs,
+			Params:      n.Params,
+			WeightBytes: n.WeightBytes,
+			IOBytes:     n.IOBytes,
+			Head:        n.Head,
+		}
+		if n.In != (graph.Shape{}) {
+			in := wireShape(n.In)
+			nw.In = &in
+		}
+		if n.Kind == graph.OpConv || n.Kind == graph.OpDWConv ||
+			n.Kind == graph.OpMaxPool || n.Kind == graph.OpAvgPool {
+			nw.Pad = n.Pad.String()
+		}
+		if n.Block >= 0 {
+			b := n.Block
+			nw.Block = &b
+		}
+		w.Nodes = append(w.Nodes, nw)
+	}
+	for _, b := range g.Blocks {
+		w.Blocks = append(w.Blocks, BlockWire{
+			Index:  b.Index,
+			Label:  b.Label,
+			Nodes:  append([]int(nil), b.Nodes...),
+			Output: b.Output,
+		})
+	}
+	return w
+}
+
+// decodeGraph converts the wire schema to a graph.Graph. Structural
+// soundness is graph.Validate's job; this only rejects what Validate
+// cannot see from the assembled struct (unknown operator names, bad
+// pad modes, node-count mismatches that would otherwise panic during
+// assembly).
+func decodeGraph(w *GraphWire) (*graph.Graph, *apiError) {
+	if w.Name == "" {
+		return nil, errf(http.StatusBadRequest, "invalid_graph", "graph: missing name")
+	}
+	g := &graph.Graph{
+		Name:       w.Name,
+		InputShape: w.Input.shape(),
+		NumClasses: w.NumClasses,
+		Nodes:      make([]*graph.Node, 0, len(w.Nodes)),
+	}
+	for i := range w.Nodes {
+		nw := &w.Nodes[i]
+		kind, ok := graph.ParseOpKind(nw.Kind)
+		if !ok {
+			return nil, errf(http.StatusBadRequest, "invalid_graph", "graph %s: node %d: unknown kind %q", w.Name, nw.ID, nw.Kind)
+		}
+		var pad graph.PadMode
+		switch nw.Pad {
+		case "", "valid":
+			pad = graph.Valid
+		case "same":
+			pad = graph.Same
+		default:
+			return nil, errf(http.StatusBadRequest, "invalid_graph", "graph %s: node %d: unknown pad mode %q", w.Name, nw.ID, nw.Pad)
+		}
+		block := -1
+		if nw.Block != nil {
+			block = *nw.Block
+		}
+		n := &graph.Node{
+			ID:          nw.ID,
+			Name:        nw.Name,
+			Kind:        kind,
+			Inputs:      append([]int(nil), nw.Inputs...),
+			Out:         nw.Out.shape(),
+			KH:          nw.KH,
+			KW:          nw.KW,
+			Stride:      nw.Stride,
+			Pad:         pad,
+			MACs:        nw.MACs,
+			Params:      nw.Params,
+			WeightBytes: nw.WeightBytes,
+			IOBytes:     nw.IOBytes,
+			Block:       block,
+			Head:        nw.Head,
+		}
+		if nw.In != nil {
+			n.In = nw.In.shape()
+		}
+		g.Nodes = append(g.Nodes, n)
+	}
+	for _, bw := range w.Blocks {
+		g.Blocks = append(g.Blocks, graph.Block{
+			Index:  bw.Index,
+			Label:  bw.Label,
+			Nodes:  append([]int(nil), bw.Nodes...),
+			Output: bw.Output,
+		})
+	}
+	if err := graph.Validate(g); err != nil {
+		return nil, errf(http.StatusBadRequest, "invalid_graph", "%v", err)
+	}
+	return g, nil
+}
+
+// zooCache shares one graph instance (and one fingerprint) per
+// calibrated name across all shorthand requests: zoo graphs are
+// immutable once built, and rebuilding ResNet-50's several hundred
+// nodes per request would dominate the warm-path decode cost and
+// stagger otherwise-coalescable arrivals.
+var zooCache sync.Map // name -> zooEntry
+
+type zooEntry struct {
+	g     *graph.Graph
+	print uint64
+}
+
+func zooGraph(name string) (*graph.Graph, error) {
+	if e, ok := zooCache.Load(name); ok {
+		return e.(zooEntry).g, nil
+	}
+	g, err := zoo.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	e, _ := zooCache.LoadOrStore(name, zooEntry{g: g, print: graph.Fingerprint(g)})
+	return e.(zooEntry).g, nil
+}
+
+// fingerprintOf returns the request graph's structural fingerprint,
+// served from the zoo cache for shorthand requests.
+func fingerprintOf(g *graph.Graph) uint64 {
+	if e, ok := zooCache.Load(g.Name); ok && e.(zooEntry).g == g {
+		return e.(zooEntry).print
+	}
+	return graph.Fingerprint(g)
+}
+
+// decodedRequest is a parsed, validated plan request plus the identity
+// the gateway coalesces on.
+type decodedRequest struct {
+	req      serve.Request
+	budgetMs float64
+	key      coalesceKey
+}
+
+// coalesceKey identifies requests that must receive byte-identical
+// responses: planner responses are pure functions of (planner config,
+// graph, deadline, estimator), and within one gateway the planner
+// config is fixed, so (name, structure, deadline, estimator) is the
+// full identity. Name is part of the key because measurement noise and
+// transfer profiles derive from it.
+type coalesceKey struct {
+	name      string
+	print     uint64
+	deadline  float64
+	estimator string
+}
+
+// decodeRequest parses and validates one request body. It never panics
+// on arbitrary input (fuzzed), and everything it accepts is safe to
+// hand to the planner. Oversized bodies surface as 413 when body is an
+// http.MaxBytesReader.
+func decodeRequest(body io.Reader) (*decodedRequest, *apiError) {
+	var wire PlanRequestWire
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(&wire); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return nil, errf(http.StatusRequestEntityTooLarge, "body_too_large",
+				"request body exceeds %d bytes", maxErr.Limit)
+		}
+		return nil, errf(http.StatusBadRequest, "invalid_json", "decoding request: %v", err)
+	}
+	// Trailing garbage after the JSON value is a malformed request, not
+	// a second request.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, errf(http.StatusBadRequest, "invalid_json", "trailing data after request body")
+	}
+
+	switch wire.Estimator {
+	case "":
+		// The planner treats empty as profiler; normalize so both
+		// spellings coalesce.
+		wire.Estimator = "profiler"
+	case "profiler", "analytical", "linear":
+	default:
+		return nil, errf(http.StatusBadRequest, "invalid_estimator", "unknown estimator %q", wire.Estimator)
+	}
+	if wire.DeadlineMs < 0 {
+		return nil, errf(http.StatusBadRequest, "invalid_deadline", "negative deadline %v", wire.DeadlineMs)
+	}
+	if wire.BudgetMs < 0 {
+		return nil, errf(http.StatusBadRequest, "invalid_budget", "negative budget %v", wire.BudgetMs)
+	}
+
+	var g *graph.Graph
+	switch {
+	case wire.Network != "" && wire.Graph != nil:
+		return nil, errf(http.StatusBadRequest, "ambiguous_request", "set either network or graph, not both")
+	case wire.Network != "":
+		zg, err := zooGraph(wire.Network)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "unknown_network", "%v", err)
+		}
+		g = zg
+	case wire.Graph != nil:
+		var aerr *apiError
+		if g, aerr = decodeGraph(wire.Graph); aerr != nil {
+			return nil, aerr
+		}
+	default:
+		return nil, errf(http.StatusBadRequest, "missing_graph", "set network or graph")
+	}
+
+	// Normalize the deadline the same way the planner does, so 0 and
+	// the explicit default coalesce.
+	deadline := wire.DeadlineMs
+	if deadline == 0 {
+		deadline = 0.9
+	}
+	return &decodedRequest{
+		req: serve.Request{
+			Graph:      g,
+			DeadlineMs: deadline,
+			Estimator:  wire.Estimator,
+		},
+		budgetMs: wire.BudgetMs,
+		key: coalesceKey{
+			name:      g.Name,
+			print:     fingerprintOf(g),
+			deadline:  deadline,
+			estimator: wire.Estimator,
+		},
+	}, nil
+}

@@ -60,6 +60,23 @@ func (k OpKind) String() string {
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
 
+// opKindsByName is the inverse of opNames, for wire decoding.
+var opKindsByName = func() map[string]OpKind {
+	m := make(map[string]OpKind, len(opNames))
+	for k, s := range opNames {
+		m[s] = k
+	}
+	return m
+}()
+
+// ParseOpKind resolves an operator name as produced by OpKind.String
+// ("Conv", "BatchNorm", ...). It is the decode half of the gateway's
+// JSON graph wire format.
+func ParseOpKind(s string) (OpKind, bool) {
+	k, ok := opKindsByName[s]
+	return k, ok
+}
+
 // PadMode selects the spatial padding convention for convolutions and
 // pooling, following the TensorFlow naming the reference models use.
 type PadMode int

@@ -1,0 +1,31 @@
+package lru
+
+import "netcut/internal/telemetry"
+
+// StatsSource is any cache exposing Stats — both Cache and Sharded do.
+type StatsSource interface {
+	Stats() Stats
+}
+
+// Instrument registers the cache's standard series on reg under the
+// given name prefix: <name>_entries and <name>_cap gauges, and
+// <name>_{hits,misses,evictions}_total counters. The series are
+// sampled at scrape time from Stats(), so instrumentation adds nothing
+// to the cache hot path.
+func Instrument(reg *telemetry.Registry, name string, c StatsSource) {
+	reg.GaugeFunc(name+"_entries", "resident entries", func() float64 {
+		return float64(c.Stats().Len)
+	})
+	reg.GaugeFunc(name+"_cap", "configured capacity (0 = unbounded)", func() float64 {
+		return float64(c.Stats().Cap)
+	})
+	reg.CounterFunc(name+"_hits_total", "cache hits", func() uint64 {
+		return c.Stats().Hits
+	})
+	reg.CounterFunc(name+"_misses_total", "cache misses", func() uint64 {
+		return c.Stats().Misses
+	})
+	reg.CounterFunc(name+"_evictions_total", "cache evictions", func() uint64 {
+		return c.Stats().Evictions
+	})
+}

@@ -110,6 +110,16 @@ func (c *Cache[K, V]) GetOrCompute(key K, compute func() V) V {
 	return c.Add(key, compute())
 }
 
+// Contains reports whether key is resident, without touching recency
+// order or the hit/miss counters — a pure peek, usable for metrics
+// classification without perturbing what it observes.
+func (c *Cache[K, V]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 // Len returns the number of resident entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()

@@ -18,6 +18,7 @@ import (
 	"netcut/internal/graph"
 	"netcut/internal/lru"
 	"netcut/internal/metric"
+	"netcut/internal/telemetry"
 )
 
 // Protocol fixes the measurement counts. The zero value is invalid; use
@@ -144,6 +145,23 @@ func (p *Profiler) SetCacheCaps(measurements, tables int) {
 // order.
 func (p *Profiler) CacheStats() (measurements, tables lru.Stats) {
 	return p.measurements.Stats(), p.tables.Stats()
+}
+
+// Instrument registers both memoization layers' hit/miss/eviction/
+// occupancy series on reg (netcut_profiler_measurements and
+// netcut_profiler_tables prefixes).
+func (p *Profiler) Instrument(reg *telemetry.Registry) {
+	lru.Instrument(reg, "netcut_profiler_measurements", p.measurements)
+	lru.Instrument(reg, "netcut_profiler_tables", p.tables)
+}
+
+// HasMeasurement reports whether g's end-to-end measurement is already
+// memoized — the warm-path predicate the serving layer uses to classify
+// request latency as cold or warm. It plans g if needed (work Measure
+// would do anyway, shared via the device's plan cache) but does not
+// touch the measurement cache's recency order or counters.
+func (p *Profiler) HasMeasurement(g *graph.Graph) bool {
+	return p.measurements.Contains(p.dev.PlanKey(g))
 }
 
 // sessionSeed derives the per-network measurement seed from the

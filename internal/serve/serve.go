@@ -33,9 +33,11 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"netcut/internal/core"
 	"netcut/internal/device"
@@ -44,6 +46,7 @@ import (
 	"netcut/internal/lru"
 	"netcut/internal/par"
 	"netcut/internal/profiler"
+	"netcut/internal/telemetry"
 	"netcut/internal/transfer"
 	"netcut/internal/trim"
 	"netcut/internal/zoo"
@@ -111,6 +114,11 @@ func capOrDefault(v, def int) int {
 		return v
 	}
 }
+
+// ErrNameBound is the admission rejection for a graph reusing an
+// already-admitted name with a different structure; callers branch on
+// it with errors.Is (the gateway maps it to 409).
+var ErrNameBound = errors.New("name is already bound to a different structure")
 
 // Request asks the Planner for the deepest-accuracy cut of one graph
 // that meets a deadline.
@@ -193,6 +201,21 @@ type Planner struct {
 	names sync.Map // name -> graph fingerprint (uint64)
 
 	requests atomic.Uint64
+
+	// tel is the optional telemetry surface, set by Instrument. It is
+	// observability only: recording never influences a response, so the
+	// determinism contract is untouched.
+	tel atomic.Pointer[plannerTel]
+}
+
+// plannerTel bundles the planner's own series: how many requests ran a
+// real planning execution (the gateway's coalescing divides its request
+// count by this), and the cold/warm split of execution latency (the
+// gateway's load shedding reads the warm p99).
+type plannerTel struct {
+	executions *telemetry.Counter
+	coldMs     *telemetry.Histogram
+	warmMs     *telemetry.Histogram
 }
 
 // New builds a Planner and applies the configured cache bounds.
@@ -235,6 +258,30 @@ func (p *Planner) Seed() int64 { return p.cfg.Seed }
 // the response is a pure function of (Config, Request).
 func (p *Planner) Select(req Request) (*Response, error) {
 	p.requests.Add(1)
+	return p.selectOne(req)
+}
+
+// SelectBatch plans a group of admitted requests in one planner pass:
+// the per-request explorations fan out over the shared worker pool and
+// all of them hit the same shared caches, so a batch of structurally
+// related requests costs little more than its most expensive member.
+// Responses and errors are position-indexed per request and each is
+// byte-identical to what Select would return for that request alone —
+// batching, like every other form of concurrency in this codebase,
+// changes wall-clock time only.
+func (p *Planner) SelectBatch(reqs []Request) ([]*Response, []error) {
+	p.requests.Add(uint64(len(reqs)))
+	resps := make([]*Response, len(reqs))
+	errs := make([]error, len(reqs))
+	par.ForEach(len(reqs), func(i int) error {
+		resps[i], errs[i] = p.selectOne(reqs[i])
+		return nil
+	})
+	return resps, errs
+}
+
+// selectOne is the shared execution path of Select and SelectBatch.
+func (p *Planner) selectOne(req Request) (*Response, error) {
 	g := req.Graph
 	if g == nil {
 		return nil, fmt.Errorf("serve: nil graph")
@@ -246,7 +293,7 @@ func (p *Planner) Select(req Request) (*Response, error) {
 	// fingerprint-equal path is the common repeated-request case.
 	print := graph.Fingerprint(g)
 	if prev, loaded := p.names.LoadOrStore(g.Name, print); loaded && prev.(uint64) != print {
-		return nil, fmt.Errorf("serve: rejecting graph: name %q is already bound to a different structure", g.Name)
+		return nil, fmt.Errorf("serve: rejecting graph %q: %w", g.Name, ErrNameBound)
 	}
 	deadline := req.DeadlineMs
 	if deadline == 0 {
@@ -255,6 +302,29 @@ func (p *Planner) Select(req Request) (*Response, error) {
 	if deadline < 0 {
 		return nil, fmt.Errorf("serve: negative deadline %v", deadline)
 	}
+	// Telemetry wraps the execution from here down: validation failures
+	// above never count as executions, which is what lets the gateway's
+	// shed and coalesce tests assert "no planner work" via the counter.
+	tel := p.tel.Load()
+	var warm bool
+	var start time.Time
+	if tel != nil {
+		tel.executions.Inc()
+		warm = p.prof.HasMeasurement(g)
+		start = time.Now()
+	}
+	record := func() {
+		if tel == nil {
+			return
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if warm {
+			tel.warmMs.Observe(ms)
+		} else {
+			tel.coldMs.Observe(ms)
+		}
+	}
+
 	if err := p.ensureProfile(g); err != nil {
 		return nil, err
 	}
@@ -276,9 +346,11 @@ func (p *Planner) Select(req Request) (*Response, error) {
 		return nil, err
 	}
 	if res.Best == nil {
+		record()
 		return &Response{Parent: g.Name}, nil
 	}
 	best := res.Best
+	record()
 	return &Response{
 		Feasible:      true,
 		Network:       best.TRN.Name(),
@@ -390,6 +462,50 @@ type Stats struct {
 	Measurements lru.Stats // profiler end-to-end measurements
 	Tables       lru.Stats // profiler per-layer tables
 	Cuts         lru.Stats // process-wide TRN cut cache
+}
+
+// Instrument threads the planner and every cache layer under it into a
+// telemetry registry: the device's kernel-plan cache, the profiler's
+// measurement and table memos, the process-wide cut cache, plus the
+// planner's own request/execution counters and the cold/warm execution
+// latency histograms. Call it once, before serving; recording is
+// observability only and never influences a response.
+func (p *Planner) Instrument(reg *telemetry.Registry) {
+	p.dev.Instrument(reg)
+	p.prof.Instrument(reg)
+	trim.Instrument(reg)
+	reg.CounterFunc("netcut_planner_requests_total",
+		"planning requests accepted by the planner (including invalid ones)",
+		p.requests.Load)
+	p.tel.Store(&plannerTel{
+		executions: reg.Counter("netcut_planner_executions_total",
+			"planning executions: validated requests that ran the measurement pipeline and Algorithm 1"),
+		coldMs: reg.Histogram("netcut_planner_cold_ms",
+			"execution latency of requests whose structure was not yet measured", nil),
+		warmMs: reg.Histogram("netcut_planner_warm_ms",
+			"execution latency of requests served from the shared measurement caches", nil),
+	})
+}
+
+// Executions returns the number of planning executions since Instrument
+// was called (0 before): the counter the gateway's coalescing and
+// shedding assertions read.
+func (p *Planner) Executions() uint64 {
+	if tel := p.tel.Load(); tel != nil {
+		return tel.executions.Value()
+	}
+	return 0
+}
+
+// WarmQuantile estimates the q-quantile of warm execution latency in
+// milliseconds, and reports how many warm executions it is based on.
+// The gateway's deadline-aware admission reads the p99.
+func (p *Planner) WarmQuantile(q float64) (ms float64, samples uint64) {
+	tel := p.tel.Load()
+	if tel == nil {
+		return 0, 0
+	}
+	return tel.warmMs.Quantile(q), tel.warmMs.Count()
 }
 
 // Stats reports request and cache counters, the service's

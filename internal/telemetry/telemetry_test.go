@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("reqs_total", ""); again != c {
+		t.Fatal("re-registering a counter returned a different instance")
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", g.Value())
+	}
+}
+
+func TestRegistryKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestRegistryRejectsUnsafeNames(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("name with spaces accepted")
+		}
+	}()
+	r.Counter("bad name", "")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ms", "latency", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 111.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	// p50 of 6 observations: rank 3 falls in the (1,2] bucket.
+	if q := h.Quantile(0.5); q < 1 || q > 2 {
+		t.Fatalf("p50 = %v, want within (1,2]", q)
+	}
+	// The +Inf observation clamps the top quantile to the last bound.
+	if q := h.Quantile(1.0); q != 8 {
+		t.Fatalf("p100 = %v, want clamp to 8", q)
+	}
+}
+
+func TestHistogramEmptyQuantileIsZero(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("empty_ms", "", nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram p99 = %v, want 0", q)
+	}
+}
+
+func TestPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "bees").Add(2)
+	r.Gauge("a_gauge", "").Set(1.25)
+	r.Histogram("h_ms", "hist", []float64{1, 2}).Observe(1.5)
+	r.CounterFunc("c_sampled_total", "", func() uint64 { return 7 })
+	r.GaugeFunc("d_sampled", "", func() float64 { return 9 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge 1.25\n",
+		"# HELP b_total bees\n# TYPE b_total counter\nb_total 2\n",
+		"# TYPE c_sampled_total counter\nc_sampled_total 7\n",
+		"# TYPE d_sampled gauge\nd_sampled 9\n",
+		"h_ms_bucket{le=\"1\"} 0\n",
+		"h_ms_bucket{le=\"2\"} 1\n",
+		"h_ms_bucket{le=\"+Inf\"} 1\n",
+		"h_ms_sum 1.5\nh_ms_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted by name: a_gauge before b_total before c before d before h.
+	if !(strings.Index(out, "a_gauge") < strings.Index(out, "b_total") &&
+		strings.Index(out, "b_total") < strings.Index(out, "c_sampled") &&
+		strings.Index(out, "d_sampled") < strings.Index(out, "h_ms")) {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+}
+
+func TestSnapshotIsJSONMarshalable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("n_total", "").Add(3)
+	r.Histogram("h_ms", "", []float64{1, 2, 4}).Observe(1.5)
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["n_total"].(float64) != 3 {
+		t.Fatalf("snapshot n_total = %v", m["n_total"])
+	}
+	h := m["h_ms"].(map[string]any)
+	if h["count"].(float64) != 1 {
+		t.Fatalf("snapshot histogram count = %v", h["count"])
+	}
+}
+
+// TestConcurrentWrites is the -race probe: many goroutines hammer every
+// metric kind while a reader scrapes.
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_ms", "", nil)
+	var wg sync.WaitGroup
+	const workers, loops = 8, 500
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < loops; i++ {
+				// Re-registration from every goroutine must hand back
+				// the one shared instance, atomically with scrapes.
+				if r.Counter("c_total", "") != c {
+					t.Error("concurrent Counter registration returned a different instance")
+					return
+				}
+				r.CounterFunc("cf_total", "", func() uint64 { return uint64(w) })
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(w) + 0.1)
+				if i%100 == 0 {
+					var sb strings.Builder
+					r.WritePrometheus(&sb)
+					r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*loops {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*loops)
+	}
+	if h.Count() != workers*loops {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*loops)
+	}
+}

@@ -1,0 +1,82 @@
+package trim
+
+import (
+	"sync"
+	"testing"
+
+	"netcut/internal/zoo"
+)
+
+// TestCutCacheShardCapsSumToDefault pins the sharding satellite of the
+// gateway PR: the cut cache is split across CutCacheShards shards whose
+// caps sum to the pre-sharding DefaultCutCacheCap, so sharding changed
+// contention, not capacity.
+func TestCutCacheShardCapsSumToDefault(t *testing.T) {
+	prevCap := CutCacheStats().Cap
+	defer SetCutCacheCap(prevCap)
+	SetCutCacheCap(DefaultCutCacheCap)
+
+	if got := cutCache.Shards(); got != CutCacheShards {
+		t.Fatalf("shard count %d, want %d", got, CutCacheShards)
+	}
+	var sum int
+	for i, st := range cutCache.ShardStats() {
+		if st.Cap <= 0 {
+			t.Fatalf("shard %d unbounded under default total cap", i)
+		}
+		sum += st.Cap
+	}
+	if sum != DefaultCutCacheCap {
+		t.Fatalf("per-shard caps sum to %d, want %d", sum, DefaultCutCacheCap)
+	}
+	if agg := CutCacheStats().Cap; agg != DefaultCutCacheCap {
+		t.Fatalf("aggregate cap %d, want %d", agg, DefaultCutCacheCap)
+	}
+}
+
+// TestCutCacheShardsByParent checks all cuts of one parent share a
+// shard (strict LRU locality per architecture) while the cache remains
+// correct for concurrent cutting across many parents — the gateway's
+// load shape. Run under -race this doubles as the sharded cache's
+// contention probe.
+func TestCutCacheShardsByParent(t *testing.T) {
+	PurgeCutCache()
+	nets := zoo.Paper7()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				for _, g := range nets {
+					if _, err := EnumerateBlockwise(g, DefaultHead, true); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Every parent's cuts occupy exactly one shard: the number of
+	// non-empty shards is at most the number of distinct parents.
+	nonEmpty := 0
+	for _, st := range cutCache.ShardStats() {
+		if st.Len > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty > len(nets) {
+		t.Fatalf("%d shards occupied by %d parents; cuts of one parent split across shards", nonEmpty, len(nets))
+	}
+
+	// Repeating an enumeration is a pure cache hit.
+	misses := CutCacheStats().Misses
+	if _, err := EnumerateBlockwise(nets[0], DefaultHead, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := CutCacheStats().Misses; got != misses {
+		t.Fatalf("repeat enumeration caused %d new misses", got-misses)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"netcut/internal/graph"
 	"netcut/internal/lru"
+	"netcut/internal/telemetry"
 )
 
 // HeadSpec describes the replacement classification head: one global
@@ -83,20 +84,38 @@ type cutKey struct {
 // (structurally identical) graph object than the argument; nothing in
 // this codebase compares parents by pointer identity.
 //
-// The cache is a bounded LRU (DefaultCutCacheCap): cuts are pure
-// functions of (parent structure, position, head), so eviction is
-// transparent and a service cutting a stream of arbitrary user graphs
-// runs in constant memory.
-var cutCache = lru.New[cutKey, *TRN](DefaultCutCacheCap)
+// The cache is a bounded LRU (DefaultCutCacheCap) sharded by parent
+// fingerprint (CutCacheShards shards whose caps sum to the configured
+// total), so the gateway's concurrent request stream — many goroutines
+// cutting many distinct parents — does not serialize on one mutex,
+// while all cuts of one parent still share one strict-LRU shard. Cuts
+// are pure functions of (parent structure, position, head), so
+// eviction is transparent and a service cutting a stream of arbitrary
+// user graphs runs in constant memory.
+var cutCache = lru.NewSharded[cutKey, *TRN](CutCacheShards, DefaultCutCacheCap,
+	func(k cutKey) uint64 { return k.parent })
 
 // DefaultCutCacheCap bounds the package cut cache. The paper pipeline's
 // working set — 148 blockwise TRNs plus a few hundred exhaustive cuts
 // per ablation — stays resident with a wide margin.
 const DefaultCutCacheCap = 8192
 
+// CutCacheShards is the cut cache's shard count: enough to keep
+// concurrent planners on distinct parents from contending, small enough
+// that each shard's slice of the default cap (512 entries) still holds
+// every cut of its resident parents.
+const CutCacheShards = 16
+
 // SetCutCacheCap re-bounds the cut cache (<= 0 means unbounded),
-// evicting least-recently-used TRNs as needed.
+// redistributing the total across the shards and evicting
+// least-recently-used TRNs as needed.
 func SetCutCacheCap(cap int) { cutCache.Resize(cap) }
+
+// Instrument registers the cut cache's hit/miss/eviction/occupancy
+// series on reg under the netcut_trim_cuts prefix.
+func Instrument(reg *telemetry.Registry) {
+	lru.Instrument(reg, "netcut_trim_cuts", cutCache)
+}
 
 // PurgeCutCache empties the cut cache. Cuts rebuild identically on the
 // next query (the cache is transparent); cold-path benchmarks use this

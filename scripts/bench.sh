@@ -16,7 +16,7 @@ DATE="$(date -u +%Y-%m-%d)"
 mkdir -p "$OUT_DIR"
 OUT="$OUT_DIR/BENCH_${DATE}.json"
 
-RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Fig|Tab|Abl' \
+RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
   -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
 
 {

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# smoke_gateway.sh — end-to-end smoke of the serving daemon: boot
+# cmd/netserve, fire a small concurrent load that exercises the warm,
+# coalesce and shed paths, assert /metrics and /debug/stats respond,
+# then SIGTERM and require a clean (exit 0) drain.
+#
+# Usage: scripts/smoke_gateway.sh [port]   (default 18080)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT="${1:-18080}"
+ADDR="127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+BIN="$TMP/netserve"
+trap 'kill -9 "${PID:-}" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$BIN" ./cmd/netserve
+
+# Config/bind errors must be non-zero prompt exits, not hangs.
+if "$BIN" -addr "not-a-valid-address" >/dev/null 2>&1; then
+  echo "FAIL: netserve exited 0 on an unbindable address" >&2
+  exit 1
+fi
+
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 >"$TMP/netserve.log" 2>&1 &
+PID=$!
+
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: netserve died before becoming healthy" >&2
+    cat "$TMP/netserve.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+plan() { curl -s -o "$1" -w '%{http_code}' -X POST -d "$2" "http://$ADDR/v1/plan"; }
+
+# Cold then warm request (the warm one seeds the shed path's histogram).
+[ "$(plan "$TMP/cold.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+[ "$(plan "$TMP/warm.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+cmp -s "$TMP/cold.json" "$TMP/warm.json" || {
+  echo "FAIL: repeated identical request returned a different body" >&2; exit 1; }
+
+# Concurrent identical burst: exercises the coalesce/batch machinery
+# under real sockets; bodies must stay byte-identical to the first.
+pids=()
+for i in $(seq 1 16); do
+  plan "$TMP/burst.$i.json" '{"network":"ResNet-50","deadline_ms":0.9}' >"$TMP/burst.$i.code" &
+  pids+=("$!")
+done
+for p in "${pids[@]}"; do wait "$p"; done
+for i in $(seq 1 16); do
+  [ "$(cat "$TMP/burst.$i.code")" = 200 ] || { echo "FAIL: burst request $i failed" >&2; exit 1; }
+  cmp -s "$TMP/burst.$i.json" "$TMP/cold.json" || {
+    echo "FAIL: burst body $i diverged" >&2; exit 1; }
+done
+
+# Shed path: a budget below the warm p99 must be rejected up front.
+[ "$(plan "$TMP/shed.json" '{"network":"ResNet-50","deadline_ms":0.9,"budget_ms":0.000001}')" = 429 ]
+grep -q '"code":"budget_too_small"' "$TMP/shed.json"
+
+# Decode boundary: malformed JSON is a structured 400.
+[ "$(plan "$TMP/bad.json" 'not json')" = 400 ]
+grep -q '"code":"invalid_json"' "$TMP/bad.json"
+
+# Observability surface.
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics"
+for series in \
+  netcut_gateway_requests_total \
+  netcut_gateway_coalesced_total \
+  netcut_gateway_shed_budget_total \
+  netcut_gateway_queue_depth \
+  netcut_planner_executions_total \
+  netcut_planner_warm_ms_count \
+  netcut_device_plans_hits_total \
+  netcut_profiler_measurements_hits_total \
+  netcut_trim_cuts_entries; do
+  grep -q "^${series}" "$TMP/metrics" || {
+    echo "FAIL: /metrics missing ${series}" >&2; exit 1; }
+done
+grep -Eq '^netcut_gateway_shed_budget_total [1-9]' "$TMP/metrics" || {
+  echo "FAIL: shed counter did not move" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/debug/stats" >"$TMP/stats.json"
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert "metrics" in d and "planner" in d' "$TMP/stats.json"
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "netserve drained cleanly"
+else
+  code=$?
+  echo "FAIL: netserve exited $code after SIGTERM" >&2
+  cat "$TMP/netserve.log" >&2
+  exit 1
+fi
+PID=""
+
+echo "gateway smoke OK"
