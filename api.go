@@ -56,6 +56,21 @@ func NetworkByName(name string) (*Graph, error) { return zoo.ByName(name) }
 // in for the paper's Jetson Xavier.
 func XavierConfig() DeviceConfig { return device.Xavier() }
 
+// DeviceProfiles returns the registered target calibrations in
+// canonical order — Xavier (the default) first, then the fleet
+// profiles (edge CPU, server GPU, INT8 accelerator). This is the
+// device set a zero-config Gateway serves and the order "auto"
+// routing tie-breaks on.
+func DeviceProfiles() []DeviceConfig { return device.Profiles() }
+
+// DeviceProfileNames lists the registered profile names in canonical
+// order.
+func DeviceProfileNames() []string { return device.ProfileNames() }
+
+// DeviceProfileByName returns the registered calibration with the
+// given name.
+func DeviceProfileByName(name string) (DeviceConfig, error) { return device.ProfileByName(name) }
+
 // EstimatorKind selects the latency estimator NetCut explores with.
 type EstimatorKind string
 
@@ -249,20 +264,46 @@ type (
 // same seed.
 func NewPlanner(cfg PlannerConfig) (*Planner, error) { return serve.New(cfg) }
 
+// PlannerPool is the multi-target planning service: one Planner per
+// registered device calibration behind a single façade, with
+// device-isolated caches (plan keys, measurement/table memos and
+// cut-cache entries all fold in the device-calibration fingerprint, so
+// no two targets share an entry) and pool-wide cache bounds (the
+// configured caps are divided across targets, never multiplied by
+// them). Responses are byte-identical to a single-device Planner built
+// with the same seed and calibration.
+type (
+	PlannerPool = serve.PlannerPool
+	// PoolConfig parameterizes a PlannerPool: the per-planner template
+	// plus the target calibrations (empty = the full device registry).
+	PoolConfig = serve.PoolConfig
+)
+
+// NewPlannerPool builds one Planner per registered device. An invalid
+// device profile is a structured constructor error naming the device,
+// never a panic.
+func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool(cfg) }
+
 // Gateway is the deadline-aware HTTP serving layer on top of a
-// Planner: a JSON planning API (POST /v1/plan) with singleflight
-// coalescing of identical requests, batch admission of compatible
-// ones, bounded-queue load shedding keyed to the client's own latency
-// budget, graceful drain, and a telemetry registry exposed at /metrics
-// (Prometheus text) and /debug/stats (JSON). Coalescing, batching and
-// shedding change which executions happen and when — never what any
-// execution returns: a coalesced or batched response body is
-// byte-identical to the same request served alone through a Planner.
+// PlannerPool: a JSON planning API (POST /v1/plan) with per-request
+// device targeting ("target": a registered device name, "auto", or
+// empty for the default device; GET /v1/devices lists the fleet),
+// singleflight coalescing of identical requests, batch admission of
+// compatible ones, bounded-queue load shedding keyed to the client's
+// own latency budget, graceful drain, and a telemetry registry exposed
+// at /metrics (Prometheus text, per-device series carry a device
+// label) and /debug/stats (JSON). Routing, coalescing, batching and
+// shedding change which executions happen, where and when — never what
+// any execution returns: a coalesced or batched response body is
+// byte-identical to the same request served alone through that
+// device's Planner, and an auto-routed body to the same request naming
+// the resolved device explicitly.
 type (
 	Gateway = gateway.Gateway
 	// GatewayConfig parameterizes a Gateway: the embedded PlannerConfig
-	// plus the HTTP-side knobs (body size limit, queue depth, batch
-	// width, worker count, shed warm-up).
+	// template and device list plus the HTTP-side knobs (body size
+	// limit, queue depth, batch width and window, worker count, shed
+	// warm-up).
 	GatewayConfig = gateway.Config
 )
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"netcut/internal/exp"
 	"netcut/internal/trim"
@@ -288,6 +289,83 @@ func BenchmarkGatewayCoalescedBurst(b *testing.B) {
 					failed.CompareAndSwap(nil, &err)
 				}
 			}()
+		}
+		close(start)
+		wg.Wait()
+	}
+	b.StopTimer()
+	if errp := failed.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	execs := gw.Planner().Executions() - execsBefore
+	b.ReportMetric(float64(execs)/float64(b.N), "exec/burst")
+	b.ReportMetric(burst, "reqs/burst")
+}
+
+// BenchmarkPlannerPoolWarmAcrossDevices measures the multi-target warm
+// path: one PlannerPool over the full device registry, the same
+// network planned round-robin across every target — each iteration is
+// a warm, device-isolated cache hit on a different planner.
+func BenchmarkPlannerPoolWarmAcrossDevices(b *testing.B) {
+	pool, err := NewPlannerPool(PoolConfig{Base: PlannerConfig{Seed: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := NetworkByName("ResNet-50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := pool.DeviceNames()
+	for _, name := range names { // warm every target once
+		if _, err := pool.Select(name, PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.Select(names[i%len(names)], PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(names)), "devices")
+}
+
+// BenchmarkGatewayCoalescedBurstStaggered is the burst benchmark under
+// the load shape the timed batching window exists for: the 16 requests
+// of each burst start ~50 µs apart (socket-staggered arrivals) instead
+// of simultaneously. With BatchWindow enabled the worker holds its
+// pass open for the stragglers, keeping exec/burst near 1 where the
+// window-less gateway pays one execution per straggler wave.
+func BenchmarkGatewayCoalescedBurstStaggered(b *testing.B) {
+	const burst = 16
+	gw, err := NewGateway(GatewayConfig{
+		Planner:     PlannerConfig{Seed: 1},
+		BatchWindow: 2 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { gw.Shutdown(context.Background()) })
+	body := `{"network":"ResNet-50","deadline_ms":0.9}`
+	if err := benchGatewayPost(gw, body); err != nil { // warm
+		b.Fatal(err)
+	}
+	execsBefore := gw.Planner().Executions()
+	var failed atomic.Pointer[error]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for j := 0; j < burst; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				<-start
+				time.Sleep(time.Duration(j) * 50 * time.Microsecond)
+				if err := benchGatewayPost(gw, body); err != nil {
+					failed.CompareAndSwap(nil, &err)
+				}
+			}(j)
 		}
 		close(start)
 		wg.Wait()

@@ -1,25 +1,30 @@
 // netserve is the NetCut serving daemon: it mounts the deadline-aware
-// planning gateway — JSON planning API with request coalescing, batch
-// admission and load shedding — on an HTTP listener and runs until
-// SIGINT/SIGTERM, then drains gracefully.
+// planning gateway — JSON planning API over a device fleet with
+// per-request targeting, request coalescing, batch admission and load
+// shedding — on an HTTP listener and runs until SIGINT/SIGTERM, then
+// drains gracefully.
 //
 // Endpoints:
 //
 //	POST /v1/plan     {"network":"ResNet-50","deadline_ms":0.9}
 //	                  {"graph":{...},"deadline_ms":0.35,"budget_ms":50}
-//	GET  /metrics     Prometheus text format
-//	GET  /debug/stats JSON snapshot (telemetry + cache counters)
+//	                  {"network":"ResNet-50","target":"auto","budget_ms":50}
+//	GET  /v1/devices  registered targets (calibration + live telemetry)
+//	GET  /metrics     Prometheus text format (device-labeled series)
+//	GET  /debug/stats JSON snapshot (telemetry + per-device caches)
 //	GET  /healthz     liveness probe
 //
 // Usage:
 //
-//	netserve                            # serve on :8080, seed 0
+//	netserve                            # serve the full device registry on :8080, seed 0
+//	netserve -devices sim-xavier,sim-server-gpu
 //	netserve -addr 127.0.0.1:9090 -seed 7
-//	netserve -queue 512 -batch 32 -workers 4
+//	netserve -queue 512 -batch 32 -workers 4 -batch-window 2ms
 //	netserve -max-body 4194304 -drain-timeout 30s
 //
 // Exit codes: 0 after a clean SIGINT/SIGTERM drain; 1 on configuration,
-// bind or serve errors; 2 on flag misuse (from package flag).
+// bind or serve errors (including an unknown -devices name); 2 on flag
+// misuse (from package flag).
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,8 +53,10 @@ func run() int {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		seed         = flag.Int64("seed", 0, "measurement and retraining seed")
+		devices      = flag.String("devices", "", "comma-separated registered device names to serve (empty = full registry; see /v1/devices)")
 		queue        = flag.Int("queue", 0, "admission queue depth (0 = default)")
 		batch        = flag.Int("batch", 0, "max requests per batched planner pass (0 = default)")
+		batchWindow  = flag.Duration("batch-window", 0, "how long a worker holds a drained burst open for staggered arrivals (0 = no window)")
 		workers      = flag.Int("workers", 0, "batch worker goroutines (0 = default)")
 		maxBody      = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default, negative = unlimited)")
 		shedMin      = flag.Int("shed-min-samples", 0, "warm executions required before budget shedding activates (0 = default)")
@@ -61,10 +69,27 @@ func run() int {
 		return 2
 	}
 
+	// Resolve -devices against the registry up front: a typo is a
+	// structured exit-1 naming the registered profiles, not a panic or
+	// a half-started fleet.
+	var devs []netcut.DeviceConfig
+	if *devices != "" {
+		for _, name := range strings.Split(*devices, ",") {
+			cfg, err := netcut.DeviceProfileByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
+				return 1
+			}
+			devs = append(devs, cfg)
+		}
+	}
+
 	gw, err := netcut.NewGateway(netcut.GatewayConfig{
 		Planner:        netcut.PlannerConfig{Seed: *seed},
+		Devices:        devs,
 		QueueDepth:     *queue,
 		BatchMax:       *batch,
+		BatchWindow:    *batchWindow,
 		Workers:        *workers,
 		MaxBodyBytes:   *maxBody,
 		ShedMinSamples: *shedMin,
@@ -93,7 +118,8 @@ func run() int {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Printf("netserve: serving on %s (seed %d)\n", ln.Addr(), *seed)
+	fmt.Printf("netserve: serving on %s (seed %d, devices %v)\n",
+		ln.Addr(), *seed, gw.Pool().DeviceNames())
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)

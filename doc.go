@@ -132,6 +132,37 @@
 // through a Planner (pinned by the gateway package tests and its
 // GOMAXPROCS determinism guard).
 //
+// # Targets & routing
+//
+// NetCut's latency model is intrinsically per-platform, so the serving
+// stack is device-keyed end to end. internal/device carries a registry
+// of named calibrations (DeviceProfiles: sim-xavier, the default;
+// sim-edge-cpu; sim-server-gpu; sim-int8-accel), and a PlannerPool
+// (NewPlannerPool) runs one Planner per registered target behind one
+// façade. The Gateway serves the pool: each request picks its target
+// with the wire field "target" — a registered name, "" for the default
+// device, or "auto", which routes to the fastest device whose
+// estimated warm-path latency (warm p99) fits the client's budget_ms
+// and sheds only when no device qualifies. GET /v1/devices lists the
+// fleet in routing order with live telemetry.
+//
+// Cross-device isolation is structural, not conventional: the device
+// calibration fingerprint (DeviceConfig.Fingerprint) is folded into
+// every plan key, which the profiler's measurement and table memos
+// inherit, and into the TRN cut-cache keys the planner's explorations
+// create — so two targets can never share plans, measurements, tables
+// or cuts, while repeats on one target stay warm hits. Cache caps are
+// per pool: the configured totals are divided across targets, so
+// registering more devices re-slices memory instead of multiplying
+// it. Routing, like shedding, is admission policy — it decides where
+// an execution runs, never what it returns: per-device responses are
+// byte-identical to a single-device Planner with the same seed and
+// calibration, and an auto-routed body to the same request naming the
+// resolved device explicitly (pinned by the pool tests and the
+// gateway's GOMAXPROCS guard, which covers target "auto"). Per-device
+// observability rides the same registry: execution, cache and latency
+// series carry a device label on /metrics.
+//
 // Observability: internal/telemetry is a dependency-free metrics
 // registry (counters, gauges, histograms) threaded through every cache
 // layer — device kernel plans, profiler measurements and tables, the

@@ -1,8 +1,10 @@
-// Example gateway: boots the deadline-aware serving gateway on a
-// loopback listener, drives it like a client — a zoo request, a custom
-// graph, a burst of identical requests that coalesce into one planner
-// execution, and a budget-constrained request that gets shed — then
-// scrapes /metrics and drains.
+// Example gateway: boots the deadline-aware serving gateway over the
+// full device fleet on a loopback listener, drives it like a client —
+// a zoo request, a custom graph, a burst of identical requests that
+// coalesce into one planner execution, a budget-constrained request
+// that gets shed, the /v1/devices listing, the same network planned on
+// two explicit targets, and an auto-routed request whose body matches
+// the explicit spelling — then scrapes /metrics and drains.
 package main
 
 import (
@@ -122,8 +124,45 @@ func main() {
 	code, body = post(base, `{"network":"ResNet-50","deadline_ms":0.9,"budget_ms":0.000001}`)
 	fmt.Printf("tiny budget_ms      -> %d %s\n", code, body)
 
-	// 5. The observability surface.
-	resp, err := http.Get(base + "/metrics")
+	// 5. The device fleet: list the registered targets, plan the same
+	// network on two of them (different calibrations, different
+	// measured latencies, zero shared cache entries), and let "auto"
+	// route — its body is byte-identical to naming the resolved device
+	// explicitly.
+	resp, err := http.Get(base + "/v1/devices")
+	if err != nil {
+		die(err)
+	}
+	devices, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var fleet struct {
+		Devices []gateway.DeviceWire `json:"devices"`
+	}
+	if err := json.Unmarshal(devices, &fleet); err != nil {
+		die(err)
+	}
+	fmt.Printf("\n/v1/devices         -> %d registered targets:\n", len(fleet.Devices))
+	for _, d := range fleet.Devices {
+		fmt.Printf("  %-16s default=%-5v precision=%s\n", d.Name, d.Default, d.Precision)
+	}
+	_, onXavier := post(base, `{"network":"MobileNetV2 (1.0)","deadline_ms":0.9,"target":"sim-xavier"}`)
+	_, onGPU := post(base, `{"network":"MobileNetV2 (1.0)","deadline_ms":0.9,"target":"sim-server-gpu"}`)
+	fmt.Printf("xavier target       -> %s\n", onXavier)
+	fmt.Printf("server-gpu target   -> %s\n", onGPU)
+	_, auto := post(base, `{"network":"MobileNetV2 (1.0)","deadline_ms":0.9,"target":"auto"}`)
+	var routed struct {
+		Device string `json:"device"`
+	}
+	if err := json.Unmarshal([]byte(auto), &routed); err != nil {
+		die(err)
+	}
+	_, explicit := post(base, fmt.Sprintf(
+		`{"network":"MobileNetV2 (1.0)","deadline_ms":0.9,"target":%q}`, routed.Device))
+	fmt.Printf("auto target         -> routed to %s (byte-identical to explicit: %v)\n",
+		routed.Device, auto == explicit)
+
+	// 6. The observability surface.
+	resp, err = http.Get(base + "/metrics")
 	if err != nil {
 		die(err)
 	}
@@ -137,7 +176,7 @@ func main() {
 		}
 	}
 
-	// 6. Graceful drain.
+	// 7. Graceful drain.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

@@ -64,7 +64,7 @@ func iterativeOne(c Candidate, deadlineMs float64, rt Retrainer, measure Measure
 			return Proposal{}, false, nil
 		}
 		var err error
-		trn, err = trim.Cut(c.Graph, cut, head)
+		trn, err = trim.CutScoped(c.CacheScope, c.Graph, cut, head)
 		if err != nil {
 			return Proposal{}, false, err
 		}
@@ -83,7 +83,7 @@ func iterativeOne(c Candidate, deadlineMs float64, rt Retrainer, measure Measure
 	if cut == 0 {
 		p.Accuracy = c.Accuracy
 		var err error
-		p.TRN, err = trim.Cut(c.Graph, 0, head)
+		p.TRN, err = trim.CutScoped(c.CacheScope, c.Graph, 0, head)
 		if err != nil {
 			return Proposal{}, false, err
 		}

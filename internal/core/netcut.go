@@ -43,6 +43,13 @@ type Candidate struct {
 	Graph      *graph.Graph
 	MeasuredMs float64 // measured inference latency of the unmodified network
 	Accuracy   float64 // transfer-learned accuracy of the unmodified network
+	// CacheScope scopes the TRN cut-cache entries this exploration
+	// creates (trim.CutScoped). A device-targeted planner passes its
+	// calibration fingerprint so no two targets share cut entries; 0
+	// (the Lab/library default) is the unscoped shared namespace. Cuts
+	// are pure graph transforms, so the scope never changes a result —
+	// only which cache entries exploration touches.
+	CacheScope uint64
 }
 
 // Proposal is the first deadline-feasible TRN found for one candidate.
@@ -146,7 +153,7 @@ func exploreOne(c Candidate, deadlineMs float64, est estimate.Estimator, rt Retr
 			return Proposal{}, false, nil
 		}
 		var err error
-		trn, err = trim.Cut(c.Graph, cut, head)
+		trn, err = trim.CutScoped(c.CacheScope, c.Graph, cut, head)
 		if err != nil {
 			return Proposal{}, false, err
 		}
@@ -163,7 +170,7 @@ func exploreOne(c Candidate, deadlineMs float64, est estimate.Estimator, rt Retr
 		// retraining needed, its accuracy is known (Algorithm 1 input).
 		p.Accuracy = c.Accuracy
 		var err error
-		p.TRN, err = trim.Cut(c.Graph, 0, head)
+		p.TRN, err = trim.CutScoped(c.CacheScope, c.Graph, 0, head)
 		if err != nil {
 			return Proposal{}, false, err
 		}

@@ -47,7 +47,7 @@ func BlockwiseSweep(cands []Candidate, rt Retrainer, measure Measurer, head trim
 	var entries []SweepEntry
 	var todo []int // indices of entries needing retrain+measure
 	for _, c := range cands {
-		zero, err := trim.Cut(c.Graph, 0, head)
+		zero, err := trim.CutScoped(c.CacheScope, c.Graph, 0, head)
 		if err != nil {
 			return nil, err
 		}
@@ -56,7 +56,7 @@ func BlockwiseSweep(cands []Candidate, rt Retrainer, measure Measurer, head trim
 			Accuracy:   c.Accuracy,
 			MeasuredMs: c.MeasuredMs,
 		})
-		trns, err := trim.EnumerateBlockwise(c.Graph, head, false)
+		trns, err := trim.EnumerateBlockwiseScoped(c.CacheScope, c.Graph, head, false)
 		if err != nil {
 			return nil, err
 		}

@@ -48,7 +48,7 @@ func (d *Device) plan(g *graph.Graph) *planInfo {
 	if v, ok := d.byPtr.Load(wp); ok {
 		return v.(*planInfo)
 	}
-	key := graph.Fingerprint(g)
+	key := planKey(d.print, graph.Fingerprint(g))
 	info := d.byPrint.GetOrCompute(key, func() *planInfo {
 		return d.buildPlan(g, key)
 	})
@@ -60,10 +60,22 @@ func (d *Device) plan(g *graph.Graph) *planInfo {
 	return info
 }
 
-// PlanKey returns the structural cache key of g on this device. Two
-// graphs with the same key execute identically — same plan, same
+// planKey folds the device-calibration fingerprint into the graph's
+// structural fingerprint. Making the device half of the key explicit —
+// rather than relying on each Device owning its own cache map — means
+// plan keys are globally unambiguous: the profiler memos they flow
+// into can never alias two targets' results, even when a pool of
+// planners shares downstream state.
+func planKey(cfgPrint, graphPrint uint64) uint64 {
+	return graph.NewHash().Mix(cfgPrint).Mix(graphPrint).Sum()
+}
+
+// PlanKey returns the cache key of g on this device: the structural
+// fingerprint scoped by the device-calibration fingerprint. Two graphs
+// with the same key execute identically — same device, same plan, same
 // steady-state kernel times — which is what lets higher layers memoize
-// whole measurements per key.
+// whole measurements per key; two targets never share a key for the
+// same graph.
 func (d *Device) PlanKey(g *graph.Graph) uint64 { return d.plan(g).key }
 
 func (d *Device) buildPlan(g *graph.Graph, key uint64) *planInfo {

@@ -21,7 +21,12 @@
 // the paper.
 package device
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+
+	"netcut/internal/graph"
+)
 
 // Precision selects the deployed arithmetic mode. The paper deploys with
 // post-training INT8 quantization (Sec. III-B4).
@@ -137,6 +142,48 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("device: negative event overhead %v", c.EventOverheadMs)
 	}
 	return nil
+}
+
+// Fingerprint returns a calibration identity hash covering every Config
+// field. It is the device half of every structure-keyed cache key in
+// the measurement stack: the device folds it into its plan keys (which
+// the profiler's measurement and table memos inherit) and the planner
+// scopes its cut-cache entries with it, so two targets with different
+// calibrations can never share plans, measurements, tables or cuts —
+// even if a future refactor points them at one shared cache. Two
+// configs with equal fingerprints simulate identically.
+// fingerprintedFields must equal the number of fields in Config: a
+// reflection test fails when a new field is added without folding it
+// into Fingerprint below, because an omitted field would let two
+// differently calibrated devices share cache keys — the exact
+// poisoning the fingerprint exists to prevent.
+const fingerprintedFields = 18
+
+func (c *Config) Fingerprint() uint64 {
+	h := graph.NewHash().MixString(c.Name)
+	f := func(v float64) { h = h.Mix(math.Float64bits(v)) }
+	f(c.PeakMACs)
+	f(c.MemBandwidth)
+	f(c.LaunchOverheadMs)
+	f(c.ConvEff)
+	f(c.DWEff)
+	f(c.DenseEff)
+	f(c.PoolEff)
+	f(c.EltwEff)
+	f(c.ChannelKnee)
+	f(c.INT8Speedup)
+	f(c.FP32Slowdown)
+	if c.Fusion {
+		h = h.Mix(1)
+	} else {
+		h = h.Mix(0)
+	}
+	h = h.Mix(uint64(c.Precision))
+	f(c.NoiseSigma)
+	f(c.ColdPenalty)
+	f(c.ColdRuns)
+	f(c.EventOverheadMs)
+	return h.Sum()
 }
 
 // Xavier returns the calibrated default configuration. Constants are

@@ -23,6 +23,7 @@ import (
 // functions of (config, structure), so eviction is transparent.
 type Device struct {
 	cfg     Config
+	print   uint64   // cfg.Fingerprint(), folded into every plan key
 	byPtr   sync.Map // weak.Pointer[graph.Graph] -> *planInfo, self-evicting
 	byPrint *lru.Cache[uint64, *planInfo]
 }
@@ -35,22 +36,48 @@ const DefaultPlanCacheCap = 4096
 
 // New returns a Device for the given configuration. Configurations are
 // static calibration tables, so an invalid one panics rather than
-// returning an error through every measurement call.
+// returning an error through every measurement call. Service
+// boundaries that accept device profiles as configuration input use
+// NewChecked instead, so a bad profile is a structured startup error
+// rather than a crash.
 func New(cfg Config) *Device {
-	if err := cfg.Validate(); err != nil {
+	d, err := NewChecked(cfg)
+	if err != nil {
 		panic(err)
 	}
-	return &Device{cfg: cfg, byPrint: lru.New[uint64, *planInfo](DefaultPlanCacheCap)}
+	return d
 }
+
+// NewChecked is New with the validation failure returned instead of
+// panicking — the constructor for the planner/gateway paths, where a
+// device profile arrives from flags or config rather than a calibrated
+// table compiled into the binary.
+func NewChecked(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:     cfg,
+		print:   cfg.Fingerprint(),
+		byPrint: lru.New[uint64, *planInfo](DefaultPlanCacheCap),
+	}, nil
+}
+
+// Fingerprint returns the calibration identity of this device
+// (Config.Fingerprint, computed once at construction).
+func (d *Device) Fingerprint() uint64 { return d.print }
 
 // SetPlanCacheCap re-bounds the fingerprint-keyed plan cache, evicting
 // least-recently-used plans if needed. cap <= 0 means unbounded.
 func (d *Device) SetPlanCacheCap(cap int) { d.byPrint.Resize(cap) }
 
 // Instrument registers the kernel-plan cache's hit/miss/eviction/
-// occupancy series on reg under the netcut_device_plans prefix.
+// occupancy series on reg under the netcut_device_plans prefix, with a
+// device label carrying the calibration name so a multi-target pool's
+// caches stay distinguishable on one scrape surface.
 func (d *Device) Instrument(reg *telemetry.Registry) {
-	lru.Instrument(reg, "netcut_device_plans", d.byPrint)
+	lru.InstrumentWith(reg, "netcut_device_plans",
+		[]telemetry.Label{{Key: "device", Value: d.cfg.Name}}, d.byPrint)
 }
 
 // PlanCacheStats reports the plan cache's size and hit counters.

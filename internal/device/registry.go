@@ -1,0 +1,128 @@
+package device
+
+import "fmt"
+
+// The device registry: the named, calibrated target profiles the
+// planning stack can serve. Xavier remains the paper's deployment
+// target and the default; the other profiles span the device classes
+// related deployments actually route across — a mobile CPU, a
+// server-class GPU and an INT8 dataflow accelerator — with calibrations
+// that exaggerate the qualitative contrasts the roofline model captures
+// (launch overhead vs. bandwidth vs. peak compute, depthwise and
+// narrow-channel efficiency, warm-up depth, measurement noise), so the
+// same graph lands at visibly different latencies and sometimes a
+// different best cut per target.
+
+// EdgeCPU returns a mobile quad-core CPU class profile: two orders of
+// magnitude less peak compute than the GPU targets and little memory
+// bandwidth, but near-zero dispatch cost, a narrow SIMD knee (small
+// channel counts already saturate), comparatively strong depthwise
+// efficiency, and FP32 execution with no fused-kernel pass — the
+// eager-framework deployment NetCut's related work targets on phones.
+func EdgeCPU() Config {
+	return Config{
+		Name:             "sim-edge-cpu",
+		PeakMACs:         1.2e11,
+		MemBandwidth:     12e9,
+		LaunchOverheadMs: 0.002,
+		ConvEff:          0.80,
+		DWEff:            0.55,
+		DenseEff:         0.60,
+		PoolEff:          0.35,
+		EltwEff:          0.50,
+		ChannelKnee:      8,
+		INT8Speedup:      2.5,
+		FP32Slowdown:     1.0,
+		Fusion:           false,
+		Precision:        FP32,
+		NoiseSigma:       0.035,
+		ColdPenalty:      0.3,
+		ColdRuns:         10,
+		EventOverheadMs:  0.0002,
+	}
+}
+
+// ServerGPU returns a datacenter GPU class profile: an order of
+// magnitude more peak compute and bandwidth than Xavier at FP16, but a
+// wide tensor-core knee (narrow layers waste the device), terrible
+// depthwise efficiency, and a deep warm-up transient from clock gating
+// and JIT engine builds.
+func ServerGPU() Config {
+	return Config{
+		Name:             "sim-server-gpu",
+		PeakMACs:         6.0e13,
+		MemBandwidth:     900e9,
+		LaunchOverheadMs: 0.006,
+		ConvEff:          0.93,
+		DWEff:            0.10,
+		DenseEff:         0.55,
+		PoolEff:          0.35,
+		EltwEff:          0.50,
+		ChannelKnee:      96,
+		INT8Speedup:      2.0,
+		FP32Slowdown:     2.0,
+		Fusion:           true,
+		Precision:        FP16,
+		NoiseSigma:       0.008,
+		ColdPenalty:      1.2,
+		ColdRuns:         40,
+		EventOverheadMs:  0.0006,
+	}
+}
+
+// INT8Accel returns an edge NPU class profile (systolic INT8 dataflow
+// accelerator): excellent dense-conv efficiency at a 4x INT8 speedup
+// and near-deterministic execution, but a high per-kernel offload cost,
+// thin memory bandwidth, hostile depthwise/elementwise support, and an
+// expensive host round-trip per profiling event.
+func INT8Accel() Config {
+	return Config{
+		Name:             "sim-int8-accel",
+		PeakMACs:         2.0e12,
+		MemBandwidth:     25e9,
+		LaunchOverheadMs: 0.025,
+		ConvEff:          0.95,
+		DWEff:            0.08,
+		DenseEff:         0.30,
+		PoolEff:          0.20,
+		EltwEff:          0.25,
+		ChannelKnee:      64,
+		INT8Speedup:      4.0,
+		FP32Slowdown:     8.0,
+		Fusion:           true,
+		Precision:        INT8,
+		NoiseSigma:       0.004,
+		ColdPenalty:      2.0,
+		ColdRuns:         15,
+		EventOverheadMs:  0.002,
+	}
+}
+
+// Profiles returns every registered calibration in canonical order —
+// Xavier first (the default target), then the fleet profiles. The
+// order is the registration order the pool and gateway expose, so it
+// is part of the routing determinism contract: "auto" tie-breaks on
+// it.
+func Profiles() []Config {
+	return []Config{Xavier(), EdgeCPU(), ServerGPU(), INT8Accel()}
+}
+
+// ProfileNames lists the registered profile names in canonical order.
+func ProfileNames() []string {
+	ps := Profiles()
+	names := make([]string, len(ps))
+	for i := range ps {
+		names[i] = ps[i].Name
+	}
+	return names
+}
+
+// ProfileByName returns the registered calibration with the given name.
+func ProfileByName(name string) (Config, error) {
+	for _, c := range Profiles() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("device: unknown profile %q (registered: %v)", name, ProfileNames())
+}

@@ -1,0 +1,155 @@
+package device
+
+import (
+	"reflect"
+	"testing"
+
+	"netcut/internal/graph"
+)
+
+// smallNet builds a tiny blocked network for cross-device key checks.
+func smallNet(name string) *graph.Graph {
+	b := graph.NewBuilder(name, graph.Shape{H: 32, W: 32, C: 3}, 8)
+	x := b.Input()
+	x = b.ConvBNReLU(x, 3, 16, 2, graph.Same)
+	b.BeginBlock("b0")
+	y := b.ConvBNReLU(x, 3, 16, 1, graph.Same)
+	x = b.Add(y, x)
+	x = b.ReLU(x)
+	b.EndBlock()
+	b.BeginHead()
+	x = b.GlobalAvgPool(x)
+	x = b.Dense(x, 8)
+	b.Softmax(x)
+	return b.MustFinish()
+}
+
+// TestRegistryProfilesAreValidAndDistinct pins the fleet registry:
+// every profile validates, names and calibration fingerprints are
+// unique, Xavier stays first (the default target), and ProfileByName
+// round-trips.
+func TestRegistryProfilesAreValidAndDistinct(t *testing.T) {
+	ps := Profiles()
+	if len(ps) < 4 {
+		t.Fatalf("registry has %d profiles, want >= 4", len(ps))
+	}
+	if ps[0].Name != Xavier().Name {
+		t.Fatalf("first registered profile is %q, want the Xavier default", ps[0].Name)
+	}
+	seenName := map[string]bool{}
+	seenPrint := map[uint64]bool{}
+	for _, c := range ps {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("profile %q does not validate: %v", c.Name, err)
+		}
+		if seenName[c.Name] {
+			t.Fatalf("duplicate profile name %q", c.Name)
+		}
+		seenName[c.Name] = true
+		fp := c.Fingerprint()
+		if seenPrint[fp] {
+			t.Fatalf("profile %q shares a calibration fingerprint", c.Name)
+		}
+		seenPrint[fp] = true
+
+		got, err := ProfileByName(c.Name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%q): %v", c.Name, err)
+		}
+		if got != c {
+			t.Fatalf("ProfileByName(%q) returned a different calibration", c.Name)
+		}
+	}
+	if _, err := ProfileByName("sim-quantum"); err == nil {
+		t.Fatal("unknown profile name did not error")
+	}
+}
+
+// TestPlanKeysAreDeviceScoped pins the tentpole cache-isolation
+// property at its root: the same graph planned on two differently
+// calibrated devices yields different plan keys (so every
+// plan-key-derived memo downstream is device-scoped), while two
+// devices built from the same calibration agree on the key.
+func TestPlanKeysAreDeviceScoped(t *testing.T) {
+	g := smallNet("scoped-net")
+	ps := Profiles()
+	keys := map[uint64]string{}
+	for _, cfg := range ps {
+		d := New(cfg)
+		k := d.PlanKey(g)
+		if prev, ok := keys[k]; ok {
+			t.Fatalf("devices %q and %q share plan key %#x for one graph", prev, cfg.Name, k)
+		}
+		keys[k] = cfg.Name
+	}
+	// Same calibration, independent Device instances: keys must agree,
+	// so structurally identical deployments still share downstream memos.
+	a, b := New(Xavier()), New(Xavier())
+	if a.PlanKey(g) != b.PlanKey(g) {
+		t.Fatal("two devices with one calibration disagree on the plan key")
+	}
+	// And the simulated latencies genuinely differ across the fleet.
+	lat := map[float64]string{}
+	for _, cfg := range ps {
+		l := New(cfg).LatencyMs(g)
+		if prev, ok := lat[l]; ok {
+			t.Fatalf("devices %q and %q simulate identical latency %v ms", prev, cfg.Name, l)
+		}
+		lat[l] = cfg.Name
+	}
+}
+
+// TestNewCheckedSurfacesConfigErrors pins the service-boundary
+// constructor: an invalid calibration is an error from NewChecked and
+// still a panic from New (static tables compiled into the binary).
+func TestNewCheckedSurfacesConfigErrors(t *testing.T) {
+	bad := Xavier()
+	bad.PeakMACs = -1
+	if _, err := NewChecked(bad); err == nil {
+		t.Fatal("NewChecked accepted a negative peak throughput")
+	}
+	if d, err := NewChecked(Xavier()); err != nil || d == nil {
+		t.Fatalf("NewChecked rejected the calibrated default: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New did not panic on an invalid config")
+		}
+	}()
+	New(bad)
+}
+
+// TestFingerprintCoversEveryConfigField guards cross-device cache
+// isolation against future Config fields: the field count must match
+// what Fingerprint folds in, and perturbing any single field must
+// change the fingerprint. A new field that is not mixed into
+// Fingerprint would let two differently calibrated devices share
+// cache keys.
+func TestFingerprintCoversEveryConfigField(t *testing.T) {
+	typ := reflect.TypeOf(Config{})
+	if typ.NumField() != fingerprintedFields {
+		t.Fatalf("Config has %d fields but Fingerprint covers %d: fold the new field into Fingerprint and bump fingerprintedFields",
+			typ.NumField(), fingerprintedFields)
+	}
+	base := Xavier()
+	basePrint := base.Fingerprint()
+	for i := 0; i < typ.NumField(); i++ {
+		c := Xavier()
+		v := reflect.ValueOf(&c).Elem().Field(i)
+		switch v.Kind() {
+		case reflect.String:
+			v.SetString(v.String() + "-x")
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 0.5)
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.Int:
+			v.SetInt(v.Int() + 1)
+		default:
+			t.Fatalf("field %s has unhandled kind %s: extend this test", typ.Field(i).Name, v.Kind())
+		}
+		if c.Fingerprint() == basePrint {
+			t.Fatalf("perturbing Config.%s did not change the fingerprint", typ.Field(i).Name)
+		}
+	}
+}

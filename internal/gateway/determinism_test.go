@@ -12,10 +12,17 @@ import (
 // TestGatewayDeterministicAcrossGOMAXPROCS extends the repository's
 // GOMAXPROCS determinism guard (exp.TestAllDeterministicAcrossGOMAXPROCS,
 // netcut.TestPlannerDeterministicUnderConcurrentStress) to the serving
-// layer: any interleaving of concurrent gateway requests, at any
-// GOMAXPROCS and any coalescing/batching schedule, must produce bodies
-// byte-identical to a serial replay on a fresh gateway. Run under -race
-// in CI this is also the gateway's data-race probe.
+// layer — now including the device pool and its routing path: any
+// interleaving of concurrent gateway requests spanning default,
+// explicit-device and "auto" targets, at any GOMAXPROCS and any
+// coalescing/batching schedule, must produce bodies byte-identical to
+// a serial replay on a fresh gateway. ShedMinSamples is pinned above
+// the test's traffic so "auto" stays on its deterministic cold-start
+// route (warm estimates below the activation threshold read as 0 for
+// every device) — load-adaptive routing, like shedding, is admission
+// policy and is exercised by its own tests, not the byte-identity
+// guard. Run under -race in CI this is also the gateway's data-race
+// probe.
 func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	const (
 		goroutines = 8
@@ -23,16 +30,19 @@ func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		rounds     = 3
 		seed       = 17
 	)
+	targets := []string{"", `,"target":"auto"`, `,"target":"sim-xavier"`,
+		`,"target":"sim-server-gpu"`, `,"target":"sim-edge-cpu"`}
 	mk := func(workers int) *Gateway {
 		cfg := quickConfig(seed)
 		cfg.Workers = workers
+		cfg.ShedMinSamples = 1 << 30
 		g, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return g
 	}
-	bodyFor := func(i int) string { return graphBody(t, userNet(i), 0.35, "") }
+	bodyFor := func(i int) string { return graphBody(t, userNet(i), 0.35, targets[i%len(targets)]) }
 
 	// Serial reference: one fresh gateway, one worker, GOMAXPROCS 1.
 	prev := runtime.GOMAXPROCS(1)

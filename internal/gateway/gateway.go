@@ -1,33 +1,44 @@
 // Package gateway is the deadline-aware serving layer of NetCut: a
-// JSON-over-HTTP planning API on top of serve.Planner that admits,
-// coalesces, batches and — when the client's own latency budget cannot
-// be met — sheds requests, with a telemetry registry exposed in
-// Prometheus text format at /metrics and as JSON at /debug/stats.
+// JSON-over-HTTP planning API on top of a device-keyed
+// serve.PlannerPool that routes, admits, coalesces, batches and —
+// when the client's own latency budget cannot be met on any target —
+// sheds requests, with a telemetry registry exposed in Prometheus text
+// format at /metrics and as JSON at /debug/stats.
 //
 // Request flow, in order:
 //
 //  1. Decode: the body is size-limited (Config.MaxBodyBytes) and the
 //     decoded graph stops at graph.Validate — malformed or oversized
 //     input is a structured 400/413, never a panic or an OOM.
-//  2. Coalesce: requests with identical (name, structure, deadline,
-//     estimator) share one in-flight planner execution and receive
-//     byte-identical response bodies, singleflight-style. Joining an
-//     in-flight call consumes no planner work and no queue slot.
-//  3. Shed: a would-be leader whose budget_ms cannot cover the observed
-//     warm-path p99 is rejected up front with 429 and a retry hint, as
-//     is any arrival finding the admission queue full. Shed requests
-//     never consume planner work.
-//  4. Batch: admitted leaders sit in a bounded queue; workers drain
-//     bursts of them and group compatible requests (same deadline and
-//     estimator) into one SelectBatch planner pass.
-//  5. Drain: Shutdown stops admission (503 + Retry-After), lets every
+//  2. Route: the request's target ("" = default device, "auto" =
+//     fastest device whose estimated warm-path latency fits the
+//     budget, or a registered name from GET /v1/devices) resolves to
+//     one device's planner; an unregistered name is a 400.
+//  3. Coalesce: requests with identical (device, name, structure,
+//     deadline, estimator) share one in-flight planner execution and
+//     receive byte-identical response bodies, singleflight-style.
+//     Joining an in-flight call consumes no planner work and no queue
+//     slot.
+//  4. Shed: a would-be leader whose budget_ms cannot cover the
+//     resolved target's warm-path p99 — for "auto", any target's — is
+//     rejected up front with 429 and a retry hint, as is any arrival
+//     finding the admission queue full. Shed requests never consume
+//     planner work.
+//  5. Batch: admitted leaders sit in a bounded queue; workers drain
+//     bursts of them — holding the pass open for Config.BatchWindow
+//     when staggered arrivals are expected — and group compatible
+//     requests (same device, deadline and estimator) into one
+//     SelectBatch planner pass.
+//  6. Drain: Shutdown stops admission (503 + Retry-After), lets every
 //     queued call finish and deliver, then stops the workers.
 //
-// Determinism contract: coalescing, batching and shedding change which
-// executions happen and when — never what any execution returns. A
-// coalesced or batched response body is byte-identical to the same
-// request served alone through serve.Planner, pinned by the package
-// tests and the GOMAXPROCS determinism guard.
+// Determinism contract: routing, coalescing, batching and shedding
+// change which executions happen, where and when — never what any
+// execution returns. A coalesced or batched response body is
+// byte-identical to the same request served alone through that
+// device's serve.Planner, and an auto-routed body to the same request
+// naming the resolved device explicitly — pinned by the package tests
+// and the GOMAXPROCS determinism guard.
 package gateway
 
 import (
@@ -41,16 +52,24 @@ import (
 	"sync"
 	"time"
 
+	"netcut/internal/device"
 	"netcut/internal/serve"
 	"netcut/internal/telemetry"
 )
 
-// Config parameterizes a Gateway. The zero value serves with the
-// default planner configuration and the documented knob defaults.
+// Config parameterizes a Gateway. The zero value serves the full
+// device registry with the default planner configuration and the
+// documented knob defaults.
 type Config struct {
-	// Planner configures the underlying serve.Planner (seed, device,
-	// protocol, cache caps).
+	// Planner is the per-device planner template (seed, protocol,
+	// pool-wide cache caps). Its Device field selects a single-target
+	// gateway when Devices is empty.
 	Planner serve.Config
+	// Devices lists the target calibrations this gateway serves, in
+	// the order "auto" routing tie-breaks on; the first is the default
+	// target. Empty means: Planner.Device alone if set, otherwise the
+	// full device registry (device.Profiles, Xavier first).
+	Devices []device.Config
 
 	// MaxBodyBytes caps a request body; larger bodies get 413.
 	// 0 means DefaultMaxBodyBytes; negative means no limit.
@@ -63,11 +82,20 @@ type Config struct {
 	BatchMax int
 	// Workers is the number of batch workers. 0 means DefaultWorkers.
 	Workers int
-	// ShedMinSamples is how many warm executions the latency histogram
-	// must hold before budget-based shedding activates (shedding on a
-	// cold estimate would reject half of a fresh server's first
-	// clients). 0 means DefaultShedMinSamples.
+	// ShedMinSamples is how many warm executions a target's latency
+	// histogram must hold before budget-based shedding (and its warm
+	// estimate's participation in "auto" ranking) activates — shedding
+	// on a cold estimate would reject half of a fresh server's first
+	// clients. 0 means DefaultShedMinSamples.
 	ShedMinSamples int
+	// BatchWindow is how long a worker holds a drained burst open for
+	// stragglers before executing its planner pass: with socket-
+	// staggered bursts, a small window (hundreds of microseconds to a
+	// few milliseconds) lets the whole burst coalesce/batch into one
+	// pass instead of two or three. 0 (the default) keeps the
+	// zero-latency behavior: one cooperative yield, then a
+	// non-blocking sweep. Negative is a configuration error.
+	BatchWindow time.Duration
 }
 
 // Defaults for the Config knobs.
@@ -97,6 +125,9 @@ func (c *Config) fill() error {
 			return fmt.Errorf("negative %s %d", k.name, k.val)
 		}
 	}
+	if c.BatchWindow < 0 {
+		return fmt.Errorf("negative BatchWindow %v", c.BatchWindow)
+	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
@@ -116,24 +147,26 @@ func (c *Config) fill() error {
 }
 
 // call is one in-flight planner execution and the response every
-// coalesced waiter shares. body and status are written exactly once,
+// coalesced waiter shares. planner is the resolved target's planner
+// (key.device names it). body and status are written exactly once,
 // before done is closed.
 type call struct {
-	key    coalesceKey
-	req    serve.Request
-	done   chan struct{}
-	status int
-	body   []byte
+	key     coalesceKey
+	req     serve.Request
+	planner *serve.Planner
+	done    chan struct{}
+	status  int
+	body    []byte
 }
 
 // Gateway is the serving layer. Construct with New, expose Handler on
 // an http.Server, and call Shutdown to drain.
 type Gateway struct {
-	cfg     Config
-	planner *serve.Planner
-	reg     *telemetry.Registry
-	mux     *http.ServeMux
-	queue   chan *call
+	cfg   Config
+	pool  *serve.PlannerPool
+	reg   *telemetry.Registry
+	mux   *http.ServeMux
+	queue chan *call
 
 	mu        sync.Mutex
 	inflight  map[coalesceKey]*call
@@ -144,6 +177,7 @@ type Gateway struct {
 
 	requests      *telemetry.Counter
 	coalesced     *telemetry.Counter
+	autoRouted    *telemetry.Counter
 	shedBudget    *telemetry.Counter
 	shedQueue     *telemetry.Counter
 	shedDraining  *telemetry.Counter
@@ -155,29 +189,37 @@ type Gateway struct {
 	testHookBatch func(n int) // test-only: runs in a worker before a planner pass of n requests
 }
 
-// New builds the gateway, instruments the planner and every cache layer
-// under it, and starts the batch workers. Callers own the HTTP server;
-// see Handler.
+// New builds the gateway — one planner per registered device behind a
+// serve.PlannerPool — instruments every planner and cache layer under
+// it (per-device series carry a device label), and starts the batch
+// workers. Callers own the HTTP server; see Handler.
 func New(cfg Config) (*Gateway, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
-	p, err := serve.New(cfg.Planner)
+	devs := cfg.Devices
+	if len(devs) == 0 && cfg.Planner.Device != nil {
+		devs = []device.Config{*cfg.Planner.Device}
+	}
+	base := cfg.Planner
+	base.Device = nil
+	pool, err := serve.NewPool(serve.PoolConfig{Base: base, Devices: devs})
 	if err != nil {
 		return nil, fmt.Errorf("gateway: %w", err)
 	}
 	reg := telemetry.NewRegistry()
-	p.Instrument(reg)
+	pool.Instrument(reg)
 
 	g := &Gateway{
 		cfg:      cfg,
-		planner:  p,
+		pool:     pool,
 		reg:      reg,
 		queue:    make(chan *call, cfg.QueueDepth),
 		inflight: make(map[coalesceKey]*call),
 
 		requests:     reg.Counter("netcut_gateway_requests_total", "plan requests received"),
 		coalesced:    reg.Counter("netcut_gateway_coalesced_total", "requests that joined an identical in-flight execution"),
+		autoRouted:   reg.Counter("netcut_gateway_auto_routed_total", "requests with target \"auto\" resolved to a device"),
 		shedBudget:   reg.Counter("netcut_gateway_shed_budget_total", "requests shed because budget_ms cannot cover the warm p99"),
 		shedQueue:    reg.Counter("netcut_gateway_shed_queue_full_total", "requests shed because the admission queue was full"),
 		shedDraining: reg.Counter("netcut_gateway_shed_draining_total", "requests rejected during drain"),
@@ -198,6 +240,7 @@ func New(cfg Config) (*Gateway, error) {
 
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("POST /v1/plan", g.handlePlan)
+	g.mux.HandleFunc("GET /v1/devices", g.handleDevices)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /debug/stats", g.handleStats)
 	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -216,9 +259,12 @@ func New(cfg Config) (*Gateway, error) {
 // GET /metrics, GET /debug/stats, GET /healthz.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
-// Planner exposes the underlying planning service (for embedding the
-// gateway and the planner API in one process).
-func (g *Gateway) Planner() *serve.Planner { return g.planner }
+// Planner exposes the default target's planning service (for embedding
+// the gateway and the planner API in one process).
+func (g *Gateway) Planner() *serve.Planner { return g.pool.Default() }
+
+// Pool exposes the device-keyed planner pool behind the gateway.
+func (g *Gateway) Pool() *serve.PlannerPool { return g.pool }
 
 // Registry exposes the telemetry registry, so embedders can add their
 // own series next to the gateway's.
@@ -296,8 +342,23 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// admit coalesces, sheds or enqueues one decoded request, returning the
-// call to wait on.
+// windowMs is the timed batching window expressed in the latency
+// arithmetic's unit. Every pass leader waits up to this long before
+// executing, so the budget shed predicates fold it into the expected
+// service time — admitting a request whose budget covers only the
+// bare warm p99 would queue it into guaranteed lateness.
+func (g *Gateway) windowMs() float64 {
+	return float64(g.cfg.BatchWindow) / float64(time.Millisecond)
+}
+
+// admit resolves the target, then coalesces, sheds or enqueues one
+// decoded request, returning the call to wait on. Target resolution —
+// "" is the default device, "auto" routes to the fastest device whose
+// estimated warm-path latency fits the budget, anything else must be
+// a registered name — is admission policy: it decides where an
+// execution runs, never what that execution returns, and the resolved
+// device becomes part of the coalescing key, so an auto-routed body is
+// byte-identical to the same request naming the device explicitly.
 func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -308,6 +369,58 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 		e.wire.RetryAfterMs = 1000
 		return nil, e
 	}
+	switch dec.target {
+	case "":
+		p := g.pool.Default()
+		dec.key.device = p.DeviceName()
+		return g.admitOn(dec, p, true)
+	case "auto":
+		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples))
+		if ok {
+			g.autoRouted.Inc()
+			dec.key.device = name
+			p, err := g.pool.Planner(name)
+			if err != nil {
+				// Route only returns registered names.
+				panic(err)
+			}
+			// Route already applied the budget predicate to the chosen
+			// device; re-checking here could shed a request it just
+			// qualified (the estimate moves between the two reads).
+			return g.admitOn(dec, p, false)
+		}
+		// No device qualifies — but coalesce before shedding: an
+		// identical execution already in flight on any device serves
+		// this request at zero planner cost, which beats a 429.
+		for _, devName := range g.pool.DeviceNames() {
+			k := dec.key
+			k.device = devName
+			if c, inFlight := g.inflight[k]; inFlight {
+				g.coalesced.Inc()
+				return c, nil
+			}
+		}
+		g.shedBudget.Inc()
+		e := errf(http.StatusTooManyRequests, "budget_too_small",
+			"budget %.3f ms is below every device's estimated warm-path latency (fastest: %.3f ms)",
+			dec.budgetMs, est)
+		e.wire.RetryAfterMs = est
+		return nil, e
+	default:
+		p, err := g.pool.Planner(dec.target)
+		if err != nil {
+			g.rejected.Inc()
+			return nil, errf(http.StatusBadRequest, "unknown_device", "%v", err)
+		}
+		dec.key.device = dec.target
+		return g.admitOn(dec, p, true)
+	}
+}
+
+// admitOn coalesces, sheds or enqueues a target-resolved request on
+// its planner. shedCheck is false when the caller already applied the
+// budget predicate (the auto route).
+func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck bool) (*call, *apiError) {
 	// Coalesce before shedding: joining an in-flight execution consumes
 	// no planner work, so even a budget-constrained request is better
 	// served than shed.
@@ -316,19 +429,22 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 		return c, nil
 	}
 	// Deadline-aware shedding: if the client's remaining budget cannot
-	// cover even the warm path's p99, queueing it only manufactures a
+	// cover the target's warm-path p99 plus the batching window every
+	// pass leader waits out, queueing it only manufactures a
 	// guaranteed-late response.
-	if dec.budgetMs > 0 {
-		p99, samples := g.planner.WarmQuantile(0.99)
-		if samples >= uint64(g.cfg.ShedMinSamples) && dec.budgetMs < p99 {
+	if shedCheck && dec.budgetMs > 0 {
+		p99, samples := planner.WarmQuantile(0.99)
+		need := p99 + g.windowMs()
+		if samples >= uint64(g.cfg.ShedMinSamples) && dec.budgetMs < need {
 			g.shedBudget.Inc()
 			e := errf(http.StatusTooManyRequests, "budget_too_small",
-				"budget %.3f ms is below the warm-path p99 of %.3f ms", dec.budgetMs, p99)
-			e.wire.RetryAfterMs = p99
+				"budget %.3f ms is below device %s's estimated warm-path latency of %.3f ms",
+				dec.budgetMs, dec.key.device, need)
+			e.wire.RetryAfterMs = need
 			return nil, e
 		}
 	}
-	c := &call{key: dec.key, req: dec.req, done: make(chan struct{})}
+	c := &call{key: dec.key, req: dec.req, planner: planner, done: make(chan struct{})}
 	select {
 	case g.queue <- c:
 		g.inflight[dec.key] = c
@@ -338,15 +454,16 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 		g.shedQueue.Inc()
 		e := errf(http.StatusTooManyRequests, "queue_full",
 			"admission queue of %d is full", g.cfg.QueueDepth)
-		p99, _ := g.planner.WarmQuantile(0.99)
-		e.wire.RetryAfterMs = math.Max(p99, 1)
+		p99, _ := planner.WarmQuantile(0.99)
+		e.wire.RetryAfterMs = math.Max(p99+g.windowMs(), 1)
 		return nil, e
 	}
 }
 
 // worker drains the admission queue: one blocking receive, a
-// cooperative yield, then an opportunistic non-blocking sweep up to
-// BatchMax, grouped into compatible planner passes.
+// cooperative yield, an optional timed batching window, then an
+// opportunistic non-blocking sweep up to BatchMax, grouped into
+// compatible planner passes.
 func (g *Gateway) worker() {
 	defer g.workers.Done()
 	for first := range g.queue {
@@ -359,6 +476,31 @@ func (g *Gateway) worker() {
 		// per-request executions. Costs nothing when idle.
 		runtime.Gosched()
 		batch := []*call{first}
+		if g.cfg.BatchWindow > 0 {
+			// Timed window: hold the pass open for socket-staggered
+			// stragglers. The yield catches bursts already in flight;
+			// the window catches bursts whose members are still
+			// arriving over real connections. Like every admission
+			// mechanism it shifts when executions run, never what they
+			// return. The cost: every pass leader — including a lone,
+			// uncontended request — waits up to BatchWindow before
+			// executing, which is why the budget shed predicates add
+			// windowMs to the expected service time.
+			timer := time.NewTimer(g.cfg.BatchWindow)
+		window:
+			for len(batch) < g.cfg.BatchMax {
+				select {
+				case c, ok := <-g.queue:
+					if !ok {
+						break window // draining: run what we have
+					}
+					batch = append(batch, c)
+				case <-timer.C:
+					break window
+				}
+			}
+			timer.Stop()
+		}
 	sweep:
 		for len(batch) < g.cfg.BatchMax {
 			select {
@@ -375,19 +517,21 @@ func (g *Gateway) worker() {
 	}
 }
 
-// execute groups a drained burst by (deadline, estimator) and runs each
-// group as one SelectBatch planner pass, delivering every call's
-// response. Grouping preserves arrival order within a group, and
-// responses are position-indexed, so batching cannot permute results.
+// execute groups a drained burst by (device, deadline, estimator) and
+// runs each group as one SelectBatch pass on that device's planner,
+// delivering every call's response. Grouping preserves arrival order
+// within a group, and responses are position-indexed, so batching
+// cannot permute results; two targets never share a planner pass.
 func (g *Gateway) execute(batch []*call) {
 	type groupKey struct {
+		device    string
 		deadline  float64
 		estimator string
 	}
 	order := make([]groupKey, 0, len(batch))
 	groups := make(map[groupKey][]*call, 1)
 	for _, c := range batch {
-		k := groupKey{c.req.DeadlineMs, c.req.Estimator}
+		k := groupKey{c.key.device, c.req.DeadlineMs, c.req.Estimator}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -404,7 +548,7 @@ func (g *Gateway) execute(batch []*call) {
 		}
 		g.batches.Inc()
 		g.batchedReqs.Add(uint64(len(calls)))
-		resps, errs := g.planner.SelectBatch(reqs)
+		resps, errs := calls[0].planner.SelectBatch(reqs)
 		for i, c := range calls {
 			if errs[i] != nil {
 				g.planErrors.Inc()
@@ -444,12 +588,51 @@ func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	g.reg.WritePrometheus(w)
 }
 
-// handleStats serves the registry snapshot plus the planner's cache
-// stats as one JSON document.
+// handleDevices serves the registered targets in registration order —
+// the routing tie-break order, default device first — with each
+// target's calibration summary and live planning telemetry.
+func (g *Gateway) handleDevices(w http.ResponseWriter, _ *http.Request) {
+	names := g.pool.DeviceNames()
+	out := make([]DeviceWire, 0, len(names))
+	for i, name := range names {
+		p, err := g.pool.Planner(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		cfg := p.DeviceConfig()
+		p99, samples := p.WarmQuantile(0.99)
+		if samples < uint64(g.cfg.ShedMinSamples) {
+			p99 = 0 // below activation: neither shedding nor ranking reads it
+		}
+		out = append(out, DeviceWire{
+			Name:             cfg.Name,
+			Default:          i == 0,
+			Precision:        cfg.Precision.String(),
+			PeakMACs:         cfg.PeakMACs,
+			MemBandwidth:     cfg.MemBandwidth,
+			LaunchOverheadMs: cfg.LaunchOverheadMs,
+			Fusion:           cfg.Fusion,
+			Executions:       p.Executions(),
+			WarmP99Ms:        p99,
+		})
+	}
+	b, err := json.MarshalIndent(map[string]any{"devices": out}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+// handleStats serves the registry snapshot plus per-device planner
+// cache stats as one JSON document ("planner" remains the default
+// target's stats for single-device dashboards).
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc := map[string]any{
 		"metrics": g.reg.Snapshot(),
-		"planner": g.planner.Stats(),
+		"planner": g.pool.Default().Stats(),
+		"devices": g.pool.Stats(),
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

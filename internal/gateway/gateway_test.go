@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"netcut/internal/device"
 	"netcut/internal/graph"
 	"netcut/internal/profiler"
 	"netcut/internal/serve"
@@ -175,7 +176,7 @@ func TestGatewayCoalescesIdenticalRequests(t *testing.T) {
 			t.Fatalf("request %d body differs:\n%s\n%s", i, bodies[i], bodies[0])
 		}
 	}
-	if got := g.planner.Executions(); got != 1 {
+	if got := g.Planner().Executions(); got != 1 {
 		t.Fatalf("%d identical concurrent requests cost %d planner executions, want 1", n, got)
 	}
 	if got := g.coalesced.Value(); got != n-1 {
@@ -203,11 +204,11 @@ func TestGatewayShedsOnBudget(t *testing.T) {
 			t.Fatalf("warmup %d: status %d: %s", i, rec.Code, rec.Body.String())
 		}
 	}
-	if _, samples := g.planner.WarmQuantile(0.99); samples == 0 {
+	if _, samples := g.Planner().WarmQuantile(0.99); samples == 0 {
 		t.Fatal("no warm samples after a repeated request")
 	}
 
-	execs := g.planner.Executions()
+	execs := g.Planner().Executions()
 	rec := post(g, graphBody(t, userNet(2), 0.35, `,"budget_ms":0.00001`))
 	if rec.Code != http.StatusTooManyRequests {
 		t.Fatalf("tiny-budget request: status %d: %s", rec.Code, rec.Body.String())
@@ -222,7 +223,7 @@ func TestGatewayShedsOnBudget(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("shed response missing Retry-After header")
 	}
-	if got := g.planner.Executions(); got != execs {
+	if got := g.Planner().Executions(); got != execs {
 		t.Fatalf("shed request consumed planner work: executions %d -> %d", execs, got)
 	}
 	if g.shedBudget.Value() != 1 {
@@ -288,7 +289,7 @@ func TestGatewayShedsOnQueueFull(t *testing.T) {
 			t.Fatalf("admitted request %d: status %d", i, code)
 		}
 	}
-	if got := g.planner.Executions(); got != 2 {
+	if got := g.Planner().Executions(); got != 2 {
 		t.Fatalf("planner executions %d, want 2 (shed request must not execute)", got)
 	}
 	if g.shedQueue.Value() != 1 {
@@ -430,6 +431,7 @@ func TestGatewayRejectsMalformed(t *testing.T) {
 		{"bad-estimator", `{"network":"ResNet-50","estimator":"oracle"}`, http.StatusBadRequest, "invalid_estimator"},
 		{"neg-deadline", `{"network":"ResNet-50","deadline_ms":-1}`, http.StatusBadRequest, "invalid_deadline"},
 		{"neg-budget", `{"network":"ResNet-50","budget_ms":-1}`, http.StatusBadRequest, "invalid_budget"},
+		{"unknown-target", `{"network":"ResNet-50","target":"sim-quantum"}`, http.StatusBadRequest, "unknown_device"},
 		{"bad-kind", `{"graph":{"name":"x","num_classes":2,"nodes":[{"id":0,"kind":"Teleport","out":{"h":1,"w":1,"c":1}}]}}`,
 			http.StatusBadRequest, "invalid_graph"},
 		{"invalid-graph", `{"graph":{"name":"x","num_classes":2,"nodes":[{"id":0,"kind":"Conv","out":{"h":1,"w":1,"c":1}}]}}`,
@@ -450,7 +452,7 @@ func TestGatewayRejectsMalformed(t *testing.T) {
 			t.Fatalf("%s: error code %q, want %q", tc.name, e.Code, tc.werr)
 		}
 	}
-	if got := g.planner.Executions(); got != 0 {
+	if got := g.Planner().Executions(); got != 0 {
 		t.Fatalf("rejected requests reached the planner: %d executions", got)
 	}
 	if got, want := g.rejected.Value(), uint64(len(cases)); got != want {
@@ -575,11 +577,12 @@ func TestGatewayObservabilityEndpoints(t *testing.T) {
 		"netcut_gateway_requests_total 1",
 		"netcut_gateway_queue_depth",
 		"netcut_gateway_shed_budget_total 0",
-		"netcut_planner_executions_total 1",
-		"netcut_planner_warm_ms_count",
-		"netcut_planner_cold_ms_count 1",
-		"netcut_device_plans_hits_total",
-		"netcut_profiler_measurements_misses_total",
+		`netcut_planner_executions_total{device="sim-xavier"} 1`,
+		`netcut_planner_warm_ms_count{device="sim-xavier"}`,
+		`netcut_planner_cold_ms_count{device="sim-xavier"} 1`,
+		`netcut_device_plans_hits_total{device="sim-xavier"}`,
+		`netcut_device_plans_hits_total{device="sim-server-gpu"}`,
+		`netcut_profiler_measurements_misses_total{device="sim-xavier"}`,
 		"netcut_trim_cuts_entries",
 	} {
 		if !strings.Contains(out, series) {
@@ -592,8 +595,9 @@ func TestGatewayObservabilityEndpoints(t *testing.T) {
 		t.Fatalf("/debug/stats: %d", rec.Code)
 	}
 	var doc struct {
-		Metrics map[string]any `json:"metrics"`
-		Planner serve.Stats    `json:"planner"`
+		Metrics map[string]any         `json:"metrics"`
+		Planner serve.Stats            `json:"planner"`
+		Devices map[string]serve.Stats `json:"devices"`
 	}
 	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
 		t.Fatalf("/debug/stats is not JSON: %v", err)
@@ -603,6 +607,12 @@ func TestGatewayObservabilityEndpoints(t *testing.T) {
 	}
 	if _, ok := doc.Metrics["netcut_gateway_requests_total"]; !ok {
 		t.Fatal("stats metrics missing gateway request counter")
+	}
+	if len(doc.Devices) < 4 {
+		t.Fatalf("stats lists %d devices, want the full registry", len(doc.Devices))
+	}
+	if doc.Devices["sim-xavier"].Requests != 1 || doc.Devices["sim-edge-cpu"].Requests != 0 {
+		t.Fatalf("per-device stats wrong: %+v", doc.Devices)
 	}
 
 	if rec := get(g, "/healthz"); rec.Code != http.StatusOK {
@@ -644,5 +654,364 @@ func TestGraphWireRoundTrip(t *testing.T) {
 		if graph.Fingerprint(got) != graph.Fingerprint(src) {
 			t.Fatalf("%s: fingerprint changed across the wire", src.Name)
 		}
+	}
+}
+
+// TestGatewayDevicesEndpoint pins GET /v1/devices: the registered
+// fleet in registration order, default device first, with calibration
+// summaries and live telemetry.
+func TestGatewayDevicesEndpoint(t *testing.T) {
+	g, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	if rec := post(g, `{"network":"MobileNetV1 (0.25)","target":"sim-edge-cpu"}`); rec.Code != http.StatusOK {
+		t.Fatalf("seed request: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	rec := get(g, "/v1/devices")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/devices: %d", rec.Code)
+	}
+	var doc struct {
+		Devices []DeviceWire `json:"devices"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/v1/devices is not JSON: %v", err)
+	}
+	if len(doc.Devices) < 4 {
+		t.Fatalf("listed %d devices, want the full registry", len(doc.Devices))
+	}
+	if doc.Devices[0].Name != "sim-xavier" || !doc.Devices[0].Default {
+		t.Fatalf("first device %+v, want the Xavier default", doc.Devices[0])
+	}
+	byName := map[string]DeviceWire{}
+	for i, d := range doc.Devices {
+		if d.Default != (i == 0) {
+			t.Fatalf("device %d default flag wrong: %+v", i, d)
+		}
+		if d.PeakMACs <= 0 || d.Precision == "" {
+			t.Fatalf("device %q missing calibration summary: %+v", d.Name, d)
+		}
+		byName[d.Name] = d
+	}
+	if byName["sim-edge-cpu"].Executions != 1 {
+		t.Fatalf("edge-cpu executions = %d, want 1", byName["sim-edge-cpu"].Executions)
+	}
+	if byName["sim-xavier"].Executions != 0 {
+		t.Fatalf("xavier executions = %d, want 0", byName["sim-xavier"].Executions)
+	}
+}
+
+// TestGatewayCrossDeviceIsolation pins the tentpole acceptance
+// criterion through the HTTP surface: the same graph planned on two
+// targets yields different measured latencies from independent cache
+// entries; a repeat per target is a warm byte-identical hit.
+func TestGatewayCrossDeviceIsolation(t *testing.T) {
+	g, err := New(quickConfig(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	body := func(target string) string {
+		return graphBody(t, userNet(0), 0.35, fmt.Sprintf(`,"target":%q`, target))
+	}
+	recA := post(g, body("sim-xavier"))
+	recB := post(g, body("sim-server-gpu"))
+	if recA.Code != http.StatusOK || recB.Code != http.StatusOK {
+		t.Fatalf("targets: %d/%d: %s %s", recA.Code, recB.Code, recA.Body.String(), recB.Body.String())
+	}
+	var ra, rb PlanResponseWire
+	if err := json.Unmarshal(recA.Body.Bytes(), &ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recB.Body.Bytes(), &rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Device != "sim-xavier" || rb.Device != "sim-server-gpu" {
+		t.Fatalf("response devices %q/%q", ra.Device, rb.Device)
+	}
+	if ra.MeasuredMs == rb.MeasuredMs {
+		t.Fatalf("identical measured latency %v ms on two targets", ra.MeasuredMs)
+	}
+	// Each target executed once; caches are per target.
+	pa, err := g.pool.Planner("sim-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := g.pool.Planner("sim-server-gpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Executions() != 1 || pb.Executions() != 1 {
+		t.Fatalf("executions %d/%d, want 1/1", pa.Executions(), pb.Executions())
+	}
+	// Repeats are warm per-target hits with byte-identical bodies.
+	hits := pa.Stats().Measurements.Hits
+	recA2 := post(g, body("sim-xavier"))
+	if !bytes.Equal(recA2.Body.Bytes(), recA.Body.Bytes()) {
+		t.Fatalf("repeat on one target diverged:\n%s\n%s", recA2.Body.String(), recA.Body.String())
+	}
+	if pa.Stats().Measurements.Hits <= hits {
+		t.Fatal("repeat on one target missed its measurement cache")
+	}
+}
+
+// TestGatewayAutoTargetMatchesExplicit pins the routing half of the
+// acceptance criterion: target "auto" resolves deterministically (cold
+// pool: the default device) and its body is byte-identical to the same
+// request naming that device explicitly.
+func TestGatewayAutoTargetMatchesExplicit(t *testing.T) {
+	g, err := New(quickConfig(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	explicit := post(g, graphBody(t, userNet(3), 0.35, `,"target":"sim-xavier"`))
+	if explicit.Code != http.StatusOK {
+		t.Fatalf("explicit: %d: %s", explicit.Code, explicit.Body.String())
+	}
+	auto := post(g, graphBody(t, userNet(3), 0.35, `,"target":"auto"`))
+	if auto.Code != http.StatusOK {
+		t.Fatalf("auto: %d: %s", auto.Code, auto.Body.String())
+	}
+	if !bytes.Equal(auto.Body.Bytes(), explicit.Body.Bytes()) {
+		t.Fatalf("auto body diverges from explicit target:\nauto %s\nexpl %s",
+			auto.Body.String(), explicit.Body.String())
+	}
+	if g.autoRouted.Value() != 1 {
+		t.Fatalf("auto-routed counter %d, want 1", g.autoRouted.Value())
+	}
+	// And the default-target spelling ("" target) is the same bytes too.
+	plain := post(g, graphBody(t, userNet(3), 0.35, ""))
+	if !bytes.Equal(plain.Body.Bytes(), explicit.Body.Bytes()) {
+		t.Fatal("defaulted target body diverges from explicit default device")
+	}
+}
+
+// TestGatewayAutoShedsOnlyWhenNoDeviceQualifies pins fleet-wide
+// shedding: with every target's warm estimate active, an impossible
+// budget is shed; routing a fresh (unmeasured) target is preferred
+// over shedding.
+func TestGatewayAutoShedsOnlyWhenNoDeviceQualifies(t *testing.T) {
+	cfg := quickConfig(31)
+	cfg.ShedMinSamples = 1
+	// Two targets keep the warm-up short.
+	cfg.Devices = []device.Config{device.Xavier(), device.EdgeCPU()}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	body := func(extra string) string { return graphBody(t, userNet(4), 0.35, extra) }
+	// Warm device 1 only: an impossible budget must still route (to the
+	// unmeasured device), not shed.
+	for i := 0; i < 2; i++ {
+		if rec := post(g, body(`,"target":"sim-xavier"`)); rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: %d", i, rec.Code)
+		}
+	}
+	rec := post(g, body(`,"target":"auto","budget_ms":0.000001`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("auto with one unmeasured target: %d: %s", rec.Code, rec.Body.String())
+	}
+	var r PlanResponseWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Device != "sim-edge-cpu" {
+		t.Fatalf("auto routed to %q, want the unmeasured sim-edge-cpu", r.Device)
+	}
+	// Warm device 2 as well (the request above was cold; repeat it so
+	// the warm histogram fills), then the impossible budget sheds.
+	if rec := post(g, body(`,"target":"sim-edge-cpu"`)); rec.Code != http.StatusOK {
+		t.Fatalf("edge warm: %d", rec.Code)
+	}
+	execs := g.Planner().Executions()
+	rec = post(g, body(`,"target":"auto","budget_ms":0.000001`))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("fleet-wide impossible budget: %d: %s", rec.Code, rec.Body.String())
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != "budget_too_small" || e.RetryAfterMs <= 0 {
+		t.Fatalf("shed body %s", rec.Body.String())
+	}
+	if g.Planner().Executions() != execs {
+		t.Fatal("fleet-shed request consumed planner work")
+	}
+}
+
+// TestGatewayBatchWindowDrainsStaggeredBurst pins the timed batching
+// window: staggered compatible arrivals within the window drain into
+// one planner pass (the pass closes early once BatchMax is reached, so
+// the test never waits out the full window).
+func TestGatewayBatchWindowDrainsStaggeredBurst(t *testing.T) {
+	const k = 4
+	cfg := quickConfig(37)
+	cfg.Workers = 1
+	cfg.BatchMax = k
+	cfg.BatchWindow = 10 * time.Second // exits early at BatchMax
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	var sizes []int
+	var sizesMu sync.Mutex
+	g.testHookBatch = func(n int) {
+		sizesMu.Lock()
+		sizes = append(sizes, n)
+		sizesMu.Unlock()
+	}
+
+	type result struct {
+		i    int
+		code int
+		body []byte
+	}
+	results := make(chan result, k)
+	for i := 0; i < k; i++ {
+		go func(i int) {
+			time.Sleep(time.Duration(i*5) * time.Millisecond) // socket-staggered burst
+			rec := post(g, graphBody(t, userNet(i), 0.35, ""))
+			results <- result{i, rec.Code, rec.Body.Bytes()}
+		}(i)
+	}
+	got := make(map[int][]byte, k)
+	for i := 0; i < k; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d: %d: %s", r.i, r.code, r.body)
+		}
+		got[r.i] = r.body
+	}
+	sizesMu.Lock()
+	defer sizesMu.Unlock()
+	if len(sizes) != 1 || sizes[0] != k {
+		t.Fatalf("planner passes %v, want one pass of %d (window did not hold the burst)", sizes, k)
+	}
+	// Windowed batching never changes bytes.
+	solo, err := serve.New(serve.Config{Seed: 37, Protocol: quickProto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		want, err := solo.Select(serve.Request{Graph: userNet(i), DeadlineMs: 0.35, Estimator: "profiler"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[i], EncodeResponse(want)) {
+			t.Fatalf("windowed response %d diverges from solo:\n gw: %s\nsolo: %s", i, got[i], EncodeResponse(want))
+		}
+	}
+}
+
+// TestGatewayAutoCoalescesBeforeShedding pins coalesce-before-shed on
+// the auto route: when no device qualifies for the budget but an
+// identical execution is already in flight, the request joins it at
+// zero planner cost instead of being shed.
+func TestGatewayAutoCoalescesBeforeShedding(t *testing.T) {
+	cfg := quickConfig(41)
+	cfg.ShedMinSamples = 1
+	cfg.Workers = 1
+	cfg.Devices = []device.Config{device.Xavier()}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	body := graphBody(t, userNet(5), 0.35, "")
+	// Warm the only device so its estimate is active (and positive).
+	for i := 0; i < 2; i++ {
+		if rec := post(g, body); rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: %d", i, rec.Code)
+		}
+	}
+	// Sanity: with nothing in flight, the impossible budget sheds.
+	if rec := post(g, graphBody(t, userNet(5), 0.35, `,"target":"auto","budget_ms":0.000001`)); rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("idle impossible-budget auto request: %d", rec.Code)
+	}
+
+	// Block the worker on an identical unbudgeted leader, then send the
+	// impossible-budget auto request: it must join the in-flight call.
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	g.testHookBatch = func(int) {
+		entered <- struct{}{}
+		<-gate
+	}
+	leader := make(chan *httptest.ResponseRecorder, 1)
+	go func() { leader <- post(g, body) }()
+	<-entered
+
+	execs := g.Planner().Executions()
+	joinedCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		joinedCh <- post(g, graphBody(t, userNet(5), 0.35, `,"target":"auto","budget_ms":0.000001`))
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.coalesced.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("auto request neither coalesced nor delivered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	lead, joined := <-leader, <-joinedCh
+	if lead.Code != http.StatusOK || joined.Code != http.StatusOK {
+		t.Fatalf("codes %d/%d: %s %s", lead.Code, joined.Code, lead.Body.String(), joined.Body.String())
+	}
+	if !bytes.Equal(joined.Body.Bytes(), lead.Body.Bytes()) {
+		t.Fatal("coalesced auto body diverged from the in-flight leader")
+	}
+	if got := g.Planner().Executions(); got != execs+1 {
+		t.Fatalf("executions %d -> %d, want exactly the leader's one", execs, got)
+	}
+}
+
+// TestGatewayShedAccountsForBatchWindow pins the latency arithmetic:
+// with a batching window configured, a budget that covers the bare
+// warm p99 but not p99+window is shed — admitting it would queue the
+// client into guaranteed lateness behind the window.
+func TestGatewayShedAccountsForBatchWindow(t *testing.T) {
+	cfg := quickConfig(43)
+	cfg.ShedMinSamples = 1
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.BatchWindow = 500 * time.Millisecond
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	body := graphBody(t, userNet(6), 0.35, "")
+	for i := 0; i < 2; i++ {
+		if rec := post(g, body); rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: %d", i, rec.Code)
+		}
+	}
+	p99, _ := g.Planner().WarmQuantile(0.99)
+	budget := p99 + 100 // covers the execution, not the 500ms window
+	rec := post(g, graphBody(t, userNet(6), 0.35, fmt.Sprintf(`,"budget_ms":%g`, budget)))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("window-blind budget %.3f ms admitted: %d: %s", budget, rec.Code, rec.Body.String())
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || e.Code != "budget_too_small" {
+		t.Fatalf("shed body %s", rec.Body.String())
+	}
+	if e.RetryAfterMs < 500 {
+		t.Fatalf("retry hint %.3f ms does not include the window", e.RetryAfterMs)
+	}
+	// A budget covering p99+window is admitted.
+	if rec := post(g, graphBody(t, userNet(6), 0.35, `,"budget_ms":60000`)); rec.Code != http.StatusOK {
+		t.Fatalf("generous budget: %d", rec.Code)
 	}
 }

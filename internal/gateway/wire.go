@@ -74,15 +74,20 @@ type PlanRequestWire struct {
 	// submits an arbitrary layer graph. Exactly one must be set.
 	Network string     `json:"network,omitempty"`
 	Graph   *GraphWire `json:"graph,omitempty"`
+	// Target names the device to plan for: a registered device name
+	// (see GET /v1/devices), "auto" to let the gateway route to the
+	// fastest qualifying target, or empty for the default device.
+	Target string `json:"target,omitempty"`
 	// DeadlineMs is the inference deadline; 0 means the prosthetic
 	// hand's 0.9 ms.
 	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 	// Estimator is "profiler" (default), "analytical" or "linear".
 	Estimator string `json:"estimator,omitempty"`
 	// BudgetMs is the client's remaining latency budget for THIS call.
-	// 0 means unbounded; a positive budget below the gateway's observed
+	// 0 means unbounded; a positive budget below the target's observed
 	// warm-path p99 is shed up front with 429 instead of being queued
-	// into certain lateness.
+	// into certain lateness (with target "auto", only when no
+	// registered device's warm path fits the budget).
 	BudgetMs float64 `json:"budget_ms,omitempty"`
 }
 
@@ -91,6 +96,7 @@ type PlanRequestWire struct {
 // this makes response bodies byte-comparable, the property the
 // coalescing tests pin.
 type PlanResponseWire struct {
+	Device        string  `json:"device"`
 	Feasible      bool    `json:"feasible"`
 	Network       string  `json:"network,omitempty"`
 	Parent        string  `json:"parent"`
@@ -128,6 +134,7 @@ func errf(status int, code, format string, args ...any) *apiError {
 // equals EncodeResponse of the same request served alone.
 func EncodeResponse(r *serve.Response) []byte {
 	b, err := json.Marshal(PlanResponseWire{
+		Device:        r.Device,
 		Feasible:      r.Feasible,
 		Network:       r.Network,
 		Parent:        r.Parent,
@@ -302,20 +309,27 @@ func fingerprintOf(g *graph.Graph) uint64 {
 }
 
 // decodedRequest is a parsed, validated plan request plus the identity
-// the gateway coalesces on.
+// the gateway coalesces on. target is the raw wire value ("", "auto"
+// or a device name); admission resolves it to a concrete device and
+// completes key.device before the key is ever used.
 type decodedRequest struct {
 	req      serve.Request
+	target   string
 	budgetMs float64
 	key      coalesceKey
 }
 
 // coalesceKey identifies requests that must receive byte-identical
 // responses: planner responses are pure functions of (planner config,
-// graph, deadline, estimator), and within one gateway the planner
-// config is fixed, so (name, structure, deadline, estimator) is the
-// full identity. Name is part of the key because measurement noise and
-// transfer profiles derive from it.
+// graph, deadline, estimator), and within one gateway each device's
+// planner config is fixed, so (device, name, structure, deadline,
+// estimator) is the full identity. Name is part of the key because
+// measurement noise and transfer profiles derive from it; device is
+// the resolved target, so an "auto" request coalesces with — and
+// returns bytes identical to — the same request naming that device
+// explicitly.
 type coalesceKey struct {
+	device    string
 	name      string
 	print     uint64
 	deadline  float64
@@ -384,12 +398,16 @@ func decodeRequest(body io.Reader) (*decodedRequest, *apiError) {
 	if deadline == 0 {
 		deadline = 0.9
 	}
+	// key.device stays empty here: only the gateway knows its device
+	// registrations, so admission resolves the target (including
+	// "auto") and completes the key before coalescing on it.
 	return &decodedRequest{
 		req: serve.Request{
 			Graph:      g,
 			DeadlineMs: deadline,
 			Estimator:  wire.Estimator,
 		},
+		target:   wire.Target,
 		budgetMs: wire.BudgetMs,
 		key: coalesceKey{
 			name:      g.Name,
@@ -398,4 +416,24 @@ func decodeRequest(body io.Reader) (*decodedRequest, *apiError) {
 			estimator: wire.Estimator,
 		},
 	}, nil
+}
+
+// DeviceWire is one entry of GET /v1/devices: the registered
+// calibration summary plus the target's live planning telemetry.
+// Entries are listed in registration order — the order "auto" routing
+// tie-breaks on — with the default device first.
+type DeviceWire struct {
+	Name             string  `json:"name"`
+	Default          bool    `json:"default"`
+	Precision        string  `json:"precision"`
+	PeakMACs         float64 `json:"peak_macs"`
+	MemBandwidth     float64 `json:"mem_bandwidth_bytes"`
+	LaunchOverheadMs float64 `json:"launch_overhead_ms"`
+	Fusion           bool    `json:"fusion"`
+	// Executions counts planning executions on this target;
+	// WarmP99Ms is its estimated warm-path p99 (0 until the warm
+	// histogram holds ShedMinSamples executions) — the estimate both
+	// budget shedding and "auto" routing read.
+	Executions uint64  `json:"executions"`
+	WarmP99Ms  float64 `json:"warm_p99_ms"`
 }

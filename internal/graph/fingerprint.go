@@ -1,5 +1,33 @@
 package graph
 
+// Hash64 is the FNV-1a accumulator every structure- and calibration-
+// keyed cache in this repository builds its keys with: graph
+// fingerprints here, device-calibration fingerprints and plan keys in
+// internal/device. Sharing one implementation keeps the "fold X into
+// the key" pattern a one-liner and stops the constants from drifting
+// across hand-rolled copies. The zero value is NOT a valid start
+// state; begin with NewHash.
+type Hash64 uint64
+
+// NewHash returns the FNV-1a offset basis.
+func NewHash() Hash64 { return 14695981039346656037 }
+
+const fnvPrime = 1099511628211
+
+// Mix folds one 64-bit value into the hash.
+func (h Hash64) Mix(v uint64) Hash64 { return (h ^ Hash64(v)) * fnvPrime }
+
+// MixString folds a length-delimited string into the hash.
+func (h Hash64) MixString(s string) Hash64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ Hash64(s[i])) * fnvPrime
+	}
+	return h.Mix(uint64(len(s)))
+}
+
+// Sum returns the accumulated hash.
+func (h Hash64) Sum() uint64 { return uint64(h) }
+
 // Fingerprint returns a structural identity hash of g covering every
 // field the caching layers downstream depend on: node identity, name,
 // op kind, accounting (MACs, weight/IO bytes), output channels, wiring
@@ -12,17 +40,9 @@ package graph
 // mutating a graph after it has been fingerprinted would poison those
 // caches.
 func Fingerprint(g *Graph) uint64 {
-	const prime = 1099511628211
-	h := uint64(14695981039346656037)
-	mix := func(v uint64) {
-		h = (h ^ v) * prime
-	}
-	str := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h = (h ^ uint64(s[i])) * prime
-		}
-		mix(uint64(len(s)))
-	}
+	h := NewHash()
+	mix := func(v uint64) { h = h.Mix(v) }
+	str := func(s string) { h = h.MixString(s) }
 	str(g.Name)
 	mix(uint64(len(g.Nodes)))
 	for _, n := range g.Nodes {
@@ -53,5 +73,5 @@ func Fingerprint(g *Graph) uint64 {
 			mix(uint64(id))
 		}
 	}
-	return h
+	return h.Sum()
 }

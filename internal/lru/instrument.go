@@ -13,19 +13,26 @@ type StatsSource interface {
 // sampled at scrape time from Stats(), so instrumentation adds nothing
 // to the cache hot path.
 func Instrument(reg *telemetry.Registry, name string, c StatsSource) {
-	reg.GaugeFunc(name+"_entries", "resident entries", func() float64 {
+	InstrumentWith(reg, name, nil, c)
+}
+
+// InstrumentWith is Instrument with a label set attached to every
+// series — how the device-keyed planner pool registers one instance of
+// each cache series per target (label device="<name>").
+func InstrumentWith(reg *telemetry.Registry, name string, labels []telemetry.Label, c StatsSource) {
+	reg.GaugeFuncWith(name+"_entries", "resident entries", labels, func() float64 {
 		return float64(c.Stats().Len)
 	})
-	reg.GaugeFunc(name+"_cap", "configured capacity (0 = unbounded)", func() float64 {
+	reg.GaugeFuncWith(name+"_cap", "configured capacity (0 = unbounded)", labels, func() float64 {
 		return float64(c.Stats().Cap)
 	})
-	reg.CounterFunc(name+"_hits_total", "cache hits", func() uint64 {
+	reg.CounterFuncWith(name+"_hits_total", "cache hits", labels, func() uint64 {
 		return c.Stats().Hits
 	})
-	reg.CounterFunc(name+"_misses_total", "cache misses", func() uint64 {
+	reg.CounterFuncWith(name+"_misses_total", "cache misses", labels, func() uint64 {
 		return c.Stats().Misses
 	})
-	reg.CounterFunc(name+"_evictions_total", "cache evictions", func() uint64 {
+	reg.CounterFuncWith(name+"_evictions_total", "cache evictions", labels, func() uint64 {
 		return c.Stats().Evictions
 	})
 }

@@ -102,15 +102,20 @@ func (t *Table) LayerMs(nodeID int) (float64, bool) {
 //
 // Both memoization layers are bounded LRUs (DefaultMeasurementCacheCap,
 // DefaultTableCacheCap): measurements are pure functions of
-// (seed, structure), so an evicted entry recomputes to the identical
-// value and a stream of arbitrary user graphs runs in constant memory.
+// (seed, device config, structure), so an evicted entry recomputes to
+// the identical value and a stream of arbitrary user graphs runs in
+// constant memory. The memo key is the device plan key, which folds in
+// the device-calibration fingerprint (device.Config.Fingerprint) — so
+// in a multi-target deployment two devices can never share a
+// Measurement or Table for the same graph, even if their profilers
+// were pointed at one cache.
 type Profiler struct {
 	dev   *device.Device
 	proto Protocol
 	seed  int64
 
-	measurements *lru.Cache[uint64, Measurement] // by device plan key
-	tables       *lru.Cache[uint64, *Table]      // by device plan key
+	measurements *lru.Cache[uint64, Measurement] // by device-scoped plan key
+	tables       *lru.Cache[uint64, *Table]      // by device-scoped plan key
 }
 
 // DefaultMeasurementCacheCap bounds the end-to-end measurement cache;
@@ -149,10 +154,12 @@ func (p *Profiler) CacheStats() (measurements, tables lru.Stats) {
 
 // Instrument registers both memoization layers' hit/miss/eviction/
 // occupancy series on reg (netcut_profiler_measurements and
-// netcut_profiler_tables prefixes).
+// netcut_profiler_tables prefixes), labeled with the device the
+// profiler measures on.
 func (p *Profiler) Instrument(reg *telemetry.Registry) {
-	lru.Instrument(reg, "netcut_profiler_measurements", p.measurements)
-	lru.Instrument(reg, "netcut_profiler_tables", p.tables)
+	labels := []telemetry.Label{{Key: "device", Value: p.dev.Config().Name}}
+	lru.InstrumentWith(reg, "netcut_profiler_measurements", labels, p.measurements)
+	lru.InstrumentWith(reg, "netcut_profiler_tables", labels, p.tables)
 }
 
 // HasMeasurement reports whether g's end-to-end measurement is already

@@ -102,3 +102,37 @@ func TestSevenTablesForSevenNetworks(t *testing.T) {
 		t.Fatalf("built %d tables, want 7", len(seen))
 	}
 }
+
+// TestMeasurementsAreDeviceScoped pins cross-target cache isolation at
+// the profiler layer: the same graph measured on two registered
+// devices uses different memo keys (no shared entries) and lands at
+// different latencies, while a repeat on one device stays a cache hit.
+func TestMeasurementsAreDeviceScoped(t *testing.T) {
+	proto := Protocol{WarmupRuns: 10, TimedRuns: 40}
+	g, _ := zoo.ByName("MobileNetV1 (0.5)")
+	devA := device.New(device.Xavier())
+	devB := device.New(device.ServerGPU())
+	if devA.PlanKey(g) == devB.PlanKey(g) {
+		t.Fatal("two calibrations share one plan key: profiler memos would alias")
+	}
+	pa, err := New(devA, proto, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := New(devB, proto, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, mb := pa.Measure(g), pb.Measure(g)
+	if ma.MeanMs == mb.MeanMs {
+		t.Fatalf("identical mean %v ms on two differently calibrated devices", ma.MeanMs)
+	}
+	// Repeats stay warm per device.
+	if again := pa.Measure(g); again != ma {
+		t.Fatal("repeated measurement on one device diverged")
+	}
+	sa, _ := pa.CacheStats()
+	if sa.Hits == 0 {
+		t.Fatal("repeat on one device was not a cache hit")
+	}
+}

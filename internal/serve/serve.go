@@ -137,6 +137,10 @@ type Request struct {
 
 // Response is the planning outcome for one request.
 type Response struct {
+	// Device names the calibrated target this response was planned
+	// for: estimates, measurements and the accepted cut are all
+	// functions of it.
+	Device string
 	// Feasible reports whether any cut of the graph meets the deadline;
 	// when false the remaining fields are zero.
 	Feasible bool
@@ -218,10 +222,15 @@ type plannerTel struct {
 	warmMs     *telemetry.Histogram
 }
 
-// New builds a Planner and applies the configured cache bounds.
+// New builds a Planner and applies the configured cache bounds. An
+// invalid device profile is a structured constructor error — the
+// service boundary never panics on configuration input.
 func New(cfg Config) (*Planner, error) {
 	cfg.fill()
-	dev := device.New(*cfg.Device)
+	dev, err := device.NewChecked(*cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("serve: device %q: %w", cfg.Device.Name, err)
+	}
 	dev.SetPlanCacheCap(capOrDefault(cfg.PlanCacheCap, device.DefaultPlanCacheCap))
 	prof, err := profiler.New(dev, cfg.Protocol, cfg.Seed)
 	if err != nil {
@@ -250,6 +259,13 @@ func New(cfg Config) (*Planner, error) {
 
 // Seed returns the planner's base seed.
 func (p *Planner) Seed() int64 { return p.cfg.Seed }
+
+// DeviceName returns the name of the calibrated target this planner
+// plans for.
+func (p *Planner) DeviceName() string { return p.cfg.Device.Name }
+
+// DeviceConfig returns the planner's device calibration.
+func (p *Planner) DeviceConfig() device.Config { return p.dev.Config() }
 
 // Select plans one request: validate the graph, measure it on the
 // shared device (a cache hit for any structure seen before), run
@@ -334,7 +350,14 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	cand := core.Candidate{Graph: g, MeasuredMs: meas.MeanMs, Accuracy: acc}
+	// CacheScope keys every cut this exploration creates by the device
+	// calibration, so no two targets in a pool share cut-cache entries.
+	cand := core.Candidate{
+		Graph:      g,
+		MeasuredMs: meas.MeanMs,
+		Accuracy:   acc,
+		CacheScope: p.dev.Fingerprint(),
+	}
 
 	est, err := p.estimator(req.Estimator, g, meas.MeanMs)
 	if err != nil {
@@ -347,11 +370,12 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 	}
 	if res.Best == nil {
 		record()
-		return &Response{Parent: g.Name}, nil
+		return &Response{Device: p.cfg.Device.Name, Parent: g.Name}, nil
 	}
 	best := res.Best
 	record()
 	return &Response{
+		Device:        p.cfg.Device.Name,
 		Feasible:      true,
 		Network:       best.TRN.Name(),
 		Parent:        g.Name,
@@ -419,7 +443,7 @@ func (p *Planner) buildZooSamples() ([]estimate.Sample, error) {
 	}
 	var out []estimate.Sample
 	for i, g := range nets {
-		trns, err := trim.EnumerateBlockwise(g, p.cfg.Head, false)
+		trns, err := trim.EnumerateBlockwiseScoped(p.dev.Fingerprint(), g, p.cfg.Head, false)
 		if err != nil {
 			return nil, err
 		}
@@ -468,22 +492,27 @@ type Stats struct {
 // telemetry registry: the device's kernel-plan cache, the profiler's
 // measurement and table memos, the process-wide cut cache, plus the
 // planner's own request/execution counters and the cold/warm execution
-// latency histograms. Call it once, before serving; recording is
-// observability only and never influences a response.
+// latency histograms. Every planner-owned series carries a device
+// label with the target's calibration name, so a pool of planners
+// shares one registry with per-target series (the cut cache is
+// process-wide and stays unlabeled). Call it once, before serving;
+// recording is observability only and never influences a response.
 func (p *Planner) Instrument(reg *telemetry.Registry) {
+	labels := []telemetry.Label{{Key: "device", Value: p.cfg.Device.Name}}
 	p.dev.Instrument(reg)
 	p.prof.Instrument(reg)
 	trim.Instrument(reg)
-	reg.CounterFunc("netcut_planner_requests_total",
+	reg.CounterFuncWith("netcut_planner_requests_total",
 		"planning requests accepted by the planner (including invalid ones)",
-		p.requests.Load)
+		labels, p.requests.Load)
 	p.tel.Store(&plannerTel{
-		executions: reg.Counter("netcut_planner_executions_total",
-			"planning executions: validated requests that ran the measurement pipeline and Algorithm 1"),
-		coldMs: reg.Histogram("netcut_planner_cold_ms",
-			"execution latency of requests whose structure was not yet measured", nil),
-		warmMs: reg.Histogram("netcut_planner_warm_ms",
-			"execution latency of requests served from the shared measurement caches", nil),
+		executions: reg.CounterWith("netcut_planner_executions_total",
+			"planning executions: validated requests that ran the measurement pipeline and Algorithm 1",
+			labels),
+		coldMs: reg.HistogramWith("netcut_planner_cold_ms",
+			"execution latency of requests whose structure was not yet measured", nil, labels),
+		warmMs: reg.HistogramWith("netcut_planner_warm_ms",
+			"execution latency of requests served from the shared measurement caches", nil, labels),
 	})
 }
 

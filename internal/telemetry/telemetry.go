@@ -158,6 +158,8 @@ const (
 
 type series struct {
 	kind        kind
+	base        string // metric name without labels
+	labels      string // rendered label pairs, without braces ("" = unlabeled)
 	help        string
 	counter     *Counter
 	gauge       *Gauge
@@ -166,19 +168,57 @@ type series struct {
 	gaugeFunc   func() float64
 }
 
+// A Label is one Prometheus label pair attached to a series. The
+// multi-device planner pool registers one instance of each planner and
+// cache series per target, distinguished by a device label.
+type Label struct{ Key, Value string }
+
+// renderLabels renders label pairs in the given order (no sorting: the
+// caller picks a stable order, and series identity is the rendered
+// string). Values are escaped per the Prometheus text format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		validName(l.Key)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		for _, r := range l.Value {
+			switch r {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteRune(r)
+			}
+		}
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
 // Registry holds named metric series. The zero value is not usable; use
-// NewRegistry. Registration is idempotent per (name, kind): registering
-// an existing name returns the existing series, so independent layers
-// can share one series without coordination. Registering a name that
-// exists with a different kind panics — it is a wiring bug, not input.
+// NewRegistry. Registration is idempotent per (name, labels, kind):
+// registering an existing series returns it, so independent layers can
+// share one series without coordination. Registering a name that exists
+// with a different kind panics — it is a wiring bug, not input.
 type Registry struct {
-	mu     sync.Mutex
-	series map[string]*series
+	mu       sync.Mutex
+	series   map[string]*series
+	baseKind map[string]string // base name -> Prometheus exposition type
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{series: make(map[string]*series)}
+	return &Registry{series: make(map[string]*series), baseKind: make(map[string]string)}
 }
 
 func validName(name string) {
@@ -193,22 +233,44 @@ func validName(name string) {
 	}
 }
 
-// get returns the series under name, creating it if absent; init runs
-// under the registry lock on both paths, so lazy instrument creation
-// and callback replacement are atomic with respect to concurrent
-// registration and scrapes.
-func (r *Registry) get(name, help string, k kind, init func(s *series)) *series {
+// promType maps a series kind to its Prometheus exposition type; a
+// base name must keep one exposition type across all of its label sets.
+func (k kind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// get returns the series under (name, labels), creating it if absent;
+// init runs under the registry lock on both paths, so lazy instrument
+// creation and callback replacement are atomic with respect to
+// concurrent registration and scrapes.
+func (r *Registry) get(name string, labels []Label, help string, k kind, init func(s *series)) *series {
 	validName(name)
+	ls := renderLabels(labels)
+	key := name
+	if ls != "" {
+		key = name + "{" + ls + "}"
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s, ok := r.series[name]
+	if bk, ok := r.baseKind[name]; ok && bk != k.promType() {
+		panic(fmt.Sprintf("telemetry: metric %q registered with exposition types %s and %s", name, bk, k.promType()))
+	}
+	r.baseKind[name] = k.promType()
+	s, ok := r.series[key]
 	if ok {
 		if s.kind != k {
-			panic(fmt.Sprintf("telemetry: metric %q registered twice with different kinds", name))
+			panic(fmt.Sprintf("telemetry: metric %q registered twice with different kinds", key))
 		}
 	} else {
-		s = &series{kind: k, help: help}
-		r.series[name] = s
+		s = &series{kind: k, base: name, labels: ls, help: help}
+		r.series[key] = s
 	}
 	init(s)
 	return s
@@ -216,7 +278,12 @@ func (r *Registry) get(name, help string, k kind, init func(s *series)) *series 
 
 // Counter registers (or returns the existing) counter under name.
 func (r *Registry) Counter(name, help string) *Counter {
-	return r.get(name, help, kindCounter, func(s *series) {
+	return r.CounterWith(name, help, nil)
+}
+
+// CounterWith is Counter with a label set attached to the series.
+func (r *Registry) CounterWith(name, help string, labels []Label) *Counter {
+	return r.get(name, labels, help, kindCounter, func(s *series) {
 		if s.counter == nil {
 			s.counter = &Counter{}
 		}
@@ -225,7 +292,12 @@ func (r *Registry) Counter(name, help string) *Counter {
 
 // Gauge registers (or returns the existing) gauge under name.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	return r.get(name, help, kindGauge, func(s *series) {
+	return r.GaugeWith(name, help, nil)
+}
+
+// GaugeWith is Gauge with a label set attached to the series.
+func (r *Registry) GaugeWith(name, help string, labels []Label) *Gauge {
+	return r.get(name, labels, help, kindGauge, func(s *series) {
 		if s.gauge == nil {
 			s.gauge = &Gauge{}
 		}
@@ -235,7 +307,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 // Histogram registers (or returns the existing) histogram under name.
 // bounds must be ascending; nil uses LatencyBuckets.
 func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	return r.get(name, help, kindHistogram, func(s *series) {
+	return r.HistogramWith(name, help, bounds, nil)
+}
+
+// HistogramWith is Histogram with a label set attached to the series.
+func (r *Registry) HistogramWith(name, help string, bounds []float64, labels []Label) *Histogram {
+	return r.get(name, labels, help, kindHistogram, func(s *series) {
 		if s.hist != nil {
 			return
 		}
@@ -258,16 +335,29 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 // scrape time. Registering an existing name replaces its callback (the
 // newest owner wins; used when a layer is re-instrumented).
 func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
-	r.get(name, help, kindCounterFunc, func(s *series) { s.counterFunc = fn })
+	r.CounterFuncWith(name, help, nil, fn)
+}
+
+// CounterFuncWith is CounterFunc with a label set attached.
+func (r *Registry) CounterFuncWith(name, help string, labels []Label, fn func() uint64) {
+	r.get(name, labels, help, kindCounterFunc, func(s *series) { s.counterFunc = fn })
 }
 
 // GaugeFunc registers a sampled gauge: fn is called at scrape time.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
-	r.get(name, help, kindGaugeFunc, func(s *series) { s.gaugeFunc = fn })
+	r.GaugeFuncWith(name, help, nil, fn)
 }
 
-// sorted returns a name-ordered snapshot of the series, copied by value
-// under the lock so scrapes never observe a half-replaced callback.
+// GaugeFuncWith is GaugeFunc with a label set attached.
+func (r *Registry) GaugeFuncWith(name, help string, labels []Label, fn func() float64) {
+	r.get(name, labels, help, kindGaugeFunc, func(s *series) { s.gaugeFunc = fn })
+}
+
+// sorted returns a (base, labels)-ordered snapshot of the series,
+// copied by value under the lock so scrapes never observe a
+// half-replaced callback. Ordering by base first keeps every label set
+// of one metric adjacent, so the exposition writes one HELP/TYPE per
+// metric family.
 func (r *Registry) sorted() []struct {
 	name string
 	s    series
@@ -284,8 +374,29 @@ func (r *Registry) sorted() []struct {
 		}{name, *s})
 	}
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].s.base != out[j].s.base {
+			return out[i].s.base < out[j].s.base
+		}
+		return out[i].s.labels < out[j].s.labels
+	})
 	return out
+}
+
+// sample renders "name" or "name{labels}" for one series, with extra
+// appended to the label set (the histogram bucket's le).
+func (s *series) sample(suffix, extra string) string {
+	ls := s.labels
+	if extra != "" {
+		if ls != "" {
+			ls += ","
+		}
+		ls += extra
+	}
+	if ls == "" {
+		return s.base + suffix
+	}
+	return s.base + suffix + "{" + ls + "}"
 }
 
 func fmtFloat(v float64) string {
@@ -293,25 +404,30 @@ func fmtFloat(v float64) string {
 }
 
 // WritePrometheus renders every series in Prometheus text exposition
-// format, sorted by name.
+// format, ordered by (name, labels) with one HELP/TYPE line per metric
+// family.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
+	prevBase := ""
 	for _, e := range r.sorted() {
-		name, s := e.name, e.s
-		if s.help != "" {
-			fmt.Fprintf(&b, "# HELP %s %s\n", name, s.help)
+		s := e.s
+		if s.base != prevBase {
+			prevBase = s.base
+			if s.help != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", s.base, s.help)
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", s.base, s.kind.promType())
 		}
 		switch s.kind {
 		case kindCounter:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.counter.Value())
+			fmt.Fprintf(&b, "%s %d\n", s.sample("", ""), s.counter.Value())
 		case kindCounterFunc:
-			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.counterFunc())
+			fmt.Fprintf(&b, "%s %d\n", s.sample("", ""), s.counterFunc())
 		case kindGauge:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, fmtFloat(s.gauge.Value()))
+			fmt.Fprintf(&b, "%s %s\n", s.sample("", ""), fmtFloat(s.gauge.Value()))
 		case kindGaugeFunc:
-			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", name, name, fmtFloat(s.gaugeFunc()))
+			fmt.Fprintf(&b, "%s %s\n", s.sample("", ""), fmtFloat(s.gaugeFunc()))
 		case kindHistogram:
-			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
 			h := s.hist
 			var cum uint64
 			for i := range h.counts {
@@ -320,10 +436,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if i < len(h.bounds) {
 					le = fmtFloat(h.bounds[i])
 				}
-				fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+				fmt.Fprintf(&b, "%s %d\n", s.sample("_bucket", `le="`+le+`"`), cum)
 			}
-			fmt.Fprintf(&b, "%s_sum %s\n", name, fmtFloat(h.Sum()))
-			fmt.Fprintf(&b, "%s_count %d\n", name, h.Count())
+			fmt.Fprintf(&b, "%s %s\n", s.sample("_sum", ""), fmtFloat(h.Sum()))
+			fmt.Fprintf(&b, "%s %d\n", s.sample("_count", ""), h.Count())
 		}
 	}
 	_, err := io.WriteString(w, b.String())

@@ -173,3 +173,67 @@ func TestConcurrentWrites(t *testing.T) {
 		t.Fatalf("histogram count = %d, want %d", h.Count(), workers*loops)
 	}
 }
+
+func TestLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	dev := func(name string) []Label { return []Label{{Key: "device", Value: name}} }
+	r.CounterWith("exec_total", "executions", dev("sim-xavier")).Add(3)
+	r.CounterWith("exec_total", "executions", dev("sim-server-gpu")).Add(5)
+	r.HistogramWith("lat_ms", "latency", []float64{1, 2}, dev("sim-xavier")).Observe(1.5)
+	r.GaugeFuncWith("occ", "", dev("sim-xavier"), func() float64 { return 4 })
+
+	// Same (name, labels) returns the same series.
+	if got := r.CounterWith("exec_total", "executions", dev("sim-xavier")).Value(); got != 3 {
+		t.Fatalf("re-registration did not return the existing series: %d", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"exec_total{device=\"sim-server-gpu\"} 5\n",
+		"exec_total{device=\"sim-xavier\"} 3\n",
+		"lat_ms_bucket{device=\"sim-xavier\",le=\"2\"} 1\n",
+		"lat_ms_sum{device=\"sim-xavier\"} 1.5\n",
+		"lat_ms_count{device=\"sim-xavier\"} 1\n",
+		"occ{device=\"sim-xavier\"} 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per metric family, adjacent label sets.
+	if strings.Count(out, "# TYPE exec_total counter") != 1 {
+		t.Fatalf("TYPE not deduplicated per family:\n%s", out)
+	}
+
+	snap := r.Snapshot()
+	if snap[`exec_total{device="sim-server-gpu"}`] != uint64(5) {
+		t.Fatalf("snapshot missing labeled counter: %v", snap)
+	}
+
+	// Escaping: quotes and backslashes in label values must not break
+	// the exposition line.
+	r2 := NewRegistry()
+	r2.CounterWith("esc_total", "", []Label{{Key: "device", Value: `a"b\c`}}).Inc()
+	sb.Reset()
+	if err := r2.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{device="a\"b\\c"} 1`) {
+		t.Fatalf("label escaping broken:\n%s", sb.String())
+	}
+}
+
+func TestLabeledKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("x_total", "", []Label{{Key: "device", Value: "a"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge under a counter family did not panic")
+		}
+	}()
+	r.GaugeWith("x_total", "", []Label{{Key: "device", Value: "b"}})
+}

@@ -16,6 +16,11 @@ DATE="$(date -u +%Y-%m-%d)"
 mkdir -p "$OUT_DIR"
 OUT="$OUT_DIR/BENCH_${DATE}.json"
 
+# The Planner|Gateway patterns pick up the serving-stack gates:
+# PlannerSelectCold/Warm, PlannerConcurrentThroughput,
+# PlannerPoolWarmAcrossDevices (multi-target warm path),
+# GatewayThroughput, GatewayCoalescedBurst and
+# GatewayCoalescedBurstStaggered (timed batching window).
 RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
   -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
 

@@ -58,6 +58,34 @@ for i in $(seq 1 16); do
     echo "FAIL: burst body $i diverged" >&2; exit 1; }
 done
 
+# Device fleet: /v1/devices lists the registry with the default first,
+# an explicit target plans on that device, and "auto" routes to a
+# registered device whose explicit spelling returns identical bytes.
+curl -fsS "http://$ADDR/v1/devices" >"$TMP/devices.json"
+python3 - "$TMP/devices.json" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["devices"]
+assert len(d) >= 4, f"only {len(d)} devices registered"
+assert d[0]["name"] == "sim-xavier" and d[0]["default"], d[0]
+names = {x["name"] for x in d}
+assert {"sim-xavier", "sim-edge-cpu", "sim-server-gpu", "sim-int8-accel"} <= names, names
+PY
+
+[ "$(plan "$TMP/gpu.json" '{"network":"ResNet-50","deadline_ms":0.9,"target":"sim-server-gpu"}')" = 200 ]
+grep -q '"device":"sim-server-gpu"' "$TMP/gpu.json"
+cmp -s "$TMP/gpu.json" "$TMP/cold.json" && {
+  echo "FAIL: two targets returned identical bodies" >&2; exit 1; }
+
+[ "$(plan "$TMP/auto.json" '{"network":"ResNet-50","deadline_ms":0.9,"target":"auto"}')" = 200 ]
+AUTO_DEV="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["device"])' "$TMP/auto.json")"
+[ "$(plan "$TMP/auto_explicit.json" "{\"network\":\"ResNet-50\",\"deadline_ms\":0.9,\"target\":\"$AUTO_DEV\"}")" = 200 ]
+cmp -s "$TMP/auto.json" "$TMP/auto_explicit.json" || {
+  echo "FAIL: auto-routed body diverged from explicit target $AUTO_DEV" >&2; exit 1; }
+
+# Unknown target is a structured 400.
+[ "$(plan "$TMP/unknown_dev.json" '{"network":"ResNet-50","target":"sim-quantum"}')" = 400 ]
+grep -q '"code":"unknown_device"' "$TMP/unknown_dev.json"
+
 # Shed path: a budget below the warm p99 must be rejected up front.
 [ "$(plan "$TMP/shed.json" '{"network":"ResNet-50","deadline_ms":0.9,"budget_ms":0.000001}')" = 429 ]
 grep -q '"code":"budget_too_small"' "$TMP/shed.json"
@@ -83,6 +111,17 @@ for series in \
 done
 grep -Eq '^netcut_gateway_shed_budget_total [1-9]' "$TMP/metrics" || {
   echo "FAIL: shed counter did not move" >&2; exit 1; }
+
+# Per-device series: executions, cache and latency series carry a
+# device label, and the explicitly targeted GPU moved its own counter.
+grep -Eq '^netcut_planner_executions_total\{device="sim-xavier"\} [1-9]' "$TMP/metrics" || {
+  echo "FAIL: /metrics missing device-labeled executions for sim-xavier" >&2; exit 1; }
+grep -Eq '^netcut_planner_executions_total\{device="sim-server-gpu"\} [1-9]' "$TMP/metrics" || {
+  echo "FAIL: /metrics missing device-labeled executions for sim-server-gpu" >&2; exit 1; }
+grep -q 'netcut_device_plans_entries{device="sim-server-gpu"}' "$TMP/metrics" || {
+  echo "FAIL: /metrics missing device-labeled plan-cache series" >&2; exit 1; }
+grep -q 'netcut_planner_warm_ms_count{device="sim-xavier"}' "$TMP/metrics" || {
+  echo "FAIL: /metrics missing device-labeled warm latency series" >&2; exit 1; }
 
 curl -fsS "http://$ADDR/debug/stats" >"$TMP/stats.json"
 python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert "metrics" in d and "planner" in d' "$TMP/stats.json"
