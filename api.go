@@ -240,7 +240,10 @@ func Frontier(points []Point) []Point { return pareto.Frontier(points) }
 // keeps every structure-keyed cache bounded so a stream of arbitrary
 // user graphs plans in constant memory. Responses are pure functions of
 // (PlannerConfig, PlanRequest): concurrency and cache eviction change
-// wall-clock time only, never results.
+// wall-clock time only, never results. SaveState/LoadState snapshot and
+// restore the warm caches across process restarts (versioned format,
+// identity-matched; see internal/persist) — a restored Planner answers
+// byte-identically to the freshly warmed one that wrote the snapshot.
 type (
 	Planner = serve.Planner
 	// PlannerConfig parameterizes a Planner: seed, device, protocol,
@@ -289,10 +292,14 @@ func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool
 // device targeting ("target": a registered device name, "auto", or
 // empty for the default device; GET /v1/devices lists the fleet),
 // singleflight coalescing of identical requests, batch admission of
-// compatible ones, bounded-queue load shedding keyed to the client's
-// own latency budget, graceful drain, and a telemetry registry exposed
-// at /metrics (Prometheus text, per-device series carry a device
-// label) and /debug/stats (JSON). Routing, coalescing, batching and
+// compatible ones, per-device worker lanes (one bounded queue + workers
+// per target, so a cold plan on one device never head-of-line-blocks
+// another's warm traffic), load shedding keyed to the client's own
+// latency budget, graceful drain, warm-state snapshot/restore
+// (SaveState/LoadState, POST /v1/state/save via GatewayConfig.StatePath)
+// with background zoo prewarming (Prewarm), and a telemetry registry
+// exposed at /metrics (Prometheus text, per-device series carry a
+// device label) and /debug/stats (JSON). Routing, coalescing, batching and
 // shedding change which executions happen, where and when — never what
 // any execution returns: a coalesced or batched response body is
 // byte-identical to the same request served alone through that

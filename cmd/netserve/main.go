@@ -21,6 +21,16 @@
 //	netserve -addr 127.0.0.1:9090 -seed 7
 //	netserve -queue 512 -batch 32 -workers 4 -batch-window 2ms
 //	netserve -max-body 4194304 -drain-timeout 30s
+//	netserve -state-file /var/lib/netcut/state.json -prewarm
+//
+// Warm-state persistence: with -state-file, the daemon restores the
+// planners' caches from the file on boot (a missing file starts cold;
+// a stale, corrupt or cross-calibration file is reported and ignored —
+// never trusted) and snapshots them back after the SIGTERM drain, so
+// the next boot's first requests run on the warm path. POST
+// /v1/state/save writes the same snapshot on demand. -prewarm plans
+// the calibrated zoo across the fleet in the background after any
+// restore, so steady-state traffic never sees a cold miss.
 //
 // Exit codes: 0 after a clean SIGINT/SIGTERM drain; 1 on configuration,
 // bind or serve errors (including an unknown -devices name); 2 on flag
@@ -61,6 +71,8 @@ func run() int {
 		maxBody      = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default, negative = unlimited)")
 		shedMin      = flag.Int("shed-min-samples", 0, "warm executions required before budget shedding activates (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		stateFile    = flag.String("state-file", "", "warm-state snapshot path: restored on boot, saved after the SIGTERM drain and by POST /v1/state/save (empty = no persistence)")
+		prewarm      = flag.Bool("prewarm", false, "plan the calibrated zoo on every device in the background at startup (after any -state-file restore)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -93,10 +105,37 @@ func run() int {
 		Workers:        *workers,
 		MaxBodyBytes:   *maxBody,
 		ShedMinSamples: *shedMin,
+		StatePath:      *stateFile,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
 		return 1
+	}
+
+	// Restore the warm state before the listener opens, so the very
+	// first request sees the restored caches. A missing file is a
+	// normal cold boot; anything unreadable or mismatched is reported
+	// and ignored — the caches rebuild on demand, and trusting a stale
+	// snapshot would be worse than running cold.
+	if *stateFile != "" {
+		if f, err := os.Open(*stateFile); err == nil {
+			err = gw.LoadState(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "netserve: ignoring state file %s: %v\n", *stateFile, err)
+			} else {
+				fmt.Printf("netserve: restored warm state from %s\n", *stateFile)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "netserve: ignoring state file %s: %v\n", *stateFile, err)
+		}
+	}
+	// Prewarm after any restore: the snapshot covers what the last
+	// process had seen, prewarming covers the rest of the zoo x fleet
+	// cross product.
+	if *prewarm {
+		gw.Prewarm()
+		fmt.Println("netserve: prewarming zoo across the fleet in the background")
 	}
 
 	// Bind before daemonizing claims: a bad -addr must be a prompt,
@@ -139,6 +178,17 @@ func run() int {
 		if err := gw.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "netserve: drain: %v\n", err)
 			return 1
+		}
+		// Snapshot after the drain: every in-flight execution has
+		// landed in the caches, so the file captures the fullest warm
+		// state this process ever had. A save failure is worth a
+		// warning, not a dirty exit — the drain itself succeeded.
+		if *stateFile != "" {
+			if n, err := gw.SaveStateFile(); err != nil {
+				fmt.Fprintf(os.Stderr, "netserve: saving state: %v\n", err)
+			} else {
+				fmt.Printf("netserve: saved warm state to %s (%d bytes)\n", *stateFile, n)
+			}
 		}
 		fmt.Println("netserve: drained")
 		return 0

@@ -163,12 +163,42 @@
 // observability rides the same registry: execution, cache and latency
 // series carry a device label on /metrics.
 //
+// # State persistence & lanes
+//
+// Restarts and slow targets are kept off the warm path. A Planner,
+// PlannerPool or Gateway can snapshot its warm state — device kernel
+// plans, profiler measurements and tables, and the device-scoped TRN
+// cut cache — with SaveState and restore it with LoadState
+// (internal/persist defines the format: a versioned, checksummed,
+// deterministic JSON envelope). cmd/netserve wires it to the process
+// lifecycle: -state-file restores on boot and saves after the SIGTERM
+// drain, and POST /v1/state/save snapshots on demand. Identity is
+// matched before anything is trusted: a snapshot from another schema
+// version, seed, measurement protocol or device calibration is a
+// structured rejection and the caches start cold. Because every cached
+// value is a pure function of (seed, protocol, calibration,
+// structure), a restored entry is byte-identical to a recomputed one —
+// restore changes only where the warm path's cost was paid (pinned by
+// the serve package's restore-vs-recompute tests). -prewarm
+// additionally plans the calibrated zoo across the fleet in the
+// background at startup, so steady-state traffic never sees a cold
+// miss for a known architecture.
+//
+// The gateway's admission machinery is one bounded lane — queue plus
+// workers — per registered device, with the configured QueueDepth and
+// Workers totals divided evenly across lanes (minimum 1 each, the pool
+// cache-cap division rule). Lane assignment is the resolved-device
+// routing decision, so lanes shift which worker runs an execution and
+// when, never what it returns, and one target's cold plan cannot
+// head-of-line-block another target's warm traffic.
+//
 // Observability: internal/telemetry is a dependency-free metrics
 // registry (counters, gauges, histograms) threaded through every cache
 // layer — device kernel plans, profiler measurements and tables, the
 // sharded TRN cut cache — plus the planner's execution counters and
 // cold/warm latency split and the gateway's queue/shed/coalesce
-// counters. The gateway serves it at /metrics (Prometheus text
+// counters (queue depth and queue-full sheds are per-lane, labeled by
+// device). The gateway serves it at /metrics (Prometheus text
 // format) and /debug/stats (JSON).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for

@@ -24,13 +24,26 @@
 //     rejected up front with 429 and a retry hint, as is any arrival
 //     finding the admission queue full. Shed requests never consume
 //     planner work.
-//  5. Batch: admitted leaders sit in a bounded queue; workers drain
-//     bursts of them — holding the pass open for Config.BatchWindow
-//     when staggered arrivals are expected — and group compatible
-//     requests (same device, deadline and estimator) into one
-//     SelectBatch planner pass.
+//  5. Batch: admitted leaders sit in their resolved device's bounded
+//     lane — one queue plus workers per registered device, so one slow
+//     target's cold plan can never head-of-line-block another target's
+//     warm traffic — where that lane's workers drain bursts of them,
+//     holding the pass open for Config.BatchWindow when staggered
+//     arrivals are expected, and group compatible requests (same
+//     deadline and estimator; lanes never span devices) into one
+//     SelectBatch planner pass. Lane capacities divide the configured
+//     QueueDepth/Workers totals evenly across devices (minimum 1
+//     each), the same division rule the planner pool applies to its
+//     cache caps.
 //  6. Drain: Shutdown stops admission (503 + Retry-After), lets every
-//     queued call finish and deliver, then stops the workers.
+//     queued call finish and deliver, then stops every lane's workers.
+//
+// Warm-state persistence: POST /v1/state/save (enabled by
+// Config.StatePath) snapshots every planner's caches to disk via
+// serve.PlannerPool.SaveState, and LoadState restores a snapshot on
+// boot, so a restarted daemon's first requests run on the warm path.
+// Prewarm plans the calibrated zoo across the fleet in the background
+// to eliminate the remaining cold misses.
 //
 // Determinism contract: routing, coalescing, batching and shedding
 // change which executions happen, where and when — never what any
@@ -46,8 +59,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -55,6 +71,7 @@ import (
 	"netcut/internal/device"
 	"netcut/internal/serve"
 	"netcut/internal/telemetry"
+	"netcut/internal/zoo"
 )
 
 // Config parameterizes a Gateway. The zero value serves the full
@@ -74,14 +91,23 @@ type Config struct {
 	// MaxBodyBytes caps a request body; larger bodies get 413.
 	// 0 means DefaultMaxBodyBytes; negative means no limit.
 	MaxBodyBytes int64
-	// QueueDepth bounds the admission queue; arrivals beyond it are
-	// shed with 429. 0 means DefaultQueueDepth.
+	// QueueDepth bounds the total admission queue; it is divided evenly
+	// across the per-device lanes (minimum 1 each, the pool cache-cap
+	// division rule), and arrivals beyond a lane's slice are shed with
+	// 429. 0 means DefaultQueueDepth.
 	QueueDepth int
 	// BatchMax caps how many queued requests one worker drains into a
 	// single planner pass. 0 means DefaultBatchMax.
 	BatchMax int
-	// Workers is the number of batch workers. 0 means DefaultWorkers.
+	// Workers is the total number of batch workers, divided evenly
+	// across the per-device lanes (minimum 1 each) so no device is ever
+	// without a worker. 0 means DefaultWorkers.
 	Workers int
+	// StatePath enables warm-state persistence: POST /v1/state/save
+	// atomically writes the pool's snapshot there (and cmd/netserve
+	// saves on SIGTERM drain / restores on boot). Empty disables the
+	// endpoint.
+	StatePath string
 	// ShedMinSamples is how many warm executions a target's latency
 	// histogram must hold before budget-based shedding (and its warm
 	// estimate's participation in "auto" ranking) activates — shedding
@@ -159,6 +185,18 @@ type call struct {
 	body    []byte
 }
 
+// lane is one device's slice of the admission machinery: a bounded
+// queue plus dedicated workers. Lane assignment is the resolved-device
+// routing decision the admission path already makes, so lanes shift
+// which worker runs an execution and when — never what it returns —
+// and a cold plan occupying one lane's workers cannot delay another
+// device's traffic.
+type lane struct {
+	device    string
+	queue     chan *call
+	shedQueue *telemetry.Counter // queue_full sheds on this lane
+}
+
 // Gateway is the serving layer. Construct with New, expose Handler on
 // an http.Server, and call Shutdown to drain.
 type Gateway struct {
@@ -166,9 +204,15 @@ type Gateway struct {
 	pool  *serve.PlannerPool
 	reg   *telemetry.Registry
 	mux   *http.ServeMux
-	queue chan *call
+	lanes map[string]*lane // one per registered device
+
+	// laneQueueCap / laneWorkers are the per-lane slices of the
+	// configured QueueDepth / Workers totals.
+	laneQueueCap int
+	laneWorkers  int
 
 	mu        sync.Mutex
+	saveMu    sync.Mutex // serializes SaveStateFile writers
 	inflight  map[coalesceKey]*call
 	draining  bool
 	drainDone chan struct{}  // closed once the drain completes
@@ -179,14 +223,15 @@ type Gateway struct {
 	coalesced     *telemetry.Counter
 	autoRouted    *telemetry.Counter
 	shedBudget    *telemetry.Counter
-	shedQueue     *telemetry.Counter
 	shedDraining  *telemetry.Counter
 	rejected      *telemetry.Counter
 	batches       *telemetry.Counter
 	batchedReqs   *telemetry.Counter
 	planErrors    *telemetry.Counter
+	prewarmed     *telemetry.Counter
+	stateSaves    *telemetry.Counter
 	requestLatMs  *telemetry.Histogram
-	testHookBatch func(n int) // test-only: runs in a worker before a planner pass of n requests
+	testHookBatch func(device string, n int) // test-only: runs in a worker before a planner pass of n requests on one device
 }
 
 // New builds the gateway — one planner per registered device behind a
@@ -214,23 +259,21 @@ func New(cfg Config) (*Gateway, error) {
 		cfg:      cfg,
 		pool:     pool,
 		reg:      reg,
-		queue:    make(chan *call, cfg.QueueDepth),
 		inflight: make(map[coalesceKey]*call),
 
 		requests:     reg.Counter("netcut_gateway_requests_total", "plan requests received"),
 		coalesced:    reg.Counter("netcut_gateway_coalesced_total", "requests that joined an identical in-flight execution"),
 		autoRouted:   reg.Counter("netcut_gateway_auto_routed_total", "requests with target \"auto\" resolved to a device"),
 		shedBudget:   reg.Counter("netcut_gateway_shed_budget_total", "requests shed because budget_ms cannot cover the warm p99"),
-		shedQueue:    reg.Counter("netcut_gateway_shed_queue_full_total", "requests shed because the admission queue was full"),
 		shedDraining: reg.Counter("netcut_gateway_shed_draining_total", "requests rejected during drain"),
 		rejected:     reg.Counter("netcut_gateway_rejected_total", "malformed requests rejected at the decode boundary"),
 		batches:      reg.Counter("netcut_gateway_batches_total", "planner passes executed by the batch workers"),
 		batchedReqs:  reg.Counter("netcut_gateway_batched_requests_total", "requests served through batched planner passes"),
 		planErrors:   reg.Counter("netcut_gateway_plan_errors_total", "admitted requests the planner returned an error for"),
+		prewarmed:    reg.Counter("netcut_gateway_prewarmed_total", "zoo x fleet plans completed by startup prewarming"),
+		stateSaves:   reg.Counter("netcut_gateway_state_saves_total", "warm-state snapshots written to the configured state path"),
 		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
 	}
-	reg.GaugeFunc("netcut_gateway_queue_depth", "requests waiting in the admission queue",
-		func() float64 { return float64(len(g.queue)) })
 	reg.GaugeFunc("netcut_gateway_inflight", "distinct in-flight executions (coalescing keys)",
 		func() float64 {
 			g.mu.Lock()
@@ -238,19 +281,52 @@ func New(cfg Config) (*Gateway, error) {
 			return float64(len(g.inflight))
 		})
 
+	// One lane per registered device: the configured queue-depth and
+	// worker totals divide evenly across lanes (minimum 1 each, the
+	// same division rule the planner pool applies to cache caps), and
+	// each lane's queue depth and queue_full sheds are device-labeled
+	// series on the shared registry.
+	names := pool.DeviceNames()
+	g.laneQueueCap = cfg.QueueDepth / len(names)
+	if g.laneQueueCap < 1 {
+		g.laneQueueCap = 1
+	}
+	g.laneWorkers = cfg.Workers / len(names)
+	if g.laneWorkers < 1 {
+		g.laneWorkers = 1
+	}
+	g.lanes = make(map[string]*lane, len(names))
+	for _, name := range names {
+		labels := []telemetry.Label{{Key: "device", Value: name}}
+		l := &lane{
+			device: name,
+			queue:  make(chan *call, g.laneQueueCap),
+			shedQueue: reg.CounterWith("netcut_gateway_shed_queue_full_total",
+				"requests shed because the device's admission lane was full", labels),
+		}
+		reg.GaugeFuncWith("netcut_gateway_queue_depth",
+			"requests waiting in the device's admission lane", labels,
+			func() float64 { return float64(len(l.queue)) })
+		g.lanes[name] = l
+	}
+
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("POST /v1/plan", g.handlePlan)
 	g.mux.HandleFunc("GET /v1/devices", g.handleDevices)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /debug/stats", g.handleStats)
+	g.mux.HandleFunc("POST /v1/state/save", g.handleStateSave)
 	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 
-	g.workers.Add(cfg.Workers)
-	for i := 0; i < cfg.Workers; i++ {
-		go g.worker()
+	for _, name := range names {
+		l := g.lanes[name]
+		g.workers.Add(g.laneWorkers)
+		for i := 0; i < g.laneWorkers; i++ {
+			go g.worker(l)
+		}
 	}
 	return g, nil
 }
@@ -282,7 +358,9 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 		g.drainDone = make(chan struct{})
 		go func() {
 			g.pending.Wait() // all queued calls delivered
-			close(g.queue)   // no producer can enqueue once draining is set
+			for _, l := range g.lanes {
+				close(l.queue) // no producer can enqueue once draining is set
+			}
 			g.workers.Wait()
 			close(g.drainDone)
 		}()
@@ -445,28 +523,30 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 		}
 	}
 	c := &call{key: dec.key, req: dec.req, planner: planner, done: make(chan struct{})}
+	l := g.lanes[dec.key.device]
 	select {
-	case g.queue <- c:
+	case l.queue <- c:
 		g.inflight[dec.key] = c
 		g.pending.Add(1)
 		return c, nil
 	default:
-		g.shedQueue.Inc()
+		l.shedQueue.Inc()
 		e := errf(http.StatusTooManyRequests, "queue_full",
-			"admission queue of %d is full", g.cfg.QueueDepth)
+			"admission lane of %d for device %s is full", g.laneQueueCap, l.device)
 		p99, _ := planner.WarmQuantile(0.99)
 		e.wire.RetryAfterMs = math.Max(p99+g.windowMs(), 1)
 		return nil, e
 	}
 }
 
-// worker drains the admission queue: one blocking receive, a
+// worker drains one device's admission lane: one blocking receive, a
 // cooperative yield, an optional timed batching window, then an
 // opportunistic non-blocking sweep up to BatchMax, grouped into
-// compatible planner passes.
-func (g *Gateway) worker() {
+// compatible planner passes. Workers never cross lanes, so a cold plan
+// here cannot delay any other device's queue.
+func (g *Gateway) worker(l *lane) {
 	defer g.workers.Done()
-	for first := range g.queue {
+	for first := range l.queue {
 		// The yield lets the rest of a concurrent burst reach admission
 		// before this pass executes: arrivals for the same key join the
 		// in-flight call (coalesce), compatible distinct ones land in
@@ -490,7 +570,7 @@ func (g *Gateway) worker() {
 		window:
 			for len(batch) < g.cfg.BatchMax {
 				select {
-				case c, ok := <-g.queue:
+				case c, ok := <-l.queue:
 					if !ok {
 						break window // draining: run what we have
 					}
@@ -504,7 +584,7 @@ func (g *Gateway) worker() {
 	sweep:
 		for len(batch) < g.cfg.BatchMax {
 			select {
-			case c, ok := <-g.queue:
+			case c, ok := <-l.queue:
 				if !ok {
 					break sweep
 				}
@@ -540,7 +620,7 @@ func (g *Gateway) execute(batch []*call) {
 	for _, k := range order {
 		calls := groups[k]
 		if hook := g.testHookBatch; hook != nil {
-			hook(len(calls))
+			hook(k.device, len(calls))
 		}
 		reqs := make([]serve.Request, len(calls))
 		for i, c := range calls {
@@ -581,6 +661,115 @@ func (g *Gateway) deliver(c *call) {
 	g.mu.Unlock()
 	close(c.done)
 	g.pending.Done()
+}
+
+// SaveState snapshots every planner's warm state (see
+// serve.PlannerPool.SaveState). Safe to call while serving.
+func (g *Gateway) SaveState(w io.Writer) error { return g.pool.SaveState(w) }
+
+// LoadState restores a snapshot into the pool's caches (see
+// serve.PlannerPool.LoadState). Call it on boot, before traffic —
+// restoring under load is safe (caches are add-only and transparent)
+// but wastes the work of any cold plans already in flight.
+func (g *Gateway) LoadState(r io.Reader) error { return g.pool.LoadState(r) }
+
+// SaveStateFile writes the pool snapshot to Config.StatePath atomically
+// (unique temp file + rename, so a crash mid-write never leaves a torn
+// file — the decoder would reject one anyway, but the previous good
+// snapshot is worth keeping). Saves are serialized under a mutex:
+// concurrent POST /v1/state/save calls each write their own temp file,
+// but interleaving the renames is pointless work, and the lock keeps
+// the "last save wins" ordering trivially true. It returns the
+// snapshot size in bytes.
+func (g *Gateway) SaveStateFile() (int64, error) {
+	if g.cfg.StatePath == "" {
+		return 0, fmt.Errorf("gateway: no state path configured")
+	}
+	g.saveMu.Lock()
+	defer g.saveMu.Unlock()
+	f, err := os.CreateTemp(filepath.Dir(g.cfg.StatePath), filepath.Base(g.cfg.StatePath)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if err := g.pool.SaveState(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, g.cfg.StatePath); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	g.stateSaves.Inc()
+	return size, nil
+}
+
+// handleStateSave is the admin endpoint behind POST /v1/state/save:
+// it persists the pool's warm state to the configured StatePath. The
+// endpoint is gated on that configuration — a gateway without a state
+// path (the default) exposes no way to make the daemon write files.
+func (g *Gateway) handleStateSave(w http.ResponseWriter, _ *http.Request) {
+	if g.cfg.StatePath == "" {
+		g.writeErr(w, errf(http.StatusNotFound, "state_disabled",
+			"state persistence is not configured (start with a state path to enable)"))
+		return
+	}
+	size, err := g.SaveStateFile()
+	if err != nil {
+		g.writeErr(w, errf(http.StatusInternalServerError, "state_save_failed", "%v", err))
+		return
+	}
+	b, _ := json.Marshal(map[string]any{"path": g.cfg.StatePath, "bytes": size})
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+// Prewarm plans the calibrated zoo on every registered device in the
+// background, so steady-state traffic never sees a cold miss for a
+// known architecture. It runs at low priority — one sequential
+// goroutine against the planners directly, bypassing the lanes so it
+// can never occupy a queue slot or a worker — and stops early if the
+// gateway starts draining. Prewarming is pure cache warming: every
+// value it computes is one a request would compute identically, so it
+// shifts cold costs off the request path without changing any
+// response. The returned channel closes when the sweep finishes (or
+// aborts on drain); netcut_gateway_prewarmed_total counts completed
+// plans.
+func (g *Gateway) Prewarm() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, name := range g.pool.DeviceNames() {
+			p, err := g.pool.Planner(name)
+			if err != nil {
+				continue // Route only registers known names; defensive
+			}
+			for _, netName := range zoo.Names {
+				g.mu.Lock()
+				draining := g.draining
+				g.mu.Unlock()
+				if draining {
+					return
+				}
+				zg, err := zooGraph(netName)
+				if err != nil {
+					continue
+				}
+				if _, err := p.Select(serve.Request{Graph: zg, DeadlineMs: 0.9, Estimator: "profiler"}); err == nil {
+					g.prewarmed.Inc()
+				}
+			}
+		}
+	}()
+	return done
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {

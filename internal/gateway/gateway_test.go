@@ -144,7 +144,7 @@ func TestGatewayCoalescesIdenticalRequests(t *testing.T) {
 
 	// Gate the batch worker until every request has either become the
 	// leader or joined it, so the coalescing window is deterministic.
-	g.testHookBatch = func(int) {
+	g.testHookBatch = func(string, int) {
 		deadline := time.Now().Add(10 * time.Second)
 		for g.coalesced.Value() < n-1 {
 			if time.Now().After(deadline) {
@@ -251,7 +251,7 @@ func TestGatewayShedsOnQueueFull(t *testing.T) {
 
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 16)
-	g.testHookBatch = func(int) {
+	g.testHookBatch = func(string, int) {
 		entered <- struct{}{}
 		<-gate
 	}
@@ -264,10 +264,11 @@ func TestGatewayShedsOnQueueFull(t *testing.T) {
 	// First request: picked up by the worker, which blocks in the hook.
 	go send(0)
 	<-entered
-	// Second request: sits in the depth-1 queue.
+	// Second request: sits in the default device's depth-1 lane.
+	lane := g.lanes[g.pool.DeviceNames()[0]]
 	go send(1)
 	deadline := time.Now().Add(5 * time.Second)
-	for len(g.queue) == 0 {
+	for len(lane.queue) == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("second request never queued")
 		}
@@ -292,8 +293,8 @@ func TestGatewayShedsOnQueueFull(t *testing.T) {
 	if got := g.Planner().Executions(); got != 2 {
 		t.Fatalf("planner executions %d, want 2 (shed request must not execute)", got)
 	}
-	if g.shedQueue.Value() != 1 {
-		t.Fatalf("queue-full shed counter %d, want 1", g.shedQueue.Value())
+	if lane.shedQueue.Value() != 1 {
+		t.Fatalf("queue-full shed counter %d, want 1", lane.shedQueue.Value())
 	}
 }
 
@@ -315,7 +316,7 @@ func TestGatewayBatchesCompatibleRequests(t *testing.T) {
 	var gateOnce atomic.Bool
 	var sizes []int
 	var sizesMu sync.Mutex
-	g.testHookBatch = func(n int) {
+	g.testHookBatch = func(_ string, n int) {
 		sizesMu.Lock()
 		sizes = append(sizes, n)
 		sizesMu.Unlock()
@@ -344,10 +345,11 @@ func TestGatewayBatchesCompatibleRequests(t *testing.T) {
 	for i := 0; i < k; i++ {
 		go send(i)
 	}
+	lane := g.lanes[g.pool.DeviceNames()[0]]
 	deadline := time.Now().Add(5 * time.Second)
-	for len(g.queue) < k {
+	for len(lane.queue) < k {
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d of %d requests queued", len(g.queue), k)
+			t.Fatalf("only %d of %d requests queued", len(lane.queue), k)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -502,7 +504,7 @@ func TestGatewayDrain(t *testing.T) {
 
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	g.testHookBatch = func(int) {
+	g.testHookBatch = func(string, int) {
 		entered <- struct{}{}
 		<-gate
 	}
@@ -864,7 +866,7 @@ func TestGatewayBatchWindowDrainsStaggeredBurst(t *testing.T) {
 
 	var sizes []int
 	var sizesMu sync.Mutex
-	g.testHookBatch = func(n int) {
+	g.testHookBatch = func(_ string, n int) {
 		sizesMu.Lock()
 		sizes = append(sizes, n)
 		sizesMu.Unlock()
@@ -943,7 +945,7 @@ func TestGatewayAutoCoalescesBeforeShedding(t *testing.T) {
 	// impossible-budget auto request: it must join the in-flight call.
 	gate := make(chan struct{})
 	entered := make(chan struct{}, 4)
-	g.testHookBatch = func(int) {
+	g.testHookBatch = func(string, int) {
 		entered <- struct{}{}
 		<-gate
 	}

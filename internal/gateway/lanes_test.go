@@ -1,0 +1,270 @@
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"netcut/internal/device"
+	"netcut/internal/persist"
+	"netcut/internal/serve"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// postSave drives POST /v1/state/save directly.
+func postSave(g *Gateway) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/state/save", nil)
+	rec := httptest.NewRecorder()
+	g.Handler().ServeHTTP(rec, req)
+	return rec
+}
+
+// TestGatewayLaneIsolation pins the head-of-line contract the lanes
+// exist for: with a single configured worker total (so the old shared
+// pool would have exactly one worker for the whole fleet), a planner
+// pass stuck on one device must not keep another device's requests
+// from executing — every lane owns at least one worker.
+func TestGatewayLaneIsolation(t *testing.T) {
+	cfg := quickConfig(21)
+	cfg.Workers = 1 // divided across lanes: still one worker per device
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	slowDev := g.pool.DeviceNames()[2]
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	g.testHookBatch = func(device string, _ int) {
+		if device == slowDev {
+			entered <- struct{}{}
+			<-gate
+		}
+	}
+
+	// Wedge the slow device's lane in a (gated) planner pass.
+	stuck := make(chan *int, 1)
+	go func() {
+		rec := post(g, `{"network":"ResNet-50","deadline_ms":0.9,"target":"`+slowDev+`"}`)
+		stuck <- &rec.Code
+	}()
+	<-entered
+
+	// Default-device traffic must flow while the other lane is stuck.
+	done := make(chan int, 1)
+	go func() {
+		rec := post(g, `{"network":"MobileNetV1 (0.25)","deadline_ms":0.9}`)
+		done <- rec.Code
+	}()
+	select {
+	case code := <-done:
+		if code != http.StatusOK {
+			t.Fatalf("default-device request during stuck lane: status %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("default-device request head-of-line-blocked by another device's planner pass")
+	}
+
+	close(gate)
+	if code := <-stuck; *code != http.StatusOK {
+		t.Fatalf("slow-device request: status %d", *code)
+	}
+}
+
+// TestGatewayLaneCapsDivide pins the division rule: lane queue depth
+// and workers are the configured totals split evenly across devices,
+// minimum 1 each.
+func TestGatewayLaneCapsDivide(t *testing.T) {
+	cfg := quickConfig(1)
+	cfg.QueueDepth = 64
+	cfg.Workers = 8
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+	n := len(g.pool.DeviceNames())
+	if len(g.lanes) != n {
+		t.Fatalf("%d lanes for %d devices", len(g.lanes), n)
+	}
+	if g.laneQueueCap != 64/n || g.laneWorkers != 8/n {
+		t.Fatalf("lane caps %d/%d, want %d/%d", g.laneQueueCap, g.laneWorkers, 64/n, 8/n)
+	}
+	for _, l := range g.lanes {
+		if cap(l.queue) != g.laneQueueCap {
+			t.Fatalf("lane %s queue cap %d, want %d", l.device, cap(l.queue), g.laneQueueCap)
+		}
+	}
+
+	// Totals below the device count still give every lane one slot and
+	// one worker.
+	small := quickConfig(1)
+	small.QueueDepth = 1
+	small.Workers = 1
+	gs, err := New(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, gs)
+	if gs.laneQueueCap != 1 || gs.laneWorkers != 1 {
+		t.Fatalf("small lane caps %d/%d, want 1/1", gs.laneQueueCap, gs.laneWorkers)
+	}
+}
+
+// TestGatewayStateSaveEndpoint pins the admin persistence surface:
+// POST /v1/state/save writes a decodable snapshot to the configured
+// path, a path-less gateway refuses with a structured 404, and a
+// second gateway restored from the file serves its first request on
+// the warm path with a byte-identical body.
+func TestGatewayStateSaveEndpoint(t *testing.T) {
+	trim.PurgeCutCache()
+	t.Cleanup(trim.PurgeCutCache)
+	statePath := filepath.Join(t.TempDir(), "state.json")
+	cfg := quickConfig(17)
+	cfg.StatePath = statePath
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"network":"MobileNetV1 (0.25)","deadline_ms":0.9}`
+	warm := post(g, body)
+	if warm.Code != http.StatusOK {
+		t.Fatalf("warm request: %d", warm.Code)
+	}
+
+	saveRec := postSave(g)
+	if saveRec.Code != http.StatusOK {
+		t.Fatalf("state save: status %d: %s", saveRec.Code, saveRec.Body.String())
+	}
+	var resp struct {
+		Path  string `json:"path"`
+		Bytes int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal(saveRec.Body.Bytes(), &resp); err != nil || resp.Path != statePath || resp.Bytes <= 0 {
+		t.Fatalf("state save body %s", saveRec.Body.String())
+	}
+	raw, err := os.ReadFile(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) != resp.Bytes {
+		t.Fatalf("file holds %d bytes, endpoint reported %d", len(raw), resp.Bytes)
+	}
+	if _, err := persist.DecodeBytes(raw); err != nil {
+		t.Fatalf("saved state does not decode: %v", err)
+	}
+	mustShutdown(t, g)
+
+	// Restore into a fresh gateway: first request must be warm and
+	// byte-identical.
+	trim.PurgeCutCache()
+	g2, err := New(quickConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g2)
+	f, err := os.Open(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := g2.LoadState(f); err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	rec2 := post(g2, body)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("post-restore request: %d", rec2.Code)
+	}
+	if rec2.Body.String() != warm.Body.String() {
+		t.Fatalf("post-restore body diverged:\n got %s\nwant %s", rec2.Body.String(), warm.Body.String())
+	}
+	if _, samples := g2.Planner().WarmQuantile(0.99); samples != 1 {
+		t.Fatalf("post-restore request ran cold (warm samples %d, want 1)", samples)
+	}
+
+	// Cross-seed snapshots are rejected, never silently trusted.
+	g3, err := New(quickConfig(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g3)
+	f2, err := os.Open(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := g3.LoadState(f2); !errors.Is(err, serve.ErrStateMismatch) {
+		t.Fatalf("cross-seed gateway load: err = %v, want ErrStateMismatch", err)
+	}
+
+	// Without a configured path, the endpoint is disabled.
+	g4, err := New(quickConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g4)
+	rec4 := postSave(g4)
+	if rec4.Code != http.StatusNotFound {
+		t.Fatalf("disabled state save: status %d", rec4.Code)
+	}
+	var e ErrorWire
+	if err := json.Unmarshal(rec4.Body.Bytes(), &e); err != nil || e.Code != "state_disabled" {
+		t.Fatalf("disabled state save body %s", rec4.Body.String())
+	}
+}
+
+// TestGatewayPrewarm pins startup prewarming: after Prewarm completes,
+// every zoo architecture is a warm cache hit on every registered
+// device, and the prewarmed counter accounts for the full cross
+// product.
+func TestGatewayPrewarm(t *testing.T) {
+	trim.PurgeCutCache()
+	t.Cleanup(trim.PurgeCutCache)
+	cfg := quickConfig(19)
+	cfg.Devices = device.Profiles()[:2]
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	select {
+	case <-g.Prewarm():
+	case <-time.After(120 * time.Second):
+		t.Fatal("prewarm did not finish")
+	}
+	wantPlans := uint64(len(g.pool.DeviceNames()) * len(zoo.Names))
+	if got := g.prewarmed.Value(); got != wantPlans {
+		t.Fatalf("prewarmed %d plans, want %d", got, wantPlans)
+	}
+
+	// Every zoo request on every device is now warm: no executions may
+	// land in a cold histogram.
+	for _, dev := range g.pool.DeviceNames() {
+		p, err := g.pool.Planner(dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		execsBefore := p.Executions()
+		_, warmBefore := p.WarmQuantile(0.99)
+		for _, name := range zoo.Names {
+			body, _ := json.Marshal(map[string]any{"network": name, "deadline_ms": 0.9, "target": dev})
+			if rec := post(g, string(body)); rec.Code != http.StatusOK {
+				t.Fatalf("%s on %s: status %d: %s", name, dev, rec.Code, rec.Body.String())
+			}
+		}
+		_, warmAfter := p.WarmQuantile(0.99)
+		execs := p.Executions() - execsBefore
+		if warmAfter-warmBefore != execs {
+			t.Fatalf("%s: %d of %d post-prewarm executions ran cold", dev, execs-(warmAfter-warmBefore), execs)
+		}
+	}
+}

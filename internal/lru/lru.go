@@ -146,6 +146,41 @@ func (c *Cache[K, V]) Purge() {
 	}
 }
 
+// Entry is one key/value pair of a Snapshot.
+type Entry[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Snapshot returns every resident entry in LRU order — least recently
+// used first — so that replaying the slice through Restore reproduces
+// both the contents and the eviction order of the cache. The snapshot
+// is taken under the cache lock (point-in-time consistent) and does not
+// touch recency order or the hit/miss counters. Values are shared, not
+// copied: the package-wide convention that cached values are immutable
+// pure functions of their keys is what makes sharing safe.
+func (c *Cache[K, V]) Snapshot() []Entry[K, V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[K, V], 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[K, V])
+		out = append(out, Entry[K, V]{Key: e.key, Val: e.val})
+	}
+	return out
+}
+
+// Restore inserts entries in slice order, so the last entry becomes the
+// most recently used — the inverse of Snapshot. It adds to whatever is
+// already resident (callers wanting an exact replica Purge first) and
+// respects the cap: restoring more entries than fit evicts from the
+// front of the slice, exactly as live inserts in that order would.
+func (c *Cache[K, V]) Restore(entries []Entry[K, V]) {
+	for _, e := range entries {
+		c.Add(e.Key, e.Val)
+	}
+}
+
 // Resize changes the capacity, evicting least-recently-used entries if
 // the new cap is below the current size. cap <= 0 means unbounded.
 func (c *Cache[K, V]) Resize(cap int) {

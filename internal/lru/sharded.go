@@ -101,6 +101,28 @@ func (s *Sharded[K, V]) Purge() {
 	}
 }
 
+// Snapshot returns every resident entry, iterating shards in index
+// order and each shard's entries in LRU order (least recently used
+// first). Replaying the slice through Restore reproduces the contents
+// and per-shard eviction order, because routing is a pure function of
+// the key. The snapshot is per-shard-atomic, like Stats.
+func (s *Sharded[K, V]) Snapshot() []Entry[K, V] {
+	var out []Entry[K, V]
+	for _, sh := range s.shards {
+		out = append(out, sh.Snapshot()...)
+	}
+	return out
+}
+
+// Restore inserts entries in slice order, routing each to its shard by
+// the key hash; within a shard, later entries end up more recently
+// used, the inverse of Snapshot.
+func (s *Sharded[K, V]) Restore(entries []Entry[K, V]) {
+	for _, e := range entries {
+		s.Add(e.Key, e.Val)
+	}
+}
+
 // Resize redistributes a new total capacity across the shards (parts
 // summing exactly to totalCap; <= 0 unbounds every shard), evicting
 // least-recently-used entries per shard as needed. Concurrent lookups

@@ -1,0 +1,95 @@
+package lru
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotOrderAndRestore pins the snapshot contract: entries come
+// back least-recently-used first, and replaying them through Restore
+// into an empty cache reproduces contents, recency order and therefore
+// future eviction order.
+func TestSnapshotOrderAndRestore(t *testing.T) {
+	c := New[int, string](3)
+	c.Add(1, "a")
+	c.Add(2, "b")
+	c.Add(3, "c")
+	c.Get(1) // recency now: 2 (LRU), 3, 1 (MRU)
+
+	snap := c.Snapshot()
+	want := []Entry[int, string]{{2, "b"}, {3, "c"}, {1, "a"}}
+	if !reflect.DeepEqual(snap, want) {
+		t.Fatalf("snapshot = %v, want %v", snap, want)
+	}
+
+	r := New[int, string](3)
+	r.Restore(snap)
+	if !reflect.DeepEqual(r.Snapshot(), want) {
+		t.Fatalf("restored snapshot = %v, want %v", r.Snapshot(), want)
+	}
+	// Same eviction behavior as the original: inserting a fourth entry
+	// must evict key 2 in both.
+	c.Add(4, "d")
+	r.Add(4, "d")
+	if c.Contains(2) || r.Contains(2) {
+		t.Fatal("LRU entry 2 survived the over-cap insert")
+	}
+	if !reflect.DeepEqual(c.Snapshot(), r.Snapshot()) {
+		t.Fatalf("post-insert divergence: %v vs %v", c.Snapshot(), r.Snapshot())
+	}
+}
+
+// TestSnapshotDoesNotPerturb pins that Snapshot touches neither recency
+// nor the stats counters.
+func TestSnapshotDoesNotPerturb(t *testing.T) {
+	c := New[int, int](2)
+	c.Add(1, 10)
+	c.Add(2, 20)
+	before := c.Stats()
+	c.Snapshot()
+	if got := c.Stats(); got != before {
+		t.Fatalf("stats changed across snapshot: %+v -> %+v", before, got)
+	}
+	// Recency unchanged: 1 is still LRU and evicts first.
+	c.Add(3, 30)
+	if c.Contains(1) {
+		t.Fatal("snapshot perturbed recency order")
+	}
+}
+
+// TestRestoreBeyondCap pins that restoring more entries than fit keeps
+// the cap and retains the most recently used tail of the slice.
+func TestRestoreBeyondCap(t *testing.T) {
+	snap := []Entry[int, int]{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	c := New[int, int](2)
+	c.Restore(snap)
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if !c.Contains(3) || !c.Contains(4) {
+		t.Fatalf("restored tail missing: %v", c.Snapshot())
+	}
+}
+
+// TestShardedSnapshotRoundTrip pins that a sharded cache's snapshot
+// replays into an identically configured cache with identical shard
+// routing and per-shard order.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	hash := func(k int) uint64 { return uint64(k) }
+	s := NewSharded[int, int](4, 16, hash)
+	for i := 0; i < 12; i++ {
+		s.Add(i, i*i)
+	}
+	s.Get(0)
+	s.Get(5)
+
+	snap := s.Snapshot()
+	if len(snap) != 12 {
+		t.Fatalf("snapshot holds %d entries, want 12", len(snap))
+	}
+	r := NewSharded[int, int](4, 16, hash)
+	r.Restore(snap)
+	if !reflect.DeepEqual(r.Snapshot(), snap) {
+		t.Fatalf("sharded restore diverged:\n got %v\nwant %v", r.Snapshot(), snap)
+	}
+}

@@ -1,0 +1,45 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+// FuzzDecodeState extends the repository's untrusted-input fuzzing to
+// the state-file decoder: arbitrary bytes must produce a structured
+// error or a File whose cut section survives a full RestoreCuts pass —
+// never a panic. (A state file is operator-supplied input: it lives on
+// disk between restarts and an operator can point -state-file at
+// anything.)
+func FuzzDecodeState(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"magic":"netcut-state","version":1,"checksum":"0","payload":{}}`))
+	var buf bytes.Buffer
+	g, err := zoo.ByName("MobileNetV1 (0.25)")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := trim.Cut(g, 1, trim.DefaultHead); err != nil {
+		f.Fatal(err)
+	}
+	if err := Encode(&buf, &File{Seed: 1, Cuts: CaptureCuts(nil)}); err != nil {
+		f.Fatal(err)
+	}
+	trim.PurgeCutCache()
+	f.Add(buf.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		file, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must be safe to apply: parents re-validate
+		// through graph.Validate and cuts replay through the public trim
+		// path, so errors are fine, panics are the bug.
+		defer trim.PurgeCutCache()
+		_ = RestoreCuts(file.Cuts, nil)
+	})
+}

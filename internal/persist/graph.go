@@ -1,0 +1,165 @@
+package persist
+
+import (
+	"fmt"
+
+	"netcut/internal/graph"
+)
+
+// The snapshot's graph codec. It mirrors graph.Graph field for field —
+// including every field the structural fingerprint covers and every
+// field the planning pipeline (fusion pass, subgraph builder, Eq. (1))
+// reads — so decode(encode(g)) has the same fingerprint and plans,
+// measures and cuts identically to g. It is deliberately independent of
+// the gateway's HTTP wire schema: the two formats evolve on different
+// compatibility clocks (a state file is consumed by the same binary
+// generation that wrote it, enforced by SchemaVersion; the HTTP API is
+// a public surface).
+
+// ShapeState is a feature-map shape.
+type ShapeState struct {
+	H int `json:"h,omitempty"`
+	W int `json:"w,omitempty"`
+	C int `json:"c,omitempty"`
+}
+
+// NodeState is one layer. Kind and Pad are the canonical string names
+// (graph.OpKind.String / graph.PadMode.String), so a snapshot stays
+// debuggable and decode rejects unknown operators structurally.
+type NodeState struct {
+	ID          int        `json:"id"`
+	Name        string     `json:"name,omitempty"`
+	Kind        string     `json:"kind"`
+	Inputs      []int      `json:"inputs,omitempty"`
+	In          ShapeState `json:"in,omitempty"`
+	Out         ShapeState `json:"out,omitempty"`
+	KH          int        `json:"kh,omitempty"`
+	KW          int        `json:"kw,omitempty"`
+	Stride      int        `json:"stride,omitempty"`
+	Pad         string     `json:"pad,omitempty"`
+	MACs        int64      `json:"macs,omitempty"`
+	Params      int64      `json:"params,omitempty"`
+	WeightBytes int64      `json:"weight_bytes,omitempty"`
+	IOBytes     int64      `json:"io_bytes,omitempty"`
+	Block       int        `json:"block"`
+	Head        bool       `json:"head,omitempty"`
+}
+
+// BlockState is one removable block.
+type BlockState struct {
+	Index  int    `json:"index"`
+	Label  string `json:"label,omitempty"`
+	Nodes  []int  `json:"nodes"`
+	Output int    `json:"output"`
+}
+
+// GraphState is a full layer graph.
+type GraphState struct {
+	Name       string       `json:"name"`
+	Input      ShapeState   `json:"input"`
+	NumClasses int          `json:"num_classes"`
+	Nodes      []NodeState  `json:"nodes"`
+	Blocks     []BlockState `json:"blocks,omitempty"`
+}
+
+func shapeState(s graph.Shape) ShapeState { return ShapeState{H: s.H, W: s.W, C: s.C} }
+func (s ShapeState) shape() graph.Shape   { return graph.Shape{H: s.H, W: s.W, C: s.C} }
+
+// EncodeGraph renders g in the snapshot schema.
+func EncodeGraph(g *graph.Graph) GraphState {
+	out := GraphState{
+		Name:       g.Name,
+		Input:      shapeState(g.InputShape),
+		NumClasses: g.NumClasses,
+		Nodes:      make([]NodeState, 0, len(g.Nodes)),
+		Blocks:     make([]BlockState, 0, len(g.Blocks)),
+	}
+	for _, n := range g.Nodes {
+		out.Nodes = append(out.Nodes, NodeState{
+			ID:          n.ID,
+			Name:        n.Name,
+			Kind:        n.Kind.String(),
+			Inputs:      append([]int(nil), n.Inputs...),
+			In:          shapeState(n.In),
+			Out:         shapeState(n.Out),
+			KH:          n.KH,
+			KW:          n.KW,
+			Stride:      n.Stride,
+			Pad:         n.Pad.String(),
+			MACs:        n.MACs,
+			Params:      n.Params,
+			WeightBytes: n.WeightBytes,
+			IOBytes:     n.IOBytes,
+			Block:       n.Block,
+			Head:        n.Head,
+		})
+	}
+	for _, b := range g.Blocks {
+		out.Blocks = append(out.Blocks, BlockState{
+			Index:  b.Index,
+			Label:  b.Label,
+			Nodes:  append([]int(nil), b.Nodes...),
+			Output: b.Output,
+		})
+	}
+	return out
+}
+
+// DecodeGraph assembles a graph.Graph from its snapshot form and runs
+// it through graph.Validate — the same trust boundary every other graph
+// entry point uses, so even a hand-edited state file cannot smuggle a
+// malformed graph into the caches.
+func DecodeGraph(s *GraphState) (*graph.Graph, error) {
+	g := &graph.Graph{
+		Name:       s.Name,
+		InputShape: s.Input.shape(),
+		NumClasses: s.NumClasses,
+		Nodes:      make([]*graph.Node, 0, len(s.Nodes)),
+	}
+	for i := range s.Nodes {
+		ns := &s.Nodes[i]
+		kind, ok := graph.ParseOpKind(ns.Kind)
+		if !ok {
+			return nil, fmt.Errorf("graph %s: node %d: unknown kind %q", s.Name, ns.ID, ns.Kind)
+		}
+		var pad graph.PadMode
+		switch ns.Pad {
+		case "", "valid":
+			pad = graph.Valid
+		case "same":
+			pad = graph.Same
+		default:
+			return nil, fmt.Errorf("graph %s: node %d: unknown pad mode %q", s.Name, ns.ID, ns.Pad)
+		}
+		g.Nodes = append(g.Nodes, &graph.Node{
+			ID:          ns.ID,
+			Name:        ns.Name,
+			Kind:        kind,
+			Inputs:      append([]int(nil), ns.Inputs...),
+			In:          ns.In.shape(),
+			Out:         ns.Out.shape(),
+			KH:          ns.KH,
+			KW:          ns.KW,
+			Stride:      ns.Stride,
+			Pad:         pad,
+			MACs:        ns.MACs,
+			Params:      ns.Params,
+			WeightBytes: ns.WeightBytes,
+			IOBytes:     ns.IOBytes,
+			Block:       ns.Block,
+			Head:        ns.Head,
+		})
+	}
+	for _, bs := range s.Blocks {
+		g.Blocks = append(g.Blocks, graph.Block{
+			Index:  bs.Index,
+			Label:  bs.Label,
+			Nodes:  append([]int(nil), bs.Nodes...),
+			Output: bs.Output,
+		})
+	}
+	if err := graph.Validate(g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

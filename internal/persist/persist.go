@@ -1,0 +1,264 @@
+// Package persist implements the versioned, deterministic serialization
+// of the planning stack's warm state — device kernel plans, profiler
+// measurements and per-layer tables, and scoped trim cuts — so a
+// restarted daemon (or a freshly built Planner) can restore its caches
+// instead of paying the ~40x cold/warm gap on every first-seen
+// (graph, device) pair.
+//
+// Format: a single JSON envelope
+//
+//	{"magic":"netcut-state","version":N,"checksum":"<fnv1a-64 hex>","payload":{...}}
+//
+// whose payload is the File document below. The envelope is what makes
+// rejection structured instead of silent:
+//
+//   - Magic and Version are checked first: a snapshot from a different
+//     schema generation is ErrVersionMismatch, never a best-effort
+//     parse. Any change to the payload schema MUST bump SchemaVersion.
+//   - Checksum is FNV-1a over the exact payload bytes: a truncated or
+//     bit-flipped file is ErrChecksumMismatch before any field of it is
+//     trusted.
+//   - Identity fields inside the payload (device name, calibration
+//     fingerprint, seed, measurement protocol) are matched by the
+//     restoring layer (serve.Planner.LoadState): a snapshot taken on a
+//     different calibration or seed is rejected, never silently
+//     trusted — restored entries must be byte-identical to what a
+//     fresh computation would produce, which only holds when every
+//     input to those computations matches.
+//
+// Serialization is deterministic: entries are written in cache (LRU)
+// order, parents are deduplicated in first-appearance order, and
+// encoding/json's struct-order field emission plus shortest-roundtrip
+// float formatting make equal states produce equal bytes. Saving a
+// state and restoring it into a fresh process, then saving again,
+// yields the identical file — the restore-equals-recompute contract the
+// serve package pins.
+package persist
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"netcut/internal/device"
+	"netcut/internal/graph"
+	"netcut/internal/profiler"
+	"netcut/internal/trim"
+)
+
+// SchemaVersion identifies the payload schema. Bump it on ANY change to
+// the wire structs below; Decode rejects every other version.
+const SchemaVersion = 1
+
+// Magic identifies a NetCut state snapshot.
+const Magic = "netcut-state"
+
+// Structured rejection reasons; callers branch with errors.Is.
+var (
+	// ErrNotSnapshot rejects input that is not a NetCut state snapshot
+	// at all (bad magic, non-JSON, truncated envelope).
+	ErrNotSnapshot = errors.New("not a netcut state snapshot")
+	// ErrVersionMismatch rejects snapshots from another schema
+	// generation.
+	ErrVersionMismatch = errors.New("snapshot schema version mismatch")
+	// ErrChecksumMismatch rejects corrupt or truncated payloads.
+	ErrChecksumMismatch = errors.New("snapshot checksum mismatch")
+	// ErrStateMismatch rejects structurally valid snapshots whose
+	// identity (device calibration, seed, protocol) does not match the
+	// restoring planner. Declared here so every layer shares one
+	// sentinel.
+	ErrStateMismatch = errors.New("snapshot does not match this planner")
+)
+
+// File is the payload: every planner section of a pool (one for a
+// single Planner) plus the process-wide cut-cache state.
+type File struct {
+	// Seed is the base measurement/retraining seed the state was
+	// produced under.
+	Seed int64 `json:"seed"`
+	// Planners holds one section per device-keyed planner, in
+	// registration order.
+	Planners []PlannerState `json:"planners"`
+	// Cuts is the cut-coordinate form of the process-wide cut cache
+	// (filtered to the saved planners' scopes plus the shared scope 0).
+	Cuts CutsState `json:"cuts"`
+}
+
+// PlannerState is one planner's warm state plus the identity fields a
+// restore must match before trusting any entry.
+type PlannerState struct {
+	Device      string `json:"device"`
+	Calibration uint64 `json:"calibration"`
+	Seed        int64  `json:"seed"`
+	WarmupRuns  int    `json:"warmup_runs"`
+	TimedRuns   int    `json:"timed_runs"`
+
+	Plans        []device.PlanState          `json:"plans"`
+	Measurements []profiler.MeasurementState `json:"measurements"`
+	Tables       []profiler.TableState       `json:"tables"`
+}
+
+// CutsState stores cut-cache entries as cut coordinates against a
+// deduplicated parent-graph table (see trim.SnapshotCuts for why cuts
+// are re-executed rather than stored).
+type CutsState struct {
+	Parents []GraphState `json:"parents"`
+	Cuts    []CutState   `json:"cuts"`
+}
+
+// CutState is one cut-cache entry: scope + parent (by index into
+// CutsState.Parents) + position + granularity + head.
+type CutState struct {
+	Scope     uint64        `json:"scope"`
+	Parent    int           `json:"parent"`
+	At        int           `json:"at"`
+	Blockwise bool          `json:"blockwise"`
+	Head      trim.HeadSpec `json:"head"`
+}
+
+// envelope is the outer document; Payload stays raw so the checksum is
+// computed over the exact bytes that will be decoded.
+type envelope struct {
+	Magic    string          `json:"magic"`
+	Version  int             `json:"version"`
+	Checksum string          `json:"checksum"`
+	Payload  json.RawMessage `json:"payload"`
+}
+
+func checksum(payload []byte) string {
+	h := fnv.New64a()
+	h.Write(payload)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Encode writes f as a versioned, checksummed snapshot. Equal Files
+// produce equal bytes.
+func Encode(w io.Writer, f *File) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("persist: encoding payload: %w", err)
+	}
+	env, err := json.Marshal(envelope{
+		Magic:    Magic,
+		Version:  SchemaVersion,
+		Checksum: checksum(payload),
+		Payload:  payload,
+	})
+	if err != nil {
+		return fmt.Errorf("persist: encoding envelope: %w", err)
+	}
+	env = append(env, '\n')
+	_, err = w.Write(env)
+	return err
+}
+
+// Decode reads and validates a snapshot: magic, schema version and
+// checksum gate the payload parse, so a stale, foreign or corrupt file
+// is a structured error before any of its content is trusted. Callers
+// then match the payload's identity fields themselves.
+func Decode(r io.Reader) (*File, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	return DecodeBytes(raw)
+}
+
+// DecodeBytes is Decode over an in-memory snapshot (the fuzz target).
+func DecodeBytes(raw []byte) (*File, error) {
+	var env envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("persist: %w: %v", ErrNotSnapshot, err)
+	}
+	if env.Magic != Magic {
+		return nil, fmt.Errorf("persist: %w: magic %q", ErrNotSnapshot, env.Magic)
+	}
+	if env.Version != SchemaVersion {
+		return nil, fmt.Errorf("persist: %w: snapshot version %d, this build speaks %d",
+			ErrVersionMismatch, env.Version, SchemaVersion)
+	}
+	if got := checksum(env.Payload); got != env.Checksum {
+		return nil, fmt.Errorf("persist: %w: payload hashes to %s, envelope claims %s",
+			ErrChecksumMismatch, got, env.Checksum)
+	}
+	var f File
+	if err := json.Unmarshal(env.Payload, &f); err != nil {
+		return nil, fmt.Errorf("persist: %w: payload: %v", ErrNotSnapshot, err)
+	}
+	return &f, nil
+}
+
+// CaptureCuts snapshots the process-wide cut cache (filtered by scope;
+// nil keeps everything) into wire form, deduplicating parent graphs by
+// structural fingerprint in first-appearance order.
+func CaptureCuts(keep func(scope uint64) bool) CutsState {
+	recs := trim.SnapshotCuts(keep)
+	var cs CutsState
+	index := make(map[uint64]int)
+	for _, r := range recs {
+		pi, ok := index[r.ParentPrint]
+		if !ok {
+			pi = len(cs.Parents)
+			index[r.ParentPrint] = pi
+			cs.Parents = append(cs.Parents, EncodeGraph(r.Parent))
+		}
+		cs.Cuts = append(cs.Cuts, CutState{
+			Scope:     r.Scope,
+			Parent:    pi,
+			At:        r.At,
+			Blockwise: r.Blockwise,
+			Head:      r.Head,
+		})
+	}
+	return cs
+}
+
+// RestoreCuts re-executes snapshotted cuts through the public trim
+// path, repopulating the process-wide cut cache. keep filters by scope
+// (nil keeps everything): a restoring planner passes its own
+// calibration fingerprint plus the shared scope 0, so entries scoped to
+// devices this process does not serve are skipped, not trusted. Only
+// parents a kept cut references are decoded (each must pass
+// graph.Validate), and every kept record — parent and coordinates — is
+// validated before any cut is replayed, so a rejected cut section
+// leaves the cache untouched.
+func RestoreCuts(cs CutsState, keep func(scope uint64) bool) error {
+	recs := make([]trim.CutRecord, 0, len(cs.Cuts))
+	parents := make(map[int]*graph.Graph)
+	for i, c := range cs.Cuts {
+		if keep != nil && !keep(c.Scope) {
+			continue
+		}
+		if c.Parent < 0 || c.Parent >= len(cs.Parents) {
+			return fmt.Errorf("persist: cut %d references parent %d of %d", i, c.Parent, len(cs.Parents))
+		}
+		parent, ok := parents[c.Parent]
+		if !ok {
+			g, err := DecodeGraph(&cs.Parents[c.Parent])
+			if err != nil {
+				return fmt.Errorf("persist: cut parent %d: %w", c.Parent, err)
+			}
+			parents[c.Parent] = g
+			parent = g
+		}
+		rec := trim.CutRecord{
+			Scope:     c.Scope,
+			Parent:    parent,
+			At:        c.At,
+			Blockwise: c.Blockwise,
+			Head:      c.Head,
+		}
+		if err := trim.CheckCut(rec); err != nil {
+			return fmt.Errorf("persist: cut %d: %w", i, err)
+		}
+		recs = append(recs, rec)
+	}
+	for i, rec := range recs {
+		if err := trim.RestoreCut(rec); err != nil {
+			return fmt.Errorf("persist: replaying cut %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,208 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"netcut/internal/graph"
+	"netcut/internal/trim"
+	"netcut/internal/zoo"
+)
+
+func sampleFile(t *testing.T) *File {
+	t.Helper()
+	g, err := zoo.ByName("MobileNetV1 (0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &File{
+		Seed: 7,
+		Planners: []PlannerState{{
+			Device:      "sim-xavier",
+			Calibration: 12345,
+			Seed:        7,
+			WarmupRuns:  200,
+			TimedRuns:   800,
+		}},
+		Cuts: CutsState{
+			Parents: []GraphState{EncodeGraph(g)},
+			Cuts: []CutState{
+				{Scope: 0, Parent: 0, At: 1, Blockwise: true, Head: trim.DefaultHead},
+			},
+		},
+	}
+}
+
+// TestEncodeDecodeRoundTrip pins the basic contract plus encoding
+// determinism: equal Files produce equal bytes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFile(t)
+	var a, b bytes.Buffer
+	if err := Encode(&a, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := Encode(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodings of one File differ")
+	}
+	got, err := Decode(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != f.Seed || len(got.Planners) != 1 || got.Planners[0].Device != "sim-xavier" {
+		t.Fatalf("decoded file diverged: %+v", got)
+	}
+	if len(got.Cuts.Cuts) != 1 || got.Cuts.Cuts[0].Head != trim.DefaultHead {
+		t.Fatalf("decoded cuts diverged: %+v", got.Cuts)
+	}
+}
+
+// TestDecodeRejectsDamage pins the structured-rejection contract: a
+// truncated, corrupted, version-skewed or foreign file is a sentinel
+// error, never a silently trusted partial state.
+func TestDecodeRejectsDamage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, sampleFile(t)); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	t.Run("truncated", func(t *testing.T) {
+		for _, n := range []int{0, 1, len(good) / 2, len(good) - 2} {
+			if _, err := DecodeBytes(good[:n]); !errors.Is(err, ErrNotSnapshot) {
+				t.Fatalf("truncation at %d: err = %v, want ErrNotSnapshot", n, err)
+			}
+		}
+	})
+	t.Run("corrupt-payload", func(t *testing.T) {
+		// Flip a byte inside the payload (keep the envelope JSON valid by
+		// corrupting a digit of the seed).
+		bad := bytes.Replace(good, []byte(`"seed":7`), []byte(`"seed":8`), 1)
+		if bytes.Equal(bad, good) {
+			t.Fatal("corruption did not apply")
+		}
+		if _, err := DecodeBytes(bad); !errors.Is(err, ErrChecksumMismatch) {
+			t.Fatalf("err = %v, want ErrChecksumMismatch", err)
+		}
+	})
+	t.Run("version-skew", func(t *testing.T) {
+		bad := bytes.Replace(good,
+			[]byte(fmt.Sprintf(`"version":%d`, SchemaVersion)),
+			[]byte(fmt.Sprintf(`"version":%d`, SchemaVersion+1)), 1)
+		if _, err := DecodeBytes(bad); !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("err = %v, want ErrVersionMismatch", err)
+		}
+	})
+	t.Run("foreign", func(t *testing.T) {
+		for _, in := range []string{`{}`, `{"magic":"other","version":1}`, `not json at all`} {
+			if _, err := DecodeBytes([]byte(in)); !errors.Is(err, ErrNotSnapshot) {
+				t.Fatalf("input %q: err = %v, want ErrNotSnapshot", in, err)
+			}
+		}
+	})
+}
+
+// TestGraphCodecRoundTrip pins that the snapshot graph codec preserves
+// the structural fingerprint — the property every restored cache key
+// depends on — for both a zoo network and a hand-built blocked graph.
+func TestGraphCodecRoundTrip(t *testing.T) {
+	nets := zoo.Paper7()
+	for _, src := range nets {
+		st := EncodeGraph(src)
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back GraphState
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeGraph(&back)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		if graph.Fingerprint(got) != graph.Fingerprint(src) {
+			t.Fatalf("%s: fingerprint changed across the snapshot codec", src.Name)
+		}
+	}
+}
+
+// TestRestoreCutsRejectsBadParents pins that a snapshot carrying an
+// invalid parent graph or a dangling parent index is rejected before
+// any cut is replayed.
+func TestRestoreCutsRejectsBadParents(t *testing.T) {
+	if err := RestoreCuts(CutsState{
+		Parents: []GraphState{{Name: ""}}, // fails DecodeGraph
+		Cuts:    []CutState{{Parent: 0, At: 1, Blockwise: true, Head: trim.DefaultHead}},
+	}, nil); err == nil {
+		t.Fatal("invalid parent accepted")
+	}
+	g, err := zoo.ByName("MobileNetV1 (0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = RestoreCuts(CutsState{
+		Parents: []GraphState{EncodeGraph(g)},
+		Cuts:    []CutState{{Parent: 3, At: 1, Blockwise: true, Head: trim.DefaultHead}},
+	}, nil)
+	if err == nil || !strings.Contains(err.Error(), "references parent") {
+		t.Fatalf("dangling parent index: err = %v", err)
+	}
+}
+
+// TestCaptureRestoreCutsRoundTrip pins capture -> restore -> capture
+// byte identity for the cut-cache state: replaying a snapshot
+// reproduces the same records (contents and order).
+func TestCaptureRestoreCutsRoundTrip(t *testing.T) {
+	trim.PurgeCutCache()
+	t.Cleanup(trim.PurgeCutCache)
+	g, err := zoo.ByName("MobileNetV1 (0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 1; c <= 3; c++ {
+		if _, err := trim.CutScoped(99, g, c, trim.DefaultHead); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := trim.Cut(g, 1, trim.DefaultHead); err != nil { // scope 0
+		t.Fatal(err)
+	}
+
+	cs := CaptureCuts(nil)
+	if len(cs.Cuts) != 4 || len(cs.Parents) != 1 {
+		t.Fatalf("captured %d cuts over %d parents, want 4 over 1", len(cs.Cuts), len(cs.Parents))
+	}
+	a, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trim.PurgeCutCache()
+	if err := RestoreCuts(cs, nil); err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(CaptureCuts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cut state diverged across restore:\n before %s\n after  %s", a, b)
+	}
+
+	// Scope filtering: restoring with a filter keeps only matching
+	// scopes resident.
+	trim.PurgeCutCache()
+	if err := RestoreCuts(cs, func(scope uint64) bool { return scope == 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(CaptureCuts(nil).Cuts); got != 1 {
+		t.Fatalf("scope filter restored %d cuts, want 1", got)
+	}
+}

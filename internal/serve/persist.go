@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"netcut/internal/device"
+	"netcut/internal/persist"
+	"netcut/internal/profiler"
+)
+
+// Warm-state persistence: SaveState serializes a planner's (or pool's)
+// cache layers — device kernel plans, profiler measurements and tables,
+// and the cut-cache entries scoped to its devices plus the shared
+// scope 0 — and LoadState restores them into a fresh process, so a
+// daemon restart resumes on the warm path instead of re-measuring its
+// whole working set.
+//
+// Trust model: a snapshot is only ever applied to a planner whose
+// identity matches the one that wrote it — same device name, same
+// calibration fingerprint, same seed, same measurement protocol. Any
+// mismatch is persist.ErrStateMismatch and the caches stay empty (and
+// fully functional: every layer rebuilds on demand). This is what makes
+// restore-equals-recompute exact: cached values are pure functions of
+// (seed, protocol, calibration, structure), so once those match, a
+// restored entry is byte-identical to the one a fresh computation would
+// produce — the contract TestPlannerRestoreMatchesRecompute pins.
+//
+// Not persisted (each regenerates deterministically on demand): the
+// name->structure admission bindings (re-admitted per request), the
+// transfer simulator's generic profiles (pure functions of name and
+// layer count), and the lazily trained analytical/linear estimator
+// models (retrained from the zoo samples, which the restored
+// measurement caches make cheap).
+
+// ErrStateMismatch re-exports the persist sentinel the gateway and
+// daemon branch on.
+var ErrStateMismatch = persist.ErrStateMismatch
+
+// state captures one planner's section of a snapshot file.
+func (p *Planner) state() persist.PlannerState {
+	return persist.PlannerState{
+		Device:       p.cfg.Device.Name,
+		Calibration:  p.dev.Fingerprint(),
+		Seed:         p.cfg.Seed,
+		WarmupRuns:   p.cfg.Protocol.WarmupRuns,
+		TimedRuns:    p.cfg.Protocol.TimedRuns,
+		Plans:        p.dev.SnapshotPlans(),
+		Measurements: p.prof.SnapshotMeasurements(),
+		Tables:       p.prof.SnapshotTables(),
+	}
+}
+
+// matches reports whether a snapshot section was written by a planner
+// with this planner's identity.
+func (p *Planner) matches(s *persist.PlannerState) bool {
+	return s.Device == p.cfg.Device.Name &&
+		s.Calibration == p.dev.Fingerprint() &&
+		s.Seed == p.cfg.Seed &&
+		s.WarmupRuns == p.cfg.Protocol.WarmupRuns &&
+		s.TimedRuns == p.cfg.Protocol.TimedRuns
+}
+
+// preparedState is a section decoded and validated but not yet
+// applied. The prepare/apply split is what makes LoadState
+// all-or-nothing: every section of a snapshot is prepared (each entry
+// built and validated exactly once) before any section is applied, so
+// a rejected snapshot — even one whose damage sits in its last
+// section — leaves every cache untouched and the planner fully
+// functional on the cold path.
+type preparedState struct {
+	plans        device.PreparedPlans
+	measurements profiler.PreparedMeasurements
+	tables       profiler.PreparedTables
+}
+
+func prepareState(s *persist.PlannerState) (ps preparedState, err error) {
+	if ps.plans, err = device.PreparePlans(s.Plans); err != nil {
+		return ps, err
+	}
+	if ps.measurements, err = profiler.PrepareMeasurements(s.Measurements); err != nil {
+		return ps, err
+	}
+	ps.tables, err = profiler.PrepareTables(s.Tables)
+	return ps, err
+}
+
+// applyPrepared restores a prepared section; it cannot fail.
+func (p *Planner) applyPrepared(ps preparedState) {
+	p.dev.RestorePlans(ps.plans)
+	p.prof.RestoreMeasurements(ps.measurements)
+	p.prof.RestoreTables(ps.tables)
+}
+
+// scopeFor builds the cut-cache scope filter for a set of calibration
+// fingerprints: the devices' own scopes plus the shared scope 0 (the
+// retraining simulator's device-independent boundary cuts).
+func scopeFor(prints ...uint64) func(uint64) bool {
+	set := map[uint64]bool{0: true}
+	for _, pr := range prints {
+		set[pr] = true
+	}
+	return func(scope uint64) bool { return set[scope] }
+}
+
+// SaveState writes the planner's warm state as a versioned snapshot.
+// Safe to call while serving: each cache is captured atomically, so a
+// concurrent request at worst lands in or misses the snapshot — either
+// way every entry written is valid.
+func (p *Planner) SaveState(w io.Writer) error {
+	return persist.Encode(w, &persist.File{
+		Seed:     p.cfg.Seed,
+		Planners: []persist.PlannerState{p.state()},
+		Cuts:     persist.CaptureCuts(scopeFor(p.dev.Fingerprint())),
+	})
+}
+
+// LoadState restores a snapshot written by SaveState (or by a pool
+// containing this planner's device). Decode failures and identity
+// mismatches are structured errors — branch with errors.Is on
+// persist.ErrVersionMismatch / ErrChecksumMismatch / ErrStateMismatch —
+// and leave the planner fully functional on the cold path.
+func (p *Planner) LoadState(r io.Reader) error {
+	f, err := persist.Decode(r)
+	if err != nil {
+		return err
+	}
+	for i := range f.Planners {
+		if p.matches(&f.Planners[i]) {
+			ps, err := prepareState(&f.Planners[i])
+			if err != nil {
+				return err
+			}
+			// Cuts replay through the public trim path into the
+			// process-wide cache; RestoreCuts validates every kept
+			// record before replaying any, and runs first so a bad cut
+			// section rejects the snapshot before the planner caches
+			// fill.
+			if err := persist.RestoreCuts(f.Cuts, scopeFor(p.dev.Fingerprint())); err != nil {
+				return err
+			}
+			p.applyPrepared(ps)
+			return nil
+		}
+	}
+	return fmt.Errorf(
+		"serve: %w: snapshot holds %s, this planner is %s (calibration %016x, seed %d, protocol %d/%d)",
+		ErrStateMismatch, snapshotIdentity(f), p.cfg.Device.Name,
+		p.dev.Fingerprint(), p.cfg.Seed, p.cfg.Protocol.WarmupRuns, p.cfg.Protocol.TimedRuns)
+}
+
+func snapshotIdentity(f *persist.File) string {
+	if len(f.Planners) == 0 {
+		return "no planner sections"
+	}
+	names := make([]string, 0, len(f.Planners))
+	for _, s := range f.Planners {
+		names = append(names, fmt.Sprintf("%s(seed %d)", s.Device, s.Seed))
+	}
+	return fmt.Sprint(names)
+}
+
+// SaveState writes the pool's warm state — one section per registered
+// device, in registration order, plus every device's scoped cuts — as
+// one snapshot.
+func (pp *PlannerPool) SaveState(w io.Writer) error {
+	f := &persist.File{Seed: pp.Default().cfg.Seed}
+	prints := make([]uint64, 0, len(pp.names))
+	for _, name := range pp.names {
+		p := pp.planners[name]
+		f.Planners = append(f.Planners, p.state())
+		prints = append(prints, p.dev.Fingerprint())
+	}
+	f.Cuts = persist.CaptureCuts(scopeFor(prints...))
+	return persist.Encode(w, f)
+}
+
+// LoadState restores a pool snapshot: every registered device restores
+// its matching section. A snapshot containing none of the pool's
+// devices is ErrStateMismatch; sections for devices this pool does not
+// serve are skipped (their cache entries would be unreachable here),
+// and registered devices absent from the snapshot simply start cold.
+// Every matched section — and every kept cut — is validated before any
+// is applied, so a rejected snapshot leaves every cache untouched.
+func (pp *PlannerPool) LoadState(r io.Reader) error {
+	f, err := persist.Decode(r)
+	if err != nil {
+		return err
+	}
+	type match struct {
+		planner  *Planner
+		prepared preparedState
+	}
+	var matches []match
+	prints := make([]uint64, 0, len(pp.names))
+	for _, name := range pp.names {
+		p := pp.planners[name]
+		prints = append(prints, p.dev.Fingerprint())
+		for i := range f.Planners {
+			if p.matches(&f.Planners[i]) {
+				ps, err := prepareState(&f.Planners[i])
+				if err != nil {
+					return err
+				}
+				matches = append(matches, match{p, ps})
+				break
+			}
+		}
+	}
+	if len(matches) == 0 {
+		return fmt.Errorf("serve: %w: snapshot holds %s, pool serves %v",
+			ErrStateMismatch, snapshotIdentity(f), pp.names)
+	}
+	if err := persist.RestoreCuts(f.Cuts, scopeFor(prints...)); err != nil {
+		return err
+	}
+	for _, m := range matches {
+		m.planner.applyPrepared(m.prepared)
+	}
+	return nil
+}

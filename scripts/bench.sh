@@ -5,22 +5,31 @@
 #
 # Usage: scripts/bench.sh [output-dir] [benchtime]
 #   output-dir  where BENCH_<date>.json lands (default: repo root)
-#   benchtime   go test -benchtime value (default: 1x — each figure
-#               generator is macro-scale, one iteration is meaningful)
+#   benchtime   go test -benchtime value (default: 100ms). The old 1x
+#               default made every recorded number a single-iteration
+#               sample — fine for the macro-scale figure generators
+#               (still one iteration at 100ms) but statistically
+#               meaningless for the sub-millisecond serving-path gates,
+#               whose drift comparisons need the hundreds of iterations
+#               a time budget gives them. Each benchmark's actual
+#               iteration count is recorded in the JSON; treat any
+#               entry with iterations == 1 as a point sample, not a
+#               distribution.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT_DIR="${1:-.}"
-BENCHTIME="${2:-1x}"
+BENCHTIME="${2:-100ms}"
 DATE="$(date -u +%Y-%m-%d)"
 mkdir -p "$OUT_DIR"
 OUT="$OUT_DIR/BENCH_${DATE}.json"
 
 # The Planner|Gateway patterns pick up the serving-stack gates:
-# PlannerSelectCold/Warm, PlannerConcurrentThroughput,
-# PlannerPoolWarmAcrossDevices (multi-target warm path),
-# GatewayThroughput, GatewayCoalescedBurst and
-# GatewayCoalescedBurstStaggered (timed batching window).
+# PlannerSelectCold/Warm, PlannerSelectRestoredCold (snapshot restore),
+# PlannerConcurrentThroughput, PlannerPoolWarmAcrossDevices
+# (multi-target warm path), GatewayThroughput, GatewayCoalescedBurst,
+# GatewayCoalescedBurstStaggered (timed batching window) and
+# GatewayLaneIsolation (per-device lane p99s).
 RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
   -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
 

@@ -2,7 +2,10 @@
 # smoke_gateway.sh — end-to-end smoke of the serving daemon: boot
 # cmd/netserve, fire a small concurrent load that exercises the warm,
 # coalesce and shed paths, assert /metrics and /debug/stats respond,
-# then SIGTERM and require a clean (exit 0) drain.
+# SIGTERM and require a clean (exit 0) drain — then restart from the
+# saved warm-state snapshot and require the first post-restart request
+# to run on the warm path (cold counter stays 0) with a byte-identical
+# body.
 #
 # Usage: scripts/smoke_gateway.sh [port]   (default 18080)
 set -euo pipefail
@@ -22,7 +25,8 @@ if "$BIN" -addr "not-a-valid-address" >/dev/null 2>&1; then
   exit 1
 fi
 
-"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 >"$TMP/netserve.log" 2>&1 &
+STATE="$TMP/state.json"
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE" >"$TMP/netserve.log" 2>&1 &
 PID=$!
 
 for _ in $(seq 1 50); do
@@ -126,7 +130,18 @@ grep -q 'netcut_planner_warm_ms_count{device="sim-xavier"}' "$TMP/metrics" || {
 curl -fsS "http://$ADDR/debug/stats" >"$TMP/stats.json"
 python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert "metrics" in d and "planner" in d' "$TMP/stats.json"
 
-# Graceful drain: SIGTERM must exit 0.
+# On-demand state save: the admin endpoint writes a decodable snapshot.
+SAVE_CODE="$(curl -s -o "$TMP/save.json" -w '%{http_code}' -X POST "http://$ADDR/v1/state/save")"
+[ "$SAVE_CODE" = 200 ] || { echo "FAIL: /v1/state/save returned $SAVE_CODE" >&2; exit 1; }
+python3 - "$STATE" <<'PY'
+import json, sys
+env = json.load(open(sys.argv[1]))
+assert env["magic"] == "netcut-state", env.get("magic")
+assert env["version"] == 1, env.get("version")
+assert env["payload"]["planners"], "snapshot holds no planner sections"
+PY
+
+# Graceful drain: SIGTERM must exit 0 (and persist the warm state).
 kill -TERM "$PID"
 if wait "$PID"; then
   echo "netserve drained cleanly"
@@ -134,6 +149,47 @@ else
   code=$?
   echo "FAIL: netserve exited $code after SIGTERM" >&2
   cat "$TMP/netserve.log" >&2
+  exit 1
+fi
+PID=""
+grep -q "saved warm state to $STATE" "$TMP/netserve.log" || {
+  echo "FAIL: drain did not save the state file" >&2; cat "$TMP/netserve.log" >&2; exit 1; }
+
+# Restart from the snapshot: the first request of the new process must
+# run on the warm path — byte-identical body, warm counter moves, cold
+# counter stays 0.
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE" >"$TMP/netserve2.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: restarted netserve died before becoming healthy" >&2
+    cat "$TMP/netserve2.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+grep -q "restored warm state from $STATE" "$TMP/netserve2.log" || {
+  echo "FAIL: restart did not restore the state file" >&2; cat "$TMP/netserve2.log" >&2; exit 1; }
+
+[ "$(plan "$TMP/restored.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+cmp -s "$TMP/restored.json" "$TMP/cold.json" || {
+  echo "FAIL: post-restart body diverged from pre-restart body" >&2; exit 1; }
+
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics2"
+grep -Eq '^netcut_planner_warm_ms_count\{device="sim-xavier"\} [1-9]' "$TMP/metrics2" || {
+  echo "FAIL: post-restart request did not land in the warm histogram" >&2; exit 1; }
+grep -Eq '^netcut_planner_cold_ms_count\{device="sim-xavier"\} 0$' "$TMP/metrics2" || {
+  echo "FAIL: post-restart request executed cold despite the restored state" >&2
+  grep '^netcut_planner_cold_ms_count' "$TMP/metrics2" >&2; exit 1; }
+
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "restarted netserve drained cleanly"
+else
+  code=$?
+  echo "FAIL: restarted netserve exited $code after SIGTERM" >&2
+  cat "$TMP/netserve2.log" >&2
   exit 1
 fi
 PID=""
