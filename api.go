@@ -305,12 +305,26 @@ func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool
 // byte-identical to the same request served alone through that
 // device's Planner, and an auto-routed body to the same request naming
 // the resolved device explicitly.
+//
+// Faults are contained rather than propagated: planner-pass panics are
+// recovered per request (innocent batchmates are retried solo with
+// byte-identical results, repeat offenders quarantined), disconnected
+// clients have queued work cancelled before execution, an optional
+// watchdog (GatewayConfig.ExecTimeout) abandons stuck passes with a
+// 504, repeatedly faulting devices leave rotation until a background
+// probe restores them, and GatewayConfig.AutosaveInterval snapshots
+// the warm state crash-safely (atomic rename plus a previous-good .bak
+// generation that LoadStateFile falls back to). GET /readyz reports
+// readiness (flip it with MarkReady after boot restore), distinct from
+// /healthz liveness. Every 429/503 rejection carries a Retry-After
+// header. See the package comment's "Fault tolerance & degradation"
+// section.
 type (
 	Gateway = gateway.Gateway
 	// GatewayConfig parameterizes a Gateway: the embedded PlannerConfig
 	// template and device list plus the HTTP-side knobs (body size
 	// limit, queue depth, batch width and window, worker count, shed
-	// warm-up).
+	// warm-up, watchdog and autosave intervals, health thresholds).
 	GatewayConfig = gateway.Config
 )
 

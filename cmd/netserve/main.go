@@ -1,18 +1,19 @@
 // netserve is the NetCut serving daemon: it mounts the deadline-aware
 // planning gateway — JSON planning API over a device fleet with
-// per-request targeting, request coalescing, batch admission and load
-// shedding — on an HTTP listener and runs until SIGINT/SIGTERM, then
-// drains gracefully.
+// per-request targeting, request coalescing, batch admission, load
+// shedding and fault containment — on an HTTP listener and runs until
+// SIGINT/SIGTERM, then drains gracefully.
 //
 // Endpoints:
 //
 //	POST /v1/plan     {"network":"ResNet-50","deadline_ms":0.9}
 //	                  {"graph":{...},"deadline_ms":0.35,"budget_ms":50}
 //	                  {"network":"ResNet-50","target":"auto","budget_ms":50}
-//	GET  /v1/devices  registered targets (calibration + live telemetry)
+//	GET  /v1/devices  registered targets (calibration, health + telemetry)
 //	GET  /metrics     Prometheus text format (device-labeled series)
 //	GET  /debug/stats JSON snapshot (telemetry + per-device caches)
-//	GET  /healthz     liveness probe
+//	GET  /healthz     liveness probe (200 while the process serves)
+//	GET  /readyz      readiness probe (200 after boot restore, 503 while draining)
 //
 // Usage:
 //
@@ -22,19 +23,34 @@
 //	netserve -queue 512 -batch 32 -workers 4 -batch-window 2ms
 //	netserve -max-body 4194304 -drain-timeout 30s
 //	netserve -state-file /var/lib/netcut/state.json -prewarm
+//	netserve -state-file /var/lib/netcut/state.json -autosave 30s
+//	netserve -exec-timeout 5s
 //
 // Warm-state persistence: with -state-file, the daemon restores the
-// planners' caches from the file on boot (a missing file starts cold;
-// a stale, corrupt or cross-calibration file is reported and ignored —
-// never trusted) and snapshots them back after the SIGTERM drain, so
-// the next boot's first requests run on the warm path. POST
-// /v1/state/save writes the same snapshot on demand. -prewarm plans
-// the calibrated zoo across the fleet in the background after any
-// restore, so steady-state traffic never sees a cold miss.
+// planners' caches from the file on boot — falling back to the
+// previous-good "<state-file>.bak" generation when the primary is
+// missing, torn or from another build — and snapshots them back after
+// the SIGTERM drain, so the next boot's first requests run on the warm
+// path. POST /v1/state/save writes the same snapshot on demand, and
+// -autosave writes it periodically (crash safety: after a kill -9 the
+// next boot restores the last autosaved generation instead of starting
+// cold). -prewarm plans the calibrated zoo across the fleet in the
+// background after any restore.
+//
+// Fault tolerance: -exec-timeout arms the gateway's execution watchdog
+// (a stuck planner pass is abandoned with a 504 instead of wedging a
+// lane); panics are contained per request, repeat offenders are
+// quarantined, and devices that fault repeatedly are taken out of
+// rotation until a background probe restores them — see the gateway
+// package documentation.
+//
+// Signals: the first SIGINT/SIGTERM starts the graceful drain; a second
+// one forces exit(1) immediately, logging which drain phase was in
+// progress.
 //
 // Exit codes: 0 after a clean SIGINT/SIGTERM drain; 1 on configuration,
-// bind or serve errors (including an unknown -devices name); 2 on flag
-// misuse (from package flag).
+// bind or serve errors (including an unknown -devices name) and on a
+// second-signal forced exit; 2 on flag misuse (from package flag).
 package main
 
 import (
@@ -47,6 +63,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -71,7 +88,9 @@ func run() int {
 		maxBody      = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default, negative = unlimited)")
 		shedMin      = flag.Int("shed-min-samples", 0, "warm executions required before budget shedding activates (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
-		stateFile    = flag.String("state-file", "", "warm-state snapshot path: restored on boot, saved after the SIGTERM drain and by POST /v1/state/save (empty = no persistence)")
+		stateFile    = flag.String("state-file", "", "warm-state snapshot path: restored on boot (with .bak fallback), saved after the SIGTERM drain and by POST /v1/state/save (empty = no persistence)")
+		autosave     = flag.Duration("autosave", 0, "periodic warm-state snapshot interval (requires -state-file; 0 = only save on drain/demand)")
+		execTimeout  = flag.Duration("exec-timeout", 0, "per-pass execution watchdog: abandon planner passes stuck longer than this with a 504 (0 = disabled)")
 		prewarm      = flag.Bool("prewarm", false, "plan the calibrated zoo on every device in the background at startup (after any -state-file restore)")
 	)
 	flag.Parse()
@@ -97,15 +116,17 @@ func run() int {
 	}
 
 	gw, err := netcut.NewGateway(netcut.GatewayConfig{
-		Planner:        netcut.PlannerConfig{Seed: *seed},
-		Devices:        devs,
-		QueueDepth:     *queue,
-		BatchMax:       *batch,
-		BatchWindow:    *batchWindow,
-		Workers:        *workers,
-		MaxBodyBytes:   *maxBody,
-		ShedMinSamples: *shedMin,
-		StatePath:      *stateFile,
+		Planner:          netcut.PlannerConfig{Seed: *seed},
+		Devices:          devs,
+		QueueDepth:       *queue,
+		BatchMax:         *batch,
+		BatchWindow:      *batchWindow,
+		Workers:          *workers,
+		MaxBodyBytes:     *maxBody,
+		ShedMinSamples:   *shedMin,
+		StatePath:        *stateFile,
+		AutosaveInterval: *autosave,
+		ExecTimeout:      *execTimeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netserve: %v\n", err)
@@ -114,22 +135,18 @@ func run() int {
 
 	// Restore the warm state before the listener opens, so the very
 	// first request sees the restored caches. A missing file is a
-	// normal cold boot; anything unreadable or mismatched is reported
-	// and ignored — the caches rebuild on demand, and trusting a stale
-	// snapshot would be worse than running cold.
+	// normal cold boot; anything unreadable or mismatched — primary and
+	// .bak both — is reported and ignored: the caches rebuild on demand,
+	// and trusting a stale snapshot would be worse than running cold.
 	if *stateFile != "" {
-		if f, err := os.Open(*stateFile); err == nil {
-			err = gw.LoadState(f)
-			f.Close()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "netserve: ignoring state file %s: %v\n", *stateFile, err)
-			} else {
-				fmt.Printf("netserve: restored warm state from %s\n", *stateFile)
-			}
+		if used, err := gw.LoadStateFile(); err == nil {
+			fmt.Printf("netserve: restored warm state from %s\n", used)
 		} else if !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintf(os.Stderr, "netserve: ignoring state file %s: %v\n", *stateFile, err)
 		}
 	}
+	// Boot work is done: flip /readyz so load balancers start routing.
+	gw.MarkReady()
 	// Prewarm after any restore: the snapshot covers what the last
 	// process had seen, prewarming covers the rest of the zoo x fleet
 	// cross product.
@@ -166,19 +183,31 @@ func run() int {
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("netserve: %v, draining (timeout %v)\n", sig, *drainTimeout)
+		// A second signal during the drain is the operator insisting:
+		// force the exit, but say which phase was cut short so a hung
+		// drain is diagnosable from the log alone.
+		var phase atomic.Value
+		phase.Store("http drain")
+		go func() {
+			sig := <-sigCh
+			fmt.Fprintf(os.Stderr, "netserve: %v during %s, forcing exit\n", sig, phase.Load())
+			os.Exit(1)
+		}()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		// Order matters: stop accepting and finish in-flight handlers
 		// first (they wait on gateway deliveries), then drain the
-		// gateway's own queue and workers.
+		// gateway's own queue, workers and background loops.
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "netserve: drain: %v\n", err)
 			return 1
 		}
+		phase.Store("gateway drain")
 		if err := gw.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "netserve: drain: %v\n", err)
 			return 1
 		}
+		phase.Store("state save")
 		// Snapshot after the drain: every in-flight execution has
 		// landed in the caches, so the file captures the fullest warm
 		// state this process ever had. A save failure is worth a

@@ -192,6 +192,34 @@
 // when, never what it returns, and one target's cold plan cannot
 // head-of-line-block another target's warm traffic.
 //
+// # Fault tolerance & degradation
+//
+// Faults are contained at the lane-worker boundary and degradation
+// moves or refuses executions, never changes their bytes. A panic
+// inside a planner pass becomes a structured 500 for the poisoned
+// request while its batchmates are retried solo (receiving exactly the
+// bytes the batch would have produced) and the worker survives;
+// request identities that panic repeatedly are quarantined in a
+// bounded LRU and refused up front. A client that disconnects while
+// queued has its work cancelled before the planner runs. An optional
+// execution watchdog (GatewayConfig.ExecTimeout) abandons stuck passes
+// with a 504 — abandoned results are never delivered or cached.
+// Devices that fault repeatedly are taken out of rotation: "auto"
+// routes around them, explicit targeting gets 503 with Retry-After
+// (every 429/503 rejection carries one), and a background probe
+// restores the device when a probe plan succeeds. GET /readyz is the
+// readiness probe (503 until MarkReady after boot restore, and again
+// while draining), distinct from /healthz liveness.
+//
+// Crash safety: GatewayConfig.AutosaveInterval (netserve -autosave)
+// snapshots the warm state on a jittered cadence via an atomic
+// tmp+rename that also rotates one previous-good ".bak" generation;
+// LoadStateFile falls back to .bak when the primary is missing or
+// torn, so a kill -9 costs at most one interval of warmth. The whole
+// surface is exercised deterministically by internal/faultinject —
+// seed/key-matched fault points compiled into the hot paths as no-ops
+// unless a test arms them — under the race detector in CI.
+//
 // Observability: internal/telemetry is a dependency-free metrics
 // registry (counters, gauges, histograms) threaded through every cache
 // layer — device kernel plans, profiler measurements and tables, the

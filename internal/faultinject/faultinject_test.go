@@ -1,0 +1,105 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedSitesAreNoOps(t *testing.T) {
+	Reset()
+	Panic(TrimPanic, "anything") // must not panic
+	Delay(ExecDelay, "anything") // must not sleep
+	if err := Error(SnapshotWrite, "anything"); err != nil {
+		t.Fatalf("disarmed Error returned %v", err)
+	}
+	if Fire(StateCorrupt, "anything") {
+		t.Fatal("disarmed Fire reported true")
+	}
+}
+
+func TestArmMatchesBySubstringAndCount(t *testing.T) {
+	defer Reset()
+	Arm(TrimPanic, "poison", 2)
+
+	if Fire(TrimPanic, "healthy-net") {
+		t.Fatal("fired for a non-matching key")
+	}
+	if Fire(ExecDelay, "poison-net") {
+		t.Fatal("fired for the wrong point")
+	}
+	for i := 0; i < 2; i++ {
+		if !Fire(TrimPanic, "poison-net") {
+			t.Fatalf("firing %d did not fire", i)
+		}
+	}
+	if Fire(TrimPanic, "poison-net") {
+		t.Fatal("fired beyond the armed count")
+	}
+}
+
+func TestPanicCarriesInjected(t *testing.T) {
+	defer Reset()
+	Arm(TrimPanic, "", 1)
+	defer func() {
+		r := recover()
+		inj, ok := r.(Injected)
+		if !ok {
+			t.Fatalf("panic value %T, want Injected", r)
+		}
+		if inj.Point != TrimPanic || inj.Key != "some-graph" {
+			t.Fatalf("panic value %+v", inj)
+		}
+	}()
+	Panic(TrimPanic, "some-graph")
+	t.Fatal("armed Panic did not panic")
+}
+
+func TestErrorIsBranchable(t *testing.T) {
+	defer Reset()
+	Arm(SnapshotWrite, "state.json", 1)
+	err := Error(SnapshotWrite, "/tmp/state.json")
+	var inj Injected
+	if !errors.As(err, &inj) || inj.Point != SnapshotWrite {
+		t.Fatalf("err %v, want Injected{SnapshotWrite}", err)
+	}
+}
+
+func TestDelaySleeps(t *testing.T) {
+	defer Reset()
+	ArmDelay(ExecDelay, "", 1, 30*time.Millisecond)
+	start := time.Now()
+	Delay(ExecDelay, "slow-net")
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("armed Delay slept only %v", d)
+	}
+}
+
+// TestConcurrentFireRespectsCount pins that a bounded rule fires
+// exactly its count under concurrent sites — the property that lets
+// -race tests arm one panic and know exactly one request dies.
+func TestConcurrentFireRespectsCount(t *testing.T) {
+	defer Reset()
+	Arm(TrimPanic, "", 3)
+	var fired sync.Map
+	var wg sync.WaitGroup
+	var count int64
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if Fire(TrimPanic, "k") {
+				mu.Lock()
+				count++
+				mu.Unlock()
+				fired.Store(i, true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if count != 3 {
+		t.Fatalf("rule with count 3 fired %d times", count)
+	}
+}

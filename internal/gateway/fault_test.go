@@ -1,0 +1,603 @@
+package gateway
+
+// Fault-containment suite: every test here drives the gateway through
+// the deterministic faultinject harness (run in CI under -race as a
+// dedicated job). The tests arm compiled-in fault points by key and
+// assert the containment contract: structured errors for exactly the
+// faulting request, byte-identical responses for everyone else, bounded
+// blast radius (quarantine, per-device health), zero planner work for
+// cancelled calls, and crash-safe persistence with .bak fallback.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netcut/internal/device"
+	"netcut/internal/faultinject"
+	"netcut/internal/graph"
+	"netcut/internal/serve"
+	"netcut/internal/zoo"
+)
+
+// poisonNet is userNet(i) renamed so the TrimPanic fault point — keyed
+// by graph name — matches it and nothing else.
+func poisonNet(i int, name string) *graph.Graph {
+	g := userNet(i)
+	g.Name = name
+	return g
+}
+
+// errCode decodes the structured error body's code field.
+func errCode(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decoding error body %q: %v", rec.Body.String(), err)
+	}
+	return e.Code
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFaultPanicIsolation pins the tentpole acceptance criterion: a
+// request whose planning execution panics deep in the trim layer gets a
+// structured 500, while requests served concurrently on the same
+// device return bodies byte-identical to a solo planner's — the panic
+// is contained to the request that caused it, and the lane keeps
+// serving afterwards.
+func TestFaultPanicIsolation(t *testing.T) {
+	defer faultinject.Reset()
+	xavier := device.Xavier()
+	cfg := quickConfig(9)
+	cfg.Devices = []device.Config{xavier}
+	cfg.UnhealthyAfter = 100  // health is TestFaultUnhealthyDevice's subject
+	cfg.QuarantineAfter = 100 // quarantine is TestFaultQuarantine's subject
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	solo, err := serve.New(serve.Config{Seed: 9, Protocol: quickProto, Device: &xavier})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faultinject.Arm(faultinject.TrimPanic, "poison-iso", 0)
+	poison := poisonNet(5, "poison-iso")
+
+	const innocents = 4
+	type result struct {
+		i   int
+		rec *httptest.ResponseRecorder
+	}
+	results := make(chan result, innocents+1)
+	go func() { results <- result{-1, post(g, graphBody(t, poison, 0.35, ""))} }()
+	for i := 0; i < innocents; i++ {
+		go func(i int) { results <- result{i, post(g, graphBody(t, userNet(i), 0.35, ""))} }(i)
+	}
+	for n := 0; n < innocents+1; n++ {
+		r := <-results
+		if r.i < 0 {
+			if r.rec.Code != http.StatusInternalServerError || errCode(t, r.rec) != "internal_panic" {
+				t.Fatalf("poison request: status %d code %q body %s",
+					r.rec.Code, errCode(t, r.rec), r.rec.Body.String())
+			}
+			continue
+		}
+		if r.rec.Code != http.StatusOK {
+			t.Fatalf("innocent %d: status %d: %s", r.i, r.rec.Code, r.rec.Body.String())
+		}
+		want, err := solo.Select(serve.Request{Graph: userNet(r.i), DeadlineMs: 0.35})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.rec.Body.String() != string(EncodeResponse(want)) {
+			t.Fatalf("innocent %d served next to a panic diverges from solo planner:\n gw  %s solo %s",
+				r.i, r.rec.Body.String(), EncodeResponse(want))
+		}
+	}
+	if got := g.panicsByDev["sim-xavier"].Value(); got < 1 {
+		t.Fatalf("netcut_gateway_panics_total{sim-xavier} = %d, want >= 1", got)
+	}
+	// The lane survived: a fresh request plans normally.
+	if rec := post(g, graphBody(t, userNet(0), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatalf("post-panic request: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFaultQuarantine pins the bounded-LRU quarantine: after
+// QuarantineAfter panics from one request identity, further spellings
+// of it are rejected at admission — structured 500, no worker touched,
+// zero additional planner executions.
+func TestFaultQuarantine(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := quickConfig(10)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.UnhealthyAfter = -1 // keep the device admitting so panics repeat
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	faultinject.Arm(faultinject.TrimPanic, "poison-quar", 0)
+	body := graphBody(t, poisonNet(6, "poison-quar"), 0.35, "")
+
+	for i := 0; i < DefaultQuarantineAfter; i++ {
+		if rec := post(g, body); rec.Code != http.StatusInternalServerError || errCode(t, rec) != "internal_panic" {
+			t.Fatalf("panic %d: status %d code %q", i, rec.Code, errCode(t, rec))
+		}
+	}
+	execs := g.Planner().Executions()
+	rec := post(g, body)
+	if rec.Code != http.StatusInternalServerError || errCode(t, rec) != "quarantined" {
+		t.Fatalf("quarantined request: status %d code %q body %s", rec.Code, errCode(t, rec), rec.Body.String())
+	}
+	if got := g.Planner().Executions(); got != execs {
+		t.Fatalf("quarantined request consumed planner work: executions %d -> %d", execs, got)
+	}
+	if got := g.quarantined.Value(); got != 1 {
+		t.Fatalf("netcut_gateway_quarantined_total = %d, want 1", got)
+	}
+	// Other identities still plan: the quarantine is per key, not per lane.
+	if rec := post(g, graphBody(t, userNet(1), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatalf("innocent after quarantine: status %d", rec.Code)
+	}
+}
+
+// TestFaultWatchdogAbandonsStuckExecution pins the execution watchdog:
+// a pass stuck past ExecTimeout is abandoned with a 504 + Retry-After,
+// counted per device, and its coalesce entry dies with it — the same
+// request retried afterwards gets a fresh, successful execution (the
+// abandoned outcome is never cached).
+func TestFaultWatchdogAbandonsStuckExecution(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := quickConfig(11)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.ExecTimeout = time.Second
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	faultinject.ArmDelay(faultinject.ExecDelay, "user-net-3", 1, 10*time.Second)
+	body := graphBody(t, userNet(3), 0.35, "")
+
+	rec := post(g, body)
+	if rec.Code != http.StatusGatewayTimeout || errCode(t, rec) != "watchdog_timeout" {
+		t.Fatalf("stuck request: status %d code %q body %s", rec.Code, errCode(t, rec), rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("watchdog 504 carries no Retry-After header")
+	}
+	if got := g.abandonedByDev["sim-xavier"].Value(); got != 1 {
+		t.Fatalf("netcut_gateway_watchdog_abandoned_total{sim-xavier} = %d, want 1", got)
+	}
+	// The delay rule is consumed: the retry executes fresh and succeeds,
+	// proving the 504 was delivered-and-forgotten, not cached.
+	if rec := post(g, body); rec.Code != http.StatusOK {
+		t.Fatalf("retry after abandonment: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFaultCancelledQueuedRequestNoExecution pins the cancellation
+// acceptance criterion: a queued call whose only waiter disconnects
+// before a worker reaches it is cancelled without ever incrementing
+// netcut_planner_executions_total.
+func TestFaultCancelledQueuedRequestNoExecution(t *testing.T) {
+	cfg := quickConfig(12)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.Workers = 1 // one lane, one worker: the hook below wedges all execution
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var releaseOnce atomic.Bool
+	g.testHookBatch = func(string, int) {
+		entered <- struct{}{}
+		if !releaseOnce.Load() {
+			<-release
+		}
+	}
+
+	// Request A occupies the lone worker inside the hook, before any
+	// planner work happens.
+	aDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { aDone <- post(g, graphBody(t, userNet(0), 0.35, "")) }()
+	<-entered
+
+	// Request B is admitted and queued behind A, then its only client
+	// disconnects while it waits.
+	ctx, cancel := context.WithCancel(context.Background())
+	reqB := httptest.NewRequest(http.MethodPost, "/v1/plan",
+		strings.NewReader(graphBody(t, userNet(1), 0.35, ""))).WithContext(ctx)
+	bDone := make(chan struct{})
+	go func() {
+		g.Handler().ServeHTTP(httptest.NewRecorder(), reqB)
+		close(bDone)
+	}()
+	waitFor(t, "request B to be admitted", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.inflight) == 2
+	})
+	cancel()
+	<-bDone // the handler has decremented B's waiter count
+
+	if got := g.Planner().Executions(); got != 0 {
+		t.Fatalf("planner executed %d times before the worker was released", got)
+	}
+	releaseOnce.Store(true)
+	close(release)
+	if rec := <-aDone; rec.Code != http.StatusOK {
+		t.Fatalf("request A: status %d: %s", rec.Code, rec.Body.String())
+	}
+	waitFor(t, "request B to be cancelled", func() bool { return g.cancelled.Value() == 1 })
+	if got := g.Planner().Executions(); got != 1 {
+		t.Fatalf("planner executions = %d after cancellation, want 1 (request A only)", got)
+	}
+}
+
+// TestFaultUnhealthyDeviceSkippedAndRecovers pins per-device health:
+// consecutive panics trip a device unhealthy — "auto" routes around it,
+// explicit requests get 503 + Retry-After, GET /v1/devices reports it —
+// and the background probe restores it once the fault clears.
+func TestFaultUnhealthyDeviceSkippedAndRecovers(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := quickConfig(13)
+	cfg.Devices = []device.Config{device.Xavier(), device.EdgeCPU()}
+	cfg.QuarantineAfter = -1 // distinct poisons each panic once; keep admission open
+	cfg.ProbeInterval = 20 * time.Millisecond
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	// The poison graphs panic on any device; the probe's zoo plan
+	// (zoo.Names[0]) is armed too, so the device stays down until the
+	// harness resets.
+	faultinject.Arm(faultinject.TrimPanic, "poison-health", 0)
+	faultinject.Arm(faultinject.TrimPanic, zoo.Names[0], 0)
+
+	for i := 0; i < DefaultUnhealthyAfter; i++ {
+		body := graphBody(t, poisonNet(i, "poison-health-"+string(rune('a'+i))), 0.35, `,"target":"sim-xavier"`)
+		if rec := post(g, body); rec.Code != http.StatusInternalServerError {
+			t.Fatalf("poison %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Tripped: explicit requests are refused with a retryable 503...
+	rec := post(g, graphBody(t, userNet(0), 0.35, `,"target":"sim-xavier"`))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "device_unhealthy" {
+		t.Fatalf("explicit request on unhealthy device: status %d code %q", rec.Code, errCode(t, rec))
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("unhealthy 503 carries no Retry-After header")
+	}
+	// ...auto routing skips the tripped device...
+	rec = post(g, graphBody(t, userNet(1), 0.35, `,"target":"auto"`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("auto request with one unhealthy device: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp PlanResponseWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Device != "sim-edge-cpu" {
+		t.Fatalf("auto routed to %q, want the healthy sim-edge-cpu", resp.Device)
+	}
+	// ...and the fleet view reports the state.
+	devs := struct{ Devices []DeviceWire }{}
+	if err := json.Unmarshal(get(g, "/v1/devices").Body.Bytes(), &devs); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range devs.Devices {
+		if want := d.Name != "sim-xavier"; d.Healthy != want {
+			t.Fatalf("device %s healthy=%v, want %v", d.Name, d.Healthy, want)
+		}
+	}
+
+	// Clear the fault: the next probe succeeds and restores the device.
+	faultinject.Reset()
+	waitFor(t, "probe to restore sim-xavier", func() bool { return g.deviceEligible("sim-xavier") })
+	if g.probesByDev["sim-xavier"].Value() == 0 {
+		t.Fatal("device recovered without any probe recorded")
+	}
+	if rec := post(g, graphBody(t, userNet(0), 0.35, `,"target":"sim-xavier"`)); rec.Code != http.StatusOK {
+		t.Fatalf("explicit request after recovery: status %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFaultSnapshotWriteAndBakFallback pins crash-safe persistence: a
+// failed snapshot write leaves the previous generation (and no temp
+// file) in place, a corrupted primary is rejected on restore, and
+// LoadStateFile falls back to the .bak previous-good generation.
+func TestFaultSnapshotWriteAndBakFallback(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	cfg := quickConfig(14)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.StatePath = path
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	if rec := post(g, graphBody(t, userNet(0), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	if _, err := g.SaveStateFile(); err != nil {
+		t.Fatalf("good save: %v", err)
+	}
+
+	// Injected write error: the save fails as a branchable Injected
+	// error, the temp file is cleaned up, the good generation stands.
+	faultinject.Arm(faultinject.SnapshotWrite, path, 1)
+	if _, err := g.SaveStateFile(); err == nil {
+		t.Fatal("snapshot write fault did not surface")
+	} else {
+		var inj faultinject.Injected
+		if !errors.As(err, &inj) || inj.Point != faultinject.SnapshotWrite {
+			t.Fatalf("save error %v is not the injected fault", err)
+		}
+	}
+	assertNoTempFiles(t, dir)
+
+	// Corrupted save: the write "succeeds" but the primary is torn; the
+	// rotation has preserved the good generation as .bak.
+	if rec := post(g, graphBody(t, userNet(1), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	faultinject.Arm(faultinject.StateCorrupt, path, 1)
+	if _, err := g.SaveStateFile(); err != nil {
+		t.Fatalf("corrupting save: %v", err)
+	}
+
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g2)
+	used, err := g2.LoadStateFile()
+	if err != nil {
+		t.Fatalf("restore with corrupt primary: %v", err)
+	}
+	if used != path+".bak" {
+		t.Fatalf("restored from %q, want the .bak fallback", used)
+	}
+	if g2.restoreFallbck.Value() != 1 {
+		t.Fatalf("netcut_gateway_state_restore_fallback_total = %d, want 1", g2.restoreFallbck.Value())
+	}
+	if g2.Planner().Stats().Measurements.Len == 0 {
+		t.Fatal("fallback restore populated no measurement cache")
+	}
+}
+
+// TestFaultAutosaveLoopAndDrain pins the autosave loop and its drain
+// ordering: snapshots accumulate on the jittered cadence, Shutdown
+// stops the loop before returning, no temp file survives the drain, and
+// the surviving snapshot restores cleanly.
+func TestFaultAutosaveLoopAndDrain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	cfg := quickConfig(15)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.StatePath = path
+	cfg.AutosaveInterval = 5 * time.Millisecond
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := post(g, graphBody(t, userNet(0), 0.35, "")); rec.Code != http.StatusOK {
+		t.Fatal(rec.Body.String())
+	}
+	// Two generations, so both the primary and .bak exist.
+	waitFor(t, "two autosaves", func() bool { return g.autosaves.Value() >= 2 })
+	mustShutdown(t, g)
+
+	saves := g.autosaves.Value()
+	time.Sleep(30 * time.Millisecond)
+	if got := g.autosaves.Value(); got != saves {
+		t.Fatalf("autosave loop still running after drain: %d -> %d", saves, got)
+	}
+	assertNoTempFiles(t, dir)
+
+	cfg2 := cfg
+	cfg2.AutosaveInterval = 0
+	g2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g2)
+	if used, err := g2.LoadStateFile(); err != nil || used != path {
+		t.Fatalf("restore after drained autosave: path %q err %v", used, err)
+	}
+}
+
+// TestFaultDrainRacesPrewarm pins the drain-vs-prewarm race: a prewarm
+// sweep in flight when Shutdown begins winds down before the drain
+// completes, and a prewarm started after the drain is a closed no-op.
+func TestFaultDrainRacesPrewarm(t *testing.T) {
+	cfg := quickConfig(16)
+	cfg.Devices = []device.Config{device.Xavier(), device.EdgeCPU()}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := g.Prewarm()
+	mustShutdown(t, g) // Shutdown waits for background work: no timeout means no leak
+	select {
+	case <-done:
+	default:
+		t.Fatal("prewarm channel still open after a completed drain")
+	}
+	select {
+	case <-g.Prewarm():
+	case <-time.After(time.Second):
+		t.Fatal("prewarm started after drain did not close immediately")
+	}
+}
+
+// TestFaultRetryAfterEveryRejection audits the satellite contract:
+// every 429/503 rejection path carries a Retry-After header.
+func TestFaultRetryAfterEveryRejection(t *testing.T) {
+	defer faultinject.Reset()
+
+	// Path 1: draining.
+	g1, err := New(quickConfig(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustShutdown(t, g1)
+	rec := post(g1, `{"network":"ResNet-50"}`)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("draining: status %d retry-after %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+
+	// Paths 2+3: queue_full and budget_too_small on one gateway.
+	cfg := quickConfig(18)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.Workers = 1
+	cfg.QueueDepth = 1
+	cfg.ShedMinSamples = 1
+	g2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g2)
+	// Warm the histogram so budget shedding activates.
+	for i := 0; i < 2; i++ {
+		if rec := post(g2, graphBody(t, userNet(0), 0.35, "")); rec.Code != http.StatusOK {
+			t.Fatal(rec.Body.String())
+		}
+	}
+	rec = post(g2, graphBody(t, userNet(0), 0.35, `,"budget_ms":0.000001`))
+	if rec.Code != http.StatusTooManyRequests || errCode(t, rec) != "budget_too_small" ||
+		rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("budget shed: status %d code %q retry-after %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+	}
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var releaseOnce atomic.Bool
+	g2.testHookBatch = func(string, int) {
+		entered <- struct{}{}
+		if !releaseOnce.Load() {
+			<-release
+		}
+	}
+	aDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { aDone <- post(g2, graphBody(t, userNet(1), 0.35, "")) }()
+	<-entered // the worker is wedged; the 1-slot queue is empty
+	bDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { bDone <- post(g2, graphBody(t, userNet(2), 0.35, "")) }()
+	waitFor(t, "request B to occupy the queue", func() bool {
+		g2.mu.Lock()
+		defer g2.mu.Unlock()
+		return len(g2.inflight) == 2
+	})
+	rec = post(g2, graphBody(t, userNet(3), 0.35, ""))
+	if rec.Code != http.StatusTooManyRequests || errCode(t, rec) != "queue_full" ||
+		rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("queue full: status %d code %q retry-after %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+	}
+	releaseOnce.Store(true)
+	close(release)
+	<-aDone
+	<-bDone
+
+	// Paths 4+5: device_unhealthy and no_healthy_device.
+	cfg3 := quickConfig(19)
+	cfg3.Devices = []device.Config{device.Xavier()}
+	cfg3.UnhealthyAfter = 1
+	cfg3.ProbeInterval = time.Hour // no recovery during the test
+	g3, err := New(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g3)
+	faultinject.Arm(faultinject.TrimPanic, "poison-retry", 1)
+	if rec := post(g3, graphBody(t, poisonNet(7, "poison-retry"), 0.35, "")); rec.Code != http.StatusInternalServerError {
+		t.Fatal(rec.Body.String())
+	}
+	rec = post(g3, graphBody(t, userNet(0), 0.35, `,"target":"sim-xavier"`))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "device_unhealthy" ||
+		rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("device_unhealthy: status %d code %q retry-after %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+	}
+	rec = post(g3, graphBody(t, userNet(0), 0.35, `,"target":"auto"`))
+	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "no_healthy_device" ||
+		rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("no_healthy_device: status %d code %q retry-after %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+	}
+}
+
+// TestFaultReadyz pins readiness as distinct from liveness: not ready
+// before MarkReady, ready after, not ready again while draining — with
+// /healthz staying 200 throughout.
+func TestFaultReadyz(t *testing.T) {
+	cfg := quickConfig(20)
+	cfg.Devices = []device.Config{device.Xavier()}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := get(g, "/readyz"); rec.Code != http.StatusServiceUnavailable ||
+		rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("pre-restore readyz: status %d retry-after %q", rec.Code, rec.Header().Get("Retry-After"))
+	}
+	if rec := get(g, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rec.Code)
+	}
+	g.MarkReady()
+	if rec := get(g, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("post-MarkReady readyz: status %d", rec.Code)
+	}
+	mustShutdown(t, g)
+	if rec := get(g, "/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: status %d", rec.Code)
+	}
+	if rec := get(g, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("draining healthz: status %d (liveness must outlast readiness)", rec.Code)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	tmp, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}

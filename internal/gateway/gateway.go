@@ -36,7 +36,26 @@
 //     each), the same division rule the planner pool applies to its
 //     cache caps.
 //  6. Drain: Shutdown stops admission (503 + Retry-After), lets every
-//     queued call finish and deliver, then stops every lane's workers.
+//     queued call finish and deliver, then stops every lane's workers
+//     and waits for the background loops (autosave, prewarm, probes).
+//
+// Fault containment & graceful degradation: every planner pass runs
+// behind a panic boundary — a panicking request gets a structured 500
+// (grouped passes retry solo first, so only the poison request pays),
+// counted per device, and identities that panic repeatedly are
+// quarantined at admission by a bounded LRU. An optional execution
+// watchdog (Config.ExecTimeout) abandons stuck passes with a 504 so one
+// wedged request cannot stall a lane. Consecutive containment events
+// trip a device unhealthy: "auto" routing skips it, explicit requests
+// get 503 + Retry-After, and a background probe plan restores it on
+// first success. Queued calls whose waiters all disconnect are
+// cancelled before they consume a planner execution. An optional
+// autosave loop (Config.AutosaveInterval) snapshots warm state
+// crash-safely — atomic rename plus one previous-good ".bak" generation
+// that LoadStateFile falls back to — and GET /readyz reports readiness
+// (restored, not draining) separately from /healthz liveness. Every
+// containment decision is admission policy: it moves or refuses
+// executions, never changes what any execution returns.
 //
 // Warm-state persistence: POST /v1/state/save (enabled by
 // Config.StatePath) snapshots every planner's caches to disk via
@@ -61,14 +80,19 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netcut/internal/device"
+	"netcut/internal/faultinject"
+	"netcut/internal/lru"
 	"netcut/internal/serve"
 	"netcut/internal/telemetry"
 	"netcut/internal/zoo"
@@ -122,15 +146,58 @@ type Config struct {
 	// zero-latency behavior: one cooperative yield, then a
 	// non-blocking sweep. Negative is a configuration error.
 	BatchWindow time.Duration
+
+	// ExecTimeout is the per-pass execution watchdog: a planner pass
+	// still running after this long is abandoned — its calls get a
+	// structured 504, the coalesce entries are invalidated and the lane
+	// worker moves on, so one stuck request can never wedge a lane. The
+	// abandoned goroutine's eventual result is discarded. 0 (the
+	// default) disables the watchdog; negative is a configuration
+	// error.
+	ExecTimeout time.Duration
+	// AutosaveInterval enables crash-safe periodic persistence: a
+	// background loop snapshots the warm state to StatePath roughly
+	// every interval (±10% deterministic jitter, so a fleet of replicas
+	// started together doesn't write in lockstep), keeping the previous
+	// good snapshot as StatePath+".bak". Requires StatePath; 0 (the
+	// default) disables autosaving; negative is a configuration error.
+	AutosaveInterval time.Duration
+	// UnhealthyAfter is how many consecutive containment events
+	// (panics or watchdog abandons) on one device trip it into the
+	// unhealthy state, where "auto" routing skips it and explicit
+	// requests get 503 + Retry-After until a background probe plan
+	// succeeds. 0 means DefaultUnhealthyAfter; negative disables
+	// health tracking entirely.
+	UnhealthyAfter int
+	// ProbeInterval is how often an unhealthy device is probed with one
+	// real prewarm-style plan; the first success restores it. 0 means
+	// DefaultProbeInterval; negative is a configuration error.
+	ProbeInterval time.Duration
+	// QuarantineAfter is how many panics one request key may cause
+	// before the key is quarantined: further spellings of it are
+	// rejected with a structured 500 at admission, without touching a
+	// worker, so a poison graph cannot re-crash lanes in a tight
+	// retry loop. Quarantined keys live in a small bounded LRU
+	// (quarantineCap), so the set cannot grow without bound either.
+	// 0 means DefaultQuarantineAfter; negative disables quarantining.
+	QuarantineAfter int
 }
 
 // Defaults for the Config knobs.
 const (
-	DefaultMaxBodyBytes   = 1 << 20 // 1 MiB: ~10x the largest zoo graph's wire form
-	DefaultQueueDepth     = 256
-	DefaultBatchMax       = 16
-	DefaultWorkers        = 2
-	DefaultShedMinSamples = 64
+	DefaultMaxBodyBytes    = 1 << 20 // 1 MiB: ~10x the largest zoo graph's wire form
+	DefaultQueueDepth      = 256
+	DefaultBatchMax        = 16
+	DefaultWorkers         = 2
+	DefaultShedMinSamples  = 64
+	DefaultUnhealthyAfter  = 3
+	DefaultProbeInterval   = 500 * time.Millisecond
+	DefaultQuarantineAfter = 2
+
+	// quarantineCap bounds the panic-count LRU: big enough to hold a
+	// burst of distinct poison keys, small enough that the quarantine
+	// itself can never become a memory sink.
+	quarantineCap = 128
 )
 
 func (c *Config) fill() error {
@@ -151,8 +218,21 @@ func (c *Config) fill() error {
 			return fmt.Errorf("negative %s %d", k.name, k.val)
 		}
 	}
-	if c.BatchWindow < 0 {
-		return fmt.Errorf("negative BatchWindow %v", c.BatchWindow)
+	for _, k := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"BatchWindow", c.BatchWindow},
+		{"ExecTimeout", c.ExecTimeout},
+		{"AutosaveInterval", c.AutosaveInterval},
+		{"ProbeInterval", c.ProbeInterval},
+	} {
+		if k.val < 0 {
+			return fmt.Errorf("negative %s %v", k.name, k.val)
+		}
+	}
+	if c.AutosaveInterval > 0 && c.StatePath == "" {
+		return fmt.Errorf("AutosaveInterval requires a StatePath")
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
@@ -169,20 +249,53 @@ func (c *Config) fill() error {
 	if c.ShedMinSamples == 0 {
 		c.ShedMinSamples = DefaultShedMinSamples
 	}
+	if c.UnhealthyAfter == 0 {
+		c.UnhealthyAfter = DefaultUnhealthyAfter
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = DefaultProbeInterval
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = DefaultQuarantineAfter
+	}
 	return nil
 }
 
 // call is one in-flight planner execution and the response every
 // coalesced waiter shares. planner is the resolved target's planner
 // (key.device names it). body and status are written exactly once,
-// before done is closed.
+// before done is closed; delivered guards that write so a watchdog
+// abandonment and the abandoned pass's late completion can race for a
+// call without double-delivering it.
+//
+// waiters counts the handlers still waiting on done: it starts at 1
+// for the leader, coalesce joins increment it (under the gateway
+// mutex), and a handler whose client disconnects decrements it. A
+// worker that dequeues a call nobody waits for anymore cancels it
+// before it consumes a planner execution.
 type call struct {
 	key     coalesceKey
 	req     serve.Request
 	planner *serve.Planner
 	done    chan struct{}
-	status  int
-	body    []byte
+	// status, body and retryAfterMs are written exactly once, by the
+	// delivered CAS winner, before done closes; retryAfterMs > 0 adds a
+	// Retry-After header (watchdog 504s carry one).
+	status       int
+	body         []byte
+	retryAfterMs float64
+	waiters      atomic.Int64
+	delivered    atomic.Bool
+}
+
+// deviceHealth is one device's fault-containment state. consecutive
+// counts containment events (panics, watchdog abandons) since the last
+// successful execution; crossing Config.UnhealthyAfter trips unhealthy,
+// and only a successful background probe plan clears it.
+type deviceHealth struct {
+	device      string
+	consecutive atomic.Int64
+	unhealthy   atomic.Bool
 }
 
 // lane is one device's slice of the admission machinery: a bounded
@@ -216,22 +329,56 @@ type Gateway struct {
 	inflight  map[coalesceKey]*call
 	draining  bool
 	drainDone chan struct{}  // closed once the drain completes
+	stop      chan struct{}  // closed when the drain starts: background loops exit
 	pending   sync.WaitGroup // queued, not yet delivered calls
 	workers   sync.WaitGroup
+	// background tracks the gateway-owned background goroutines —
+	// autosave loop, prewarm sweeps, health probes — so Shutdown can
+	// wait for them to wind down (no save left mid-write, no tmp file
+	// left behind). New entries register through goBackground, which
+	// refuses once draining is set.
+	background sync.WaitGroup
 
-	requests      *telemetry.Counter
-	coalesced     *telemetry.Counter
-	autoRouted    *telemetry.Counter
-	shedBudget    *telemetry.Counter
-	shedDraining  *telemetry.Counter
-	rejected      *telemetry.Counter
-	batches       *telemetry.Counter
-	batchedReqs   *telemetry.Counter
-	planErrors    *telemetry.Counter
-	prewarmed     *telemetry.Counter
-	stateSaves    *telemetry.Counter
-	requestLatMs  *telemetry.Histogram
-	testHookBatch func(device string, n int) // test-only: runs in a worker before a planner pass of n requests on one device
+	// ready gates GET /readyz: the embedder (cmd/netserve) marks the
+	// gateway ready once boot-time state restore has completed, so a
+	// load balancer never routes to a replica still rebuilding warmth.
+	// Liveness (GET /healthz) is independent and always true while the
+	// process serves.
+	ready atomic.Bool
+
+	// health tracks per-device fault containment (see deviceHealth);
+	// immutable map built at construction, one entry per lane.
+	health map[string]*deviceHealth
+
+	// quarantine maps panic-causing request identities (the coalesce
+	// key minus its device: a poison graph is poison on every target)
+	// to their panic counts. Bounded, so it can never out-grow the
+	// blast radius it guards against.
+	quarantine *lru.Cache[coalesceKey, *atomic.Int64]
+
+	requests       *telemetry.Counter
+	coalesced      *telemetry.Counter
+	autoRouted     *telemetry.Counter
+	shedBudget     *telemetry.Counter
+	shedDraining   *telemetry.Counter
+	rejected       *telemetry.Counter
+	batches        *telemetry.Counter
+	batchedReqs    *telemetry.Counter
+	planErrors     *telemetry.Counter
+	prewarmed      *telemetry.Counter
+	stateSaves     *telemetry.Counter
+	autosaves      *telemetry.Counter
+	autosaveErrors *telemetry.Counter
+	restoreFallbck *telemetry.Counter
+	cancelled      *telemetry.Counter
+	quarantined    *telemetry.Counter
+	panicsByDev    map[string]*telemetry.Counter
+	abandonedByDev map[string]*telemetry.Counter
+	unhealthyByDev map[string]*telemetry.Gauge
+	probesByDev    map[string]*telemetry.Counter
+	requestLatMs   *telemetry.Histogram
+	testHookBatch  func(device string, n int) // test-only: runs in a worker before a planner pass of n requests on one device
+	testHookProbe  func(device string)        // test-only: runs before each health probe plan
 }
 
 // New builds the gateway — one planner per registered device behind a
@@ -256,10 +403,12 @@ func New(cfg Config) (*Gateway, error) {
 	pool.Instrument(reg)
 
 	g := &Gateway{
-		cfg:      cfg,
-		pool:     pool,
-		reg:      reg,
-		inflight: make(map[coalesceKey]*call),
+		cfg:        cfg,
+		pool:       pool,
+		reg:        reg,
+		inflight:   make(map[coalesceKey]*call),
+		stop:       make(chan struct{}),
+		quarantine: lru.New[coalesceKey, *atomic.Int64](quarantineCap),
 
 		requests:     reg.Counter("netcut_gateway_requests_total", "plan requests received"),
 		coalesced:    reg.Counter("netcut_gateway_coalesced_total", "requests that joined an identical in-flight execution"),
@@ -272,6 +421,15 @@ func New(cfg Config) (*Gateway, error) {
 		planErrors:   reg.Counter("netcut_gateway_plan_errors_total", "admitted requests the planner returned an error for"),
 		prewarmed:    reg.Counter("netcut_gateway_prewarmed_total", "zoo x fleet plans completed by startup prewarming"),
 		stateSaves:   reg.Counter("netcut_gateway_state_saves_total", "warm-state snapshots written to the configured state path"),
+		autosaves:    reg.Counter("netcut_gateway_autosaves_total", "warm-state snapshots written by the periodic autosave loop"),
+		autosaveErrors: reg.Counter("netcut_gateway_autosave_errors_total",
+			"autosave attempts that failed (the previous good snapshot and .bak stay in place)"),
+		restoreFallbck: reg.Counter("netcut_gateway_state_restore_fallback_total",
+			"boot restores that fell back to the .bak snapshot after rejecting the primary"),
+		cancelled: reg.Counter("netcut_gateway_cancelled_total",
+			"queued calls cancelled because every waiting client disconnected before execution"),
+		quarantined: reg.Counter("netcut_gateway_quarantined_total",
+			"requests rejected at admission because their key previously caused repeated panics"),
 		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
 	}
 	reg.GaugeFunc("netcut_gateway_inflight", "distinct in-flight executions (coalescing keys)",
@@ -296,6 +454,11 @@ func New(cfg Config) (*Gateway, error) {
 		g.laneWorkers = 1
 	}
 	g.lanes = make(map[string]*lane, len(names))
+	g.health = make(map[string]*deviceHealth, len(names))
+	g.panicsByDev = make(map[string]*telemetry.Counter, len(names))
+	g.abandonedByDev = make(map[string]*telemetry.Counter, len(names))
+	g.unhealthyByDev = make(map[string]*telemetry.Gauge, len(names))
+	g.probesByDev = make(map[string]*telemetry.Counter, len(names))
 	for _, name := range names {
 		labels := []telemetry.Label{{Key: "device", Value: name}}
 		l := &lane{
@@ -308,6 +471,15 @@ func New(cfg Config) (*Gateway, error) {
 			"requests waiting in the device's admission lane", labels,
 			func() float64 { return float64(len(l.queue)) })
 		g.lanes[name] = l
+		g.health[name] = &deviceHealth{device: name}
+		g.panicsByDev[name] = reg.CounterWith("netcut_gateway_panics_total",
+			"planner panics recovered at the execution boundary", labels)
+		g.abandonedByDev[name] = reg.CounterWith("netcut_gateway_watchdog_abandoned_total",
+			"planner passes abandoned by the execution watchdog", labels)
+		g.unhealthyByDev[name] = reg.GaugeWith("netcut_gateway_device_unhealthy",
+			"1 while the device is tripped unhealthy, 0 while it is serving", labels)
+		g.probesByDev[name] = reg.CounterWith("netcut_gateway_probes_total",
+			"health probe plans attempted against an unhealthy device", labels)
 	}
 
 	g.mux = http.NewServeMux()
@@ -320,6 +492,7 @@ func New(cfg Config) (*Gateway, error) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	g.mux.HandleFunc("GET /readyz", g.handleReady)
 
 	for _, name := range names {
 		l := g.lanes[name]
@@ -328,7 +501,32 @@ func New(cfg Config) (*Gateway, error) {
 			go g.worker(l)
 		}
 	}
+	if cfg.AutosaveInterval > 0 {
+		g.goBackground(g.autosaveLoop)
+	}
 	return g, nil
+}
+
+// MarkReady flips GET /readyz to 200. The embedder calls it once boot
+// work — state restore in cmd/netserve — has completed, so a load
+// balancer doesn't route traffic to a replica still rebuilding warmth.
+func (g *Gateway) MarkReady() { g.ready.Store(true) }
+
+// handleReady is readiness, distinct from liveness: not-ready before
+// MarkReady and again once draining, while /healthz stays 200 for as
+// long as the process serves at all.
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	g.mu.Lock()
+	draining := g.draining
+	g.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if g.ready.Load() && !draining {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "not ready")
 }
 
 // Handler returns the gateway's HTTP surface: POST /v1/plan,
@@ -348,13 +546,16 @@ func (g *Gateway) Registry() *telemetry.Registry { return g.reg }
 
 // Shutdown drains the gateway: new plan requests are rejected with 503,
 // every already-admitted call runs to completion and delivers its
-// response, then the workers stop. Safe to call more than once —
-// concurrent and repeated callers all wait on the same drain, so nil
-// always means "fully drained". The context bounds each caller's wait.
+// response, then the workers stop and the background loops — autosave,
+// prewarm, health probes — wind down, so no save is left mid-write and
+// no temp file is left behind. Safe to call more than once — concurrent
+// and repeated callers all wait on the same drain, so nil always means
+// "fully drained". The context bounds each caller's wait.
 func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Lock()
 	if !g.draining {
 		g.draining = true
+		close(g.stop) // background loops see the drain without polling
 		g.drainDone = make(chan struct{})
 		go func() {
 			g.pending.Wait() // all queued calls delivered
@@ -362,6 +563,7 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 				close(l.queue) // no producer can enqueue once draining is set
 			}
 			g.workers.Wait()
+			g.background.Wait()
 			close(g.drainDone)
 		}()
 	}
@@ -373,6 +575,25 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+}
+
+// goBackground runs fn on a drain-tracked goroutine: Shutdown waits for
+// it, and once draining has begun no new background work can start (the
+// drain goroutine may already be past background.Wait). Returns whether
+// fn was started.
+func (g *Gateway) goBackground(fn func()) bool {
+	g.mu.Lock()
+	if g.draining {
+		g.mu.Unlock()
+		return false
+	}
+	g.background.Add(1)
+	g.mu.Unlock()
+	go func() {
+		defer g.background.Done()
+		fn()
+	}()
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
@@ -413,10 +634,16 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-c.done:
 		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		if c.retryAfterMs > 0 {
+			w.Header().Set("Retry-After", fmt.Sprint(int64(math.Ceil(c.retryAfterMs/1000))))
+		}
 		writeJSON(w, c.status, c.body)
 	case <-r.Context().Done():
-		// The client went away; the execution keeps running for any
-		// remaining waiters (its result is cached work, not waste).
+		// The client went away. If other waiters remain, the execution
+		// keeps running for them (its result is cached work, not waste);
+		// if this was the last waiter, the worker that dequeues the call
+		// cancels it before it consumes a planner execution.
+		c.waiters.Add(-1)
 	}
 }
 
@@ -447,13 +674,30 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 		e.wire.RetryAfterMs = 1000
 		return nil, e
 	}
+	// Quarantine gate: a request identity that already crashed planner
+	// passes QuarantineAfter times is rejected here, before it can touch
+	// a worker — containment of a poison graph must not cost a lane per
+	// retry. The key ignores the device (a graph that panics the trim
+	// layer panics it on every target), so the gate runs before target
+	// resolution.
+	if g.cfg.QuarantineAfter > 0 {
+		if n, ok := g.quarantine.Get(quarantineKey(dec.key)); ok && n.Load() >= int64(g.cfg.QuarantineAfter) {
+			g.quarantined.Inc()
+			return nil, errf(http.StatusInternalServerError, "quarantined",
+				"this request previously crashed %d planner passes and is quarantined", n.Load())
+		}
+	}
 	switch dec.target {
 	case "":
 		p := g.pool.Default()
-		dec.key.device = p.DeviceName()
+		name := p.DeviceName()
+		if !g.deviceEligible(name) {
+			return nil, g.unhealthyErr(name)
+		}
+		dec.key.device = name
 		return g.admitOn(dec, p, true)
 	case "auto":
-		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples))
+		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples), g.deviceEligible)
 		if ok {
 			g.autoRouted.Inc()
 			dec.key.device = name
@@ -468,15 +712,27 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 			return g.admitOn(dec, p, false)
 		}
 		// No device qualifies — but coalesce before shedding: an
-		// identical execution already in flight on any device serves
-		// this request at zero planner cost, which beats a 429.
+		// identical execution already in flight on any healthy device
+		// serves this request at zero planner cost, which beats a 429.
 		for _, devName := range g.pool.DeviceNames() {
+			if !g.deviceEligible(devName) {
+				continue
+			}
 			k := dec.key
 			k.device = devName
 			if c, inFlight := g.inflight[k]; inFlight {
 				g.coalesced.Inc()
+				c.waiters.Add(1)
 				return c, nil
 			}
+		}
+		// Route reports +Inf exactly when the eligible set was empty:
+		// nothing to shed against, the fleet is unhealthy.
+		if math.IsInf(est, 1) {
+			e := errf(http.StatusServiceUnavailable, "no_healthy_device",
+				"every registered device is unhealthy; background probes are running")
+			e.wire.RetryAfterMs = float64(g.cfg.ProbeInterval) / float64(time.Millisecond)
+			return nil, e
 		}
 		g.shedBudget.Inc()
 		e := errf(http.StatusTooManyRequests, "budget_too_small",
@@ -490,9 +746,39 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 			g.rejected.Inc()
 			return nil, errf(http.StatusBadRequest, "unknown_device", "%v", err)
 		}
+		if !g.deviceEligible(dec.target) {
+			return nil, g.unhealthyErr(dec.target)
+		}
 		dec.key.device = dec.target
 		return g.admitOn(dec, p, true)
 	}
+}
+
+// deviceEligible is the health predicate "auto" routing and explicit
+// admission share: a device is eligible unless its containment state
+// has tripped unhealthy. Health, like the rest of admission, decides
+// where executions run, never what they return.
+func (g *Gateway) deviceEligible(name string) bool {
+	h := g.health[name]
+	return h == nil || !h.unhealthy.Load()
+}
+
+// unhealthyErr is the 503 an explicit request for a tripped device
+// receives; Retry-After carries the probe cadence, the soonest the
+// device could come back.
+func (g *Gateway) unhealthyErr(name string) *apiError {
+	e := errf(http.StatusServiceUnavailable, "device_unhealthy",
+		"device %s is unhealthy after repeated containment events; a background probe will restore it", name)
+	e.wire.RetryAfterMs = float64(g.cfg.ProbeInterval) / float64(time.Millisecond)
+	return e
+}
+
+// quarantineKey is a call's panic-attribution identity: the coalesce
+// key with the device cleared, because a poison structure is poison on
+// every target.
+func quarantineKey(k coalesceKey) coalesceKey {
+	k.device = ""
+	return k
 }
 
 // admitOn coalesces, sheds or enqueues a target-resolved request on
@@ -501,9 +787,12 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck bool) (*call, *apiError) {
 	// Coalesce before shedding: joining an in-flight execution consumes
 	// no planner work, so even a budget-constrained request is better
-	// served than shed.
+	// served than shed. The join increments waiters under the gateway
+	// mutex — the same lock cancellation holds — so a call can never be
+	// cancelled between being found here and being waited on.
 	if c, ok := g.inflight[dec.key]; ok {
 		g.coalesced.Inc()
+		c.waiters.Add(1)
 		return c, nil
 	}
 	// Deadline-aware shedding: if the client's remaining budget cannot
@@ -523,6 +812,7 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 		}
 	}
 	c := &call{key: dec.key, req: dec.req, planner: planner, done: make(chan struct{})}
+	c.waiters.Store(1) // the leader
 	l := g.lanes[dec.key.device]
 	select {
 	case l.queue <- c:
@@ -593,8 +883,47 @@ func (g *Gateway) worker(l *lane) {
 				break sweep
 			}
 		}
-		g.execute(batch)
+		// Cancellation sweep: a dequeued call nobody waits on anymore —
+		// every coalesced client disconnected while it was queued — is
+		// retired here, before it can consume a planner execution.
+		live := batch[:0]
+		for _, c := range batch {
+			if !g.tryCancel(c) {
+				live = append(live, c)
+			}
+		}
+		if len(live) > 0 {
+			g.execute(live)
+		}
 	}
+}
+
+// tryCancel retires a queued call whose waiters have all disconnected.
+// The decision is made under the gateway mutex — the lock coalesce
+// joins hold — so a join either lands before the final check (and keeps
+// the call alive) or finds the key already gone from inflight and
+// starts a fresh execution. A cancelled call never reaches a planner:
+// the acceptance criterion is that it costs zero executions.
+func (g *Gateway) tryCancel(c *call) bool {
+	if c.waiters.Load() > 0 {
+		return false
+	}
+	g.mu.Lock()
+	if c.waiters.Load() > 0 { // a join landed between the two checks
+		g.mu.Unlock()
+		return false
+	}
+	if g.inflight[c.key] == c {
+		delete(g.inflight, c.key)
+	}
+	g.mu.Unlock()
+	g.cancelled.Inc()
+	if c.delivered.CompareAndSwap(false, true) {
+		c.status = http.StatusGone // no reader remains; set for completeness
+		close(c.done)
+		g.pending.Done()
+	}
+	return true
 }
 
 // execute groups a drained burst by (device, deadline, estimator) and
@@ -618,29 +947,228 @@ func (g *Gateway) execute(batch []*call) {
 		groups[k] = append(groups[k], c)
 	}
 	for _, k := range order {
-		calls := groups[k]
-		if hook := g.testHookBatch; hook != nil {
-			hook(k.device, len(calls))
+		g.executeGroup(k.device, groups[k])
+	}
+}
+
+// passResult is one planner pass's outcome, including a recovered
+// panic: the recover happens on the goroutine that ran the pass (the
+// only place Go allows it), and the result crosses back to the worker
+// as a value.
+type passResult struct {
+	resps    []*serve.Response
+	errs     []error
+	panicked bool
+	pval     any
+	stack    []byte
+}
+
+// runPass executes one planner pass with the panic boundary. A panic
+// anywhere under SelectBatch — trim, profiler, estimator — is contained
+// here: every mutex on the planning path releases by defer, and the
+// caches only ever hold completed values, so the planner stays
+// serviceable after the unwind.
+func runPass(p *serve.Planner, reqs []serve.Request) (res passResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.panicked = true
+			res.pval = r
+			res.stack = debug.Stack()
 		}
-		reqs := make([]serve.Request, len(calls))
-		for i, c := range calls {
-			reqs[i] = c.req
-		}
-		g.batches.Inc()
-		g.batchedReqs.Add(uint64(len(calls)))
-		resps, errs := calls[0].planner.SelectBatch(reqs)
-		for i, c := range calls {
-			if errs[i] != nil {
-				g.planErrors.Inc()
-				e := planError(errs[i])
-				b, _ := json.Marshal(e.wire)
-				c.status, c.body = e.status, append(b, '\n')
-			} else {
-				c.status, c.body = http.StatusOK, EncodeResponse(resps[i])
+	}()
+	res.resps, res.errs = p.SelectBatch(reqs)
+	return res
+}
+
+// runGuarded is runPass plus the execution watchdog. With ExecTimeout
+// unset the pass runs inline (no goroutine, no timer). With it set, the
+// pass runs on its own goroutine; if it outlives the timeout the worker
+// abandons it — abandoned reports true, the goroutine's eventual result
+// lands in the buffered channel and is discarded, and the lane moves
+// on. Abandonment never caches anything at the gateway layer: the
+// coalesce entries die with the calls.
+func (g *Gateway) runGuarded(p *serve.Planner, reqs []serve.Request) (res passResult, abandoned bool) {
+	if g.cfg.ExecTimeout <= 0 {
+		return runPass(p, reqs), false
+	}
+	ch := make(chan passResult, 1)
+	go func() { ch <- runPass(p, reqs) }()
+	timer := time.NewTimer(g.cfg.ExecTimeout)
+	defer timer.Stop()
+	select {
+	case res = <-ch:
+		return res, false
+	case <-timer.C:
+		return passResult{}, true
+	}
+}
+
+// executeGroup runs one compatible group as a planner pass behind the
+// panic and watchdog boundaries. A panic in a grouped pass cannot name
+// the request that caused it, so the group retries solo — byte-identity
+// (solo == batched) guarantees the innocent requests' retried bodies
+// are exactly what the batched pass would have returned, and only the
+// poison request pays with a 500.
+func (g *Gateway) executeGroup(dev string, calls []*call) {
+	if hook := g.testHookBatch; hook != nil {
+		hook(dev, len(calls))
+	}
+	reqs := make([]serve.Request, len(calls))
+	for i, c := range calls {
+		reqs[i] = c.req
+	}
+	g.batches.Inc()
+	g.batchedReqs.Add(uint64(len(calls)))
+	res, abandoned := g.runGuarded(calls[0].planner, reqs)
+	switch {
+	case abandoned:
+		g.abandonCalls(dev, calls)
+	case res.panicked && len(calls) > 1:
+		for _, c := range calls {
+			sres, sab := g.runGuarded(c.planner, []serve.Request{c.req})
+			switch {
+			case sab:
+				g.abandonCalls(dev, []*call{c})
+			case sres.panicked:
+				g.deliverPanic(c, sres)
+			default:
+				g.deviceOK(dev)
+				g.deliverResult(c, sres.resps[0], sres.errs[0])
 			}
-			g.deliver(c)
+		}
+	case res.panicked:
+		g.deliverPanic(calls[0], res)
+	default:
+		g.deviceOK(dev)
+		for i, c := range calls {
+			g.deliverResult(c, res.resps[i], res.errs[i])
 		}
 	}
+}
+
+// deliverResult publishes a completed execution's response (success or
+// structured planner error) to a call.
+func (g *Gateway) deliverResult(c *call, resp *serve.Response, err error) {
+	if err != nil {
+		g.planErrors.Inc()
+		e := planError(err)
+		b, _ := json.Marshal(e.wire)
+		g.deliver(c, e.status, append(b, '\n'), 0)
+		return
+	}
+	g.deliver(c, http.StatusOK, EncodeResponse(resp), 0)
+}
+
+// deliverPanic converts a recovered planner panic into a structured 500
+// for exactly the call that caused it, records the containment — the
+// per-device panic counter, the quarantine count for the request
+// identity, the health state — and logs the stack once to stderr.
+func (g *Gateway) deliverPanic(c *call, res passResult) {
+	dev := c.key.device
+	g.panicsByDev[dev].Inc()
+	g.notePanicKey(c.key)
+	g.deviceFault(dev)
+	fmt.Fprintf(os.Stderr, "gateway: contained planner panic for %q on %s: %v\n%s",
+		c.key.name, dev, res.pval, res.stack)
+	e := errf(http.StatusInternalServerError, "internal_panic",
+		"planner panicked serving this request on %s; the panic was contained and the lane keeps serving", dev)
+	b, _ := json.Marshal(e.wire)
+	g.deliver(c, e.status, append(b, '\n'), 0)
+}
+
+// abandonCalls is the watchdog outcome: every call of the abandoned
+// pass gets a 504 with a Retry-After, the coalesce entries die (an
+// abandoned result is never cached at this layer), and the device takes
+// a containment mark.
+func (g *Gateway) abandonCalls(dev string, calls []*call) {
+	g.abandonedByDev[dev].Inc()
+	g.deviceFault(dev)
+	retryMs := float64(g.cfg.ExecTimeout) / float64(time.Millisecond)
+	e := errf(http.StatusGatewayTimeout, "watchdog_timeout",
+		"planner pass on %s exceeded the %v execution watchdog and was abandoned", dev, g.cfg.ExecTimeout)
+	e.wire.RetryAfterMs = retryMs
+	b, _ := json.Marshal(e.wire)
+	body := append(b, '\n')
+	for _, c := range calls {
+		g.deliver(c, e.status, body, retryMs)
+	}
+}
+
+// notePanicKey bumps a request identity's panic count in the bounded
+// quarantine LRU. Add has LoadOrStore semantics, so concurrent bumps
+// share one canonical counter.
+func (g *Gateway) notePanicKey(k coalesceKey) {
+	if g.cfg.QuarantineAfter <= 0 {
+		return
+	}
+	n := g.quarantine.Add(quarantineKey(k), new(atomic.Int64))
+	n.Add(1)
+}
+
+// deviceFault marks one containment event (panic or watchdog abandon)
+// against a device; crossing Config.UnhealthyAfter consecutive events
+// trips it unhealthy and starts the probe loop that will restore it.
+func (g *Gateway) deviceFault(dev string) {
+	if g.cfg.UnhealthyAfter < 0 {
+		return
+	}
+	h := g.health[dev]
+	if h == nil {
+		return
+	}
+	if h.consecutive.Add(1) >= int64(g.cfg.UnhealthyAfter) && h.unhealthy.CompareAndSwap(false, true) {
+		g.unhealthyByDev[dev].Set(1)
+		g.goBackground(func() { g.probeLoop(h) })
+	}
+}
+
+// deviceOK resets a device's consecutive-fault count after a successful
+// execution. The unhealthy flag itself is only cleared by a probe, so
+// recovery is observable as exactly one transition.
+func (g *Gateway) deviceOK(dev string) {
+	if h := g.health[dev]; h != nil {
+		h.consecutive.Store(0)
+	}
+}
+
+// probeLoop probes an unhealthy device with one real plan per
+// Config.ProbeInterval until a probe succeeds (restoring the device) or
+// the gateway drains. The probe is a prewarm-style zoo plan against the
+// device's planner directly — real planner work, so a success is
+// evidence the target actually serves again, not just that the process
+// is alive.
+func (g *Gateway) probeLoop(h *deviceHealth) {
+	p, err := g.pool.Planner(h.device)
+	if err != nil {
+		return
+	}
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-time.After(g.cfg.ProbeInterval):
+		}
+		if hook := g.testHookProbe; hook != nil {
+			hook(h.device)
+		}
+		g.probesByDev[h.device].Inc()
+		if g.probe(p) {
+			h.consecutive.Store(0)
+			h.unhealthy.Store(false)
+			g.unhealthyByDev[h.device].Set(0)
+			return
+		}
+	}
+}
+
+// probe runs one guarded zoo plan; any panic or error is a failed probe.
+func (g *Gateway) probe(p *serve.Planner) bool {
+	zg, err := zooGraph(zoo.Names[0])
+	if err != nil {
+		return false
+	}
+	_, err = guardedSelect(p, serve.Request{Graph: zg, DeadlineMs: 0.9, Estimator: "profiler"})
+	return err == nil
 }
 
 // planError maps a planner error to an HTTP status: admission conflicts
@@ -655,12 +1183,22 @@ func planError(err error) *apiError {
 }
 
 // deliver publishes a call's response and retires its coalescing key.
-func (g *Gateway) deliver(c *call) {
+// The delivered CAS makes publication exactly-once: the winner writes
+// the response fields, closes done (the happens-before edge every
+// waiter reads through) and releases the pending count; any later
+// attempt is a no-op. The inflight delete checks identity, because
+// after a watchdog abandonment a fresh call may already own the key.
+func (g *Gateway) deliver(c *call, status int, body []byte, retryAfterMs float64) {
 	g.mu.Lock()
-	delete(g.inflight, c.key)
+	if g.inflight[c.key] == c {
+		delete(g.inflight, c.key)
+	}
 	g.mu.Unlock()
-	close(c.done)
-	g.pending.Done()
+	if c.delivered.CompareAndSwap(false, true) {
+		c.status, c.body, c.retryAfterMs = status, body, retryAfterMs
+		close(c.done)
+		g.pending.Done()
+	}
 }
 
 // SaveState snapshots every planner's warm state (see
@@ -676,7 +1214,9 @@ func (g *Gateway) LoadState(r io.Reader) error { return g.pool.LoadState(r) }
 // SaveStateFile writes the pool snapshot to Config.StatePath atomically
 // (unique temp file + rename, so a crash mid-write never leaves a torn
 // file — the decoder would reject one anyway, but the previous good
-// snapshot is worth keeping). Saves are serialized under a mutex:
+// snapshot is worth keeping), rotating the previous snapshot to
+// StatePath+".bak" first so one known-good generation always survives a
+// save that lands corrupt. Saves are serialized under a mutex:
 // concurrent POST /v1/state/save calls each write their own temp file,
 // but interleaving the renames is pointless work, and the lock keeps
 // the "last save wins" ordering trivially true. It returns the
@@ -692,12 +1232,21 @@ func (g *Gateway) SaveStateFile() (int64, error) {
 		return 0, err
 	}
 	tmp := f.Name()
-	if err := g.pool.SaveState(f); err != nil {
+	err = faultinject.Error(faultinject.SnapshotWrite, g.cfg.StatePath)
+	if err == nil {
+		err = g.pool.SaveState(f)
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return 0, err
 	}
 	size, err := f.Seek(0, io.SeekCurrent)
+	if faultinject.Fire(faultinject.StateCorrupt, g.cfg.StatePath) {
+		// Torn-write simulation: stomp the envelope header so the decoder
+		// must reject this generation and restore falls back to .bak.
+		f.WriteAt([]byte("\x00CORRUPT\x00"), 0)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -705,12 +1254,72 @@ func (g *Gateway) SaveStateFile() (int64, error) {
 		os.Remove(tmp)
 		return 0, err
 	}
+	// Best-effort rotation: keep the previous good snapshot as .bak. A
+	// missing primary (first save) or a rotation error never fails the
+	// save — the new generation is strictly better than nothing.
+	if _, serr := os.Stat(g.cfg.StatePath); serr == nil {
+		os.Rename(g.cfg.StatePath, g.cfg.StatePath+".bak")
+	}
 	if err := os.Rename(tmp, g.cfg.StatePath); err != nil {
 		os.Remove(tmp)
 		return 0, err
 	}
 	g.stateSaves.Inc()
 	return size, nil
+}
+
+// LoadStateFile restores the pool's warm state from Config.StatePath,
+// falling back to the ".bak" previous-good generation when the primary
+// is missing, torn, or from a different build (the snapshot codec
+// verifies magic, version and checksum before applying anything, so a
+// rejected file restores nothing). It returns the path actually
+// restored; when both generations fail, the primary's error.
+func (g *Gateway) LoadStateFile() (string, error) {
+	if g.cfg.StatePath == "" {
+		return "", fmt.Errorf("gateway: no state path configured")
+	}
+	primaryErr := g.loadFrom(g.cfg.StatePath)
+	if primaryErr == nil {
+		return g.cfg.StatePath, nil
+	}
+	bak := g.cfg.StatePath + ".bak"
+	if err := g.loadFrom(bak); err == nil {
+		g.restoreFallbck.Inc()
+		return bak, nil
+	}
+	return "", primaryErr
+}
+
+func (g *Gateway) loadFrom(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return g.pool.LoadState(f)
+}
+
+// autosaveLoop is the crash-safety loop behind Config.AutosaveInterval:
+// it snapshots warm state on a jittered cadence until the drain starts.
+// Jitter is ±10%, deterministic from the planner seed — replicas of a
+// fleet started together don't write in lockstep, yet a fixed seed
+// reproduces the schedule.
+func (g *Gateway) autosaveLoop() {
+	rng := rand.New(rand.NewSource(g.cfg.Planner.Seed))
+	for {
+		jittered := time.Duration(float64(g.cfg.AutosaveInterval) * (0.9 + 0.2*rng.Float64()))
+		select {
+		case <-g.stop:
+			return
+		case <-time.After(jittered):
+		}
+		if _, err := g.SaveStateFile(); err != nil {
+			g.autosaveErrors.Inc()
+			fmt.Fprintf(os.Stderr, "gateway: autosave failed (previous snapshot stands): %v\n", err)
+		} else {
+			g.autosaves.Inc()
+		}
+	}
 }
 
 // handleStateSave is the admin endpoint behind POST /v1/state/save:
@@ -745,7 +1354,7 @@ func (g *Gateway) handleStateSave(w http.ResponseWriter, _ *http.Request) {
 // plans.
 func (g *Gateway) Prewarm() <-chan struct{} {
 	done := make(chan struct{})
-	go func() {
+	started := g.goBackground(func() {
 		defer close(done)
 		for _, name := range g.pool.DeviceNames() {
 			p, err := g.pool.Planner(name)
@@ -753,23 +1362,38 @@ func (g *Gateway) Prewarm() <-chan struct{} {
 				continue // Route only registers known names; defensive
 			}
 			for _, netName := range zoo.Names {
-				g.mu.Lock()
-				draining := g.draining
-				g.mu.Unlock()
-				if draining {
+				select {
+				case <-g.stop:
 					return
+				default:
 				}
 				zg, err := zooGraph(netName)
 				if err != nil {
 					continue
 				}
-				if _, err := p.Select(serve.Request{Graph: zg, DeadlineMs: 0.9, Estimator: "profiler"}); err == nil {
+				if _, err := guardedSelect(p, serve.Request{Graph: zg, DeadlineMs: 0.9, Estimator: "profiler"}); err == nil {
 					g.prewarmed.Inc()
 				}
 			}
 		}
-	}()
+	})
+	if !started { // already draining: nothing to warm
+		close(done)
+	}
 	return done
+}
+
+// guardedSelect is Planner.Select behind the panic boundary, for the
+// background paths (prewarm) that run planner work outside a worker's
+// containment: a poison zoo entry must not crash the process from a
+// warming goroutine either.
+func guardedSelect(p *serve.Planner, req serve.Request) (resp *serve.Response, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp, err = nil, fmt.Errorf("planner panic: %v", r)
+		}
+	}()
+	return p.Select(req)
 }
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -797,6 +1421,7 @@ func (g *Gateway) handleDevices(w http.ResponseWriter, _ *http.Request) {
 		out = append(out, DeviceWire{
 			Name:             cfg.Name,
 			Default:          i == 0,
+			Healthy:          g.deviceEligible(name),
 			Precision:        cfg.Precision.String(),
 			PeakMACs:         cfg.PeakMACs,
 			MemBandwidth:     cfg.MemBandwidth,

@@ -423,9 +423,13 @@ func decodeRequest(body io.Reader) (*decodedRequest, *apiError) {
 // Entries are listed in registration order — the order "auto" routing
 // tie-breaks on — with the default device first.
 type DeviceWire struct {
-	Name             string  `json:"name"`
-	Default          bool    `json:"default"`
-	Precision        string  `json:"precision"`
+	Name    string `json:"name"`
+	Default bool   `json:"default"`
+	// Healthy is the fault-containment state "auto" routing reads: false
+	// while repeated panics or watchdog abandons have tripped the device
+	// and its background probe has not yet restored it.
+	Healthy          bool   `json:"healthy"`
+	Precision        string `json:"precision"`
 	PeakMACs         float64 `json:"peak_macs"`
 	MemBandwidth     float64 `json:"mem_bandwidth_bytes"`
 	LaunchOverheadMs float64 `json:"launch_overhead_ms"`

@@ -10,7 +10,9 @@
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -23,6 +25,62 @@ func Workers() int {
 	return 1
 }
 
+// TaskPanic wraps a panic raised inside a ForEach task. Pool
+// goroutines capture task panics and ForEach re-raises the
+// lowest-index one on the caller's goroutine, so a fault anywhere in a
+// fan-out unwinds through the caller — where serving layers install
+// their recover() containment — instead of killing the process from an
+// anonymous worker goroutine. Value is the original panic value and
+// Stack the panicking task's stack, preserved because re-panicking
+// happens on a different goroutine.
+type TaskPanic struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", p.Index, p.Value)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// handlers can errors.As through a TaskPanic.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// run executes one task, converting a panic into its slot's TaskPanic.
+// A value that is already a TaskPanic (a nested ForEach re-raise)
+// passes through with its original index and stack intact.
+func run(i int, fn func(i int) error, errs []error, panics []*TaskPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			if tp, ok := r.(*TaskPanic); ok {
+				panics[i] = tp
+				return
+			}
+			panics[i] = &TaskPanic{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	errs[i] = fn(i)
+}
+
+// rethrow re-raises the lowest-index captured panic, if any. Running
+// every task before re-panicking (rather than aborting at the first
+// panic) keeps the side effects a caller observes identical across
+// widths: the same slots written, the same lowest-index panic, whether
+// the schedule was serial or parallel.
+func rethrow(panics []*TaskPanic) {
+	for _, tp := range panics {
+		if tp != nil {
+			panic(tp)
+		}
+	}
+}
+
 // ForEach runs fn(0), ..., fn(n-1) across min(Workers(), n) goroutines
 // and blocks until every call has returned. Tasks are handed out by an
 // atomic counter, so callers must make fn(i) write only into its own
@@ -30,6 +88,11 @@ func Workers() int {
 //
 // If any calls fail, the error of the lowest failing index is returned,
 // so error reporting is as deterministic as the results themselves.
+// A task that panics does not kill the process from a pool goroutine:
+// every task still runs, then the lowest-index panic is re-raised on
+// the caller's goroutine wrapped in *TaskPanic — the same panic a
+// serial execution of the tasks would surface — so callers' recover()
+// boundaries see fan-out faults exactly like inline ones.
 func ForEach(n int, fn func(i int) error) error {
 	w := Workers()
 	if w > n {
@@ -39,13 +102,16 @@ func ForEach(n int, fn func(i int) error) error {
 		return nil
 	}
 	errs := make([]error, n)
+	panics := make([]*TaskPanic, n)
 	if w <= 1 {
 		// Serial fast path. Like the parallel path it runs every task,
-		// so a caller observes the same slots written and the same
-		// lowest-index error regardless of width.
+		// so a caller observes the same slots written, the same
+		// lowest-index error and the same lowest-index panic regardless
+		// of width.
 		for i := 0; i < n; i++ {
-			errs[i] = fn(i)
+			run(i, fn, errs, panics)
 		}
+		rethrow(panics)
 		for _, err := range errs {
 			if err != nil {
 				return err
@@ -64,11 +130,12 @@ func ForEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				run(i, fn, errs, panics)
 			}
 		}()
 	}
 	wg.Wait()
+	rethrow(panics)
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -72,3 +72,79 @@ func TestWorkersPositive(t *testing.T) {
 		t.Fatalf("Workers() = %d", Workers())
 	}
 }
+
+// TestForEachPanicRethrownOnCaller pins the fault-containment
+// contract: a panic inside any task — on any width — unwinds through
+// ForEach's caller wrapped in *TaskPanic, every task still runs, and
+// the lowest panicking index wins, identically for serial and parallel
+// schedules.
+func TestForEachPanicRethrownOnCaller(t *testing.T) {
+	run := func() (out []int, tp *TaskPanic) {
+		out = make([]int, 50)
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate out of ForEach")
+			}
+			var ok bool
+			if tp, ok = r.(*TaskPanic); !ok {
+				t.Fatalf("recovered %T, want *TaskPanic", r)
+			}
+		}()
+		ForEach(50, func(i int) error {
+			out[i] = i * i
+			if i == 13 || i == 31 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+			return nil
+		})
+		return out, nil
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serialOut, serialTP := run()
+	runtime.GOMAXPROCS(4)
+	parallelOut, parallelTP := run()
+	runtime.GOMAXPROCS(prev)
+
+	for _, tp := range []*TaskPanic{serialTP, parallelTP} {
+		if tp.Index != 13 || tp.Value != "boom-13" {
+			t.Fatalf("TaskPanic{Index: %d, Value: %v}, want index 13", tp.Index, tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Fatal("TaskPanic carries no stack")
+		}
+	}
+	// Every task ran before the re-panic, on both widths.
+	for i := range serialOut {
+		if serialOut[i] != i*i || parallelOut[i] != i*i {
+			t.Fatalf("slot %d not executed: serial %d parallel %d", i, serialOut[i], parallelOut[i])
+		}
+	}
+}
+
+// TestForEachNestedPanicKeepsOrigin pins that a TaskPanic crossing a
+// nested ForEach keeps its original index and stack instead of being
+// re-wrapped.
+func TestForEachNestedPanicKeepsOrigin(t *testing.T) {
+	defer func() {
+		tp, ok := recover().(*TaskPanic)
+		if !ok {
+			t.Fatalf("want *TaskPanic")
+		}
+		if tp.Value != "inner" {
+			t.Fatalf("nested panic value %v, want inner", tp.Value)
+		}
+	}()
+	ForEach(2, func(i int) error {
+		if i == 1 {
+			ForEach(3, func(j int) error {
+				if j == 2 {
+					panic("inner")
+				}
+				return nil
+			})
+		}
+		return nil
+	})
+	t.Fatal("nested panic did not propagate")
+}

@@ -153,13 +153,23 @@ func (pp *PlannerPool) Select(target string, req Request) (*Response, error) {
 // registration order, so routing is deterministic for a fixed
 // telemetry state.
 //
+// eligible filters the candidate set before ranking (nil means every
+// registered device): the gateway passes its per-device health check,
+// so a tripped target is skipped by auto routing the same way a
+// budget-failing one is. Eligibility, like the rest of routing, is
+// admission policy — it moves executions, never changes results.
+//
 // ok reports whether any device qualified; when false, estMs carries
-// the pool's minimum estimate as the caller's retry hint. budgetMs <= 0
-// means unbudgeted: every device qualifies and the fastest wins.
-func (pp *PlannerPool) Route(budgetMs, overheadMs float64, minSamples uint64) (name string, estMs float64, ok bool) {
+// the eligible set's minimum estimate as the caller's retry hint (+Inf
+// when nothing was eligible at all). budgetMs <= 0 means unbudgeted:
+// every eligible device qualifies and the fastest wins.
+func (pp *PlannerPool) Route(budgetMs, overheadMs float64, minSamples uint64, eligible func(device string) bool) (name string, estMs float64, ok bool) {
 	bestEst := math.Inf(1)
 	minEst := math.Inf(1)
 	for _, n := range pp.names {
+		if eligible != nil && !eligible(n) {
+			continue
+		}
 		est, samples := pp.planners[n].WarmQuantile(0.99)
 		if samples < minSamples {
 			est = 0

@@ -42,6 +42,7 @@ import (
 	"netcut/internal/core"
 	"netcut/internal/device"
 	"netcut/internal/estimate"
+	"netcut/internal/faultinject"
 	"netcut/internal/graph"
 	"netcut/internal/lru"
 	"netcut/internal/par"
@@ -340,6 +341,11 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 			tel.coldMs.Observe(ms)
 		}
 	}
+
+	// Fault site (no-op unless a test armed it): a stuck execution,
+	// placed after the execution counter so a watchdog-abandoned plan
+	// is still visible as planner work that started.
+	faultinject.Delay(faultinject.ExecDelay, g.Name)
 
 	if err := p.ensureProfile(g); err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ package trim
 import (
 	"fmt"
 
+	"netcut/internal/faultinject"
 	"netcut/internal/graph"
 	"netcut/internal/lru"
 	"netcut/internal/telemetry"
@@ -153,6 +154,10 @@ func Cut(g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
 // every target, so sharing them across a pool is cache reuse, not
 // cross-device leakage.
 func CutScoped(scope uint64, g *graph.Graph, blocks int, head HeadSpec) (*TRN, error) {
+	// Fault site (no-op unless a test armed it): a panic deep in the
+	// planning layer stack, fired before the cache lookup so a poison
+	// graph re-panics on every attempt rather than only on its first.
+	faultinject.Panic(faultinject.TrimPanic, g.Name)
 	if err := head.validate(); err != nil {
 		return nil, err
 	}
@@ -202,6 +207,7 @@ func CutAtNode(g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
 // CutAtNodeScoped is CutAtNode with an explicit cache scope (see
 // CutScoped).
 func CutAtNodeScoped(scope uint64, g *graph.Graph, nodeID int, head HeadSpec) (*TRN, error) {
+	faultinject.Panic(faultinject.TrimPanic, g.Name)
 	if err := head.validate(); err != nil {
 		return nil, err
 	}

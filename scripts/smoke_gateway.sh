@@ -5,7 +5,9 @@
 # SIGTERM and require a clean (exit 0) drain — then restart from the
 # saved warm-state snapshot and require the first post-restart request
 # to run on the warm path (cold counter stays 0) with a byte-identical
-# body.
+# body. A final crash leg kills the daemon with -9 mid-traffic,
+# corrupts the primary snapshot, and requires the restart to recover
+# from the autosaved .bak generation with a warm first request.
 #
 # Usage: scripts/smoke_gateway.sh [port]   (default 18080)
 set -euo pipefail
@@ -39,6 +41,10 @@ for _ in $(seq 1 50); do
   sleep 0.2
 done
 curl -fsS "http://$ADDR/healthz" >/dev/null
+# Readiness is distinct from liveness: boot restore has completed by the
+# time the listener is up, so /readyz must be 200 while serving.
+curl -fsS "http://$ADDR/readyz" >/dev/null || {
+  echo "FAIL: /readyz not ready on a serving daemon" >&2; exit 1; }
 
 plan() { curl -s -o "$1" -w '%{http_code}' -X POST -d "$2" "http://$ADDR/v1/plan"; }
 
@@ -71,6 +77,7 @@ import json, sys
 d = json.load(open(sys.argv[1]))["devices"]
 assert len(d) >= 4, f"only {len(d)} devices registered"
 assert d[0]["name"] == "sim-xavier" and d[0]["default"], d[0]
+assert all(x["healthy"] for x in d), "a fresh fleet reports an unhealthy device"
 names = {x["name"] for x in d}
 assert {"sim-xavier", "sim-edge-cpu", "sim-server-gpu", "sim-int8-accel"} <= names, names
 PY
@@ -190,6 +197,83 @@ else
   code=$?
   echo "FAIL: restarted netserve exited $code after SIGTERM" >&2
   cat "$TMP/netserve2.log" >&2
+  exit 1
+fi
+PID=""
+
+# Crash leg: autosave + kill -9 + corrupted primary. The daemon
+# autosaves on a short cadence; after two generations exist (primary and
+# .bak) it is killed hard mid-life, the primary snapshot is stomped, and
+# the restart must fall back to the .bak generation and serve its first
+# request warm.
+STATE2="$TMP/crash-state.json"
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE2" -autosave 300ms >"$TMP/netserve3.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: autosaving netserve died before becoming healthy" >&2
+    cat "$TMP/netserve3.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+[ "$(plan "$TMP/crash.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+[ "$(plan "$TMP/crash2.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+cmp -s "$TMP/crash.json" "$TMP/crash2.json"
+
+# Wait for a .bak generation written after the traffic above: .bak is
+# the previous save, so only a .bak newer than this marker is guaranteed
+# to contain the ResNet-50 measurements.
+touch "$TMP/after-traffic"
+sleep 0.01
+for _ in $(seq 1 100); do
+  [ -f "$STATE2.bak" ] && [ "$STATE2.bak" -nt "$TMP/after-traffic" ] && break
+  sleep 0.2
+done
+[ -f "$STATE2.bak" ] && [ "$STATE2.bak" -nt "$TMP/after-traffic" ] || {
+  echo "FAIL: autosave never produced a post-traffic .bak generation" >&2
+  cat "$TMP/netserve3.log" >&2; exit 1; }
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+# Simulate the torn write a crash can leave: the primary is garbage, so
+# recovery must come from the previous-good .bak.
+printf 'torn-by-crash' >"$STATE2"
+
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE2" >"$TMP/netserve4.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: post-crash netserve died before becoming healthy" >&2
+    cat "$TMP/netserve4.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+grep -q "restored warm state from $STATE2.bak" "$TMP/netserve4.log" || {
+  echo "FAIL: post-crash restart did not fall back to the .bak snapshot" >&2
+  cat "$TMP/netserve4.log" >&2; exit 1; }
+
+[ "$(plan "$TMP/recovered.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+cmp -s "$TMP/recovered.json" "$TMP/crash.json" || {
+  echo "FAIL: post-crash body diverged from pre-crash body" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics3"
+grep -Eq '^netcut_planner_cold_ms_count\{device="sim-xavier"\} 0$' "$TMP/metrics3" || {
+  echo "FAIL: post-crash first request executed cold despite the .bak restore" >&2
+  grep '^netcut_planner_cold_ms_count' "$TMP/metrics3" >&2; exit 1; }
+
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "post-crash netserve drained cleanly"
+else
+  code=$?
+  echo "FAIL: post-crash netserve exited $code after SIGTERM" >&2
+  cat "$TMP/netserve4.log" >&2
   exit 1
 fi
 PID=""
