@@ -292,19 +292,24 @@ func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool
 // device targeting ("target": a registered device name, "auto", or
 // empty for the default device; GET /v1/devices lists the fleet),
 // singleflight coalescing of identical requests, batch admission of
-// compatible ones, per-device worker lanes (one bounded queue + workers
+// compatible ones, a bounded rendered-response byte cache (repeat
+// requests are answered with the previously rendered body straight
+// from admission — after the drain, quarantine and device-health
+// gates, before any queueing; GatewayConfig.ByteCacheCap, on by
+// default at DefaultByteCacheCap entries, negative disables),
+// per-device worker lanes (one bounded queue + workers
 // per target, so a cold plan on one device never head-of-line-blocks
 // another's warm traffic), load shedding keyed to the client's own
 // latency budget, graceful drain, warm-state snapshot/restore
 // (SaveState/LoadState, POST /v1/state/save via GatewayConfig.StatePath)
 // with background zoo prewarming (Prewarm), and a telemetry registry
 // exposed at /metrics (Prometheus text, per-device series carry a
-// device label) and /debug/stats (JSON). Routing, coalescing, batching and
-// shedding change which executions happen, where and when — never what
-// any execution returns: a coalesced or batched response body is
-// byte-identical to the same request served alone through that
-// device's Planner, and an auto-routed body to the same request naming
-// the resolved device explicitly.
+// device label) and /debug/stats (JSON). Routing, coalescing, batching,
+// caching and shedding change which executions happen, where and when —
+// never what any request returns: a coalesced, batched or byte-cached
+// response body is byte-identical to the same request served alone
+// through that device's Planner, and an auto-routed body to the same
+// request naming the resolved device explicitly.
 //
 // Faults are contained rather than propagated: planner-pass panics are
 // recovered per request (innocent batchmates are retried solo with
@@ -327,6 +332,11 @@ type (
 	// warm-up, watchdog and autosave intervals, health thresholds).
 	GatewayConfig = gateway.Config
 )
+
+// DefaultByteCacheCap is the entry bound of the gateway's
+// rendered-response byte cache when GatewayConfig.ByteCacheCap is 0;
+// negative disables the cache.
+const DefaultByteCacheCap = gateway.DefaultByteCacheCap
 
 // NewGateway builds the serving gateway and starts its batch workers.
 // Mount Handler() on an http.Server and call Shutdown to drain:

@@ -228,7 +228,7 @@ func BenchmarkPlannerSelectWarm(b *testing.B) {
 // serves its first request. The timed op is that first request — the
 // latency a client sees right after a daemon restart, which must land
 // within a small factor of BenchmarkPlannerSelectWarm instead of the
-// ~40x true-cold gap (BenchmarkPlannerSelectCold re-measures
+// ~23x true-cold gap (BenchmarkPlannerSelectCold re-measures
 // everything). The one-time boot cost of LoadState itself is reported
 // as restore_ms (it happens once per process, off the request path).
 func BenchmarkPlannerSelectRestoredCold(b *testing.B) {
@@ -288,7 +288,12 @@ func benchGatewayPost(gw *Gateway, body string) error {
 
 func newBenchGateway(b *testing.B) *Gateway {
 	b.Helper()
-	gw, err := NewGateway(GatewayConfig{Planner: PlannerConfig{Seed: 1}})
+	return newBenchGatewayCfg(b, GatewayConfig{Planner: PlannerConfig{Seed: 1}})
+}
+
+func newBenchGatewayCfg(b *testing.B, cfg GatewayConfig) *Gateway {
+	b.Helper()
+	gw, err := NewGateway(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -296,11 +301,31 @@ func newBenchGateway(b *testing.B) *Gateway {
 	return gw
 }
 
-// BenchmarkGatewayThroughput measures warm serving-layer throughput: a
-// zoo-cycling request stream through decode, admission, batching and
-// response encoding, on top of a fully warmed planner.
+// BenchmarkGatewayThroughput measures warm serving-layer throughput
+// under the default configuration: a zoo-cycling request stream through
+// decode, admission and response delivery. With the rendered-response
+// byte cache on by default, every post-warm-up iteration is a cache
+// hit — decode, admission gates, lookup, deliver — which is the warm
+// path production traffic sees. BenchmarkGatewayThroughputNoByteCache
+// is the same stream priced without the cache.
 func BenchmarkGatewayThroughput(b *testing.B) {
-	gw := newBenchGateway(b)
+	runGatewayThroughput(b, newBenchGateway(b))
+}
+
+// BenchmarkGatewayThroughputNoByteCache is the same zoo-cycling stream
+// with the byte cache disabled: every iteration pays coalescing-map
+// admission, a lane round-trip and response rendering on top of the
+// planner's own warm caches — the pre-cache serving cost, kept as the
+// denominator of the byte-cache speedup.
+func BenchmarkGatewayThroughputNoByteCache(b *testing.B) {
+	runGatewayThroughput(b, newBenchGatewayCfg(b, GatewayConfig{
+		Planner:      PlannerConfig{Seed: 1},
+		ByteCacheCap: -1,
+	}))
+}
+
+func runGatewayThroughput(b *testing.B, gw *Gateway) {
+	b.Helper()
 	names := NetworkNames()
 	bodies := make([]string, len(names))
 	for i, n := range names {
@@ -333,7 +358,12 @@ func BenchmarkGatewayThroughput(b *testing.B) {
 // deterministic ==1 case is pinned by the gateway coalescing test).
 func BenchmarkGatewayCoalescedBurst(b *testing.B) {
 	const burst = 16
-	gw := newBenchGateway(b)
+	// Coalescing of in-flight executions is the subject; the byte cache
+	// would answer every post-warm-up request before it could coalesce.
+	gw := newBenchGatewayCfg(b, GatewayConfig{
+		Planner:      PlannerConfig{Seed: 1},
+		ByteCacheCap: -1,
+	})
 	body := `{"network":"ResNet-50","deadline_ms":0.9}`
 	if err := benchGatewayPost(gw, body); err != nil { // warm
 		b.Fatal(err)
@@ -402,14 +432,13 @@ func BenchmarkPlannerPoolWarmAcrossDevices(b *testing.B) {
 // window-less gateway pays one execution per straggler wave.
 func BenchmarkGatewayCoalescedBurstStaggered(b *testing.B) {
 	const burst = 16
-	gw, err := NewGateway(GatewayConfig{
-		Planner:     PlannerConfig{Seed: 1},
-		BatchWindow: 2 * time.Millisecond,
+	// Like BenchmarkGatewayCoalescedBurst: the batching window is the
+	// subject, so the byte cache stays out of the way.
+	gw := newBenchGatewayCfg(b, GatewayConfig{
+		Planner:      PlannerConfig{Seed: 1},
+		BatchWindow:  2 * time.Millisecond,
+		ByteCacheCap: -1,
 	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.Cleanup(func() { gw.Shutdown(context.Background()) })
 	body := `{"network":"ResNet-50","deadline_ms":0.9}`
 	if err := benchGatewayPost(gw, body); err != nil { // warm
 		b.Fatal(err)
@@ -480,7 +509,12 @@ func coldNet(i int) *Graph {
 // keeps a floor of raw CPU-time contention no queueing design can
 // remove (the cold plan needs the only core).
 func BenchmarkGatewayLaneIsolation(b *testing.B) {
-	gw := newBenchGateway(b)
+	// The warm stream repeats one identical request; lane isolation of
+	// its *executions* is the subject, so the byte cache is off.
+	gw := newBenchGatewayCfg(b, GatewayConfig{
+		Planner:      PlannerConfig{Seed: 1},
+		ByteCacheCap: -1,
+	})
 	names := gw.Pool().DeviceNames()
 	warmDev, coldDev := names[0], names[2]
 	warmBody := `{"network":"MobileNetV1 (0.25)","deadline_ms":0.9}`

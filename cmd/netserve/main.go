@@ -22,6 +22,7 @@
 //	netserve -addr 127.0.0.1:9090 -seed 7
 //	netserve -queue 512 -batch 32 -workers 4 -batch-window 2ms
 //	netserve -max-body 4194304 -drain-timeout 30s
+//	netserve -byte-cache 8192                # rendered-response cache entries (0 = off)
 //	netserve -state-file /var/lib/netcut/state.json -prewarm
 //	netserve -state-file /var/lib/netcut/state.json -autosave 30s
 //	netserve -exec-timeout 5s
@@ -87,6 +88,7 @@ func run() int {
 		workers      = flag.Int("workers", 0, "batch worker goroutines (0 = default)")
 		maxBody      = flag.Int64("max-body", 0, "request body size limit in bytes (0 = default, negative = unlimited)")
 		shedMin      = flag.Int("shed-min-samples", 0, "warm executions required before budget shedding activates (0 = default)")
+		byteCache    = flag.Int("byte-cache", netcut.DefaultByteCacheCap, "rendered-response byte cache entries (0 = disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 		stateFile    = flag.String("state-file", "", "warm-state snapshot path: restored on boot (with .bak fallback), saved after the SIGTERM drain and by POST /v1/state/save (empty = no persistence)")
 		autosave     = flag.Duration("autosave", 0, "periodic warm-state snapshot interval (requires -state-file; 0 = only save on drain/demand)")
@@ -115,6 +117,12 @@ func run() int {
 		}
 	}
 
+	// On the flag, 0 reads naturally as "off"; the config spells
+	// disabled as negative (0 there means the default capacity).
+	byteCacheCap := *byteCache
+	if byteCacheCap == 0 {
+		byteCacheCap = -1
+	}
 	gw, err := netcut.NewGateway(netcut.GatewayConfig{
 		Planner:          netcut.PlannerConfig{Seed: *seed},
 		Devices:          devs,
@@ -124,6 +132,8 @@ func run() int {
 		Workers:          *workers,
 		MaxBodyBytes:     *maxBody,
 		ShedMinSamples:   *shedMin,
+		ByteCacheCap:     byteCacheCap,
+		DrainTimeout:     *drainTimeout,
 		StatePath:        *stateFile,
 		AutosaveInterval: *autosave,
 		ExecTimeout:      *execTimeout,

@@ -115,22 +115,35 @@
 // size-limited and the decoded graph stops at graph.Validate —
 // malformed or oversized input is a structured 4xx, never a panic.
 //
-// Admission is deadline-aware in three stages. Identical in-flight
-// requests — same name, structure, deadline and estimator — coalesce
-// into one planner execution, singleflight-style, and all receive
-// byte-identical bodies. Distinct compatible requests drain from a
-// bounded queue into batched planner passes (Planner.SelectBatch). A
-// request carrying its own latency budget ("budget_ms") that cannot
-// cover the observed warm-path p99 is shed up front with 429 and a
-// retry hint — as is any arrival finding the queue full — consuming no
-// planner work. Gateway.Shutdown drains gracefully: new requests get
-// 503 while every admitted call completes and delivers.
+// Admission is deadline-aware in four stages. A repeat of an already
+// delivered request — same resolved device, name, structure, deadline
+// and estimator — is answered from a bounded rendered-response byte
+// cache (GatewayConfig.ByteCacheCap, on by default; negative disables)
+// straight from admission, after the drain, quarantine and
+// device-health gates but before any queueing, skipping its lane, the
+// planner and the JSON rendering. Identical in-flight requests
+// coalesce into one planner execution, singleflight-style, and all
+// receive byte-identical bodies. Distinct compatible requests drain
+// from a bounded queue into batched planner passes
+// (Planner.SelectBatch). A request carrying its own latency budget
+// ("budget_ms") that cannot cover the observed warm-path p99 is shed
+// up front with 429 and a retry hint — as is any arrival finding the
+// queue full — consuming no planner work (a byte-cache hit beats the
+// shed: delivering rendered bytes fits any budget). Gateway.Shutdown
+// drains gracefully: new requests get 503 with a Retry-After derived
+// from the remaining drain budget while every admitted call completes
+// and delivers.
 //
-// Coalescing, batching and shedding change which executions happen and
-// when — never what any execution returns: a coalesced or batched
-// response body is byte-identical to the same request served alone
-// through a Planner (pinned by the gateway package tests and its
-// GOMAXPROCS determinism guard).
+// Caching, coalescing, batching and shedding change which executions
+// happen and when — never what any request returns: a cached,
+// coalesced or batched response body is byte-identical to the same
+// request served alone through a Planner (pinned by the gateway
+// package tests, the TestByteCache* seam suite and the GOMAXPROCS
+// determinism guard). Only fully delivered 200 bodies are cached —
+// errors, contained panics and watchdog-abandoned passes never are —
+// tripping a device's health purges its entries, and hits/misses are
+// distinct /metrics series (netcut_gateway_bytecache_*) next to the
+// planner's execution counters.
 //
 // # Targets & routing
 //

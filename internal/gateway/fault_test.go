@@ -12,9 +12,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -43,6 +45,26 @@ func errCode(t *testing.T, rec *httptest.ResponseRecorder) string {
 		t.Fatalf("decoding error body %q: %v", rec.Body.String(), err)
 	}
 	return e.Code
+}
+
+// wantRetryAfter derives the only header value the body's
+// retry_after_ms hint is allowed to round to: whole seconds, ceiling,
+// never below 1 — the same clamp the gateway applies. Fails if the body
+// carries no positive hint.
+func wantRetryAfter(t *testing.T, rec *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("decoding error body %q: %v", rec.Body.String(), err)
+	}
+	if e.RetryAfterMs <= 0 {
+		t.Fatalf("error body %q carries no retry_after_ms hint", rec.Body.String())
+	}
+	s := int(math.Ceil(e.RetryAfterMs / 1000))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.Itoa(s)
 }
 
 func waitFor(t *testing.T, what string, cond func() bool) {
@@ -261,6 +283,71 @@ func TestFaultCancelledQueuedRequestNoExecution(t *testing.T) {
 	}
 }
 
+// TestFaultCancelledLatencyRecorded pins the telemetry fix: a request
+// whose client disconnects before delivery must land in the dedicated
+// netcut_gateway_request_cancelled_lat_ms series — before the fix the
+// handler returned without observing anything, so cancellations were
+// invisible in latency telemetry — and must stay out of
+// netcut_gateway_request_ms, whose quantiles feed budget shedding.
+func TestFaultCancelledLatencyRecorded(t *testing.T) {
+	cfg := quickConfig(13)
+	cfg.Devices = []device.Config{device.Xavier()}
+	cfg.Workers = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mustShutdown(t, g)
+
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var releaseOnce atomic.Bool
+	g.testHookBatch = func(string, int) {
+		entered <- struct{}{}
+		if !releaseOnce.Load() {
+			<-release
+		}
+	}
+
+	aDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() { aDone <- post(g, graphBody(t, userNet(0), 0.35, "")) }()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	reqB := httptest.NewRequest(http.MethodPost, "/v1/plan",
+		strings.NewReader(graphBody(t, userNet(1), 0.35, ""))).WithContext(ctx)
+	bDone := make(chan struct{})
+	go func() {
+		g.Handler().ServeHTTP(httptest.NewRecorder(), reqB)
+		close(bDone)
+	}()
+	waitFor(t, "request B to be admitted", func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.inflight) == 2
+	})
+	cancel()
+	<-bDone // the handler has observed B's fate before returning
+
+	if got := g.cancelledLatMs.Count(); got != 1 {
+		t.Fatalf("netcut_gateway_request_cancelled_lat_ms count = %d after disconnect, want 1", got)
+	}
+	if got := g.requestLatMs.Count(); got != 0 {
+		t.Fatalf("netcut_gateway_request_ms count = %d, want 0: cancellations must not skew shed quantiles", got)
+	}
+	releaseOnce.Store(true)
+	close(release)
+	if rec := <-aDone; rec.Code != http.StatusOK {
+		t.Fatalf("request A: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if got, want := g.requestLatMs.Count(), uint64(1); got != want {
+		t.Fatalf("netcut_gateway_request_ms count = %d after delivery, want %d (request A only)", got, want)
+	}
+	if got := g.cancelledLatMs.Count(); got != 1 {
+		t.Fatalf("netcut_gateway_request_cancelled_lat_ms count = %d after delivery, want still 1", got)
+	}
+}
+
 // TestFaultUnhealthyDeviceSkippedAndRecovers pins per-device health:
 // consecutive panics trip a device unhealthy — "auto" routes around it,
 // explicit requests get 503 + Retry-After, GET /v1/devices reports it —
@@ -465,19 +552,33 @@ func TestFaultDrainRacesPrewarm(t *testing.T) {
 }
 
 // TestFaultRetryAfterEveryRejection audits the satellite contract:
-// every 429/503 rejection path carries a Retry-After header.
+// every 429/503 rejection path carries a Retry-After header, and the
+// header is the body's retry_after_ms hint rounded up to whole seconds
+// (clamped to at least 1) — not a hardcoded constant.
 func TestFaultRetryAfterEveryRejection(t *testing.T) {
 	defer faultinject.Reset()
 
-	// Path 1: draining.
-	g1, err := New(quickConfig(17))
+	// Path 1: draining. The header must reflect the remaining drain
+	// budget, so a 7-second DrainTimeout with an instant drain reads
+	// back as "7" — the old code said "1" here no matter the budget.
+	cfg1 := quickConfig(17)
+	cfg1.DrainTimeout = 7 * time.Second
+	g1, err := New(cfg1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mustShutdown(t, g1)
+	// Shutdown with no context deadline so DrainTimeout is the budget
+	// (a context deadline would win). The drain is instant: no inflight.
+	if err := g1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
 	rec := post(g1, `{"network":"ResNet-50"}`)
-	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
-		t.Fatalf("draining: status %d retry-after %q", rec.Code, rec.Header().Get("Retry-After"))
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") != "7" {
+		t.Fatalf("draining: status %d retry-after %q, want 503 with %q",
+			rec.Code, rec.Header().Get("Retry-After"), "7")
+	}
+	if got := wantRetryAfter(t, rec); got != "7" {
+		t.Fatalf("draining body hint rounds to %q, want %q", got, "7")
 	}
 
 	// Paths 2+3: queue_full and budget_too_small on one gateway.
@@ -486,6 +587,10 @@ func TestFaultRetryAfterEveryRejection(t *testing.T) {
 	cfg.Workers = 1
 	cfg.QueueDepth = 1
 	cfg.ShedMinSamples = 1
+	// The tiny-budget probe repeats the warm-up's response identity
+	// (budget is not part of it), so the byte cache would answer it
+	// with a 200 before the shed predicate ever ran.
+	cfg.ByteCacheCap = -1
 	g2, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -499,9 +604,9 @@ func TestFaultRetryAfterEveryRejection(t *testing.T) {
 	}
 	rec = post(g2, graphBody(t, userNet(0), 0.35, `,"budget_ms":0.000001`))
 	if rec.Code != http.StatusTooManyRequests || errCode(t, rec) != "budget_too_small" ||
-		rec.Header().Get("Retry-After") == "" {
-		t.Fatalf("budget shed: status %d code %q retry-after %q",
-			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+		rec.Header().Get("Retry-After") != wantRetryAfter(t, rec) {
+		t.Fatalf("budget shed: status %d code %q retry-after %q, want hint %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"), wantRetryAfter(t, rec))
 	}
 	entered := make(chan struct{}, 4)
 	release := make(chan struct{})
@@ -524,9 +629,9 @@ func TestFaultRetryAfterEveryRejection(t *testing.T) {
 	})
 	rec = post(g2, graphBody(t, userNet(3), 0.35, ""))
 	if rec.Code != http.StatusTooManyRequests || errCode(t, rec) != "queue_full" ||
-		rec.Header().Get("Retry-After") == "" {
-		t.Fatalf("queue full: status %d code %q retry-after %q",
-			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+		rec.Header().Get("Retry-After") != wantRetryAfter(t, rec) {
+		t.Fatalf("queue full: status %d code %q retry-after %q, want hint %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"), wantRetryAfter(t, rec))
 	}
 	releaseOnce.Store(true)
 	close(release)
@@ -547,17 +652,19 @@ func TestFaultRetryAfterEveryRejection(t *testing.T) {
 	if rec := post(g3, graphBody(t, poisonNet(7, "poison-retry"), 0.35, "")); rec.Code != http.StatusInternalServerError {
 		t.Fatal(rec.Body.String())
 	}
+	// Retry hints for unhealthy devices derive from the probe interval:
+	// one hour is exactly 3600 seconds, so the header must say so.
 	rec = post(g3, graphBody(t, userNet(0), 0.35, `,"target":"sim-xavier"`))
 	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "device_unhealthy" ||
-		rec.Header().Get("Retry-After") == "" {
-		t.Fatalf("device_unhealthy: status %d code %q retry-after %q",
-			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+		rec.Header().Get("Retry-After") != "3600" {
+		t.Fatalf("device_unhealthy: status %d code %q retry-after %q, want %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"), "3600")
 	}
 	rec = post(g3, graphBody(t, userNet(0), 0.35, `,"target":"auto"`))
 	if rec.Code != http.StatusServiceUnavailable || errCode(t, rec) != "no_healthy_device" ||
-		rec.Header().Get("Retry-After") == "" {
-		t.Fatalf("no_healthy_device: status %d code %q retry-after %q",
-			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"))
+		rec.Header().Get("Retry-After") != "3600" {
+		t.Fatalf("no_healthy_device: status %d code %q retry-after %q, want %q",
+			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"), "3600")
 	}
 }
 

@@ -14,17 +14,28 @@
 //     fastest device whose estimated warm-path latency fits the
 //     budget, or a registered name from GET /v1/devices) resolves to
 //     one device's planner; an unregistered name is a 400.
-//  3. Coalesce: requests with identical (device, name, structure,
+//  3. Byte cache: a request whose fully resolved identity (device +
+//     calibration, name + structure, deadline, estimator) already has a
+//     delivered body in the bounded rendered-response cache
+//     (Config.ByteCacheCap) is answered from those bytes immediately —
+//     no lane, no planner pass, no wire-marshal. Hits are transparent
+//     (a hit returns exactly what a fresh execution would render) and
+//     are counted by netcut_gateway_bytecache_hits_total, never as
+//     planner executions.
+//  4. Coalesce: requests with identical (device, name, structure,
 //     deadline, estimator) share one in-flight planner execution and
 //     receive byte-identical response bodies, singleflight-style.
 //     Joining an in-flight call consumes no planner work and no queue
 //     slot.
-//  4. Shed: a would-be leader whose budget_ms cannot cover the
+//  5. Shed: a would-be leader whose budget_ms cannot cover the
 //     resolved target's warm-path p99 — for "auto", any target's — is
 //     rejected up front with 429 and a retry hint, as is any arrival
 //     finding the admission queue full. Shed requests never consume
-//     planner work.
-//  5. Batch: admitted leaders sit in their resolved device's bounded
+//     planner work. (A byte-cache hit is served even to a
+//     budget-constrained request: delivering rendered bytes fits any
+//     budget, so shedding applies only to requests that would queue
+//     for an execution.)
+//  6. Batch: admitted leaders sit in their resolved device's bounded
 //     lane — one queue plus workers per registered device, so one slow
 //     target's cold plan can never head-of-line-block another target's
 //     warm traffic — where that lane's workers drain bursts of them,
@@ -35,9 +46,11 @@
 //     QueueDepth/Workers totals evenly across devices (minimum 1
 //     each), the same division rule the planner pool applies to its
 //     cache caps.
-//  6. Drain: Shutdown stops admission (503 + Retry-After), lets every
-//     queued call finish and deliver, then stops every lane's workers
-//     and waits for the background loops (autosave, prewarm, probes).
+//  7. Drain: Shutdown stops admission (503 + Retry-After derived from
+//     the remaining drain budget — byte-cache hits stop too), lets
+//     every queued call finish and deliver, then stops every lane's
+//     workers and waits for the background loops (autosave, prewarm,
+//     probes).
 //
 // Fault containment & graceful degradation: every planner pass runs
 // behind a panic boundary — a panicking request gets a structured 500
@@ -86,6 +99,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +152,27 @@ type Config struct {
 	// on a cold estimate would reject half of a fresh server's first
 	// clients. 0 means DefaultShedMinSamples.
 	ShedMinSamples int
+	// ByteCacheCap bounds the rendered-response byte cache: fully
+	// delivered 200 bodies, keyed by complete response identity
+	// (resolved device + its calibration fingerprint, graph name +
+	// structure, deadline, estimator), are served straight from
+	// admission — after the drain, quarantine and device-health gates,
+	// before queueing — so a repeat request skips its lane, the planner
+	// and the wire-marshal. Hits are transparent: responses are pure
+	// functions of seed + config, so a hit returns exactly the bytes a
+	// fresh execution would render, on or off, at any GOMAXPROCS.
+	// 0 means DefaultByteCacheCap; negative disables the cache (tests
+	// that exercise the planner's own warm path via repeated requests
+	// do this).
+	ByteCacheCap int
+	// DrainTimeout is the drain budget Shutdown assumes when its
+	// context carries no deadline (a context deadline takes
+	// precedence), and the basis of the Retry-After hint every
+	// drain-time rejection carries: the remaining budget — how long
+	// until this listener is gone and a retry lands on a peer — rather
+	// than a hardcoded constant. 0 means DefaultDrainTimeout; negative
+	// is a configuration error.
+	DrainTimeout time.Duration
 	// BatchWindow is how long a worker holds a drained burst open for
 	// stragglers before executing its planner pass: with socket-
 	// staggered bursts, a small window (hundreds of microseconds to a
@@ -193,6 +228,15 @@ const (
 	DefaultUnhealthyAfter  = 3
 	DefaultProbeInterval   = 500 * time.Millisecond
 	DefaultQuarantineAfter = 2
+	// DefaultByteCacheCap bounds the rendered-response byte cache:
+	// bodies are a few hundred bytes, so the default is ~1 MiB of
+	// rendered responses — the full zoo x fleet x a generous spread of
+	// deadlines stays resident.
+	DefaultByteCacheCap = 4096
+	// DefaultDrainTimeout matches cmd/netserve's -drain-timeout
+	// default: the drain budget assumed when Shutdown's context has no
+	// deadline.
+	DefaultDrainTimeout = 30 * time.Second
 
 	// quarantineCap bounds the panic-count LRU: big enough to hold a
 	// burst of distinct poison keys, small enough that the quarantine
@@ -226,6 +270,7 @@ func (c *Config) fill() error {
 		{"ExecTimeout", c.ExecTimeout},
 		{"AutosaveInterval", c.AutosaveInterval},
 		{"ProbeInterval", c.ProbeInterval},
+		{"DrainTimeout", c.DrainTimeout},
 	} {
 		if k.val < 0 {
 			return fmt.Errorf("negative %s %v", k.name, k.val)
@@ -257,6 +302,12 @@ func (c *Config) fill() error {
 	}
 	if c.QuarantineAfter == 0 {
 		c.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if c.ByteCacheCap == 0 {
+		c.ByteCacheCap = DefaultByteCacheCap
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = DefaultDrainTimeout
 	}
 	return nil
 }
@@ -324,12 +375,23 @@ type Gateway struct {
 	laneQueueCap int
 	laneWorkers  int
 
+	// bytes is the rendered-response byte cache (nil when disabled by a
+	// negative Config.ByteCacheCap); calib maps each registered device
+	// to its calibration fingerprint, the byteKey component that pins
+	// cached bytes to the calibration that produced them.
+	bytes *lru.Sharded[byteKey, []byte]
+	calib map[string]uint64
+
 	mu        sync.Mutex
 	saveMu    sync.Mutex // serializes SaveStateFile writers
 	inflight  map[coalesceKey]*call
 	draining  bool
-	drainDone chan struct{}  // closed once the drain completes
-	stop      chan struct{}  // closed when the drain starts: background loops exit
+	drainDone chan struct{} // closed once the drain completes
+	// drainDeadline is the drain budget's end (unix nanos), written
+	// once when the drain starts; the Retry-After hint drain rejections
+	// carry is the remaining budget, not a hardcoded constant.
+	drainDeadline atomic.Int64
+	stop          chan struct{} // closed when the drain starts: background loops exit
 	pending   sync.WaitGroup // queued, not yet delivered calls
 	workers   sync.WaitGroup
 	// background tracks the gateway-owned background goroutines —
@@ -377,6 +439,11 @@ type Gateway struct {
 	unhealthyByDev map[string]*telemetry.Gauge
 	probesByDev    map[string]*telemetry.Counter
 	requestLatMs   *telemetry.Histogram
+	// cancelledLatMs records the wall-clock latency of admitted
+	// requests whose client disconnected before delivery — its own
+	// series, so cancellations neither vanish from latency telemetry
+	// (survivorship bias) nor pollute the delivered-request histogram.
+	cancelledLatMs *telemetry.Histogram
 	testHookBatch  func(device string, n int) // test-only: runs in a worker before a planner pass of n requests on one device
 	testHookProbe  func(device string)        // test-only: runs before each health probe plan
 }
@@ -431,6 +498,12 @@ func New(cfg Config) (*Gateway, error) {
 		quarantined: reg.Counter("netcut_gateway_quarantined_total",
 			"requests rejected at admission because their key previously caused repeated panics"),
 		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
+		cancelledLatMs: reg.Histogram("netcut_gateway_request_cancelled_lat_ms",
+			"wall-clock latency of admitted plan requests cancelled by client disconnect before delivery", nil),
+	}
+	if cfg.ByteCacheCap > 0 {
+		g.bytes = lru.NewSharded[byteKey, []byte](byteCacheShards, cfg.ByteCacheCap, hashByteKey)
+		lru.Instrument(reg, "netcut_gateway_bytecache", g.bytes)
 	}
 	reg.GaugeFunc("netcut_gateway_inflight", "distinct in-flight executions (coalescing keys)",
 		func() float64 {
@@ -455,11 +528,16 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	g.lanes = make(map[string]*lane, len(names))
 	g.health = make(map[string]*deviceHealth, len(names))
+	g.calib = make(map[string]uint64, len(names))
 	g.panicsByDev = make(map[string]*telemetry.Counter, len(names))
 	g.abandonedByDev = make(map[string]*telemetry.Counter, len(names))
 	g.unhealthyByDev = make(map[string]*telemetry.Gauge, len(names))
 	g.probesByDev = make(map[string]*telemetry.Counter, len(names))
 	for _, name := range names {
+		if p, err := pool.Planner(name); err == nil { // registered names only
+			dc := p.DeviceConfig()
+			g.calib[name] = dc.Fingerprint()
+		}
 		labels := []telemetry.Label{{Key: "device", Value: name}}
 		l := &lane{
 			device: name,
@@ -524,7 +602,7 @@ func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ready")
 		return
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", retryAfterSeconds(g.drainRemainingMs()))
 	w.WriteHeader(http.StatusServiceUnavailable)
 	fmt.Fprintln(w, "not ready")
 }
@@ -555,6 +633,15 @@ func (g *Gateway) Shutdown(ctx context.Context) error {
 	g.mu.Lock()
 	if !g.draining {
 		g.draining = true
+		// Record when the drain budget runs out — the context deadline
+		// if the first caller carries one, Config.DrainTimeout
+		// otherwise — so every drain-time rejection can report the
+		// honest remaining budget as its Retry-After.
+		deadline := time.Now().Add(g.cfg.DrainTimeout)
+		if d, ok := ctx.Deadline(); ok {
+			deadline = d
+		}
+		g.drainDeadline.Store(deadline.UnixNano())
 		close(g.stop) // background loops see the drain without polling
 		g.drainDone = make(chan struct{})
 		go func() {
@@ -604,10 +691,40 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 
 func (g *Gateway) writeErr(w http.ResponseWriter, e *apiError) {
 	if e.wire.RetryAfterMs > 0 {
-		w.Header().Set("Retry-After", fmt.Sprint(int64(math.Ceil(e.wire.RetryAfterMs/1000))))
+		w.Header().Set("Retry-After", retryAfterSeconds(e.wire.RetryAfterMs))
 	}
 	b, _ := json.Marshal(e.wire)
 	writeJSON(w, e.status, append(b, '\n'))
+}
+
+// retryAfterSeconds renders a retry hint in milliseconds as a
+// Retry-After header value: rounded up to whole seconds and clamped to
+// at least 1 — the header's unit is seconds, and 0 would invite an
+// immediate, pointless retry. Every ms-to-seconds conversion for the
+// header goes through here.
+func retryAfterSeconds(ms float64) string {
+	s := int64(math.Ceil(ms / 1000))
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+// drainRemainingMs is the remaining drain budget in milliseconds, the
+// honest Retry-After for drain-time rejections: how long until this
+// listener is gone and a retry will land on a live peer. Clamped to at
+// least one second; before any drain has started (boot-time
+// not-ready) the floor applies.
+func (g *Gateway) drainRemainingMs() float64 {
+	dl := g.drainDeadline.Load()
+	if dl == 0 {
+		return 1000
+	}
+	ms := float64(time.Until(time.Unix(0, dl))) / float64(time.Millisecond)
+	if ms < 1000 {
+		return 1000
+	}
+	return ms
 }
 
 // handlePlan is the admission path described in the package comment.
@@ -625,9 +742,19 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	c, aerr := g.admit(dec)
+	c, cached, aerr := g.admit(dec)
 	if aerr != nil {
 		g.writeErr(w, aerr)
+		return
+	}
+	if cached != nil {
+		// Byte-cache hit: the rendered body short-circuited lane,
+		// planner and wire-marshal. It still counts as an admitted
+		// request in the latency histogram; the hit itself is counted
+		// by the cache's own netcut_gateway_bytecache_hits_total,
+		// distinct from planner executions.
+		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		writeJSON(w, http.StatusOK, cached)
 		return
 	}
 
@@ -635,15 +762,19 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	case <-c.done:
 		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 		if c.retryAfterMs > 0 {
-			w.Header().Set("Retry-After", fmt.Sprint(int64(math.Ceil(c.retryAfterMs/1000))))
+			w.Header().Set("Retry-After", retryAfterSeconds(c.retryAfterMs))
 		}
 		writeJSON(w, c.status, c.body)
 	case <-r.Context().Done():
 		// The client went away. If other waiters remain, the execution
 		// keeps running for them (its result is cached work, not waste);
 		// if this was the last waiter, the worker that dequeues the call
-		// cancels it before it consumes a planner execution.
+		// cancels it before it consumes a planner execution. The
+		// cancellation is still a request with a latency — recorded in
+		// its own histogram, so delivered-request p99s aren't
+		// survivorship-biased by the clients who gave up.
 		c.waiters.Add(-1)
+		g.cancelledLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}
 }
 
@@ -656,23 +787,34 @@ func (g *Gateway) windowMs() float64 {
 	return float64(g.cfg.BatchWindow) / float64(time.Millisecond)
 }
 
-// admit resolves the target, then coalesces, sheds or enqueues one
-// decoded request, returning the call to wait on. Target resolution —
-// "" is the default device, "auto" routes to the fastest device whose
-// estimated warm-path latency fits the budget, anything else must be
-// a registered name — is admission policy: it decides where an
-// execution runs, never what that execution returns, and the resolved
-// device becomes part of the coalescing key, so an auto-routed body is
-// byte-identical to the same request naming the device explicitly.
-func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
+// admit resolves the target, then serves from the byte cache,
+// coalesces, sheds or enqueues one decoded request: it returns either
+// a cached rendered body (byte-cache hit) or the call to wait on.
+// Target resolution — "" is the default device, "auto" routes to the
+// fastest device whose estimated warm-path latency fits the budget,
+// anything else must be a registered name — is admission policy: it
+// decides where an execution runs, never what that execution returns,
+// and the resolved device becomes part of the coalescing key, so an
+// auto-routed body is byte-identical to the same request naming the
+// device explicitly.
+//
+// The byte-cache lookup sits after the drain, quarantine and
+// device-health gates (a refused request is refused whether or not its
+// bytes are resident) and after target resolution (the key needs the
+// resolved device), but before coalescing, shedding and queueing: a
+// hit consumes no planner work by definition, and it is served even to
+// a budget-constrained request — delivering already-rendered bytes
+// fits any budget, so shedding applies only to requests that would
+// queue for an execution.
+func (g *Gateway) admit(dec *decodedRequest) (*call, []byte, *apiError) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
 	if g.draining {
 		g.shedDraining.Inc()
 		e := errf(http.StatusServiceUnavailable, "draining", "gateway is draining")
-		e.wire.RetryAfterMs = 1000
-		return nil, e
+		e.wire.RetryAfterMs = g.drainRemainingMs()
+		return nil, nil, e
 	}
 	// Quarantine gate: a request identity that already crashed planner
 	// passes QuarantineAfter times is rejected here, before it can touch
@@ -683,7 +825,7 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 	if g.cfg.QuarantineAfter > 0 {
 		if n, ok := g.quarantine.Get(quarantineKey(dec.key)); ok && n.Load() >= int64(g.cfg.QuarantineAfter) {
 			g.quarantined.Inc()
-			return nil, errf(http.StatusInternalServerError, "quarantined",
+			return nil, nil, errf(http.StatusInternalServerError, "quarantined",
 				"this request previously crashed %d planner passes and is quarantined", n.Load())
 		}
 	}
@@ -692,10 +834,14 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 		p := g.pool.Default()
 		name := p.DeviceName()
 		if !g.deviceEligible(name) {
-			return nil, g.unhealthyErr(name)
+			return nil, nil, g.unhealthyErr(name)
 		}
 		dec.key.device = name
-		return g.admitOn(dec, p, true)
+		if body, ok := g.byteCacheGet(dec.key); ok {
+			return nil, body, nil
+		}
+		c, e := g.admitOn(dec, p, true)
+		return c, nil, e
 	case "auto":
 		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples), g.deviceEligible)
 		if ok {
@@ -706,10 +852,14 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 				// Route only returns registered names.
 				panic(err)
 			}
+			if body, okc := g.byteCacheGet(dec.key); okc {
+				return nil, body, nil
+			}
 			// Route already applied the budget predicate to the chosen
 			// device; re-checking here could shed a request it just
 			// qualified (the estimate moves between the two reads).
-			return g.admitOn(dec, p, false)
+			c, e := g.admitOn(dec, p, false)
+			return c, nil, e
 		}
 		// No device qualifies — but coalesce before shedding: an
 		// identical execution already in flight on any healthy device
@@ -723,7 +873,7 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 			if c, inFlight := g.inflight[k]; inFlight {
 				g.coalesced.Inc()
 				c.waiters.Add(1)
-				return c, nil
+				return c, nil, nil
 			}
 		}
 		// Route reports +Inf exactly when the eligible set was empty:
@@ -732,25 +882,29 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, *apiError) {
 			e := errf(http.StatusServiceUnavailable, "no_healthy_device",
 				"every registered device is unhealthy; background probes are running")
 			e.wire.RetryAfterMs = float64(g.cfg.ProbeInterval) / float64(time.Millisecond)
-			return nil, e
+			return nil, nil, e
 		}
 		g.shedBudget.Inc()
 		e := errf(http.StatusTooManyRequests, "budget_too_small",
 			"budget %.3f ms is below every device's estimated warm-path latency (fastest: %.3f ms)",
 			dec.budgetMs, est)
 		e.wire.RetryAfterMs = est
-		return nil, e
+		return nil, nil, e
 	default:
 		p, err := g.pool.Planner(dec.target)
 		if err != nil {
 			g.rejected.Inc()
-			return nil, errf(http.StatusBadRequest, "unknown_device", "%v", err)
+			return nil, nil, errf(http.StatusBadRequest, "unknown_device", "%v", err)
 		}
 		if !g.deviceEligible(dec.target) {
-			return nil, g.unhealthyErr(dec.target)
+			return nil, nil, g.unhealthyErr(dec.target)
 		}
 		dec.key.device = dec.target
-		return g.admitOn(dec, p, true)
+		if body, ok := g.byteCacheGet(dec.key); ok {
+			return nil, body, nil
+		}
+		c, e := g.admitOn(dec, p, true)
+		return c, nil, e
 	}
 }
 
@@ -1047,7 +1201,10 @@ func (g *Gateway) executeGroup(dev string, calls []*call) {
 }
 
 // deliverResult publishes a completed execution's response (success or
-// structured planner error) to a call.
+// structured planner error) to a call. The success path is the byte
+// cache's only population point: a body cached here was fully rendered
+// and delivered, so errors, contained panics and watchdog-abandoned
+// passes can never seed the fast path.
 func (g *Gateway) deliverResult(c *call, resp *serve.Response, err error) {
 	if err != nil {
 		g.planErrors.Inc()
@@ -1056,7 +1213,9 @@ func (g *Gateway) deliverResult(c *call, resp *serve.Response, err error) {
 		g.deliver(c, e.status, append(b, '\n'), 0)
 		return
 	}
-	g.deliver(c, http.StatusOK, EncodeResponse(resp), 0)
+	body := EncodeResponse(resp)
+	g.byteCacheAdd(c.key, body)
+	g.deliver(c, http.StatusOK, body, 0)
 }
 
 // deliverPanic converts a recovered planner panic into a structured 500
@@ -1118,6 +1277,10 @@ func (g *Gateway) deviceFault(dev string) {
 	}
 	if h.consecutive.Add(1) >= int64(g.cfg.UnhealthyAfter) && h.unhealthy.CompareAndSwap(false, true) {
 		g.unhealthyByDev[dev].Set(1)
+		// A tripped device's rendered bodies leave the fast path with
+		// it: eligibility already gates every lookup, and the purge
+		// keeps the cache's contents honest about who is serving.
+		g.byteCachePurgeDevice(dev)
 		g.goBackground(func() { g.probeLoop(h) })
 	}
 }

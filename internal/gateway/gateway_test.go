@@ -191,6 +191,10 @@ func TestGatewayCoalescesIdenticalRequests(t *testing.T) {
 func TestGatewayShedsOnBudget(t *testing.T) {
 	cfg := quickConfig(5)
 	cfg.ShedMinSamples = 1
+	// This test warms via repeated identical requests and then asserts
+	// the shed path; the byte cache would serve the repeats (and the
+	// tiny-budget identical request) without touching the planner.
+	cfg.ByteCacheCap = -1
 	g, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -712,7 +716,11 @@ func TestGatewayDevicesEndpoint(t *testing.T) {
 // targets yields different measured latencies from independent cache
 // entries; a repeat per target is a warm byte-identical hit.
 func TestGatewayCrossDeviceIsolation(t *testing.T) {
-	g, err := New(quickConfig(23))
+	cfg := quickConfig(23)
+	// Asserts per-target measurement-cache hits on repeats — the
+	// planner's own warm path, which the byte cache short-circuits.
+	cfg.ByteCacheCap = -1
+	g, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -802,6 +810,9 @@ func TestGatewayAutoTargetMatchesExplicit(t *testing.T) {
 func TestGatewayAutoShedsOnlyWhenNoDeviceQualifies(t *testing.T) {
 	cfg := quickConfig(31)
 	cfg.ShedMinSamples = 1
+	// Warm-ups repeat identical requests; the byte cache would answer
+	// them (and the impossible-budget repeats) before the shed path.
+	cfg.ByteCacheCap = -1
 	// Two targets keep the warm-up short.
 	cfg.Devices = []device.Config{device.Xavier(), device.EdgeCPU()}
 	g, err := New(cfg)
@@ -921,6 +932,9 @@ func TestGatewayBatchWindowDrainsStaggeredBurst(t *testing.T) {
 func TestGatewayAutoCoalescesBeforeShedding(t *testing.T) {
 	cfg := quickConfig(41)
 	cfg.ShedMinSamples = 1
+	// Coalescing with an in-flight leader is the subject; a byte-cache
+	// hit would answer the repeats before they could join anything.
+	cfg.ByteCacheCap = -1
 	cfg.Workers = 1
 	cfg.Devices = []device.Config{device.Xavier()}
 	g, err := New(cfg)
@@ -985,6 +999,9 @@ func TestGatewayAutoCoalescesBeforeShedding(t *testing.T) {
 func TestGatewayShedAccountsForBatchWindow(t *testing.T) {
 	cfg := quickConfig(43)
 	cfg.ShedMinSamples = 1
+	// The window-blind budget request repeats the warm-up's identity;
+	// disable the byte cache so it reaches the shed predicate.
+	cfg.ByteCacheCap = -1
 	cfg.Devices = []device.Config{device.Xavier()}
 	cfg.BatchWindow = 500 * time.Millisecond
 	g, err := New(cfg)

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"netcut/internal/graph"
@@ -128,29 +130,98 @@ func errf(status int, code, format string, args ...any) *apiError {
 	return &apiError{status: status, wire: ErrorWire{Code: code, Error: fmt.Sprintf(format, args...)}}
 }
 
+// encBufPool recycles scratch buffers for EncodeResponse, so a warm
+// miss renders its body with exactly one allocation (the returned
+// slice, which outlives the call as the response and byte-cache value).
+var encBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 256); return &b },
+}
+
 // EncodeResponse renders a planner response as the gateway's response
 // body. Exported so tests (and clients embedded in this repo) can pin
 // the byte-identity contract: a coalesced or batched gateway body
 // equals EncodeResponse of the same request served alone.
+//
+// The rendering is hand-rolled — field order and spelling mirror
+// PlanResponseWire, and the scalar appenders replicate encoding/json's
+// formatting exactly — so the warm path pays no reflective walk while
+// the bytes stay identical to json.Marshal of the wire struct
+// (TestEncodeResponseMatchesJSONMarshal pins the equivalence; change
+// PlanResponseWire and this renderer together).
 func EncodeResponse(r *serve.Response) []byte {
-	b, err := json.Marshal(PlanResponseWire{
-		Device:        r.Device,
-		Feasible:      r.Feasible,
-		Network:       r.Network,
-		Parent:        r.Parent,
-		BlocksRemoved: r.BlocksRemoved,
-		LayersRemoved: r.LayersRemoved,
-		EstimatedMs:   r.EstimatedMs,
-		MeasuredMs:    r.MeasuredMs,
-		Accuracy:      r.Accuracy,
-		TrainHours:    r.TrainHours,
-		Iterations:    r.Iterations,
-	})
-	if err != nil {
-		// PlanResponseWire contains only marshalable scalars.
-		panic(err)
+	bp := encBufPool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, `{"device":`...)
+	b = appendJSONString(b, r.Device)
+	b = append(b, `,"feasible":`...)
+	b = strconv.AppendBool(b, r.Feasible)
+	if r.Network != "" { // omitempty
+		b = append(b, `,"network":`...)
+		b = appendJSONString(b, r.Network)
 	}
-	return append(b, '\n')
+	b = append(b, `,"parent":`...)
+	b = appendJSONString(b, r.Parent)
+	b = append(b, `,"blocks_removed":`...)
+	b = strconv.AppendInt(b, int64(r.BlocksRemoved), 10)
+	b = append(b, `,"layers_removed":`...)
+	b = strconv.AppendInt(b, int64(r.LayersRemoved), 10)
+	b = append(b, `,"estimated_ms":`...)
+	b = appendJSONFloat(b, r.EstimatedMs)
+	b = append(b, `,"measured_ms":`...)
+	b = appendJSONFloat(b, r.MeasuredMs)
+	b = append(b, `,"accuracy":`...)
+	b = appendJSONFloat(b, r.Accuracy)
+	b = append(b, `,"train_hours":`...)
+	b = appendJSONFloat(b, r.TrainHours)
+	b = append(b, `,"iterations":`...)
+	b = strconv.AppendInt(b, int64(r.Iterations), 10)
+	b = append(b, '}', '\n')
+	out := append(make([]byte, 0, len(b)), b...)
+	*bp = b
+	encBufPool.Put(bp)
+	return out
+}
+
+// appendJSONString appends s as a JSON string. The fast path covers
+// printable ASCII with nothing to escape — every registered device and
+// zoo network name; anything else (quotes, control bytes, non-ASCII,
+// and the <, >, & that encoding/json HTML-escapes) falls back to
+// json.Marshal so the escaping matches it byte for byte.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			enc, err := json.Marshal(s)
+			if err != nil {
+				panic(err) // a string value cannot fail to marshal
+			}
+			return append(b, enc...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends f exactly as encoding/json renders a float64:
+// shortest representation, 'f' format unless the magnitude forces 'e',
+// and the exponent's leading zero stripped (2.5e-09 -> 2.5e-9).
+func appendJSONFloat(b []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		// encoding/json rejects these; the planner never emits them.
+		panic(&json.UnsupportedValueError{Str: strconv.FormatFloat(f, 'g', -1, 64)})
+	}
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 // EncodeGraph renders g in the wire schema, the inverse of the request

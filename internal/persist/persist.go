@@ -2,7 +2,7 @@
 // of the planning stack's warm state — device kernel plans, profiler
 // measurements and per-layer tables, and scoped trim cuts — so a
 // restarted daemon (or a freshly built Planner) can restore its caches
-// instead of paying the ~40x cold/warm gap on every first-seen
+// instead of paying the ~23x cold/warm gap on every first-seen
 // (graph, device) pair.
 //
 // Format: a single JSON envelope

@@ -534,7 +534,11 @@ func (p *Planner) Executions() uint64 {
 
 // WarmQuantile estimates the q-quantile of warm execution latency in
 // milliseconds, and reports how many warm executions it is based on.
-// The gateway's deadline-aware admission reads the p99.
+// The gateway's deadline-aware admission reads the p99. When the rank
+// falls past the histogram's last finite bucket the estimate is the
+// tracked overflow maximum — conservative (an over-estimate sheds a
+// request that might have fit; an under-estimate would queue one into
+// certain lateness).
 func (p *Planner) WarmQuantile(q float64) (ms float64, samples uint64) {
 	tel := p.tel.Load()
 	if tel == nil {

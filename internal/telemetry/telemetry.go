@@ -70,6 +70,11 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+	// maxBits is the float64 bits of the largest observation that
+	// landed in the +Inf bucket (0 until one does). Quantile reads it
+	// so overflow mass reports a conservative finite value instead of
+	// clamping to the last bound and underestimating.
+	maxBits atomic.Uint64
 }
 
 // Observe records one value.
@@ -77,6 +82,17 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if i == len(h.bounds) {
+		// Overflow: track the max so quantiles landing here stay
+		// honest. Latencies are non-negative, so the bit patterns
+		// order like the floats and a CAS max loop suffices.
+		for {
+			old := h.maxBits.Load()
+			if math.Float64frombits(old) >= v || h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+				break
+			}
+		}
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -95,9 +111,11 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 // Quantile estimates the q-quantile (0 < q <= 1) by linear
 // interpolation inside the bucket containing it, the same estimate
 // Prometheus's histogram_quantile computes. It returns 0 before any
-// observation. Values in the +Inf bucket clamp to the last finite
-// bound, so the estimate is always finite — good enough for admission
-// control, which only needs "roughly how slow is warm planning".
+// observation. The estimate is always finite: when the quantile lands
+// in the +Inf bucket it reports the largest overflowed observation —
+// conservative (an upper bound on the true quantile), so admission
+// control that sheds against a latency quantile fails safe instead of
+// underestimating a distribution that drifted past the last bound.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -117,13 +135,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 				lo = h.bounds[i-1]
 			}
 			if math.IsInf(hi, 1) {
-				return h.bounds[len(h.bounds)-1]
+				return h.overflowMax()
 			}
 			return lo + (hi-lo)*((rank-seen)/n)
 		}
 		seen += n
 	}
 	return h.bounds[len(h.bounds)-1]
+}
+
+// overflowMax is the largest observation that landed in the +Inf
+// bucket, falling back to the last finite bound if a concurrent scrape
+// races the max update (the count can momentarily lead the max).
+func (h *Histogram) overflowMax() float64 {
+	if m := math.Float64frombits(h.maxBits.Load()); m > h.bounds[len(h.bounds)-1] {
+		return m
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// OverflowCount returns how many observations exceeded the last finite
+// bound — the +Inf bucket's population, surfaced so operators can tell
+// when a histogram's bucket layout no longer covers its distribution.
+func (h *Histogram) OverflowCount() uint64 {
+	return h.counts[len(h.bounds)].Load()
 }
 
 func (h *Histogram) upper(i int) float64 {

@@ -63,9 +63,11 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	if q := h.Quantile(0.5); q < 1 || q > 2 {
 		t.Fatalf("p50 = %v, want within (1,2]", q)
 	}
-	// The +Inf observation clamps the top quantile to the last bound.
-	if q := h.Quantile(1.0); q != 8 {
-		t.Fatalf("p100 = %v, want clamp to 8", q)
+	// The +Inf observation reports the tracked overflow max — finite
+	// and conservative, never an underestimating clamp to the last
+	// bound.
+	if q := h.Quantile(1.0); q != 100 {
+		t.Fatalf("p100 = %v, want the overflow max 100", q)
 	}
 }
 
@@ -236,4 +238,40 @@ func TestLabeledKindConflictPanics(t *testing.T) {
 		}
 	}()
 	r.GaugeWith("x_total", "", []Label{{Key: "device", Value: "b"}})
+}
+
+// TestHistogramOverflowQuantileConservative pins the +Inf-bucket fix:
+// when observations drift past the last finite bound, a quantile that
+// lands in the overflow mass must report the largest overflowed
+// observation (an upper bound on the truth), not clamp to the last
+// bound and underestimate — budget shedding admits against this number.
+func TestHistogramOverflowQuantileConservative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("overflow_ms", "", []float64{1, 2})
+	for _, v := range []float64{100, 200, 300} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if got := h.Quantile(q); got != 300 {
+			t.Fatalf("Quantile(%v) = %v with all samples overflowed; want max observation 300", q, got)
+		}
+	}
+	if n := h.OverflowCount(); n != 3 {
+		t.Fatalf("OverflowCount = %d; want 3", n)
+	}
+	// Mixed mass: quantiles inside finite buckets keep the interpolated
+	// estimate; only the overflow tail reports the tracked max.
+	h2 := r.Histogram("overflow_mixed_ms", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 0.5, 0.5, 50} {
+		h2.Observe(v)
+	}
+	if got := h2.Quantile(0.5); got >= 1 {
+		t.Fatalf("Quantile(0.5) = %v; want an interpolated value inside the first bucket", got)
+	}
+	if got := h2.Quantile(0.99); got != 50 {
+		t.Fatalf("Quantile(0.99) = %v with an overflowed tail; want 50", got)
+	}
+	if math.IsInf(h2.Quantile(0.99), 1) {
+		t.Fatal("overflow quantile must stay finite")
+	}
 }

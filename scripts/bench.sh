@@ -53,3 +53,29 @@ RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
 } > "$OUT"
 
 echo "wrote $OUT"
+
+# Compare against the most recent prior BENCH_*.json so drift shows up
+# in the run log, not only in git archaeology. A missing prior file is
+# an explicit warning — a compare step that silently passes when there
+# is nothing to compare against would read as "no regressions".
+PREV="$(ls -1 "$OUT_DIR"/BENCH_*.json 2>/dev/null | grep -v "^$OUT\$" | sort | tail -1 || true)"
+if [ -z "$PREV" ]; then
+  echo "WARNING: no prior BENCH_*.json in $OUT_DIR to compare against — drift not checked" >&2
+else
+  echo "comparing against $PREV"
+  python3 - "$PREV" "$OUT" <<'PY'
+import json, sys
+prev = {b["name"]: b for b in json.load(open(sys.argv[1]))["benchmarks"]}
+curr = {b["name"]: b for b in json.load(open(sys.argv[2]))["benchmarks"]}
+for name in sorted(set(prev) & set(curr)):
+    p, c = prev[name]["ns_per_op"], curr[name]["ns_per_op"]
+    if p <= 0:
+        continue
+    delta = (c - p) / p * 100
+    flag = " <-- regression" if delta > 25 else ""
+    print(f"  {name}: {p/1e6:.3f} -> {c/1e6:.3f} ms/op ({delta:+.1f}%){flag}")
+only = sorted(set(prev) - set(curr))
+if only:
+    print("  dropped since previous run: " + ", ".join(only))
+PY
+fi

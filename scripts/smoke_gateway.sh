@@ -28,7 +28,11 @@ if "$BIN" -addr "not-a-valid-address" >/dev/null 2>&1; then
 fi
 
 STATE="$TMP/state.json"
-"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE" >"$TMP/netserve.log" 2>&1 &
+# -byte-cache 0 for this leg: it exercises the planner's own warm path
+# and the shed predicate with repeated identical requests, which the
+# rendered-response cache would otherwise answer outright (the dedicated
+# byte-cache leg at the end runs with the cache on).
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -byte-cache 0 -state-file "$STATE" >"$TMP/netserve.log" 2>&1 &
 PID=$!
 
 for _ in $(seq 1 50); do
@@ -274,6 +278,43 @@ else
   code=$?
   echo "FAIL: post-crash netserve exited $code after SIGTERM" >&2
   cat "$TMP/netserve4.log" >&2
+  exit 1
+fi
+PID=""
+
+# Byte-cache leg: a default-configuration daemon (cache on) must serve
+# the second of two identical requests from the rendered-response cache
+# — the hit counter moves and the body stays byte-identical.
+"$BIN" -addr "$ADDR" -seed 1 >"$TMP/netserve5.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: byte-cache netserve died before becoming healthy" >&2
+    cat "$TMP/netserve5.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+[ "$(plan "$TMP/bc1.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+[ "$(plan "$TMP/bc2.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+cmp -s "$TMP/bc1.json" "$TMP/bc2.json" || {
+  echo "FAIL: byte-cache hit body diverged from the executed body" >&2; exit 1; }
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics4"
+grep -Eq '^netcut_gateway_bytecache_hits_total [1-9]' "$TMP/metrics4" || {
+  echo "FAIL: second identical request was not a bytecache hit" >&2
+  grep '^netcut_gateway_bytecache' "$TMP/metrics4" >&2; exit 1; }
+grep -Eq '^netcut_gateway_bytecache_misses_total [1-9]' "$TMP/metrics4" || {
+  echo "FAIL: bytecache miss counter did not move" >&2; exit 1; }
+
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "byte-cache netserve drained cleanly"
+else
+  code=$?
+  echo "FAIL: byte-cache netserve exited $code after SIGTERM" >&2
+  cat "$TMP/netserve5.log" >&2
   exit 1
 fi
 PID=""
