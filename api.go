@@ -324,6 +324,17 @@ func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool
 // /healthz liveness. Every 429/503 rejection carries a Retry-After
 // header. See the package comment's "Fault tolerance & degradation"
 // section.
+//
+// Every request is traced: the response carries the trace ID in the
+// X-Netcut-Trace header and the trace_id body field (the only byte
+// tracing adds — everything else is observability-only), completed
+// traces are served from a bounded ring at GET /debug/trace
+// (GatewayConfig.TraceRingCap, DefaultTraceRingCap when 0), in-flight
+// ones at GET /debug/requests, per-stage latencies feed the
+// netcut_gateway_stage_ms histograms, requests slower than
+// GatewayConfig.SlowTraceMs log one structured line, and
+// GatewayConfig.Pprof mounts net/http/pprof under /debug/pprof/. See
+// the package comment's "Observability" section for the catalogue.
 type (
 	Gateway = gateway.Gateway
 	// GatewayConfig parameterizes a Gateway: the embedded PlannerConfig
@@ -337,6 +348,12 @@ type (
 // rendered-response byte cache when GatewayConfig.ByteCacheCap is 0;
 // negative disables the cache.
 const DefaultByteCacheCap = gateway.DefaultByteCacheCap
+
+// DefaultTraceRingCap is the completed-trace retention of GET
+// /debug/trace when GatewayConfig.TraceRingCap is 0; negative disables
+// the ring (requests are still traced for /metrics, the header and the
+// slow-request log).
+const DefaultTraceRingCap = gateway.DefaultTraceRingCap
 
 // NewGateway builds the serving gateway and starts its batch workers.
 // Mount Handler() on an http.Server and call Shutdown to drain:

@@ -12,6 +12,10 @@
 //	GET  /v1/devices  registered targets (calibration, health + telemetry)
 //	GET  /metrics     Prometheus text format (device-labeled series)
 //	GET  /debug/stats JSON snapshot (telemetry + per-device caches)
+//	GET  /debug/trace completed request traces, newest first
+//	                  (?id= ?device= ?status= ?min_ms= ?limit= filters)
+//	GET  /debug/requests in-flight request traces, oldest (stuck) first
+//	GET  /debug/pprof/ net/http/pprof profiles (only with -pprof)
 //	GET  /healthz     liveness probe (200 while the process serves)
 //	GET  /readyz      readiness probe (200 after boot restore, 503 while draining)
 //
@@ -26,6 +30,16 @@
 //	netserve -state-file /var/lib/netcut/state.json -prewarm
 //	netserve -state-file /var/lib/netcut/state.json -autosave 30s
 //	netserve -exec-timeout 5s
+//	netserve -slow-trace 50ms                # log requests slower than this
+//	netserve -pprof                          # mount /debug/pprof/ (off by default)
+//
+// Observability: every request is traced end to end — the response
+// carries the trace ID in the X-Netcut-Trace header and the trace_id
+// body field, /debug/trace serves the recent-trace ring buffer,
+// /debug/requests dumps what is in flight right now, and requests
+// slower than -slow-trace are logged as structured lines with their
+// per-stage timings. See the "Observability" section of the library
+// documentation for the full metric catalogue.
 //
 // Warm-state persistence: with -state-file, the daemon restores the
 // planners' caches from the file on boot — falling back to the
@@ -94,6 +108,9 @@ func run() int {
 		autosave     = flag.Duration("autosave", 0, "periodic warm-state snapshot interval (requires -state-file; 0 = only save on drain/demand)")
 		execTimeout  = flag.Duration("exec-timeout", 0, "per-pass execution watchdog: abandon planner passes stuck longer than this with a 504 (0 = disabled)")
 		prewarm      = flag.Bool("prewarm", false, "plan the calibrated zoo on every device in the background at startup (after any -state-file restore)")
+		slowTrace    = flag.Duration("slow-trace", 0, "log a structured per-stage trace for requests slower than this (0 = disabled)")
+		traceRing    = flag.Int("trace-ring", netcut.DefaultTraceRingCap, "completed request traces retained for /debug/trace (0 = disabled)")
+		pprof        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enable only on trusted listeners)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -123,6 +140,10 @@ func run() int {
 	if byteCacheCap == 0 {
 		byteCacheCap = -1
 	}
+	traceRingCap := *traceRing
+	if traceRingCap == 0 {
+		traceRingCap = -1
+	}
 	gw, err := netcut.NewGateway(netcut.GatewayConfig{
 		Planner:          netcut.PlannerConfig{Seed: *seed},
 		Devices:          devs,
@@ -137,6 +158,9 @@ func run() int {
 		StatePath:        *stateFile,
 		AutosaveInterval: *autosave,
 		ExecTimeout:      *execTimeout,
+		SlowTraceMs:      float64(*slowTrace) / float64(time.Millisecond),
+		TraceRingCap:     traceRingCap,
+		Pprof:            *pprof,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netserve: %v\n", err)

@@ -233,14 +233,41 @@
 // seed/key-matched fault points compiled into the hot paths as no-ops
 // unless a test arms them — under the race detector in CI.
 //
-// Observability: internal/telemetry is a dependency-free metrics
-// registry (counters, gauges, histograms) threaded through every cache
-// layer — device kernel plans, profiler measurements and tables, the
-// sharded TRN cut cache — plus the planner's execution counters and
-// cold/warm latency split and the gateway's queue/shed/coalesce
-// counters (queue depth and queue-full sheds are per-lane, labeled by
-// device). The gateway serves it at /metrics (Prometheus text
-// format) and /debug/stats (JSON).
+// # Observability
+//
+// internal/telemetry is a dependency-free metrics registry (counters,
+// gauges, histograms) threaded through every cache layer — device
+// kernel plans, profiler measurements and tables, the sharded TRN cut
+// cache — plus the planner's execution counters and cold/warm latency
+// split, the gateway's queue/shed/coalesce counters (queue depth and
+// queue-full sheds are per-lane, labeled by device) and Go runtime
+// gauges (goroutines, heap bytes, GC pause p99, uptime). The gateway
+// serves it at /metrics (Prometheus text format, explicit
+// Content-Type) and /debug/stats (JSON); README.md carries the
+// complete metric-family catalogue, which the gateway smoke script
+// lints against a live scrape.
+//
+// Request tracing (internal/trace, equally dependency-free) is always
+// on: each request gets a deterministic 16-hex trace ID — returned in
+// the X-Netcut-Trace response header and the trace_id body field —
+// and a record of timestamped stage spans covering decode, every
+// admission gate with its verdict (drain, quarantine, route, health,
+// bytecache, coalesce, shed), enqueue, queue wait and planner
+// execution as separate spans, encode and delivery. Completed traces
+// land in a bounded lock-sharded ring served at GET /debug/trace
+// (filterable by id, device, status, min_ms, limit;
+// GatewayConfig.TraceRingCap / netserve -trace-ring bounds it);
+// in-flight requests are visible at GET /debug/requests, oldest
+// first, so stuck work surfaces at the top. Requests slower than
+// GatewayConfig.SlowTraceMs (netserve -slow-trace) are additionally
+// logged as structured log/slog lines carrying the full stage
+// breakdown, and per-stage latency is exported as the
+// netcut_gateway_stage_ms{stage,device} histogram family. Tracing
+// never changes a response byte apart from the injected trace_id
+// field — the determinism contract holds modulo that one field, and
+// the GOMAXPROCS guard pins exactly that. GatewayConfig.Pprof
+// (netserve -pprof) mounts net/http/pprof under /debug/pprof/, off by
+// default.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-vs-measured results.

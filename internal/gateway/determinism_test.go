@@ -23,6 +23,11 @@ import (
 // policy and is exercised by its own tests, not the byte-identity
 // guard. Run under -race in CI this is also the gateway's data-race
 // probe.
+//
+// With tracing always on, "byte-identical" means modulo the injected
+// trace_id field: each response carries a unique ID, so the bodies are
+// compared with it stripped, and every ID is separately pinned to the
+// 16-hex format and to the X-Netcut-Trace header.
 func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	const (
 		goroutines = 8
@@ -53,7 +58,7 @@ func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("reference request %d: status %d: %s", i, rec.Code, rec.Body.String())
 		}
-		want[i] = rec.Body.Bytes()
+		want[i] = stripped(rec.Body.Bytes())
 	}
 	mustShutdown(t, ref)
 	runtime.GOMAXPROCS(prev)
@@ -76,9 +81,19 @@ func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d: status %d: %s", width, w, rec.Code, rec.Body.String())
 							return
 						}
-						if !bytes.Equal(rec.Body.Bytes(), want[i]) {
+						if !bytes.Equal(stripped(rec.Body.Bytes()), want[i]) {
 							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d round %d: user-net-%d body diverged from serial replay:\n got %s\nwant %s",
 								width, w, round, i, rec.Body.Bytes(), want[i])
+							return
+						}
+						hdr := rec.Header().Get(TraceHeader)
+						if !traceIDFormat.MatchString(hdr) {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d: trace header %q is not 16 lowercase hex", width, w, hdr)
+							return
+						}
+						if !bytes.Contains(rec.Body.Bytes(), []byte(`"trace_id":"`+hdr+`"`)) {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d: body trace_id does not match header %q:\n%s",
+								width, w, hdr, rec.Body.String())
 							return
 						}
 					}

@@ -92,9 +92,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -109,6 +111,7 @@ import (
 	"netcut/internal/lru"
 	"netcut/internal/serve"
 	"netcut/internal/telemetry"
+	"netcut/internal/trace"
 	"netcut/internal/zoo"
 )
 
@@ -216,6 +219,27 @@ type Config struct {
 	// (quarantineCap), so the set cannot grow without bound either.
 	// 0 means DefaultQuarantineAfter; negative disables quarantining.
 	QuarantineAfter int
+
+	// SlowTraceMs emits a structured log/slog line (on SlowLog, or the
+	// process default logger) for every request whose end-to-end trace
+	// exceeds this many milliseconds, with per-stage durations as
+	// attributes. 0 (the default) disables slow-trace logging; negative
+	// is a configuration error.
+	SlowTraceMs float64
+	// SlowLog receives the slow-trace lines; nil means slog.Default().
+	SlowLog *slog.Logger
+	// TraceRingCap bounds the completed-trace ring buffer behind
+	// GET /debug/trace (the retained count rounds up to a multiple of
+	// the ring's shard count). 0 means DefaultTraceRingCap; negative
+	// disables the ring — requests are still traced (header, body
+	// trace_id, /debug/requests, stage histograms, slow logging), but
+	// completed traces are not retained.
+	TraceRingCap int
+	// Pprof mounts net/http/pprof's profiling handlers under
+	// /debug/pprof/ on the gateway mux. Off by default: the profile
+	// endpoints can stall the process (CPU profiles block for their
+	// duration), so they are opt-in, next to the always-on /metrics.
+	Pprof bool
 }
 
 // Defaults for the Config knobs.
@@ -237,6 +261,11 @@ const (
 	// default: the drain budget assumed when Shutdown's context has no
 	// deadline.
 	DefaultDrainTimeout = 30 * time.Second
+	// DefaultTraceRingCap retains the most recent completed traces for
+	// GET /debug/trace: a trace is a few hundred bytes, so the default
+	// window costs well under a megabyte while covering several seconds
+	// of saturated traffic.
+	DefaultTraceRingCap = 512
 
 	// quarantineCap bounds the panic-count LRU: big enough to hold a
 	// burst of distinct poison keys, small enough that the quarantine
@@ -276,6 +305,9 @@ func (c *Config) fill() error {
 			return fmt.Errorf("negative %s %v", k.name, k.val)
 		}
 	}
+	if c.SlowTraceMs < 0 {
+		return fmt.Errorf("negative SlowTraceMs %v", c.SlowTraceMs)
+	}
 	if c.AutosaveInterval > 0 && c.StatePath == "" {
 		return fmt.Errorf("AutosaveInterval requires a StatePath")
 	}
@@ -305,6 +337,9 @@ func (c *Config) fill() error {
 	}
 	if c.ByteCacheCap == 0 {
 		c.ByteCacheCap = DefaultByteCacheCap
+	}
+	if c.TraceRingCap == 0 {
+		c.TraceRingCap = DefaultTraceRingCap
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = DefaultDrainTimeout
@@ -337,6 +372,51 @@ type call struct {
 	retryAfterMs float64
 	waiters      atomic.Int64
 	delivered    atomic.Bool
+
+	// Execution timeline, written by the lane worker before done closes
+	// (the close is the happens-before edge) and read by every waiter
+	// afterwards, so each trace can carve its wait into queue-wait,
+	// execution and encode spans. Zero when the call never reached a
+	// planner (cancelled in queue).
+	execStartAt time.Time
+	execEndAt   time.Time
+	encodeDur   time.Duration
+
+	// planPhases collects the planner's internal phase windows
+	// (measure, estimate, explore) via the serve.Request.Trace
+	// callback. Guarded by phaseMu rather than the done happens-before
+	// edge alone: a watchdog-abandoned pass keeps running in the
+	// background and may still be appending while waiters read.
+	phaseMu    sync.Mutex
+	planPhases []phaseWindow
+}
+
+// phaseWindow is one planner phase's absolute time window.
+type phaseWindow struct {
+	name       string
+	start, end time.Time
+}
+
+// notePhase is the serve.Request.Trace callback target.
+func (c *call) notePhase(name string, start, end time.Time) {
+	c.phaseMu.Lock()
+	c.planPhases = append(c.planPhases, phaseWindow{name, start, end})
+	c.phaseMu.Unlock()
+}
+
+// phases snapshots the recorded planner phases.
+func (c *call) phases() []phaseWindow {
+	c.phaseMu.Lock()
+	defer c.phaseMu.Unlock()
+	return append([]phaseWindow(nil), c.planPhases...)
+}
+
+// clearPhases drops phases recorded by a pass that will be redone (the
+// solo retry after a grouped panic).
+func (c *call) clearPhases() {
+	c.phaseMu.Lock()
+	c.planPhases = c.planPhases[:0]
+	c.phaseMu.Unlock()
 }
 
 // deviceHealth is one device's fault-containment state. consecutive
@@ -438,6 +518,7 @@ type Gateway struct {
 	abandonedByDev map[string]*telemetry.Counter
 	unhealthyByDev map[string]*telemetry.Gauge
 	probesByDev    map[string]*telemetry.Counter
+	slowTraces     *telemetry.Counter
 	requestLatMs   *telemetry.Histogram
 	// cancelledLatMs records the wall-clock latency of admitted
 	// requests whose client disconnected before delivery — its own
@@ -446,6 +527,17 @@ type Gateway struct {
 	cancelledLatMs *telemetry.Histogram
 	testHookBatch  func(device string, n int) // test-only: runs in a worker before a planner pass of n requests on one device
 	testHookProbe  func(device string)        // test-only: runs before each health probe plan
+
+	// Request tracing (see trace.go in this package): ids mints the
+	// deterministic-format trace IDs, live tracks in-flight traces for
+	// GET /debug/requests, ring retains completed ones for
+	// GET /debug/trace (nil when disabled), and stageHists carries the
+	// netcut_gateway_stage_ms{stage,device} histograms, pre-registered
+	// per device (plus "none" for requests refused before routing).
+	ids        *trace.IDGen
+	live       *trace.Live
+	ring       *trace.Ring
+	stageHists map[string]map[string]*telemetry.Histogram
 }
 
 // New builds the gateway — one planner per registered device behind a
@@ -497,6 +589,8 @@ func New(cfg Config) (*Gateway, error) {
 			"queued calls cancelled because every waiting client disconnected before execution"),
 		quarantined: reg.Counter("netcut_gateway_quarantined_total",
 			"requests rejected at admission because their key previously caused repeated panics"),
+		slowTraces: reg.Counter("netcut_gateway_slow_traces_total",
+			"requests whose end-to-end trace exceeded Config.SlowTraceMs and were logged"),
 		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
 		cancelledLatMs: reg.Histogram("netcut_gateway_request_cancelled_lat_ms",
 			"wall-clock latency of admitted plan requests cancelled by client disconnect before delivery", nil),
@@ -511,6 +605,22 @@ func New(cfg Config) (*Gateway, error) {
 			defer g.mu.Unlock()
 			return float64(len(g.inflight))
 		})
+	telemetry.RegisterRuntime(reg)
+
+	// Request tracing: the ID stream derives from the planner seed, so a
+	// replay with the same seed and admission order reproduces the same
+	// trace IDs — deterministic in format and in sequence.
+	g.ids = trace.NewIDGen(uint64(cfg.Planner.Seed))
+	g.live = trace.NewLive()
+	if cfg.TraceRingCap > 0 {
+		g.ring = trace.NewRing(cfg.TraceRingCap)
+		reg.GaugeFunc("netcut_gateway_trace_ring_entries",
+			"completed traces retained in the /debug/trace ring buffer",
+			func() float64 { return float64(g.ring.Len()) })
+	}
+	reg.GaugeFunc("netcut_gateway_traces_inflight",
+		"requests currently in flight (live traces, dumped at /debug/requests)",
+		func() float64 { return float64(g.live.Len()) })
 
 	// One lane per registered device: the configured queue-depth and
 	// worker totals divide evenly across lanes (minimum 1 each, the
@@ -560,12 +670,39 @@ func New(cfg Config) (*Gateway, error) {
 			"health probe plans attempted against an unhealthy device", labels)
 	}
 
+	// Per-stage latency histograms, pre-registered for every device plus
+	// the "none" pseudo-device (requests refused before routing). Only
+	// the clock-bounded stages get series; the admission gates record
+	// zero-duration verdict spans in traces, not histogram mass.
+	g.stageHists = make(map[string]map[string]*telemetry.Histogram, len(names)+1)
+	for _, dev := range append(append(make([]string, 0, len(names)+1), names...), stageDeviceNone) {
+		byStage := make(map[string]*telemetry.Histogram, len(timedStages))
+		for _, st := range timedStages {
+			byStage[st] = reg.HistogramWith("netcut_gateway_stage_ms",
+				"per-stage latency of plan requests, carved from request traces at completion", nil,
+				[]telemetry.Label{{Key: "stage", Value: st}, {Key: "device", Value: dev}})
+		}
+		g.stageHists[dev] = byStage
+	}
+
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("POST /v1/plan", g.handlePlan)
 	g.mux.HandleFunc("GET /v1/devices", g.handleDevices)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /debug/stats", g.handleStats)
 	g.mux.HandleFunc("POST /v1/state/save", g.handleStateSave)
+	g.mux.HandleFunc("GET /debug/trace", g.handleTrace)
+	g.mux.HandleFunc("GET /debug/requests", g.handleRequests)
+	if cfg.Pprof {
+		// Opt-in profiling handlers on the gateway mux itself, so one
+		// listener serves planning, metrics and profiles; pprof.Index
+		// dispatches the named sub-profiles (heap, goroutine, ...).
+		g.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		g.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		g.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		g.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		g.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	g.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -608,7 +745,9 @@ func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
 }
 
 // Handler returns the gateway's HTTP surface: POST /v1/plan,
-// GET /metrics, GET /debug/stats, GET /healthz.
+// GET /v1/devices, GET /metrics, GET /debug/stats, GET /debug/trace,
+// GET /debug/requests, GET /healthz, GET /readyz — plus
+// GET /debug/pprof/ when Config.Pprof is set.
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
 // Planner exposes the default target's planning service (for embedding
@@ -727,24 +866,35 @@ func (g *Gateway) drainRemainingMs() float64 {
 	return ms
 }
 
-// handlePlan is the admission path described in the package comment.
+// handlePlan is the admission path described in the package comment,
+// threaded through a request trace: every stage below marks a span on
+// tr, the trace ID rides out in the X-Netcut-Trace header and the
+// trace_id body field, and finishTrace files the completed record.
+// Tracing is observability only — it never changes a response byte.
 func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 	g.requests.Inc()
+	start := time.Now()
+	tr := trace.Start(g.ids.Next(), start)
+	g.live.Add(tr)
+	w.Header().Set(TraceHeader, tr.ID())
+
 	body := r.Body
 	if g.cfg.MaxBodyBytes > 0 {
 		body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
 	}
 	dec, aerr := decodeRequest(body)
 	if aerr != nil {
+		tr.Mark(stageDecode, "error")
 		g.rejected.Inc()
-		g.writeErr(w, aerr)
+		g.writeErrTraced(w, aerr, tr)
 		return
 	}
+	tr.SetRequest(dec.key.name, dec.target)
+	tr.Mark(stageDecode, verdictOK)
 
-	start := time.Now()
-	c, cached, aerr := g.admit(dec)
+	c, cached, aerr := g.admit(dec, tr)
 	if aerr != nil {
-		g.writeErr(w, aerr)
+		g.writeErrTraced(w, aerr, tr)
 		return
 	}
 	if cached != nil {
@@ -753,18 +903,21 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// request in the latency histogram; the hit itself is counted
 		// by the cache's own netcut_gateway_bytecache_hits_total,
 		// distinct from planner executions.
-		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
-		writeJSON(w, http.StatusOK, cached)
+		end := g.writePlanTraced(w, http.StatusOK, cached, tr)
+		g.requestLatMs.Observe(float64(end.Sub(start)) / float64(time.Millisecond))
 		return
 	}
 
 	select {
 	case <-c.done:
-		g.requestLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		// The worker published the call's execution timeline before
+		// closing done; carve it into queue-wait / exec / encode spans.
+		stitchCallSpans(tr, c)
 		if c.retryAfterMs > 0 {
 			w.Header().Set("Retry-After", retryAfterSeconds(c.retryAfterMs))
 		}
-		writeJSON(w, c.status, c.body)
+		end := g.writePlanTraced(w, c.status, c.body, tr)
+		g.requestLatMs.Observe(float64(end.Sub(start)) / float64(time.Millisecond))
 	case <-r.Context().Done():
 		// The client went away. If other waiters remain, the execution
 		// keeps running for them (its result is cached work, not waste);
@@ -774,7 +927,9 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// its own histogram, so delivered-request p99s aren't
 		// survivorship-biased by the clients who gave up.
 		c.waiters.Add(-1)
-		g.cancelledLatMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		now := tr.Mark(stageDeliver, "disconnected")
+		g.cancelledLatMs.Observe(float64(now.Sub(start)) / float64(time.Millisecond))
+		g.finishTrace(tr, statusClientClosed, now)
 	}
 }
 
@@ -806,16 +961,23 @@ func (g *Gateway) windowMs() float64 {
 // a budget-constrained request — delivering already-rendered bytes
 // fits any budget, so shedding applies only to requests that would
 // queue for an execution.
-func (g *Gateway) admit(dec *decodedRequest) (*call, []byte, *apiError) {
+func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *apiError) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
 	if g.draining {
+		tr.Mark(stageDrain, "draining")
 		g.shedDraining.Inc()
 		e := errf(http.StatusServiceUnavailable, "draining", "gateway is draining")
 		e.wire.RetryAfterMs = g.drainRemainingMs()
 		return nil, nil, e
 	}
+	// One clock read covers the whole gate run-up (including any wait
+	// for the gateway mutex); the later gates record zero-duration
+	// verdict spans at this timestamp — their decisions take
+	// nanoseconds, and what matters is which gate refused, not a
+	// duration below the clock's resolution.
+	tr.Mark(stageDrain, verdictOK)
 	// Quarantine gate: a request identity that already crashed planner
 	// passes QuarantineAfter times is rejected here, before it can touch
 	// a worker — containment of a poison graph must not cost a lane per
@@ -824,43 +986,57 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, []byte, *apiError) {
 	// resolution.
 	if g.cfg.QuarantineAfter > 0 {
 		if n, ok := g.quarantine.Get(quarantineKey(dec.key)); ok && n.Load() >= int64(g.cfg.QuarantineAfter) {
+			tr.MarkZero(stageQuarantine, "quarantined")
 			g.quarantined.Inc()
 			return nil, nil, errf(http.StatusInternalServerError, "quarantined",
 				"this request previously crashed %d planner passes and is quarantined", n.Load())
 		}
 	}
+	tr.MarkZero(stageQuarantine, verdictOK)
 	switch dec.target {
 	case "":
 		p := g.pool.Default()
 		name := p.DeviceName()
+		tr.SetDevice(name)
+		tr.MarkZero(stageRoute, name)
 		if !g.deviceEligible(name) {
+			tr.MarkZero(stageHealth, "unhealthy")
 			return nil, nil, g.unhealthyErr(name)
 		}
+		tr.MarkZero(stageHealth, verdictOK)
 		dec.key.device = name
 		if body, ok := g.byteCacheGet(dec.key); ok {
+			tr.Mark(stageByteCache, "hit")
 			return nil, body, nil
 		}
-		c, e := g.admitOn(dec, p, true)
+		tr.MarkZero(stageByteCache, "miss")
+		c, e := g.admitOn(dec, p, true, tr)
 		return c, nil, e
 	case "auto":
 		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples), g.deviceEligible)
 		if ok {
 			g.autoRouted.Inc()
 			dec.key.device = name
+			tr.SetDevice(name)
+			tr.Mark(stageRoute, name)
+			tr.MarkZero(stageHealth, verdictOK)
 			p, err := g.pool.Planner(name)
 			if err != nil {
 				// Route only returns registered names.
 				panic(err)
 			}
 			if body, okc := g.byteCacheGet(dec.key); okc {
+				tr.Mark(stageByteCache, "hit")
 				return nil, body, nil
 			}
+			tr.MarkZero(stageByteCache, "miss")
 			// Route already applied the budget predicate to the chosen
 			// device; re-checking here could shed a request it just
 			// qualified (the estimate moves between the two reads).
-			c, e := g.admitOn(dec, p, false)
+			c, e := g.admitOn(dec, p, false, tr)
 			return c, nil, e
 		}
+		tr.Mark(stageRoute, "none")
 		// No device qualifies — but coalesce before shedding: an
 		// identical execution already in flight on any healthy device
 		// serves this request at zero planner cost, which beats a 429.
@@ -873,17 +1049,21 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, []byte, *apiError) {
 			if c, inFlight := g.inflight[k]; inFlight {
 				g.coalesced.Inc()
 				c.waiters.Add(1)
+				tr.SetDevice(devName)
+				tr.MarkZero(stageCoalesce, "follower")
 				return c, nil, nil
 			}
 		}
 		// Route reports +Inf exactly when the eligible set was empty:
 		// nothing to shed against, the fleet is unhealthy.
 		if math.IsInf(est, 1) {
+			tr.MarkZero(stageHealth, "no_healthy_device")
 			e := errf(http.StatusServiceUnavailable, "no_healthy_device",
 				"every registered device is unhealthy; background probes are running")
 			e.wire.RetryAfterMs = float64(g.cfg.ProbeInterval) / float64(time.Millisecond)
 			return nil, nil, e
 		}
+		tr.MarkZero(stageShed, "budget")
 		g.shedBudget.Inc()
 		e := errf(http.StatusTooManyRequests, "budget_too_small",
 			"budget %.3f ms is below every device's estimated warm-path latency (fastest: %.3f ms)",
@@ -893,17 +1073,24 @@ func (g *Gateway) admit(dec *decodedRequest) (*call, []byte, *apiError) {
 	default:
 		p, err := g.pool.Planner(dec.target)
 		if err != nil {
+			tr.MarkZero(stageRoute, "unknown")
 			g.rejected.Inc()
 			return nil, nil, errf(http.StatusBadRequest, "unknown_device", "%v", err)
 		}
+		tr.SetDevice(dec.target)
+		tr.MarkZero(stageRoute, dec.target)
 		if !g.deviceEligible(dec.target) {
+			tr.MarkZero(stageHealth, "unhealthy")
 			return nil, nil, g.unhealthyErr(dec.target)
 		}
+		tr.MarkZero(stageHealth, verdictOK)
 		dec.key.device = dec.target
 		if body, ok := g.byteCacheGet(dec.key); ok {
+			tr.Mark(stageByteCache, "hit")
 			return nil, body, nil
 		}
-		c, e := g.admitOn(dec, p, true)
+		tr.MarkZero(stageByteCache, "miss")
+		c, e := g.admitOn(dec, p, true, tr)
 		return c, nil, e
 	}
 }
@@ -938,7 +1125,7 @@ func quarantineKey(k coalesceKey) coalesceKey {
 // admitOn coalesces, sheds or enqueues a target-resolved request on
 // its planner. shedCheck is false when the caller already applied the
 // budget predicate (the auto route).
-func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck bool) (*call, *apiError) {
+func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck bool, tr *trace.Trace) (*call, *apiError) {
 	// Coalesce before shedding: joining an in-flight execution consumes
 	// no planner work, so even a budget-constrained request is better
 	// served than shed. The join increments waiters under the gateway
@@ -947,8 +1134,10 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 	if c, ok := g.inflight[dec.key]; ok {
 		g.coalesced.Inc()
 		c.waiters.Add(1)
+		tr.MarkZero(stageCoalesce, "follower")
 		return c, nil
 	}
+	tr.MarkZero(stageCoalesce, "leader")
 	// Deadline-aware shedding: if the client's remaining budget cannot
 	// cover the target's warm-path p99 plus the batching window every
 	// pass leader waits out, queueing it only manufactures a
@@ -957,6 +1146,7 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 		p99, samples := planner.WarmQuantile(0.99)
 		need := p99 + g.windowMs()
 		if samples >= uint64(g.cfg.ShedMinSamples) && dec.budgetMs < need {
+			tr.MarkZero(stageShed, "budget")
 			g.shedBudget.Inc()
 			e := errf(http.StatusTooManyRequests, "budget_too_small",
 				"budget %.3f ms is below device %s's estimated warm-path latency of %.3f ms",
@@ -965,15 +1155,27 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 			return nil, e
 		}
 	}
+	tr.MarkZero(stageShed, verdictOK)
 	c := &call{key: dec.key, req: dec.req, planner: planner, done: make(chan struct{})}
+	// The planner reports its internal phase timings (measure /
+	// estimate / explore) into the call, where every coalesced waiter's
+	// trace picks them up after delivery. Observability only: the
+	// callback cannot influence the response, and it is not part of the
+	// coalescing identity (dec.key was computed before it existed).
+	c.req.Trace = c.notePhase
 	c.waiters.Store(1) // the leader
 	l := g.lanes[dec.key.device]
 	select {
 	case l.queue <- c:
 		g.inflight[dec.key] = c
 		g.pending.Add(1)
+		// The enqueue mark's clock read sets the trace cursor to the
+		// instant admission handed the call off — where the queue-wait
+		// span stitched in after delivery begins.
+		tr.Mark(stageEnqueue, verdictOK)
 		return c, nil
 	default:
+		tr.Mark(stageEnqueue, "full")
 		l.shedQueue.Inc()
 		e := errf(http.StatusTooManyRequests, "queue_full",
 			"admission lane of %d for device %s is full", g.laneQueueCap, l.device)
@@ -1173,13 +1375,27 @@ func (g *Gateway) executeGroup(dev string, calls []*call) {
 	}
 	g.batches.Inc()
 	g.batchedReqs.Add(uint64(len(calls)))
+	// Two clock reads bracket the pass for the whole group; every call
+	// shares them, and waiters stitch the window into their traces as
+	// the exec span after done closes.
+	execStart := time.Now()
+	for _, c := range calls {
+		c.execStartAt = execStart
+	}
 	res, abandoned := g.runGuarded(calls[0].planner, reqs)
+	execEnd := time.Now()
+	for _, c := range calls {
+		c.execEndAt = execEnd
+	}
 	switch {
 	case abandoned:
 		g.abandonCalls(dev, calls)
 	case res.panicked && len(calls) > 1:
 		for _, c := range calls {
+			c.clearPhases() // the panicked group pass's partial phases
+			c.execStartAt = time.Now()
 			sres, sab := g.runGuarded(c.planner, []serve.Request{c.req})
+			c.execEndAt = time.Now()
 			switch {
 			case sab:
 				g.abandonCalls(dev, []*call{c})
@@ -1213,7 +1429,9 @@ func (g *Gateway) deliverResult(c *call, resp *serve.Response, err error) {
 		g.deliver(c, e.status, append(b, '\n'), 0)
 		return
 	}
+	encStart := time.Now()
 	body := EncodeResponse(resp)
+	c.encodeDur = time.Since(encStart)
 	g.byteCacheAdd(c.key, body)
 	g.deliver(c, http.StatusOK, body, 0)
 }

@@ -74,6 +74,12 @@ func get(g *Gateway, path string) *httptest.ResponseRecorder {
 	return rec
 }
 
+// stripped returns a response body with the per-request trace_id field
+// removed. Trace IDs are unique by design; every byte-identity
+// assertion in this package compares the canonical rendering, which is
+// the body modulo that one write-time-injected field.
+func stripped(b []byte) []byte { return StripTraceID(b) }
+
 // graphBody marshals a plan request wrapping g.
 func graphBody(t *testing.T, g *graph.Graph, deadline float64, extra string) string {
 	t.Helper()
@@ -122,7 +128,7 @@ func TestGatewayMatchesPlannerSelect(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !bytes.Equal(rec.Body.Bytes(), EncodeResponse(want)) {
+		if !bytes.Equal(stripped(rec.Body.Bytes()), EncodeResponse(want)) {
 			t.Fatalf("%s: gateway body diverges from solo planner:\n gw: %s\nsolo: %s",
 				name, rec.Body.String(), EncodeResponse(want))
 		}
@@ -163,7 +169,7 @@ func TestGatewayCoalescesIdenticalRequests(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			rec := post(g, body)
-			codes[i], bodies[i] = rec.Code, rec.Body.Bytes()
+			codes[i], bodies[i] = rec.Code, stripped(rec.Body.Bytes())
 		}(i)
 	}
 	wg.Wait()
@@ -338,7 +344,7 @@ func TestGatewayBatchesCompatibleRequests(t *testing.T) {
 	results := make(chan result, k+1)
 	send := func(i int) {
 		rec := post(g, graphBody(t, userNet(i), 0.35, ""))
-		results <- result{i, rec.Code, rec.Body.Bytes()}
+		results <- result{i, rec.Code, stripped(rec.Body.Bytes())}
 	}
 
 	// Block the worker on a sacrificial request, queue k distinct
@@ -762,7 +768,7 @@ func TestGatewayCrossDeviceIsolation(t *testing.T) {
 	// Repeats are warm per-target hits with byte-identical bodies.
 	hits := pa.Stats().Measurements.Hits
 	recA2 := post(g, body("sim-xavier"))
-	if !bytes.Equal(recA2.Body.Bytes(), recA.Body.Bytes()) {
+	if !bytes.Equal(stripped(recA2.Body.Bytes()), stripped(recA.Body.Bytes())) {
 		t.Fatalf("repeat on one target diverged:\n%s\n%s", recA2.Body.String(), recA.Body.String())
 	}
 	if pa.Stats().Measurements.Hits <= hits {
@@ -789,7 +795,7 @@ func TestGatewayAutoTargetMatchesExplicit(t *testing.T) {
 	if auto.Code != http.StatusOK {
 		t.Fatalf("auto: %d: %s", auto.Code, auto.Body.String())
 	}
-	if !bytes.Equal(auto.Body.Bytes(), explicit.Body.Bytes()) {
+	if !bytes.Equal(stripped(auto.Body.Bytes()), stripped(explicit.Body.Bytes())) {
 		t.Fatalf("auto body diverges from explicit target:\nauto %s\nexpl %s",
 			auto.Body.String(), explicit.Body.String())
 	}
@@ -798,7 +804,7 @@ func TestGatewayAutoTargetMatchesExplicit(t *testing.T) {
 	}
 	// And the default-target spelling ("" target) is the same bytes too.
 	plain := post(g, graphBody(t, userNet(3), 0.35, ""))
-	if !bytes.Equal(plain.Body.Bytes(), explicit.Body.Bytes()) {
+	if !bytes.Equal(stripped(plain.Body.Bytes()), stripped(explicit.Body.Bytes())) {
 		t.Fatal("defaulted target body diverges from explicit default device")
 	}
 }
@@ -893,7 +899,7 @@ func TestGatewayBatchWindowDrainsStaggeredBurst(t *testing.T) {
 		go func(i int) {
 			time.Sleep(time.Duration(i*5) * time.Millisecond) // socket-staggered burst
 			rec := post(g, graphBody(t, userNet(i), 0.35, ""))
-			results <- result{i, rec.Code, rec.Body.Bytes()}
+			results <- result{i, rec.Code, stripped(rec.Body.Bytes())}
 		}(i)
 	}
 	got := make(map[int][]byte, k)
@@ -984,7 +990,7 @@ func TestGatewayAutoCoalescesBeforeShedding(t *testing.T) {
 	if lead.Code != http.StatusOK || joined.Code != http.StatusOK {
 		t.Fatalf("codes %d/%d: %s %s", lead.Code, joined.Code, lead.Body.String(), joined.Body.String())
 	}
-	if !bytes.Equal(joined.Body.Bytes(), lead.Body.Bytes()) {
+	if !bytes.Equal(stripped(joined.Body.Bytes()), stripped(lead.Body.Bytes())) {
 		t.Fatal("coalesced auto body diverged from the in-flight leader")
 	}
 	if got := g.Planner().Executions(); got != execs+1 {

@@ -1,0 +1,311 @@
+package gateway
+
+// Request tracing: the gateway-side half of internal/trace. Every
+// /v1/plan request is traced from arrival to response write; the stage
+// vocabulary below names each span, the X-Netcut-Trace header and the
+// injected trace_id body field carry the ID back to the client, and
+// completed traces feed four read surfaces — GET /debug/trace (ring
+// buffer), GET /debug/requests (in-flight), the
+// netcut_gateway_stage_ms{stage,device} histograms, and the
+// Config.SlowTraceMs structured log lines.
+//
+// Tracing is observability only, like every telemetry surface in this
+// repo: the canonical response body (and the byte cache that stores it)
+// stays trace-free, and the per-request trace_id is spliced in at
+// response-write time — so a cache hit, a coalesced follower and a
+// fresh execution still produce byte-identical bodies modulo that one
+// injected field, at any GOMAXPROCS.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"netcut/internal/trace"
+)
+
+// TraceHeader is the response header carrying the request's trace ID,
+// the key into GET /debug/trace?id=.
+const TraceHeader = "X-Netcut-Trace"
+
+// statusClientClosed is the trace status recorded for requests whose
+// client disconnected before delivery (nginx's 499 convention; no
+// response is written, so the code exists only in traces).
+const statusClientClosed = 499
+
+// The stage vocabulary, in pipeline order. Gates record zero-duration
+// verdict spans; the clock-bounded stages (timedStages) also feed the
+// netcut_gateway_stage_ms histograms.
+const (
+	stageDecode     = "decode"     // body read + JSON decode + graph validation
+	stageDrain      = "drain"      // drain gate (includes the gateway-mutex wait)
+	stageQuarantine = "quarantine" // poison-key gate
+	stageRoute      = "route"      // target resolution; verdict is the resolved device
+	stageHealth     = "health"     // device-health gate
+	stageByteCache  = "bytecache"  // rendered-response cache; verdict hit/miss
+	stageCoalesce   = "coalesce"   // verdict leader/follower
+	stageShed       = "shed"       // budget shed gate
+	stageEnqueue    = "enqueue"    // lane handoff; verdict ok/full
+	stageQueueWait  = "queue_wait" // admission to pass start (stitched post-delivery)
+	stageExec       = "exec"       // the planner pass (stitched post-delivery)
+	stageEncode     = "encode"     // wire-marshal of the response body
+	stageDeliver    = "deliver"    // pass end (or cache hit) to response write
+)
+
+// verdictOK is the span verdict of a gate that let the request through.
+const verdictOK = "ok"
+
+// stageDeviceNone is the device label for requests refused before
+// routing resolved a device (decode errors, drain, quarantine).
+const stageDeviceNone = "none"
+
+// timedStages are the stages whose durations are clock-bounded and
+// meaningful as histograms. The admission gates are deliberately
+// absent: they decide in nanoseconds and appear in traces as verdicts,
+// not in /metrics as mass.
+var timedStages = []string{stageDecode, stageByteCache, stageQueueWait, stageExec, stageEncode, stageDeliver}
+
+// stitchCallSpans carves a delivered call's worker-side timeline into
+// the waiting handler's trace: queue-wait (this trace's enqueue mark to
+// pass start), exec, and encode. The timestamps were written by the
+// worker before done closed, so reading them here is race-free; a
+// coalesced follower that joined mid-pass gets its edges clamped by
+// SpanAt rather than a negative wait.
+func stitchCallSpans(tr *trace.Trace, c *call) {
+	if c.execStartAt.IsZero() {
+		return // never reached a planner (cancelled in queue)
+	}
+	tr.SpanAt(stageQueueWait, "", tr.Cursor(), c.execStartAt)
+	// Planner-internal phases (reported by serve via the per-request
+	// Trace callback) are sub-spans of the exec window.
+	for _, ph := range c.phases() {
+		tr.SpanAt("plan_"+ph.name, "", ph.start, ph.end)
+	}
+	tr.SpanAt(stageExec, "", c.execStartAt, c.execEndAt)
+	if c.encodeDur > 0 {
+		tr.SpanAt(stageEncode, "", c.execEndAt, c.execEndAt.Add(c.encodeDur))
+	}
+}
+
+// writePlanTraced writes a plan response with the trace_id field
+// spliced into the rendered body, marks the deliver span and finishes
+// the trace. It returns the timestamp of the deliver mark so the caller
+// can reuse it for the request-latency histogram (one clock read for
+// all three). The deliver span runs from the previous cursor (pass end,
+// or the byte-cache hit) to this handler resuming to write — scheduler
+// handoff latency, the gap no other stage accounts for.
+func (g *Gateway) writePlanTraced(w http.ResponseWriter, status int, body []byte, tr *trace.Trace) time.Time {
+	now := tr.Mark(stageDeliver, verdictOK)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeWithTraceID(w, body, tr.ID())
+	g.finishTrace(tr, status, now)
+	return now
+}
+
+// bodyScratch recycles the assembly buffer for spliced response
+// bodies. One exact-size Write keeps response writers (both net/http's
+// bufio and the test recorder) from re-growing their own buffers, and
+// the pooled scratch keeps the splice allocation-free on the warm path.
+var bodyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// writeWithTraceID performs injectTraceID's splice through the scratch
+// pool and writes the combined body in a single call — this is the
+// per-request warm path.
+func writeWithTraceID(w http.ResponseWriter, body []byte, id string) {
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		w.Write(body)
+		return
+	}
+	bp := bodyScratch.Get().(*[]byte)
+	out := (*bp)[:0]
+	out = append(out, body[:i]...)
+	if i > 0 && body[i-1] != '{' {
+		out = append(out, ',')
+	}
+	out = append(out, `"trace_id":"`...)
+	out = append(out, id...)
+	out = append(out, `"}`...)
+	out = append(out, body[i+1:]...)
+	w.Write(out)
+	*bp = out
+	bodyScratch.Put(bp)
+}
+
+// writeErrTraced is writeErr for traced requests: same wire shape plus
+// the injected trace_id, with the error code as the deliver verdict.
+func (g *Gateway) writeErrTraced(w http.ResponseWriter, e *apiError, tr *trace.Trace) {
+	if e.wire.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", retryAfterSeconds(e.wire.RetryAfterMs))
+	}
+	b, _ := json.Marshal(e.wire)
+	now := tr.Mark(stageDeliver, e.wire.Code)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.status)
+	w.Write(injectTraceID(append(b, '\n'), tr.ID()))
+	g.finishTrace(tr, e.status, now)
+}
+
+// injectTraceID splices `,"trace_id":"<id>"` before the final closing
+// brace of a rendered JSON body (bodies end "}\n"). The canonical body
+// — the coalesced result, the byte-cache value, EncodeResponse's
+// output — stays trace-free; each response gets its own ID at write
+// time, so caching and coalescing still produce byte-identical bodies
+// modulo this one field.
+func injectTraceID(body []byte, id string) []byte {
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(id)+len(`,"trace_id":""`))
+	out = append(out, body[:i]...)
+	if i > 0 && body[i-1] != '{' {
+		out = append(out, ',')
+	}
+	out = append(out, `"trace_id":"`...)
+	out = append(out, id...)
+	out = append(out, `"}`...)
+	out = append(out, body[i+1:]...)
+	return out
+}
+
+// finishTrace seals a trace and files it: out of the live table, its
+// timed spans into the per-stage histograms, past Config.SlowTraceMs
+// onto the structured log, and finally into the ring. The ring add (or
+// the Release when the ring is disabled) hands ownership away — Trace
+// records are pooled, so it must be the last touch.
+func (g *Gateway) finishTrace(tr *trace.Trace, status int, now time.Time) {
+	tr.Finish(status, now)
+	g.live.Remove(tr)
+	g.observeStages(tr)
+	if g.cfg.SlowTraceMs > 0 && tr.DurMs() >= g.cfg.SlowTraceMs {
+		g.slowTraces.Inc()
+		g.logSlow(tr)
+	}
+	if g.ring != nil {
+		g.ring.Add(tr)
+	} else {
+		trace.Release(tr)
+	}
+}
+
+// observeStages feeds a completed trace's clock-bounded spans into the
+// netcut_gateway_stage_ms{stage,device} histograms. Gate spans miss the
+// map and are skipped — they are verdicts, not durations.
+func (g *Gateway) observeStages(tr *trace.Trace) {
+	byStage := g.stageHists[tr.DeviceOr(stageDeviceNone)]
+	if byStage == nil {
+		byStage = g.stageHists[stageDeviceNone]
+	}
+	tr.ForEach(func(sp trace.Span) {
+		if h, ok := byStage[sp.Stage]; ok {
+			h.Observe(sp.DurMs)
+		}
+	})
+}
+
+// logSlow emits one structured line for a slow trace: identity and
+// totals as top-level attributes, per-stage durations in a "stages"
+// group, so a log pipeline can aggregate on any stage without parsing.
+func (g *Gateway) logSlow(tr *trace.Trace) {
+	lg := g.cfg.SlowLog
+	if lg == nil {
+		lg = slog.Default()
+	}
+	v := tr.View(time.Now())
+	stages := make([]any, 0, 2*len(v.Spans))
+	for _, sp := range v.Spans {
+		stages = append(stages, slog.Float64(sp.Stage, sp.DurMs))
+	}
+	lg.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+		slog.String("trace_id", v.ID),
+		slog.String("name", v.Name),
+		slog.String("device", tr.DeviceOr(stageDeviceNone)),
+		slog.Int("status", v.Status),
+		slog.Float64("dur_ms", v.DurMs),
+		slog.Float64("threshold_ms", g.cfg.SlowTraceMs),
+		slog.Group("stages", stages...),
+	)
+}
+
+// handleTrace serves the completed-trace ring buffer, newest first.
+// Query parameters filter the dump: id (exact trace ID), device,
+// status (numeric), min_ms (minimum total duration), limit (defaults
+// to 100; 0 means the whole ring).
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if g.ring == nil {
+		g.writeErr(w, errf(http.StatusNotFound, "trace_ring_disabled",
+			"the completed-trace ring buffer is disabled (negative TraceRingCap)"))
+		return
+	}
+	q := r.URL.Query()
+	id, device := q.Get("id"), q.Get("device")
+	var minMs float64
+	var status int
+	if s := q.Get("min_ms"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			g.writeErr(w, errf(http.StatusBadRequest, "bad_query", "min_ms: %v", err))
+			return
+		}
+		minMs = v
+	}
+	if s := q.Get("status"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			g.writeErr(w, errf(http.StatusBadRequest, "bad_query", "status: %v", err))
+			return
+		}
+		status = v
+	}
+	limit := 100
+	if s := q.Get("limit"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 {
+			g.writeErr(w, errf(http.StatusBadRequest, "bad_query", "limit must be a non-negative integer"))
+			return
+		}
+		limit = v
+	}
+	views := g.ring.Snapshot(time.Now(), func(v trace.View) bool {
+		if id != "" && v.ID != id {
+			return false
+		}
+		if device != "" && v.Device != device {
+			return false
+		}
+		if status != 0 && v.Status != status {
+			return false
+		}
+		return v.DurMs >= minMs
+	})
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+	}
+	b, err := json.MarshalIndent(map[string]any{"traces": views}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}
+
+// handleRequests dumps every in-flight request's live trace, oldest
+// first — the longest-stuck request tops the list, with the spans it
+// has recorded so far and its elapsed time, which is how a wedged lane
+// or a stuck planner pass is diagnosed while it is stuck.
+func (g *Gateway) handleRequests(w http.ResponseWriter, _ *http.Request) {
+	views := g.live.Snapshot(time.Now())
+	b, err := json.MarshalIndent(map[string]any{"requests": views}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, append(b, '\n'))
+}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,6 +110,13 @@ type PlanResponseWire struct {
 	Accuracy      float64 `json:"accuracy"`
 	TrainHours    float64 `json:"train_hours"`
 	Iterations    int     `json:"iterations"`
+	// TraceID is the per-request trace identifier (16 lowercase hex
+	// chars, also in the X-Netcut-Trace header). It is spliced into the
+	// rendered body at response-write time — EncodeResponse never sets
+	// it, so the canonical body (the coalesce/byte-cache value) stays
+	// trace-free and byte-identical across serving paths. The field is
+	// declared last to match the injected position.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorWire is the structured error body of every non-2xx response.
@@ -116,6 +124,9 @@ type ErrorWire struct {
 	Code         string  `json:"code"`
 	Error        string  `json:"error"`
 	RetryAfterMs float64 `json:"retry_after_ms,omitempty"`
+	// TraceID mirrors PlanResponseWire.TraceID: injected at write time,
+	// never marshaled by the gateway itself.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // apiError carries an HTTP status plus the structured body.
@@ -179,6 +190,36 @@ func EncodeResponse(r *serve.Response) []byte {
 	out := append(make([]byte, 0, len(b)), b...)
 	*bp = b
 	encBufPool.Put(bp)
+	return out
+}
+
+// StripTraceID removes the injected `"trace_id":"..."` member from a
+// response body, recovering the canonical rendering. The inverse of the
+// write-time injection, exported so tests and embedded clients can pin
+// the byte-identity contract across serving paths: two responses to the
+// same request are byte-identical after stripping their (per-request)
+// trace IDs. Bodies without the field come back unchanged.
+func StripTraceID(body []byte) []byte {
+	const field = `"trace_id":"`
+	i := bytes.Index(body, []byte(field))
+	if i < 0 {
+		return body
+	}
+	end := i + len(field)
+	for end < len(body) && body[end] != '"' {
+		end++
+	}
+	if end >= len(body) {
+		return body
+	}
+	end++ // the closing quote
+	start := i
+	if start > 0 && body[start-1] == ',' {
+		start-- // drop the comma that joined the field to its predecessor
+	}
+	out := make([]byte, 0, len(body)-(end-start))
+	out = append(out, body[:start]...)
+	out = append(out, body[end:]...)
 	return out
 }
 

@@ -134,6 +134,17 @@ type Request struct {
 	// Eq. 1 over the graph's own per-layer table), "analytical"
 	// (shared epsilon-SVR trained once on the paper zoo), or "linear".
 	Estimator string
+	// Trace, when non-nil, receives the planner's internal phase
+	// boundaries for this request — "measure" (profile registration +
+	// device measurement + off-the-shelf accuracy), "estimate"
+	// (estimator resolution, including any zoo-table build), "explore"
+	// (Algorithm 1) — with absolute start/end timestamps. Observability
+	// only: the callback sees timings, never influences the response,
+	// and a request with the callback plans identically to one without.
+	// It is invoked from whichever goroutine runs this request's
+	// exploration, so it must be safe for that (the gateway records
+	// into per-call storage read only after delivery).
+	Trace func(phase string, start, end time.Time)
 }
 
 // Response is the planning outcome for one request.
@@ -347,6 +358,21 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 	// is still visible as planner work that started.
 	faultinject.Delay(faultinject.ExecDelay, g.Name)
 
+	// Phase boundaries for the optional per-request trace callback: one
+	// clock read per boundary, none at all when no trace is attached.
+	var phaseStart time.Time
+	phase := func(name string) {
+		if req.Trace == nil {
+			return
+		}
+		now := time.Now()
+		if name != "" {
+			req.Trace(name, phaseStart, now)
+		}
+		phaseStart = now
+	}
+	phase("")
+
 	if err := p.ensureProfile(g); err != nil {
 		return nil, err
 	}
@@ -356,6 +382,7 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase("measure")
 	// CacheScope keys every cut this exploration creates by the device
 	// calibration, so no two targets in a pool share cut-cache entries.
 	cand := core.Candidate{
@@ -369,11 +396,13 @@ func (p *Planner) selectOne(req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	phase("estimate")
 
 	res, err := core.Explore([]core.Candidate{cand}, deadline, est, p.rt, p.cfg.Head)
 	if err != nil {
 		return nil, err
 	}
+	phase("explore")
 	if res.Best == nil {
 		record()
 		return &Response{Device: p.cfg.Device.Name, Parent: g.Name}, nil

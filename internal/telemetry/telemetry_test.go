@@ -275,3 +275,56 @@ func TestHistogramOverflowQuantileConservative(t *testing.T) {
 		t.Fatal("overflow quantile must stay finite")
 	}
 }
+
+// TestPrometheusLabelEscaping pins the text-exposition escaping rules:
+// backslashes, double quotes, and newlines in label values must be
+// escaped exactly as \\, \", and \n — a raw newline would split the
+// sample line and corrupt the whole scrape.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("esc_total", "escaping fixture", []Label{
+		{Key: "quote", Value: `say "hi"`},
+		{Key: "slash", Value: `a\b`},
+		{Key: "newline", Value: "line1\nline2"},
+	}).Inc()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	want := `esc_total{quote="say \"hi\"",slash="a\\b",newline="line1\nline2"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped sample line missing.\nwant substring: %s\ngot:\n%s", want, out)
+	}
+	// No label value may leak a raw newline into the exposition: every
+	// line must start with a metric name or a # comment.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in exposition")
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, " ") {
+			t.Fatalf("malformed sample line (raw newline leaked?): %q", line)
+		}
+	}
+}
+
+// TestPrometheusLabelEscapingRoundTrip checks that two label values
+// that differ only in escapable characters stay distinct series.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("pair_total", "", []Label{{Key: "v", Value: "a\nb"}}).Add(1)
+	r.CounterWith("pair_total", "", []Label{{Key: "v", Value: `a\nb`}}).Add(2)
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `pair_total{v="a\nb"} 1`) {
+		t.Fatalf("newline-valued series missing:\n%s", out)
+	}
+	if !strings.Contains(out, `pair_total{v="a\\nb"} 2`) {
+		t.Fatalf("literal-backslash series missing:\n%s", out)
+	}
+}

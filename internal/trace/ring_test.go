@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func finished(id string, status int) *Trace {
+	now := time.Now()
+	tr := Start(id, now)
+	tr.Finish(status, now)
+	return tr
+}
+
+func TestRingCapRoundsUp(t *testing.T) {
+	if r := NewRing(0); r != nil {
+		t.Fatal("NewRing(0) should be nil (disabled)")
+	}
+	if r := NewRing(-5); r != nil {
+		t.Fatal("NewRing(-5) should be nil (disabled)")
+	}
+	r := NewRing(10)
+	if r.Cap() < 10 || r.Cap()%ringShards != 0 {
+		t.Fatalf("Cap() = %d, want multiple of %d and >= 10", r.Cap(), ringShards)
+	}
+}
+
+func TestRingRetainsNewest(t *testing.T) {
+	r := NewRing(16) // exactly 2 slots per shard
+	const total = 100
+	for i := 1; i <= total; i++ {
+		r.Add(finished(fmt.Sprintf("%016x", i), 200))
+	}
+	if r.Len() != r.Cap() {
+		t.Fatalf("Len = %d, want %d", r.Len(), r.Cap())
+	}
+	views := r.Snapshot(time.Now(), nil)
+	if len(views) != r.Cap() {
+		t.Fatalf("snapshot has %d entries, want %d", len(views), r.Cap())
+	}
+	// Single writer: retained set is exactly the newest Cap() adds, and
+	// the snapshot is newest first.
+	for i, v := range views {
+		want := fmt.Sprintf("%016x", total-i)
+		if v.ID != want {
+			t.Fatalf("snapshot[%d].ID = %q, want %q", i, v.ID, want)
+		}
+	}
+}
+
+// TestRingEvictionOrderConcurrent pins the ring's exact retention
+// invariant under concurrent writers: after N concurrent adds, the
+// retained set is precisely the Cap() traces with the highest admission
+// sequence numbers, and the snapshot lists them newest first — run
+// with -race.
+func TestRingEvictionOrderConcurrent(t *testing.T) {
+	r := NewRing(64)
+	const workers = 8
+	const perWorker = 500
+	total := workers * perWorker
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Add(finished(fmt.Sprintf("%08x%08x", w, i), 200))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Read the retained set straight out of the shards (in-package,
+	// quiescent after the WaitGroup): the seqs must be exactly
+	// (total-Cap, total] — displaced traces are recycled, so pointers
+	// captured during the adds would alias and prove nothing.
+	type entry struct {
+		seq uint64
+		id  string
+	}
+	kept := make([]entry, 0, r.Cap())
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for slot, tr := range sh.buf {
+			if tr == nil {
+				continue
+			}
+			if int(tr.seq%ringShards) != i || (tr.seq/ringShards)%r.percap != uint64(slot) {
+				t.Fatalf("seq %d filed in shard %d slot %d", tr.seq, i, slot)
+			}
+			kept = append(kept, entry{tr.seq, tr.id})
+		}
+		sh.mu.Unlock()
+	}
+	if len(kept) != r.Cap() {
+		t.Fatalf("ring retains %d traces, want %d", len(kept), r.Cap())
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].seq > kept[j].seq })
+	lo := uint64(total - r.Cap())
+	for i, e := range kept {
+		if want := uint64(total - i); e.seq != want {
+			t.Fatalf("retained seq[%d] = %d, want %d (retention floor %d)", i, e.seq, want, lo)
+		}
+	}
+
+	// The snapshot lists exactly that set, newest first.
+	views := r.Snapshot(time.Now(), nil)
+	if len(views) != len(kept) {
+		t.Fatalf("snapshot has %d entries, want %d", len(views), len(kept))
+	}
+	for i, v := range views {
+		if v.ID != kept[i].id {
+			t.Fatalf("snapshot[%d].ID = %q, want %q (seq %d)", i, v.ID, kept[i].id, kept[i].seq)
+		}
+	}
+
+	// One more add evicts exactly the oldest retained trace.
+	sentinel := finished("ffffffffffffffff", 200)
+	r.Add(sentinel)
+	views = r.Snapshot(time.Now(), nil)
+	if views[0].ID != "ffffffffffffffff" {
+		t.Fatalf("newest add not first in snapshot: %q", views[0].ID)
+	}
+	if len(views) != r.Cap() {
+		t.Fatalf("ring grew past cap: %d", len(views))
+	}
+	if last := views[len(views)-1].ID; last != kept[len(kept)-2].id {
+		t.Fatalf("oldest retained = %q, want %q", last, kept[len(kept)-2].id)
+	}
+}
+
+func TestRingSnapshotFilter(t *testing.T) {
+	r := NewRing(32)
+	for i := 1; i <= 10; i++ {
+		status := 200
+		if i%2 == 0 {
+			status = 503
+		}
+		r.Add(finished(fmt.Sprintf("%016x", i), status))
+	}
+	shed := r.Snapshot(time.Now(), func(v View) bool { return v.Status == 503 })
+	if len(shed) != 5 {
+		t.Fatalf("filter kept %d, want 5", len(shed))
+	}
+	for _, v := range shed {
+		if v.Status != 503 {
+			t.Fatalf("filter leaked status %d", v.Status)
+		}
+	}
+}
+
+func TestLiveTable(t *testing.T) {
+	l := NewLive()
+	base := time.Now()
+	var traces []*Trace
+	for i := 0; i < 20; i++ {
+		tr := Start(fmt.Sprintf("%016x", i), base.Add(time.Duration(i)*time.Millisecond))
+		traces = append(traces, tr)
+		l.Add(tr)
+	}
+	if l.Len() != 20 {
+		t.Fatalf("Len = %d, want 20", l.Len())
+	}
+	views := l.Snapshot(base.Add(time.Second))
+	if len(views) != 20 {
+		t.Fatalf("snapshot has %d, want 20", len(views))
+	}
+	for i := 1; i < len(views); i++ {
+		if views[i].StartUnixNs < views[i-1].StartUnixNs {
+			t.Fatalf("live snapshot not oldest-first at %d", i)
+		}
+	}
+	for _, tr := range traces[:15] {
+		l.Remove(tr)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len after removes = %d, want 5", l.Len())
+	}
+}
+
+func TestLiveTableConcurrent(t *testing.T) {
+	l := NewLive()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := Start(fmt.Sprintf("%08x%08x", w, i), time.Now())
+				l.Add(tr)
+				if i%3 == 0 {
+					l.Snapshot(time.Now())
+				}
+				l.Remove(tr)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d after balanced add/remove, want 0", l.Len())
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"encoding/json"
+	"regexp"
+	"testing"
+	"time"
+)
+
+var idFormat = regexp.MustCompile(`^[0-9a-f]{16}$`)
+
+func TestIDGenFormat(t *testing.T) {
+	g := NewIDGen(42)
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := g.Next()
+		if !idFormat.MatchString(id) {
+			t.Fatalf("id %q is not 16 lowercase hex chars", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q at iteration %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestIDGenDeterministicSequence(t *testing.T) {
+	a, b := NewIDGen(7), NewIDGen(7)
+	for i := 0; i < 100; i++ {
+		if ga, gb := a.Next(), b.Next(); ga != gb {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, ga, gb)
+		}
+	}
+	if NewIDGen(1).Next() == NewIDGen(2).Next() {
+		t.Fatal("different seeds produced the same first id")
+	}
+}
+
+func TestIDGenConcurrentUnique(t *testing.T) {
+	g := NewIDGen(1)
+	const workers, per = 8, 2000
+	ch := make(chan []string, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			ids := make([]string, per)
+			for i := range ids {
+				ids[i] = g.Next()
+			}
+			ch <- ids
+		}()
+	}
+	seen := make(map[string]bool, workers*per)
+	for w := 0; w < workers; w++ {
+		for _, id := range <-ch {
+			if seen[id] {
+				t.Fatalf("duplicate id %q under concurrency", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestTraceSpansAndFinish(t *testing.T) {
+	start := time.Now()
+	tr := Start("deadbeefdeadbeef", start)
+	tr.SetRequest("lenet", "auto")
+	tr.SetDevice("cpu0")
+
+	tr.MarkAt(start.Add(2*time.Millisecond), "decode", "ok")
+	tr.MarkZero("drain", "ok")
+	tr.MarkZero("quarantine", "ok")
+	tr.MarkAt(start.Add(3*time.Millisecond), "enqueue", "ok")
+	// Reconstructed worker-side window.
+	tr.SpanAt("exec", "", start.Add(3*time.Millisecond), start.Add(9*time.Millisecond))
+	end := start.Add(10 * time.Millisecond)
+	tr.MarkAt(end, "deliver", "ok")
+	tr.Finish(200, end)
+
+	if !tr.Done() {
+		t.Fatal("trace not done after Finish")
+	}
+	if got := tr.DurMs(); got < 9.99 || got > 10.01 {
+		t.Fatalf("DurMs = %v, want 10", got)
+	}
+	if dev := tr.DeviceOr("none"); dev != "cpu0" {
+		t.Fatalf("DeviceOr = %q, want cpu0", dev)
+	}
+
+	var spans []Span
+	tr.ForEach(func(s Span) { spans = append(spans, s) })
+	wantStages := []string{"decode", "drain", "quarantine", "enqueue", "exec", "deliver"}
+	if len(spans) != len(wantStages) {
+		t.Fatalf("got %d spans, want %d: %+v", len(spans), len(wantStages), spans)
+	}
+	for i, st := range wantStages {
+		if spans[i].Stage != st {
+			t.Fatalf("span %d stage = %q, want %q", i, spans[i].Stage, st)
+		}
+	}
+	if spans[1].DurMs != 0 || spans[2].DurMs != 0 {
+		t.Fatalf("zero-marked gates have nonzero duration: %+v", spans[1:3])
+	}
+	if spans[4].DurMs < 5.99 || spans[4].DurMs > 6.01 {
+		t.Fatalf("exec span dur = %v, want 6", spans[4].DurMs)
+	}
+	if spans[5].StartMs < 8.99 || spans[5].StartMs > 9.01 {
+		t.Fatalf("deliver span starts at %v, want 9 (cursor advanced by SpanAt)", spans[5].StartMs)
+	}
+
+	v := tr.View(end)
+	if v.ID != "deadbeefdeadbeef" || v.Status != 200 || !v.Done || len(v.Spans) != 6 {
+		t.Fatalf("bad view: %+v", v)
+	}
+	if _, err := json.Marshal(v); err != nil {
+		t.Fatalf("view not marshalable: %v", err)
+	}
+}
+
+func TestSpanAtClampsNegative(t *testing.T) {
+	start := time.Now()
+	tr := Start("0123456789abcdef", start)
+	// A coalesced follower can join an execution that started before
+	// its own trace did; both edges must clamp.
+	tr.SpanAt("exec", "", start.Add(-5*time.Millisecond), start.Add(-1*time.Millisecond))
+	var spans []Span
+	tr.ForEach(func(s Span) { spans = append(spans, s) })
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if spans[0].StartMs != 0 || spans[0].DurMs != 0 {
+		t.Fatalf("negative window not clamped: %+v", spans[0])
+	}
+}
+
+func TestTraceSpanCapDropsOverflow(t *testing.T) {
+	tr := Start("0123456789abcdef", time.Now())
+	for i := 0; i < MaxSpans+10; i++ {
+		tr.MarkZero("gate", "ok")
+	}
+	n := 0
+	tr.ForEach(func(Span) { n++ })
+	if n != MaxSpans {
+		t.Fatalf("span count = %d, want cap %d", n, MaxSpans)
+	}
+}
+
+func TestLiveViewReportsElapsed(t *testing.T) {
+	start := time.Now()
+	tr := Start("0123456789abcdef", start)
+	v := tr.View(start.Add(7 * time.Millisecond))
+	if v.Done {
+		t.Fatal("unfinished trace reported done")
+	}
+	if v.DurMs < 6.99 || v.DurMs > 7.01 {
+		t.Fatalf("live DurMs = %v, want 7", v.DurMs)
+	}
+}
+
+// TestRecycledTraceResets pins the pooling contract: a released record
+// picked up by a later Start carries nothing over from its previous
+// life — identity, spans, status, seq all reset.
+func TestRecycledTraceResets(t *testing.T) {
+	now := time.Now()
+	tr := Start("1111111111111111", now)
+	tr.SetRequest("net", "auto")
+	tr.SetDevice("dev")
+	tr.MarkZero("gate", "ok")
+	tr.Finish(200, now.Add(time.Millisecond))
+	tr.seq = 7
+
+	tr.reset("2222222222222222", now.Add(time.Second))
+	v := tr.View(now.Add(time.Second))
+	if v.ID != "2222222222222222" {
+		t.Fatalf("ID = %q after reset", v.ID)
+	}
+	if v.Name != "" || v.Target != "" || v.Device != "" {
+		t.Fatalf("identity leaked across reset: %+v", v)
+	}
+	if v.Done || v.Status != 0 || len(v.Spans) != 0 || tr.seq != 0 {
+		t.Fatalf("state leaked across reset: %+v seq=%d", v, tr.seq)
+	}
+	if tr.DurMs() != 0 {
+		t.Fatalf("duration leaked across reset: %v", tr.DurMs())
+	}
+}

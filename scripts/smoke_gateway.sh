@@ -32,7 +32,7 @@ STATE="$TMP/state.json"
 # and the shed predicate with repeated identical requests, which the
 # rendered-response cache would otherwise answer outright (the dedicated
 # byte-cache leg at the end runs with the cache on).
-"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -byte-cache 0 -state-file "$STATE" >"$TMP/netserve.log" 2>&1 &
+"$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -byte-cache 0 -state-file "$STATE" -slow-trace 1ms >"$TMP/netserve.log" 2>&1 &
 PID=$!
 
 for _ in $(seq 1 50); do
@@ -51,11 +51,16 @@ curl -fsS "http://$ADDR/readyz" >/dev/null || {
   echo "FAIL: /readyz not ready on a serving daemon" >&2; exit 1; }
 
 plan() { curl -s -o "$1" -w '%{http_code}' -X POST -d "$2" "http://$ADDR/v1/plan"; }
+# canon prints a response body with its per-request trace_id stripped:
+# every response carries a unique ID, so byte-identity claims are about
+# the canonical rendering modulo that one field.
+canon() { sed 's/,"trace_id":"[0-9a-f]\{16\}"//' "$1"; }
+same() { [ "$(canon "$1")" = "$(canon "$2")" ]; }
 
 # Cold then warm request (the warm one seeds the shed path's histogram).
 [ "$(plan "$TMP/cold.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
 [ "$(plan "$TMP/warm.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
-cmp -s "$TMP/cold.json" "$TMP/warm.json" || {
+same "$TMP/cold.json" "$TMP/warm.json" || {
   echo "FAIL: repeated identical request returned a different body" >&2; exit 1; }
 
 # Concurrent identical burst: exercises the coalesce/batch machinery
@@ -68,7 +73,7 @@ done
 for p in "${pids[@]}"; do wait "$p"; done
 for i in $(seq 1 16); do
   [ "$(cat "$TMP/burst.$i.code")" = 200 ] || { echo "FAIL: burst request $i failed" >&2; exit 1; }
-  cmp -s "$TMP/burst.$i.json" "$TMP/cold.json" || {
+  same "$TMP/burst.$i.json" "$TMP/cold.json" || {
     echo "FAIL: burst body $i diverged" >&2; exit 1; }
 done
 
@@ -88,13 +93,13 @@ PY
 
 [ "$(plan "$TMP/gpu.json" '{"network":"ResNet-50","deadline_ms":0.9,"target":"sim-server-gpu"}')" = 200 ]
 grep -q '"device":"sim-server-gpu"' "$TMP/gpu.json"
-cmp -s "$TMP/gpu.json" "$TMP/cold.json" && {
+same "$TMP/gpu.json" "$TMP/cold.json" && {
   echo "FAIL: two targets returned identical bodies" >&2; exit 1; }
 
 [ "$(plan "$TMP/auto.json" '{"network":"ResNet-50","deadline_ms":0.9,"target":"auto"}')" = 200 ]
 AUTO_DEV="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["device"])' "$TMP/auto.json")"
 [ "$(plan "$TMP/auto_explicit.json" "{\"network\":\"ResNet-50\",\"deadline_ms\":0.9,\"target\":\"$AUTO_DEV\"}")" = 200 ]
-cmp -s "$TMP/auto.json" "$TMP/auto_explicit.json" || {
+same "$TMP/auto.json" "$TMP/auto_explicit.json" || {
   echo "FAIL: auto-routed body diverged from explicit target $AUTO_DEV" >&2; exit 1; }
 
 # Unknown target is a structured 400.
@@ -141,6 +146,50 @@ grep -q 'netcut_planner_warm_ms_count{device="sim-xavier"}' "$TMP/metrics" || {
 curl -fsS "http://$ADDR/debug/stats" >"$TMP/stats.json"
 python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert "metrics" in d and "planner" in d' "$TMP/stats.json"
 
+# Request tracing, end to end: a fresh request's response names its
+# trace in the X-Netcut-Trace header and the body's trace_id field;
+# fetching that ID from /debug/trace returns the per-stage timeline
+# with queue-wait and execution as separate spans.
+curl -s -D "$TMP/trace.hdr" -o "$TMP/trace.json" -X POST \
+  -d '{"network":"ResNet-50","deadline_ms":0.9}' "http://$ADDR/v1/plan" >/dev/null
+TRACE_ID="$(tr -d '\r' <"$TMP/trace.hdr" | awk -F': ' 'tolower($1)=="x-netcut-trace"{print $2}')"
+echo "$TRACE_ID" | grep -Eq '^[0-9a-f]{16}$' || {
+  echo "FAIL: X-Netcut-Trace header is not a 16-hex trace ID: '$TRACE_ID'" >&2; exit 1; }
+grep -q "\"trace_id\":\"$TRACE_ID\"" "$TMP/trace.json" || {
+  echo "FAIL: response body trace_id does not match the X-Netcut-Trace header" >&2; exit 1; }
+curl -fsS "http://$ADDR/debug/trace?id=$TRACE_ID" >"$TMP/traced.json"
+python3 - "$TMP/traced.json" "$TRACE_ID" <<'PY'
+import json, sys
+traces = json.load(open(sys.argv[1]))["traces"]
+assert len(traces) == 1, f"lookup by id returned {len(traces)} traces"
+t = traces[0]
+assert t["trace_id"] == sys.argv[2] and t["done"] and t["status"] == 200, t
+spans = {s["stage"]: s for s in t["spans"]}
+for stage in ("decode", "drain", "quarantine", "route", "health",
+              "bytecache", "coalesce", "shed", "enqueue",
+              "queue_wait", "exec", "deliver"):
+    assert stage in spans, f"trace missing {stage} span: {sorted(spans)}"
+assert spans["queue_wait"]["start_ms"] <= spans["exec"]["start_ms"], \
+    "queue_wait does not precede exec"
+assert t["dur_ms"] > 0
+PY
+# The in-flight dump responds (usually empty between requests).
+curl -fsS "http://$ADDR/debug/requests" >"$TMP/inflight.json"
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))["requests"]' "$TMP/inflight.json"
+# The first (cold, multi-ms) request crossed the -slow-trace 1ms
+# threshold, so the structured slow-request log fired.
+grep -q '"msg":"slow request"\|msg="slow request"\|slow request' "$TMP/netserve.log" || {
+  echo "FAIL: no slow-request log line despite -slow-trace 1ms and a cold plan" >&2
+  cat "$TMP/netserve.log" >&2; exit 1; }
+
+# Metrics lint: every netcut_ family the daemon exports must be
+# documented in the README's Observability catalogue.
+grep -oE '^netcut_[a-z0-9_]+' "$TMP/metrics" | sed -E 's/_(bucket|sum|count)$//' | sort -u >"$TMP/families"
+while read -r fam; do
+  grep -q "$fam" README.md || {
+    echo "FAIL: metric family $fam is exported but not catalogued in README.md" >&2; exit 1; }
+done <"$TMP/families"
+
 # On-demand state save: the admin endpoint writes a decodable snapshot.
 SAVE_CODE="$(curl -s -o "$TMP/save.json" -w '%{http_code}' -X POST "http://$ADDR/v1/state/save")"
 [ "$SAVE_CODE" = 200 ] || { echo "FAIL: /v1/state/save returned $SAVE_CODE" >&2; exit 1; }
@@ -184,7 +233,7 @@ grep -q "restored warm state from $STATE" "$TMP/netserve2.log" || {
   echo "FAIL: restart did not restore the state file" >&2; cat "$TMP/netserve2.log" >&2; exit 1; }
 
 [ "$(plan "$TMP/restored.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
-cmp -s "$TMP/restored.json" "$TMP/cold.json" || {
+same "$TMP/restored.json" "$TMP/cold.json" || {
   echo "FAIL: post-restart body diverged from pre-restart body" >&2; exit 1; }
 
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics2"
@@ -225,7 +274,7 @@ done
 
 [ "$(plan "$TMP/crash.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
 [ "$(plan "$TMP/crash2.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
-cmp -s "$TMP/crash.json" "$TMP/crash2.json"
+same "$TMP/crash.json" "$TMP/crash2.json"
 
 # Wait for a .bak generation written after the traffic above: .bak is
 # the previous save, so only a .bak newer than this marker is guaranteed
@@ -264,7 +313,7 @@ grep -q "restored warm state from $STATE2.bak" "$TMP/netserve4.log" || {
   cat "$TMP/netserve4.log" >&2; exit 1; }
 
 [ "$(plan "$TMP/recovered.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
-cmp -s "$TMP/recovered.json" "$TMP/crash.json" || {
+same "$TMP/recovered.json" "$TMP/crash.json" || {
   echo "FAIL: post-crash body diverged from pre-crash body" >&2; exit 1; }
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics3"
 grep -Eq '^netcut_planner_cold_ms_count\{device="sim-xavier"\} 0$' "$TMP/metrics3" || {
@@ -299,7 +348,7 @@ done
 
 [ "$(plan "$TMP/bc1.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
 [ "$(plan "$TMP/bc2.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
-cmp -s "$TMP/bc1.json" "$TMP/bc2.json" || {
+same "$TMP/bc1.json" "$TMP/bc2.json" || {
   echo "FAIL: byte-cache hit body diverged from the executed body" >&2; exit 1; }
 curl -fsS "http://$ADDR/metrics" >"$TMP/metrics4"
 grep -Eq '^netcut_gateway_bytecache_hits_total [1-9]' "$TMP/metrics4" || {
