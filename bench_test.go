@@ -271,6 +271,85 @@ func BenchmarkPlannerSelectRestoredCold(b *testing.B) {
 	b.ReportMetric(float64(snap.Len()), "snapshot_bytes")
 }
 
+// benchWarmSnapshot warms one planner on a ResNet-50 request (the
+// state-codec benchmark workload: two device plans, a measurement, a
+// per-layer table and the blockwise cut sweep) and returns its
+// snapshot. The state benchmarks below are the codec regression
+// tripwires the bench-drift job reads.
+func benchWarmSnapshot(b *testing.B) []byte {
+	b.Helper()
+	g, err := NetworkByName("ResNet-50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := NewPlanner(PlannerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+		b.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if err := warm.SaveState(&snap); err != nil {
+		b.Fatal(err)
+	}
+	return snap.Bytes()
+}
+
+// BenchmarkStateSave measures snapshot encoding: one warm planner's
+// state serialized per iteration. Encode cost bounds what autosave adds
+// under load, so it must stay cheap enough to be invisible in
+// netcut_gateway_stage_ms.
+func BenchmarkStateSave(b *testing.B) {
+	snap := benchWarmSnapshot(b)
+	g, err := NetworkByName("ResNet-50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := NewPlanner(PlannerConfig{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := warm.Select(PlanRequest{Graph: g, DeadlineMs: 0.9}); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := warm.SaveState(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+}
+
+// BenchmarkStateRestore measures snapshot restore in isolation: decode,
+// validate, replay cuts, apply — the boot-time cost a restarted replica
+// pays before its first request. The fresh planner and cut-cache purge
+// run off-timer; the timed op is LoadState alone.
+func BenchmarkStateRestore(b *testing.B) {
+	snap := benchWarmSnapshot(b)
+	b.SetBytes(int64(len(snap)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		trim.PurgeCutCache()
+		p, err := NewPlanner(PlannerConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := p.LoadState(bytes.NewReader(snap)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(snap)), "snapshot_bytes")
+}
+
 // benchGatewayPost drives the gateway handler in-process (no sockets):
 // the serving-layer cost without kernel networking noise. It returns
 // rather than failing so goroutine callers (RunParallel bodies, burst
@@ -309,7 +388,23 @@ func newBenchGatewayCfg(b *testing.B, cfg GatewayConfig) *Gateway {
 // path production traffic sees. BenchmarkGatewayThroughputNoByteCache
 // is the same stream priced without the cache.
 func BenchmarkGatewayThroughput(b *testing.B) {
-	runGatewayThroughput(b, newBenchGateway(b))
+	gw := newBenchGateway(b)
+	runGatewayThroughput(b, gw)
+	// Pin the zero-copy hit path: a byte-cache hit allocates only
+	// request-scoped bookkeeping (trace record, header map, recorder
+	// internals) — never a copy of the response body. The bound has
+	// headroom over the measured count (~30) but sits far below what a
+	// body copy or rendering pass would add.
+	body := fmt.Sprintf(`{"network":%q,"deadline_ms":0.9}`, NetworkNames()[0])
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := benchGatewayPost(gw, body); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.ReportMetric(allocs, "hit_allocs")
+	if allocs > 48 {
+		b.Fatalf("byte-cache hit path allocates %.0f objects/op, want <= 48 (body copy crept back in?)", allocs)
+	}
 }
 
 // BenchmarkGatewayThroughputNoByteCache is the same zoo-cycling stream
@@ -335,6 +430,7 @@ func runGatewayThroughput(b *testing.B, gw *Gateway) {
 		}
 	}
 	var failed atomic.Pointer[error]
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -346,6 +442,7 @@ func runGatewayThroughput(b *testing.B, gw *Gateway) {
 			i++
 		}
 	})
+	b.StopTimer()
 	if errp := failed.Load(); errp != nil {
 		b.Fatal(*errp)
 	}

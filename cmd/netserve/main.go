@@ -27,8 +27,8 @@
 //	netserve -queue 512 -batch 32 -workers 4 -batch-window 2ms
 //	netserve -max-body 4194304 -drain-timeout 30s
 //	netserve -byte-cache 8192                # rendered-response cache entries (0 = off)
-//	netserve -state-file /var/lib/netcut/state.json -prewarm
-//	netserve -state-file /var/lib/netcut/state.json -autosave 30s
+//	netserve -state-file /var/lib/netcut/state.bin -prewarm
+//	netserve -state-file /var/lib/netcut/state.bin -autosave 30s
 //	netserve -exec-timeout 5s
 //	netserve -slow-trace 50ms                # log requests slower than this
 //	netserve -pprof                          # mount /debug/pprof/ (off by default)
@@ -173,8 +173,10 @@ func run() int {
 	// .bak both — is reported and ignored: the caches rebuild on demand,
 	// and trusting a stale snapshot would be worse than running cold.
 	if *stateFile != "" {
+		t0 := time.Now()
 		if used, err := gw.LoadStateFile(); err == nil {
-			fmt.Printf("netserve: restored warm state from %s\n", used)
+			fmt.Printf("netserve: restored warm state from %s in %.1fms\n",
+				used, float64(time.Since(t0))/float64(time.Millisecond))
 		} else if !errors.Is(err, os.ErrNotExist) {
 			fmt.Fprintf(os.Stderr, "netserve: ignoring state file %s: %v\n", *stateFile, err)
 		}

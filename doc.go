@@ -181,13 +181,25 @@
 // Restarts and slow targets are kept off the warm path. A Planner,
 // PlannerPool or Gateway can snapshot its warm state — device kernel
 // plans, profiler measurements and tables, and the device-scoped TRN
-// cut cache — with SaveState and restore it with LoadState
-// (internal/persist defines the format: a versioned, checksummed,
-// deterministic JSON envelope). cmd/netserve wires it to the process
-// lifecycle: -state-file restores on boot and saves after the SIGTERM
-// drain, and POST /v1/state/save snapshots on demand. Identity is
-// matched before anything is trusted: a snapshot from another schema
-// version, seed, measurement protocol or device calibration is a
+// cut cache — with SaveState and restore it with LoadState.
+// internal/persist defines the format: a compact, deterministic binary
+// envelope (magic, schema-version byte, FNV-1a payload checksum) over
+// length-prefixed section frames, one per (kind, device, calibration)
+// unit, each with its own identity header, deduplicated string table,
+// varint records and per-frame checksum. Sections are independently
+// decodable — persist.WriteSections and persist.SectionReader, plus
+// the planner/pool StateSections/SaveStateFor/LoadSections entry
+// points, expose the snapshot section-by-section so a replica can ship
+// or request exactly the device shard it owns. Restore decodes
+// sections concurrently and fans cut replay across cores with
+// position-indexed slots (insertions stay serial in snapshot order),
+// so parallelism changes wall-clock only: save, load, save reproduces
+// the file byte for byte. cmd/netserve wires it to the process
+// lifecycle: -state-file restores on boot (logging the restore
+// duration) and saves after the SIGTERM drain, and POST /v1/state/save
+// snapshots on demand. Identity is matched before anything is trusted:
+// a snapshot from another schema version (including the retired JSON
+// generation), seed, measurement protocol or device calibration is a
 // structured rejection and the caches start cold. Because every cached
 // value is a pure function of (seed, protocol, calibration,
 // structure), a restored entry is byte-identical to a recomputed one —

@@ -108,24 +108,26 @@ func (g *Gateway) writePlanTraced(w http.ResponseWriter, status int, body []byte
 	return now
 }
 
-// bodyScratch recycles the assembly buffer for spliced response
-// bodies. One exact-size Write keeps response writers (both net/http's
-// bufio and the test recorder) from re-growing their own buffers, and
-// the pooled scratch keeps the splice allocation-free on the warm path.
-var bodyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+// bodyScratch recycles the small tail buffer of the trace-ID splice:
+// just the `,"trace_id":"<id>"}` suffix plus whatever follows the
+// closing brace (the trailing newline), never the body itself.
+var bodyScratch = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
 
-// writeWithTraceID performs injectTraceID's splice through the scratch
-// pool and writes the combined body in a single call — this is the
-// per-request warm path.
+// writeWithTraceID performs injectTraceID's splice zero-copy — this is
+// the per-request warm path. The rendered body (a byte-cache value or
+// EncodeResponse output, immutable by convention) is written directly
+// up to its final brace, so a cache hit never copies the payload; only
+// the few-byte trace-ID tail is assembled in the pooled scratch and
+// written second.
 func writeWithTraceID(w http.ResponseWriter, body []byte, id string) {
 	i := bytes.LastIndexByte(body, '}')
 	if i < 0 {
 		w.Write(body)
 		return
 	}
+	w.Write(body[:i])
 	bp := bodyScratch.Get().(*[]byte)
 	out := (*bp)[:0]
-	out = append(out, body[:i]...)
 	if i > 0 && body[i-1] != '{' {
 		out = append(out, ',')
 	}

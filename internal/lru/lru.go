@@ -183,14 +183,23 @@ type Entry[K comparable, V any] struct {
 // copied: the package-wide convention that cached values are immutable
 // pure functions of their keys is what makes sharing safe.
 func (c *Cache[K, V]) Snapshot() []Entry[K, V] {
+	return c.SnapshotAppend(nil)
+}
+
+// SnapshotAppend is Snapshot appending into dst, so a caller draining
+// many caches (a sharded snapshot, a section writer) fills one
+// preallocated slice instead of allocating and copying per cache.
+func (c *Cache[K, V]) SnapshotAppend(dst []Entry[K, V]) []Entry[K, V] {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := make([]Entry[K, V], 0, c.order.Len())
+	if dst == nil {
+		dst = make([]Entry[K, V], 0, c.order.Len())
+	}
 	for el := c.order.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry[K, V])
-		out = append(out, Entry[K, V]{Key: e.key, Val: e.val})
+		dst = append(dst, Entry[K, V]{Key: e.key, Val: e.val})
 	}
-	return out
+	return dst
 }
 
 // Restore inserts entries in slice order, so the last entry becomes the

@@ -107,9 +107,9 @@ func (s *Sharded[K, V]) Purge() {
 // and per-shard eviction order, because routing is a pure function of
 // the key. The snapshot is per-shard-atomic, like Stats.
 func (s *Sharded[K, V]) Snapshot() []Entry[K, V] {
-	var out []Entry[K, V]
+	out := make([]Entry[K, V], 0, s.Len())
 	for _, sh := range s.shards {
-		out = append(out, sh.Snapshot()...)
+		out = sh.SnapshotAppend(out)
 	}
 	return out
 }

@@ -5,20 +5,31 @@
 // instead of paying the ~23x cold/warm gap on every first-seen
 // (graph, device) pair.
 //
-// Format: a single JSON envelope
+// Format: a compact binary envelope
 //
-//	{"magic":"netcut-state","version":N,"checksum":"<fnv1a-64 hex>","payload":{...}}
+//	"netcut-state" version:u8 checksum:fixed64 frame...
 //
-// whose payload is the File document below. The envelope is what makes
-// rejection structured instead of silent:
+// where each frame is one independently decodable section (see
+// section.go for the frame layout): a length-prefixed body carrying a
+// kind byte, an identity header (device, calibration fingerprint,
+// seed, measurement protocol), a per-frame deduplicated string table,
+// varint/fixed64-encoded records, and its own trailing FNV-1a 64
+// checksum. No reflection runs in either direction — every section
+// kind has a hand-written encode and decode walk.
+//
+// The envelope is what makes rejection structured instead of silent:
 //
 //   - Magic and Version are checked first: a snapshot from a different
-//     schema generation is ErrVersionMismatch, never a best-effort
-//     parse. Any change to the payload schema MUST bump SchemaVersion.
-//   - Checksum is FNV-1a over the exact payload bytes: a truncated or
+//     schema generation — including the retired JSON generation, which
+//     is recognized by its leading '{' — is ErrVersionMismatch, never a
+//     best-effort parse. Any change to the wire layout MUST bump
+//     SchemaVersion.
+//   - The envelope checksum is FNV-1a over the exact payload bytes, and
+//     every frame repeats the check over its own bytes: a truncated or
 //     bit-flipped file is ErrChecksumMismatch before any field of it is
-//     trusted.
-//   - Identity fields inside the payload (device name, calibration
+//     trusted, and the frame-level check localizes the damage to one
+//     section even when frames travel without the envelope.
+//   - Identity fields in each frame header (device name, calibration
 //     fingerprint, seed, measurement protocol) are matched by the
 //     restoring layer (serve.Planner.LoadState): a snapshot taken on a
 //     different calibration or seed is rejected, never silently
@@ -27,30 +38,33 @@
 //     input to those computations matches.
 //
 // Serialization is deterministic: entries are written in cache (LRU)
-// order, parents are deduplicated in first-appearance order, and
-// encoding/json's struct-order field emission plus shortest-roundtrip
-// float formatting make equal states produce equal bytes. Saving a
-// state and restoring it into a fresh process, then saving again,
-// yields the identical file — the restore-equals-recompute contract the
-// serve package pins.
+// order, parents and strings are deduplicated in first-appearance
+// order, and floats are stored as IEEE-754 bit patterns, so equal
+// states produce equal bytes. Saving a state and restoring it into a
+// fresh process, then saving again, yields the identical file — the
+// restore-equals-recompute contract the serve package pins. Decoding
+// may run sections concurrently (DecodeParallel) without changing any
+// of that: sections are independent, results land in position-indexed
+// slots, and cut replay re-inserts serially in snapshot order.
 package persist
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
 
 	"netcut/internal/device"
 	"netcut/internal/graph"
+	"netcut/internal/par"
 	"netcut/internal/profiler"
 	"netcut/internal/trim"
 )
 
-// SchemaVersion identifies the payload schema. Bump it on ANY change to
-// the wire structs below; Decode rejects every other version.
-const SchemaVersion = 1
+// SchemaVersion identifies the wire layout. Bump it on ANY change to
+// the envelope, frame layout or record encodings; Decode rejects every
+// other version. Version 1 was the JSON generation; 2 is the binary
+// section format.
+const SchemaVersion = 2
 
 // Magic identifies a NetCut state snapshot.
 const Magic = "netcut-state"
@@ -58,12 +72,13 @@ const Magic = "netcut-state"
 // Structured rejection reasons; callers branch with errors.Is.
 var (
 	// ErrNotSnapshot rejects input that is not a NetCut state snapshot
-	// at all (bad magic, non-JSON, truncated envelope).
+	// at all (bad magic, truncated envelope, broken frame structure).
 	ErrNotSnapshot = errors.New("not a netcut state snapshot")
 	// ErrVersionMismatch rejects snapshots from another schema
-	// generation.
+	// generation (including the retired JSON format).
 	ErrVersionMismatch = errors.New("snapshot schema version mismatch")
-	// ErrChecksumMismatch rejects corrupt or truncated payloads.
+	// ErrChecksumMismatch rejects corrupt or truncated payloads and
+	// frames.
 	ErrChecksumMismatch = errors.New("snapshot checksum mismatch")
 	// ErrStateMismatch rejects structurally valid snapshots whose
 	// identity (device calibration, seed, protocol) does not match the
@@ -72,8 +87,10 @@ var (
 	ErrStateMismatch = errors.New("snapshot does not match this planner")
 )
 
-// File is the payload: every planner section of a pool (one for a
-// single Planner) plus the process-wide cut-cache state.
+// File is the in-memory form of a whole snapshot: every planner
+// section of a pool (one for a single Planner) plus the process-wide
+// cut-cache state. On the wire it is a flat sequence of sections — see
+// Sections and FromSections.
 type File struct {
 	// Seed is the base measurement/retraining seed the state was
 	// produced under.
@@ -118,46 +135,16 @@ type CutState struct {
 	Head      trim.HeadSpec `json:"head"`
 }
 
-// envelope is the outer document; Payload stays raw so the checksum is
-// computed over the exact bytes that will be decoded.
-type envelope struct {
-	Magic    string          `json:"magic"`
-	Version  int             `json:"version"`
-	Checksum string          `json:"checksum"`
-	Payload  json.RawMessage `json:"payload"`
-}
-
-func checksum(payload []byte) string {
-	h := fnv.New64a()
-	h.Write(payload)
-	return fmt.Sprintf("%016x", h.Sum64())
-}
-
-// Encode writes f as a versioned, checksummed snapshot. Equal Files
-// produce equal bytes.
+// Encode writes f as a versioned, checksummed binary snapshot. Equal
+// Files produce equal bytes.
 func Encode(w io.Writer, f *File) error {
-	payload, err := json.Marshal(f)
-	if err != nil {
-		return fmt.Errorf("persist: encoding payload: %w", err)
-	}
-	env, err := json.Marshal(envelope{
-		Magic:    Magic,
-		Version:  SchemaVersion,
-		Checksum: checksum(payload),
-		Payload:  payload,
-	})
-	if err != nil {
-		return fmt.Errorf("persist: encoding envelope: %w", err)
-	}
-	env = append(env, '\n')
-	_, err = w.Write(env)
-	return err
+	return WriteSections(w, f.Sections())
 }
 
-// Decode reads and validates a snapshot: magic, schema version and
-// checksum gate the payload parse, so a stale, foreign or corrupt file
-// is a structured error before any of its content is trusted. Callers
-// then match the payload's identity fields themselves.
+// Decode reads and validates a snapshot serially: magic, schema
+// version and both checksum layers gate the parse, so a stale, foreign
+// or corrupt file is a structured error before any of its content is
+// trusted. Callers then match the frame identity fields themselves.
 func Decode(r io.Reader) (*File, error) {
 	raw, err := io.ReadAll(r)
 	if err != nil {
@@ -166,28 +153,25 @@ func Decode(r io.Reader) (*File, error) {
 	return DecodeBytes(raw)
 }
 
+// DecodeParallel is Decode with sections decoded concurrently (width
+// par.Workers). Identical results and errors — parallelism changes
+// wall-clock only.
+func DecodeParallel(r io.Reader) (*File, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	return DecodeBytesParallel(raw)
+}
+
 // DecodeBytes is Decode over an in-memory snapshot (the fuzz target).
 func DecodeBytes(raw []byte) (*File, error) {
-	var env envelope
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return nil, fmt.Errorf("persist: %w: %v", ErrNotSnapshot, err)
-	}
-	if env.Magic != Magic {
-		return nil, fmt.Errorf("persist: %w: magic %q", ErrNotSnapshot, env.Magic)
-	}
-	if env.Version != SchemaVersion {
-		return nil, fmt.Errorf("persist: %w: snapshot version %d, this build speaks %d",
-			ErrVersionMismatch, env.Version, SchemaVersion)
-	}
-	if got := checksum(env.Payload); got != env.Checksum {
-		return nil, fmt.Errorf("persist: %w: payload hashes to %s, envelope claims %s",
-			ErrChecksumMismatch, got, env.Checksum)
-	}
-	var f File
-	if err := json.Unmarshal(env.Payload, &f); err != nil {
-		return nil, fmt.Errorf("persist: %w: payload: %v", ErrNotSnapshot, err)
-	}
-	return &f, nil
+	return decodeAll(raw, false)
+}
+
+// DecodeBytesParallel is DecodeParallel over an in-memory snapshot.
+func DecodeBytesParallel(raw []byte) (*File, error) {
+	return decodeAll(raw, true)
 }
 
 // CaptureCuts snapshots the process-wide cut cache (filtered by scope;
@@ -224,9 +208,14 @@ func CaptureCuts(keep func(scope uint64) bool) CutsState {
 // graph.Validate), and every kept record — parent and coordinates — is
 // validated before any cut is replayed, so a rejected cut section
 // leaves the cache untouched.
+//
+// Parent decoding and cut building fan out over par.ForEach with
+// position-indexed slots; insertion into the cut cache stays serial in
+// snapshot order, so the cache's per-shard recency — and with it the
+// save/load/save byte identity — is exactly what a serial replay
+// would have produced.
 func RestoreCuts(cs CutsState, keep func(scope uint64) bool) error {
-	recs := make([]trim.CutRecord, 0, len(cs.Cuts))
-	parents := make(map[int]*graph.Graph)
+	kept := make([]int, 0, len(cs.Cuts))
 	for i, c := range cs.Cuts {
 		if keep != nil && !keep(c.Scope) {
 			continue
@@ -234,31 +223,66 @@ func RestoreCuts(cs CutsState, keep func(scope uint64) bool) error {
 		if c.Parent < 0 || c.Parent >= len(cs.Parents) {
 			return fmt.Errorf("persist: cut %d references parent %d of %d", i, c.Parent, len(cs.Parents))
 		}
-		parent, ok := parents[c.Parent]
-		if !ok {
-			g, err := DecodeGraph(&cs.Parents[c.Parent])
-			if err != nil {
-				return fmt.Errorf("persist: cut parent %d: %w", c.Parent, err)
-			}
-			parents[c.Parent] = g
-			parent = g
+		kept = append(kept, i)
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+
+	// Decode each referenced parent once, concurrently. Slot order is
+	// first-use order, so the lowest-index error par.ForEach reports is
+	// the same parent a serial walk would have failed on first.
+	slot := make(map[int]int)
+	var order []int
+	for _, i := range kept {
+		p := cs.Cuts[i].Parent
+		if _, ok := slot[p]; !ok {
+			slot[p] = len(order)
+			order = append(order, p)
 		}
-		rec := trim.CutRecord{
+	}
+	decoded := make([]*graph.Graph, len(order))
+	if err := par.ForEach(len(order), func(j int) error {
+		g, err := DecodeGraph(&cs.Parents[order[j]])
+		if err != nil {
+			return fmt.Errorf("persist: cut parent %d: %w", order[j], err)
+		}
+		decoded[j] = g
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	recs := make([]trim.CutRecord, len(kept))
+	for j, i := range kept {
+		c := cs.Cuts[i]
+		recs[j] = trim.CutRecord{
 			Scope:     c.Scope,
-			Parent:    parent,
+			Parent:    decoded[slot[c.Parent]],
 			At:        c.At,
 			Blockwise: c.Blockwise,
 			Head:      c.Head,
 		}
-		if err := trim.CheckCut(rec); err != nil {
+		if err := trim.CheckCut(recs[j]); err != nil {
 			return fmt.Errorf("persist: cut %d: %w", i, err)
 		}
-		recs = append(recs, rec)
 	}
-	for i, rec := range recs {
-		if err := trim.RestoreCut(rec); err != nil {
-			return fmt.Errorf("persist: replaying cut %d: %w", i, err)
+
+	// Build every cut concurrently into its slot, then insert serially
+	// in snapshot order to preserve the cache's recency ordering.
+	trns := make([]*trim.TRN, len(recs))
+	if err := par.ForEach(len(recs), func(j int) error {
+		trn, err := trim.BuildCut(recs[j])
+		if err != nil {
+			return fmt.Errorf("persist: replaying cut %d: %w", kept[j], err)
 		}
+		trns[j] = trn
+		return nil
+	}); err != nil {
+		return err
+	}
+	for j := range recs {
+		trim.InsertCut(recs[j], trns[j])
 	}
 	return nil
 }

@@ -2,13 +2,17 @@ package persist
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"io"
+	"reflect"
 	"strings"
 	"testing"
 
+	"netcut/internal/device"
 	"netcut/internal/graph"
+	"netcut/internal/profiler"
 	"netcut/internal/trim"
 	"netcut/internal/zoo"
 )
@@ -63,6 +67,15 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// reseal recomputes the envelope checksum over raw's payload, so a
+// test can damage frame bytes and prove the *per-section* checksum (or
+// frame structure check) is what rejects the file, not the envelope.
+func reseal(raw []byte) []byte {
+	out := bytes.Clone(raw)
+	binary.LittleEndian.PutUint64(out[len(Magic)+1:], checksum64(out[envHeaderLen:]))
+	return out
+}
+
 // TestDecodeRejectsDamage pins the structured-rejection contract: a
 // truncated, corrupted, version-skewed or foreign file is a sentinel
 // error, never a silently trusted partial state.
@@ -73,29 +86,53 @@ func TestDecodeRejectsDamage(t *testing.T) {
 	}
 	good := buf.Bytes()
 
-	t.Run("truncated", func(t *testing.T) {
-		for _, n := range []int{0, 1, len(good) / 2, len(good) - 2} {
+	t.Run("truncated-header", func(t *testing.T) {
+		for _, n := range []int{0, 1, envHeaderLen - 1} {
 			if _, err := DecodeBytes(good[:n]); !errors.Is(err, ErrNotSnapshot) {
 				t.Fatalf("truncation at %d: err = %v, want ErrNotSnapshot", n, err)
 			}
 		}
 	})
-	t.Run("corrupt-payload", func(t *testing.T) {
-		// Flip a byte inside the payload (keep the envelope JSON valid by
-		// corrupting a digit of the seed).
-		bad := bytes.Replace(good, []byte(`"seed":7`), []byte(`"seed":8`), 1)
-		if bytes.Equal(bad, good) {
-			t.Fatal("corruption did not apply")
+	t.Run("truncated-payload", func(t *testing.T) {
+		// Past the header, truncation is caught by the envelope checksum.
+		for _, n := range []int{len(good) / 2, len(good) - 2} {
+			if _, err := DecodeBytes(good[:n]); !errors.Is(err, ErrChecksumMismatch) {
+				t.Fatalf("truncation at %d: err = %v, want ErrChecksumMismatch", n, err)
+			}
 		}
+	})
+	t.Run("truncated-mid-frame", func(t *testing.T) {
+		// Even with a consistent envelope (checksum recomputed over the
+		// truncated payload), a frame cut mid-body is a structural
+		// rejection: its length prefix promises bytes that are not there.
+		bad := reseal(good[:envHeaderLen+5])
+		if _, err := DecodeBytes(bad); !errors.Is(err, ErrNotSnapshot) {
+			t.Fatalf("err = %v, want ErrNotSnapshot", err)
+		}
+	})
+	t.Run("flipped-frame-byte", func(t *testing.T) {
+		// One flipped bit inside a frame, envelope checksum recomputed so
+		// only the per-section checksum can catch it.
+		bad := bytes.Clone(good)
+		bad[len(bad)-20] ^= 0x01
+		bad = reseal(bad)
 		if _, err := DecodeBytes(bad); !errors.Is(err, ErrChecksumMismatch) {
 			t.Fatalf("err = %v, want ErrChecksumMismatch", err)
 		}
 	})
 	t.Run("version-skew", func(t *testing.T) {
-		bad := bytes.Replace(good,
-			[]byte(fmt.Sprintf(`"version":%d`, SchemaVersion)),
-			[]byte(fmt.Sprintf(`"version":%d`, SchemaVersion+1)), 1)
+		bad := bytes.Clone(good)
+		bad[len(Magic)] = SchemaVersion + 1
 		if _, err := DecodeBytes(bad); !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("err = %v, want ErrVersionMismatch", err)
+		}
+	})
+	t.Run("legacy-json-generation", func(t *testing.T) {
+		// A version-1 (JSON era) snapshot is recognized and reported as
+		// version skew — the "old version = cold boot" policy — not as
+		// corruption or foreign bytes.
+		legacy := `{"magic":"netcut-state","version":1,"checksum":"00","payload":{}}`
+		if _, err := DecodeBytes([]byte(legacy)); !errors.Is(err, ErrVersionMismatch) {
 			t.Fatalf("err = %v, want ErrVersionMismatch", err)
 		}
 	})
@@ -106,6 +143,141 @@ func TestDecodeRejectsDamage(t *testing.T) {
 			}
 		}
 	})
+}
+
+// richFile is sampleFile with record payloads in every section kind,
+// exercising the full record codecs (string interning, float bit
+// patterns, nested collections).
+func richFile(t *testing.T) *File {
+	f := sampleFile(t)
+	p := &f.Planners[0]
+	p.Plans = []device.PlanState{{
+		Key:    0xfeed,
+		BaseMs: []float64{0.25, 1.5},
+		RowTmpl: [][]device.PlanRowState{
+			{{NodeID: 1, Name: "conv1", Kind: 2, Share: 0.75}, {NodeID: 2, Name: "relu1", Kind: 3, Share: 0.25}},
+			{{NodeID: 1, Name: "conv1", Kind: 2, Share: 1}},
+		},
+	}}
+	p.Measurements = []profiler.MeasurementState{
+		{Key: 1, Network: "MobileNetV1 (0.25)", MeanMs: 3.125, StdMs: 0.5, Runs: 800},
+		{Key: 2, Network: "MobileNetV1 (0.25)", MeanMs: 2.5, StdMs: 0.25, Runs: 800},
+	}
+	p.Tables = []profiler.TableState{{
+		Key: 1, Network: "MobileNetV1 (0.25)", EndToEndMs: 3.125,
+		Layers: []profiler.TableRowState{
+			{NodeID: 1, Name: "conv1", Kind: 2, MeanMs: 1.5},
+			{NodeID: 2, Name: "relu1", Kind: 3, MeanMs: 1.625},
+		},
+	}}
+	return f
+}
+
+// TestSectionRoundTrip pins the section-level API: Sections/
+// FromSections invert each other, SectionReader decodes frames
+// independently and in iterator order, identity peeks match, and the
+// parallel decode path returns bit-identical results to the serial one.
+func TestSectionRoundTrip(t *testing.T) {
+	f := richFile(t)
+	secs := f.Sections()
+	wantKinds := []SectionKind{SectionMeta, SectionPlans, SectionMeasurements, SectionTables, SectionGraphs, SectionCuts}
+	if len(secs) != len(wantKinds) {
+		t.Fatalf("Sections returned %d sections, want %d", len(secs), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if secs[i].ID.Kind != k {
+			t.Fatalf("section %d kind = %s, want %s", i, secs[i].ID.Kind, k)
+		}
+	}
+	back, err := FromSections(secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, f) {
+		t.Fatalf("FromSections(Sections()) diverged:\n got  %+v\n want %+v", back, f)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSections(&buf, secs); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewSectionReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != len(secs) {
+		t.Fatalf("reader holds %d frames, want %d", r.Len(), len(secs))
+	}
+	for i := range secs {
+		id, err := r.ID(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != secs[i].ID {
+			t.Fatalf("frame %d identity = %+v, want %+v", i, id, secs[i].ID)
+		}
+		s, err := r.Decode(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sectionEqual(s, &secs[i]) {
+			t.Fatalf("frame %d decode diverged:\n got  %+v\n want %+v", i, s, &secs[i])
+		}
+	}
+	n := 0
+	for {
+		if _, err := r.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(secs) {
+		t.Fatalf("iterator yielded %d frames, want %d", n, len(secs))
+	}
+
+	serial, err := DecodeBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := DecodeBytesParallel(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel decode diverged from serial decode")
+	}
+	if !reflect.DeepEqual(serial, f) {
+		t.Fatal("decoded file diverged from the original")
+	}
+}
+
+// sectionEqual compares decoded sections treating nil and empty record
+// slices as the same (an empty section round-trips to nil slices).
+func sectionEqual(a, b *Section) bool {
+	if a.ID != b.ID {
+		return false
+	}
+	eq := func(x, y any) bool {
+		return reflect.DeepEqual(x, y) ||
+			(reflect.ValueOf(x).Len() == 0 && reflect.ValueOf(y).Len() == 0)
+	}
+	return eq(a.Plans, b.Plans) && eq(a.Measurements, b.Measurements) &&
+		eq(a.Tables, b.Tables) && eq(a.Graphs, b.Graphs) && eq(a.Cuts, b.Cuts)
+}
+
+// TestFromSectionsRejectsStructure pins the structural invariants of
+// reassembly: no meta, duplicate sections.
+func TestFromSectionsRejectsStructure(t *testing.T) {
+	secs := sampleFile(t).Sections()
+	if _, err := FromSections(secs[1:]); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("missing meta: err = %v, want ErrNotSnapshot", err)
+	}
+	dup := append(append([]Section{}, secs...), secs[1])
+	if _, err := FromSections(dup); !errors.Is(err, ErrNotSnapshot) {
+		t.Fatalf("duplicate section: err = %v, want ErrNotSnapshot", err)
+	}
 }
 
 // TestGraphCodecRoundTrip pins that the snapshot graph codec preserves

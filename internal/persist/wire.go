@@ -1,0 +1,207 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// The binary wire primitives shared by the envelope and section
+// codecs. Integers are varints (zigzag for signed values), floats are
+// fixed 8-byte little-endian IEEE-754 bit patterns (Float64bits, so
+// every value — including the non-finite ones validation must see to
+// reject — round-trips bit-exactly), and strings inside a frame are
+// references into a per-frame deduplicated table. Nothing here uses
+// reflection: each section kind has a hand-written encode and decode
+// walk over its wire structs.
+
+// checksum64 is the FNV-1a 64 hash used by both the envelope (over the
+// whole payload) and each frame (over its own bytes).
+func checksum64(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	return h.Sum64()
+}
+
+// enc builds one frame body. Records append to buf while strings
+// intern into a first-use-ordered table; the assembled frame emits the
+// table ahead of the records so a decoder resolves references in one
+// forward pass. Interning in encounter order keeps encoding
+// deterministic: equal sections produce equal bytes.
+type enc struct {
+	buf   []byte
+	index map[string]uint64
+	table []string
+}
+
+func (e *enc) u8(v byte)        { e.buf = append(e.buf, v) }
+func (e *enc) uvarint(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)   { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) vint(v int)       { e.varint(int64(v)) }
+func (e *enc) u64(v uint64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *enc) f64(v float64)    { e.u64(math.Float64bits(v)) }
+
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+// rawString writes a length-prefixed string inline (identity headers
+// and the string table itself).
+func (e *enc) rawString(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// str writes a reference into the frame's string table, interning s on
+// first use.
+func (e *enc) str(s string) {
+	i, ok := e.index[s]
+	if !ok {
+		i = uint64(len(e.table))
+		e.table = append(e.table, s)
+		if e.index == nil {
+			e.index = make(map[string]uint64)
+		}
+		e.index[s] = i
+	}
+	e.uvarint(i)
+}
+
+// dec is a bounds-checked cursor over one frame (or payload). Every
+// accessor records the first structural error and returns zero values
+// afterwards, so decode walks read linearly and check err once per
+// section instead of at every field — and a truncated or hostile input
+// can never index past the buffer or panic.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.failf("truncated byte at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.failf("bad uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.failf("bad varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// vint is varint narrowed to int (int is 64-bit on every supported
+// platform; the restoring layers re-validate ranges regardless).
+func (d *dec) vint() int { return int(d.varint()) }
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.failf("truncated fixed64 at offset %d", d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *dec) bool() bool { return d.u8() != 0 }
+
+// count reads a collection length and bounds it by the bytes left:
+// each element costs at least min bytes on the wire, so a hostile
+// length that could not possibly fit is rejected before it sizes an
+// allocation or a loop.
+func (d *dec) count(min int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if min < 1 {
+		min = 1
+	}
+	if v > uint64(d.remaining()/min) {
+		d.failf("length %d exceeds the %d bytes left in the frame", v, d.remaining())
+		return 0
+	}
+	return int(v)
+}
+
+func (d *dec) rawString() string {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// strTable reads a frame's deduplicated string table.
+func (d *dec) strTable() []string {
+	n := d.count(1)
+	if d.err != nil {
+		return nil
+	}
+	t := make([]string, n)
+	for i := range t {
+		t[i] = d.rawString()
+	}
+	return t
+}
+
+// str resolves an interned string-table reference.
+func (d *dec) str(table []string) string {
+	i := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if i >= uint64(len(table)) {
+		d.failf("string index %d out of a %d-entry table", i, len(table))
+		return ""
+	}
+	return table[i]
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"netcut/internal/device"
+	"netcut/internal/par"
 	"netcut/internal/persist"
 	"netcut/internal/profiler"
 )
@@ -15,6 +16,16 @@ import (
 // scope 0 — and LoadState restores them into a fresh process, so a
 // daemon restart resumes on the warm path instead of re-measuring its
 // whole working set.
+//
+// The snapshot is section-granular: StateSections exposes the same
+// state as independently decodable persist.Section frames, and
+// LoadSections restores from any subset of them, so a future replica
+// can request (and a pool can serve — SaveStateFor) exactly the
+// device shard it owns instead of the whole file. SaveState/LoadState
+// remain the whole-file convenience wrappers; LoadState decodes
+// sections concurrently and prepares matched planner sections in
+// parallel, which changes wall-clock only — results land in
+// position-indexed slots and are applied in registration order.
 //
 // Trust model: a snapshot is only ever applied to a planner whose
 // identity matches the one that wrote it — same device name, same
@@ -103,16 +114,23 @@ func scopeFor(prints ...uint64) func(uint64) bool {
 	return func(scope uint64) bool { return set[scope] }
 }
 
+// StateSections captures the planner's warm state as section frames —
+// the shard a replica serving only this device would request.
+func (p *Planner) StateSections() []persist.Section {
+	f := &persist.File{
+		Seed:     p.cfg.Seed,
+		Planners: []persist.PlannerState{p.state()},
+		Cuts:     persist.CaptureCuts(scopeFor(p.dev.Fingerprint())),
+	}
+	return f.Sections()
+}
+
 // SaveState writes the planner's warm state as a versioned snapshot.
 // Safe to call while serving: each cache is captured atomically, so a
 // concurrent request at worst lands in or misses the snapshot — either
 // way every entry written is valid.
 func (p *Planner) SaveState(w io.Writer) error {
-	return persist.Encode(w, &persist.File{
-		Seed:     p.cfg.Seed,
-		Planners: []persist.PlannerState{p.state()},
-		Cuts:     persist.CaptureCuts(scopeFor(p.dev.Fingerprint())),
-	})
+	return persist.WriteSections(w, p.StateSections())
 }
 
 // LoadState restores a snapshot written by SaveState (or by a pool
@@ -121,10 +139,24 @@ func (p *Planner) SaveState(w io.Writer) error {
 // persist.ErrVersionMismatch / ErrChecksumMismatch / ErrStateMismatch —
 // and leave the planner fully functional on the cold path.
 func (p *Planner) LoadState(r io.Reader) error {
-	f, err := persist.Decode(r)
+	f, err := persist.DecodeParallel(r)
 	if err != nil {
 		return err
 	}
+	return p.loadFile(f)
+}
+
+// LoadSections restores already-decoded sections — the entry point a
+// replica streaming its shard section-by-section lands on.
+func (p *Planner) LoadSections(secs []persist.Section) error {
+	f, err := persist.FromSections(secs)
+	if err != nil {
+		return err
+	}
+	return p.loadFile(f)
+}
+
+func (p *Planner) loadFile(f *persist.File) error {
 	for i := range f.Planners {
 		if p.matches(&f.Planners[i]) {
 			ps, err := prepareState(&f.Planners[i])
@@ -160,19 +192,48 @@ func snapshotIdentity(f *persist.File) string {
 	return fmt.Sprint(names)
 }
 
-// SaveState writes the pool's warm state — one section per registered
-// device, in registration order, plus every device's scoped cuts — as
-// one snapshot.
-func (pp *PlannerPool) SaveState(w io.Writer) error {
+// StateSections captures the warm state of the named devices (all
+// registered devices when none are named) as section frames, in
+// registration order, with the cut sections scoped to exactly those
+// devices — the shard a replica owning that device subset would
+// request. Naming a device the pool does not serve is an error.
+func (pp *PlannerPool) StateSections(devices ...string) ([]persist.Section, error) {
+	names := pp.names
+	if len(devices) > 0 {
+		names = make([]string, 0, len(devices))
+		for _, want := range devices {
+			if _, ok := pp.planners[want]; !ok {
+				return nil, fmt.Errorf("serve: no planner for device %q, pool serves %v", want, pp.names)
+			}
+			names = append(names, want)
+		}
+	}
 	f := &persist.File{Seed: pp.Default().cfg.Seed}
-	prints := make([]uint64, 0, len(pp.names))
-	for _, name := range pp.names {
+	prints := make([]uint64, 0, len(names))
+	for _, name := range names {
 		p := pp.planners[name]
 		f.Planners = append(f.Planners, p.state())
 		prints = append(prints, p.dev.Fingerprint())
 	}
 	f.Cuts = persist.CaptureCuts(scopeFor(prints...))
-	return persist.Encode(w, f)
+	return f.Sections(), nil
+}
+
+// SaveState writes the pool's warm state — one section group per
+// registered device, in registration order, plus every device's scoped
+// cuts — as one snapshot.
+func (pp *PlannerPool) SaveState(w io.Writer) error {
+	return pp.SaveStateFor(w)
+}
+
+// SaveStateFor writes the named devices' shard of the pool's warm
+// state (all devices when none are named) as one snapshot.
+func (pp *PlannerPool) SaveStateFor(w io.Writer, devices ...string) error {
+	secs, err := pp.StateSections(devices...)
+	if err != nil {
+		return err
+	}
+	return persist.WriteSections(w, secs)
 }
 
 // LoadState restores a pool snapshot: every registered device restores
@@ -183,13 +244,26 @@ func (pp *PlannerPool) SaveState(w io.Writer) error {
 // Every matched section — and every kept cut — is validated before any
 // is applied, so a rejected snapshot leaves every cache untouched.
 func (pp *PlannerPool) LoadState(r io.Reader) error {
-	f, err := persist.Decode(r)
+	f, err := persist.DecodeParallel(r)
 	if err != nil {
 		return err
 	}
+	return pp.loadFile(f)
+}
+
+// LoadSections restores a pool shard from already-decoded sections.
+func (pp *PlannerPool) LoadSections(secs []persist.Section) error {
+	f, err := persist.FromSections(secs)
+	if err != nil {
+		return err
+	}
+	return pp.loadFile(f)
+}
+
+func (pp *PlannerPool) loadFile(f *persist.File) error {
 	type match struct {
-		planner  *Planner
-		prepared preparedState
+		planner *Planner
+		state   *persist.PlannerState
 	}
 	var matches []match
 	prints := make([]uint64, 0, len(pp.names))
@@ -198,11 +272,7 @@ func (pp *PlannerPool) LoadState(r io.Reader) error {
 		prints = append(prints, p.dev.Fingerprint())
 		for i := range f.Planners {
 			if p.matches(&f.Planners[i]) {
-				ps, err := prepareState(&f.Planners[i])
-				if err != nil {
-					return err
-				}
-				matches = append(matches, match{p, ps})
+				matches = append(matches, match{p, &f.Planners[i]})
 				break
 			}
 		}
@@ -211,11 +281,26 @@ func (pp *PlannerPool) LoadState(r io.Reader) error {
 		return fmt.Errorf("serve: %w: snapshot holds %s, pool serves %v",
 			ErrStateMismatch, snapshotIdentity(f), pp.names)
 	}
+	// Prepare every matched section concurrently into its slot —
+	// preparation is pure validation + entry building, so parallelism
+	// changes wall-clock only and the lowest-index section's error is
+	// what a serial walk would have reported.
+	preps := make([]preparedState, len(matches))
+	if err := par.ForEach(len(matches), func(i int) error {
+		ps, err := prepareState(matches[i].state)
+		if err != nil {
+			return err
+		}
+		preps[i] = ps
+		return nil
+	}); err != nil {
+		return err
+	}
 	if err := persist.RestoreCuts(f.Cuts, scopeFor(prints...)); err != nil {
 		return err
 	}
-	for _, m := range matches {
-		m.planner.applyPrepared(m.prepared)
+	for i, m := range matches {
+		m.planner.applyPrepared(preps[i])
 	}
 	return nil
 }

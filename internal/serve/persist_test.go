@@ -2,8 +2,11 @@ package serve
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"testing"
 
@@ -13,6 +16,15 @@ import (
 	"netcut/internal/trim"
 	"netcut/internal/zoo"
 )
+
+// reseal recomputes a binary snapshot's envelope checksum in place, so
+// damage tests can prove the per-section checksums reject a file whose
+// envelope looks consistent.
+func reseal(raw []byte) {
+	h := fnv.New64a()
+	h.Write(raw[len(persist.Magic)+9:])
+	binary.LittleEndian.PutUint64(raw[len(persist.Magic)+1:], h.Sum64())
+}
 
 // warmRequests is the request mix the persistence tests warm planners
 // with: a zoo network plus user graphs, mixed estimators.
@@ -93,7 +105,9 @@ func TestPlannerRestoreMatchesRecompute(t *testing.T) {
 
 // TestPlannerSnapshotRoundTripBytes pins snapshot determinism: saving a
 // restored planner reproduces the original snapshot byte for byte
-// (contents, order and encoding are all pure functions of cache state).
+// (contents, order and encoding are all pure functions of cache state),
+// at every parallelism width — the concurrent section decode and
+// fanned-out cut replay must not perturb any persisted ordering.
 func TestPlannerSnapshotRoundTripBytes(t *testing.T) {
 	trim.PurgeCutCache()
 	t.Cleanup(trim.PurgeCutCache)
@@ -107,21 +121,26 @@ func TestPlannerSnapshotRoundTripBytes(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	trim.PurgeCutCache()
-	restored, err := New(Config{Seed: 3, Protocol: quickProto})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := restored.LoadState(bytes.NewReader(first.Bytes())); err != nil {
-		t.Fatal(err)
-	}
-	var second bytes.Buffer
-	if err := restored.SaveState(&second); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(first.Bytes(), second.Bytes()) {
-		t.Fatalf("snapshot changed across save/load/save: %d -> %d bytes",
-			first.Len(), second.Len())
+	for _, procs := range []int{1, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs-%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			trim.PurgeCutCache()
+			restored, err := New(Config{Seed: 3, Protocol: quickProto})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.LoadState(bytes.NewReader(first.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			var second bytes.Buffer
+			if err := restored.SaveState(&second); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("snapshot changed across save/load/save: %d -> %d bytes",
+					first.Len(), second.Len())
+			}
+		})
 	}
 }
 
@@ -181,10 +200,17 @@ func TestPlannerLoadStateRejectsMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fresh.LoadState(bytes.NewReader(snap.Bytes()[:snap.Len()/2])); !errors.Is(err, persist.ErrNotSnapshot) {
-		t.Fatalf("truncated load: err = %v, want ErrNotSnapshot", err)
+	if err := fresh.LoadState(bytes.NewReader(snap.Bytes()[:5])); !errors.Is(err, persist.ErrNotSnapshot) {
+		t.Fatalf("header-truncated load: err = %v, want ErrNotSnapshot", err)
 	}
-	corrupt := bytes.Replace(snap.Bytes(), []byte(`"seed":1`), []byte(`"seed":9`), 1)
+	if err := fresh.LoadState(bytes.NewReader(snap.Bytes()[:snap.Len()/2])); !errors.Is(err, persist.ErrChecksumMismatch) {
+		t.Fatalf("truncated load: err = %v, want ErrChecksumMismatch", err)
+	}
+	// Flip one byte inside a section frame and re-seal the envelope
+	// checksum: the per-section checksum still rejects the file.
+	corrupt := bytes.Clone(snap.Bytes())
+	corrupt[len(corrupt)-20] ^= 0x01
+	reseal(corrupt)
 	if err := fresh.LoadState(bytes.NewReader(corrupt)); !errors.Is(err, persist.ErrChecksumMismatch) {
 		t.Fatalf("corrupt load: err = %v, want ErrChecksumMismatch", err)
 	}
@@ -331,5 +357,94 @@ func TestPoolStateRoundTrip(t *testing.T) {
 	foreign := mk([]device.Config{device.Profiles()[3]})
 	if err := foreign.LoadState(bytes.NewReader(snap.Bytes())); !errors.Is(err, ErrStateMismatch) {
 		t.Fatalf("foreign pool load: err = %v, want ErrStateMismatch", err)
+	}
+}
+
+// TestPoolSectionShard pins the section-level API: SaveStateFor writes
+// just one device's shard, a single-device pool restores from it
+// byte-identically to a whole-file restore, and the shard's sections
+// route through LoadSections without the envelope. Naming an unserved
+// device is an error.
+func TestPoolSectionShard(t *testing.T) {
+	trim.PurgeCutCache()
+	t.Cleanup(trim.PurgeCutCache)
+	devs := device.Profiles()[:2]
+	mk := func(ds []device.Config) *PlannerPool {
+		pool, err := NewPool(PoolConfig{Base: Config{Seed: 13, Protocol: quickProto}, Devices: ds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pool
+	}
+	warm := mk(devs)
+	zg, err := zoo.ByName("MobileNetV1 (0.25)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Graph: zg, DeadlineMs: 0.9}
+	want := make(map[string][10]interface{})
+	for _, name := range warm.DeviceNames() {
+		resp, err := warm.Select(name, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = responseKey(resp)
+	}
+
+	// One device's shard: its planner sections plus its scoped cuts.
+	var shard bytes.Buffer
+	if err := warm.SaveStateFor(&shard, devs[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	var whole bytes.Buffer
+	if err := warm.SaveState(&whole); err != nil {
+		t.Fatal(err)
+	}
+	if shard.Len() >= whole.Len() {
+		t.Fatalf("one-device shard (%d bytes) not smaller than the whole pool snapshot (%d bytes)",
+			shard.Len(), whole.Len())
+	}
+	secs, err := warm.StateSections(devs[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make(map[persist.SectionKind]int)
+	for _, s := range secs {
+		kinds[s.ID.Kind]++
+		if s.ID.Device != "" && s.ID.Device != devs[0].Name {
+			t.Fatalf("shard leaked a %s section for %q", s.ID.Kind, s.ID.Device)
+		}
+	}
+	if kinds[persist.SectionPlans] != 1 || kinds[persist.SectionMeta] != 1 {
+		t.Fatalf("shard section census: %v", kinds)
+	}
+
+	// The shard restores a single-device replica to byte-identical
+	// service, through both the envelope and the raw-sections entry.
+	for name, load := range map[string]func(*PlannerPool) error{
+		"envelope": func(p *PlannerPool) error { return p.LoadState(bytes.NewReader(shard.Bytes())) },
+		"sections": func(p *PlannerPool) error { return p.LoadSections(secs) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			trim.PurgeCutCache()
+			replica := mk(devs[:1])
+			if err := load(replica); err != nil {
+				t.Fatal(err)
+			}
+			resp, err := replica.Select(devs[0].Name, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if responseKey(resp) != want[devs[0].Name] {
+				t.Fatal("replica restored from shard diverged")
+			}
+		})
+	}
+
+	if _, err := warm.StateSections("no-such-device"); err == nil {
+		t.Fatal("unserved device name accepted")
+	}
+	if err := warm.SaveStateFor(io.Discard, "no-such-device"); err == nil {
+		t.Fatal("SaveStateFor accepted an unserved device name")
 	}
 }

@@ -3,6 +3,7 @@ package trim
 import (
 	"fmt"
 
+	"netcut/internal/faultinject"
 	"netcut/internal/graph"
 )
 
@@ -95,4 +96,32 @@ func RestoreCut(rec CutRecord) error {
 		_, err = CutAtNodeScoped(rec.Scope, rec.Parent, rec.At, rec.Head)
 	}
 	return err
+}
+
+// BuildCut is the build half of RestoreCut: it runs the same fault
+// site and validations and computes the TRN, but never touches the cut
+// cache. A parallel restore builds many cuts concurrently with BuildCut
+// and then inserts them serially with InsertCut, so the cache's
+// per-shard recency order is exactly what serial replay would produce.
+func BuildCut(rec CutRecord) (*TRN, error) {
+	faultinject.Panic(faultinject.TrimPanic, rec.Parent.Name)
+	if err := rec.Head.validate(); err != nil {
+		return nil, err
+	}
+	if rec.Blockwise {
+		return cutBlocks(rec.Parent, rec.At, rec.Head)
+	}
+	return cutAtNode(rec.Parent, rec.At, rec.Head)
+}
+
+// InsertCut caches a TRN built by BuildCut under its record's
+// coordinates — the insert half of the parallel-restore split.
+func InsertCut(rec CutRecord, trn *TRN) {
+	cutCache.Add(cutKey{
+		scope:     rec.Scope,
+		parent:    graph.Fingerprint(rec.Parent),
+		at:        rec.At,
+		blockwise: rec.Blockwise,
+		head:      rec.Head,
+	}, trn)
 }

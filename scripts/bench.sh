@@ -24,14 +24,17 @@ DATE="$(date -u +%Y-%m-%d)"
 mkdir -p "$OUT_DIR"
 OUT="$OUT_DIR/BENCH_${DATE}.json"
 
-# The Planner|Gateway patterns pick up the serving-stack gates:
+# The Planner|Gateway|State patterns pick up the serving-stack gates:
 # PlannerSelectCold/Warm, PlannerSelectRestoredCold (snapshot restore),
 # PlannerConcurrentThroughput, PlannerPoolWarmAcrossDevices
 # (multi-target warm path), GatewayThroughput, GatewayCoalescedBurst,
-# GatewayCoalescedBurstStaggered (timed batching window) and
-# GatewayLaneIsolation (per-device lane p99s).
-RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
-  -benchtime="$BENCHTIME" . | grep -E '^Benchmark')"
+# GatewayCoalescedBurstStaggered (timed batching window),
+# GatewayLaneIsolation (per-device lane p99s) and StateSave/StateRestore
+# (snapshot codec bytes + ns). -benchmem adds B/op and allocs/op to
+# every entry so allocation regressions (a copy creeping back onto the
+# byte-cache hit path, a reflective codec) show in the drift log too.
+RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|State|Fig|Tab|Abl' \
+  -benchtime="$BENCHTIME" -benchmem . | grep -E '^Benchmark')"
 
 {
   echo "{"
@@ -41,9 +44,25 @@ RAW="$(go test -run '^$' -bench 'SelectEndToEnd|Planner|Gateway|Fig|Tab|Abl' \
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"benchtime\": \"${BENCHTIME}\","
   echo "  \"benchmarks\": ["
+  # A bench line after the name and iteration count is value/unit token
+  # pairs: "ns/op" always first, then any b.ReportMetric custom units,
+  # then -benchmem's "B/op" and "allocs/op". Known units become
+  # top-level fields; everything else lands under "metrics".
   echo "$RAW" | awk '{
     name = $1; sub(/-[0-9]+$/, "", name)
-    printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", sep, name, $2, $3
+    ns = 0; bytes = ""; allocs = ""; extra = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+      v = $i; u = $(i + 1)
+      if (u == "ns/op") ns = v
+      else if (u == "B/op") bytes = v
+      else if (u == "allocs/op") allocs = v
+      else extra = extra (extra == "" ? "" : ", ") "\"" u "\": " v
+    }
+    line = "{\"name\": \"" name "\", \"iterations\": " $2 ", \"ns_per_op\": " ns
+    if (bytes != "") line = line ", \"bytes_per_op\": " bytes
+    if (allocs != "") line = line ", \"allocs_per_op\": " allocs
+    if (extra != "") line = line ", \"metrics\": {" extra "}"
+    printf "%s    %s}", sep, line
     sep = ",\n"
   } END { print "" }'
   echo "  ],"

@@ -27,7 +27,7 @@ if "$BIN" -addr "not-a-valid-address" >/dev/null 2>&1; then
   exit 1
 fi
 
-STATE="$TMP/state.json"
+STATE="$TMP/state.bin"
 # -byte-cache 0 for this leg: it exercises the planner's own warm path
 # and the shed predicate with repeated identical requests, which the
 # rendered-response cache would otherwise answer outright (the dedicated
@@ -190,15 +190,17 @@ while read -r fam; do
     echo "FAIL: metric family $fam is exported but not catalogued in README.md" >&2; exit 1; }
 done <"$TMP/families"
 
-# On-demand state save: the admin endpoint writes a decodable snapshot.
+# On-demand state save: the admin endpoint writes a well-formed binary
+# snapshot — magic prefix, schema version byte 2, and at least one
+# section frame past the 21-byte envelope header.
 SAVE_CODE="$(curl -s -o "$TMP/save.json" -w '%{http_code}' -X POST "http://$ADDR/v1/state/save")"
 [ "$SAVE_CODE" = 200 ] || { echo "FAIL: /v1/state/save returned $SAVE_CODE" >&2; exit 1; }
 python3 - "$STATE" <<'PY'
-import json, sys
-env = json.load(open(sys.argv[1]))
-assert env["magic"] == "netcut-state", env.get("magic")
-assert env["version"] == 1, env.get("version")
-assert env["payload"]["planners"], "snapshot holds no planner sections"
+import sys
+raw = open(sys.argv[1], "rb").read()
+assert raw[:12] == b"netcut-state", raw[:12]
+assert raw[12] == 2, f"schema version byte {raw[12]}"
+assert len(raw) > 21, f"envelope with no sections ({len(raw)} bytes)"
 PY
 
 # Graceful drain: SIGTERM must exit 0 (and persist the warm state).
@@ -231,6 +233,9 @@ for _ in $(seq 1 50); do
 done
 grep -q "restored warm state from $STATE" "$TMP/netserve2.log" || {
   echo "FAIL: restart did not restore the state file" >&2; cat "$TMP/netserve2.log" >&2; exit 1; }
+grep -Eq "restored warm state from $STATE in [0-9]+\.[0-9]ms" "$TMP/netserve2.log" || {
+  echo "FAIL: restore log line does not report the restore duration" >&2
+  grep "restored warm state" "$TMP/netserve2.log" >&2; exit 1; }
 
 [ "$(plan "$TMP/restored.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
 same "$TMP/restored.json" "$TMP/cold.json" || {
@@ -259,7 +264,7 @@ PID=""
 # .bak) it is killed hard mid-life, the primary snapshot is stomped, and
 # the restart must fall back to the .bak generation and serve its first
 # request warm.
-STATE2="$TMP/crash-state.json"
+STATE2="$TMP/crash-state.bin"
 "$BIN" -addr "$ADDR" -seed 1 -shed-min-samples 1 -state-file "$STATE2" -autosave 300ms >"$TMP/netserve3.log" 2>&1 &
 PID=$!
 for _ in $(seq 1 50); do
