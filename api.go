@@ -325,6 +325,27 @@ func NewPlannerPool(cfg PoolConfig) (*PlannerPool, error) { return serve.NewPool
 // header. See the package comment's "Fault tolerance & degradation"
 // section.
 //
+// Under sustained pressure the gateway degrades instead of failing
+// binary: a closed-loop overload controller
+// (GatewayConfig.OverloadInterval) samples lane backlog, observed
+// latency drift and — with GatewayConfig.HeapLimitBytes — heap/GC
+// pressure into a load level (0 normal, 1 brownout, 2 emergency;
+// netcut_gateway_load_level, Gateway.LoadLevel) that sheds optional
+// work level by level: prewarming pauses, the batch window shrinks,
+// trace-ring retention is sampled, and at level 2 only byte-cache hits
+// and coalesce joins are admitted while cold misses are shed
+// pre-execution with backlog-honest Retry-After hints. Per-lane
+// execution concurrency adapts by AIMD between 1 and the configured
+// workers. Requests that prefer a degraded answer over a rejection set
+// "allow_degraded": true in the body: a budget-infeasible or
+// unhealthy-device request then falls back deterministically to the
+// fastest healthy device and returns its plan with "degraded": true
+// and a "degraded_reason" ("budget_infeasible" or "unhealthy_device")
+// spliced in at write time — the body is byte-identical to the
+// explicit spelling of the fallback target modulo trace_id and those
+// markers (strip them with StripDegraded / StripTraceID).
+// See the gateway package comment's "Overload" section.
+//
 // Every request is traced: the response carries the trace ID in the
 // X-Netcut-Trace header and the trace_id body field (the only byte
 // tracing adds — everything else is observability-only), completed
@@ -364,3 +385,14 @@ const DefaultTraceRingCap = gateway.DefaultTraceRingCap
 //	srv.Shutdown(ctx) // stop accepting, finish in-flight handlers
 //	gw.Shutdown(ctx)  // drain the admission queue, stop workers
 func NewGateway(cfg GatewayConfig) (*Gateway, error) { return gateway.New(cfg) }
+
+// StripTraceID removes the write-time-injected trace_id member from a
+// response body, recovering the canonical rendering; StripDegraded
+// does the same for the degraded/degraded_reason markers of an
+// allow_degraded fallback. Together they recover the byte-identity
+// invariant from any served body: two responses to the same resolved
+// request are byte-identical after stripping both.
+func StripTraceID(body []byte) []byte { return gateway.StripTraceID(body) }
+
+// StripDegraded removes the degraded markers; see StripTraceID.
+func StripDegraded(body []byte) []byte { return gateway.StripDegraded(body) }

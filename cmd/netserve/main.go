@@ -30,6 +30,7 @@
 //	netserve -state-file /var/lib/netcut/state.bin -prewarm
 //	netserve -state-file /var/lib/netcut/state.bin -autosave 30s
 //	netserve -exec-timeout 5s
+//	netserve -overload-interval 50ms -heap-limit 536870912
 //	netserve -slow-trace 50ms                # log requests slower than this
 //	netserve -pprof                          # mount /debug/pprof/ (off by default)
 //
@@ -58,6 +59,19 @@
 // quarantined, and devices that fault repeatedly are taken out of
 // rotation until a background probe restores them — see the gateway
 // package documentation.
+//
+// Overload control: a closed-loop controller (sampling every
+// -overload-interval) folds lane backlog, latency drift and — with
+// -heap-limit — heap/GC pressure into a load level (0 normal,
+// 1 brownout, 2 emergency, exported as netcut_gateway_load_level) that
+// sheds optional work first: prewarming pauses, the batch window
+// shrinks, trace retention is sampled, and at level 2 only cached
+// responses and coalesce joins are served while cold misses get 429s
+// with backlog-honest Retry-After hints. Per-lane execution
+// concurrency adapts by AIMD between 1 and the configured workers.
+// Clients that prefer a degraded answer over a rejection can set
+// "allow_degraded": true in the request body — see the gateway package
+// documentation.
 //
 // Signals: the first SIGINT/SIGTERM starts the graceful drain; a second
 // one forces exit(1) immediately, logging which drain phase was in
@@ -108,6 +122,8 @@ func run() int {
 		autosave     = flag.Duration("autosave", 0, "periodic warm-state snapshot interval (requires -state-file; 0 = only save on drain/demand)")
 		execTimeout  = flag.Duration("exec-timeout", 0, "per-pass execution watchdog: abandon planner passes stuck longer than this with a 504 (0 = disabled)")
 		prewarm      = flag.Bool("prewarm", false, "plan the calibrated zoo on every device in the background at startup (after any -state-file restore)")
+		overloadInt  = flag.Duration("overload-interval", 0, "overload-controller sampling interval (0 = default 100ms, negative = controller disabled)")
+		heapLimit    = flag.Int64("heap-limit", 0, "live-heap bytes at which the overload controller declares an emergency; also arms the GC-pause brownout signal (0 = memory signals disabled)")
 		slowTrace    = flag.Duration("slow-trace", 0, "log a structured per-stage trace for requests slower than this (0 = disabled)")
 		traceRing    = flag.Int("trace-ring", netcut.DefaultTraceRingCap, "completed request traces retained for /debug/trace (0 = disabled)")
 		pprof        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enable only on trusted listeners)")
@@ -158,6 +174,8 @@ func run() int {
 		StatePath:        *stateFile,
 		AutosaveInterval: *autosave,
 		ExecTimeout:      *execTimeout,
+		OverloadInterval: *overloadInt,
+		HeapLimitBytes:   *heapLimit,
 		SlowTraceMs:      float64(*slowTrace) / float64(time.Millisecond),
 		TraceRingCap:     traceRingCap,
 		Pprof:            *pprof,

@@ -245,6 +245,36 @@
 // seed/key-matched fault points compiled into the hot paths as no-ops
 // unless a test arms them — under the race detector in CI.
 //
+// # Overload control & degraded serving
+//
+// A closed-loop controller (GatewayConfig.OverloadInterval, netserve
+// -overload-interval) folds per-lane backlog, warm-p99 drift of
+// observed execution latency and — when GatewayConfig.HeapLimitBytes
+// (-heap-limit) arms the memory signals — heap occupancy and GC-pause
+// pressure into one load level — 0 normal, 1 brownout, 2 emergency —
+// exported
+// as netcut_gateway_load_level. Each level sheds optional work first:
+// brownout halves the batch window, pauses prewarming and samples the
+// trace ring 1-in-4; emergency drops the window, samples 1-in-16 and
+// admits only byte-cache hits and coalesce joins, shedding every cold
+// miss pre-execution with a level-scaled, backlog-honest Retry-After
+// (ceil(backlog/workers) execution waves of p99+window each). The
+// level is a pure function of the current signals, so it returns to
+// normal within one interval of the load going away (the drift EWMA,
+// the one signal with memory, halves each tick while its lane is
+// idle). Each lane's execution parallelism adapts by AIMD between 1
+// and its configured worker count: +1 per pass while latency tracks
+// the device's warm p99, halved on containment events.
+//
+// Requests may opt into degraded serving with "allow_degraded": true:
+// instead of a budget_too_small or device_unhealthy rejection, the
+// request is routed deterministically to the fastest healthy device
+// and served with "degraded": true and a degraded_reason spliced into
+// the body at write time — byte-identical to the explicit spelling of
+// the fallback target modulo the trace ID and those markers
+// (StripTraceID / StripDegraded recover the canonical bytes). With no
+// healthy device the 503 stands: degradation never conjures capacity.
+//
 // # Observability
 //
 // internal/telemetry is a dependency-free metrics registry (counters,
@@ -264,7 +294,8 @@
 // the X-Netcut-Trace response header and the trace_id body field —
 // and a record of timestamped stage spans covering decode, every
 // admission gate with its verdict (drain, quarantine, route, health,
-// bytecache, coalesce, shed), enqueue, queue wait and planner
+// bytecache, coalesce, shed, degraded on opt-in fallbacks), enqueue,
+// queue wait and planner
 // execution as separate spans, encode and delivery. Completed traces
 // land in a bounded lock-sharded ring served at GET /debug/trace
 // (filterable by id, device, status, min_ms, limit;

@@ -35,8 +35,13 @@ func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		rounds     = 3
 		seed       = 17
 	)
-	targets := []string{"", `,"target":"auto"`, `,"target":"sim-xavier"`,
-		`,"target":"sim-server-gpu"`, `,"target":"sim-edge-cpu"`}
+	// Odd-indexed requests also opt into degraded serving: with every
+	// device healthy and shedding inactive the flag must change
+	// nothing — no fallback, no degraded markers, byte-identical
+	// bodies — pinning that allow_degraded is admission policy, not a
+	// response variant.
+	targets := []string{"", `,"target":"auto","allow_degraded":true`, `,"target":"sim-xavier"`,
+		`,"target":"sim-server-gpu","allow_degraded":true`, `,"target":"sim-edge-cpu"`}
 	mk := func(workers int) *Gateway {
 		cfg := quickConfig(seed)
 		cfg.Workers = workers
@@ -84,6 +89,11 @@ func TestGatewayDeterministicAcrossGOMAXPROCS(t *testing.T) {
 						if !bytes.Equal(stripped(rec.Body.Bytes()), want[i]) {
 							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d round %d: user-net-%d body diverged from serial replay:\n got %s\nwant %s",
 								width, w, round, i, rec.Body.Bytes(), want[i])
+							return
+						}
+						if bytes.Contains(rec.Body.Bytes(), []byte(`"degraded"`)) {
+							errs <- fmt.Errorf("GOMAXPROCS=%d worker %d: healthy-fleet response carries degraded markers: %s",
+								width, w, rec.Body.String())
 							return
 						}
 						hdr := rec.Header().Get(TraceHeader)

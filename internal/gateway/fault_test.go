@@ -627,11 +627,29 @@ func TestFaultRetryAfterEveryRejection(t *testing.T) {
 		defer g2.mu.Unlock()
 		return len(g2.inflight) == 2
 	})
+	// No executions can complete while the worker is wedged, so the
+	// p99 read here is exactly the one the rejection's hint will use.
+	p2, err := g2.pool.Planner("sim-xavier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p99, _ := p2.WarmQuantile(0.99)
 	rec = post(g2, graphBody(t, userNet(3), 0.35, ""))
 	if rec.Code != http.StatusTooManyRequests || errCode(t, rec) != "queue_full" ||
 		rec.Header().Get("Retry-After") != wantRetryAfter(t, rec) {
 		t.Fatalf("queue full: status %d code %q retry-after %q, want hint %q",
 			rec.Code, errCode(t, rec), rec.Header().Get("Retry-After"), wantRetryAfter(t, rec))
+	}
+	// The hint must be backlog-honest: one request (B) queued behind
+	// one worker is one execution wave of (p99 + window) — and the
+	// arithmetic must be the wave product, not a flat per-request
+	// estimate.
+	var qf ErrorWire
+	if err := json.Unmarshal(rec.Body.Bytes(), &qf); err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Max(laneWaves(1, g2.laneWorkers)*(p99+g2.windowMs()), 1); qf.RetryAfterMs != want {
+		t.Fatalf("queue-full hint %v, want ceil(backlog/workers)*(p99+window) = %v", qf.RetryAfterMs, want)
 	}
 	releaseOnce.Store(true)
 	close(release)

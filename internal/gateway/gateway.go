@@ -70,6 +70,14 @@
 // containment decision is admission policy: it moves or refuses
 // executions, never changes what any execution returns.
 //
+// Overload control & degraded serving: a closed-loop controller
+// (Config.OverloadInterval) publishes a load level that
+// deterministically sheds optional work — down to serving only
+// byte-cache hits and coalesce joins at level 2 — each lane's
+// execution parallelism adapts by AIMD, and requests may opt into
+// degraded fallback routing with "allow_degraded": true. See the
+// package comment in overload.go for the ladder and its signals.
+//
 // Warm-state persistence: POST /v1/state/save (enabled by
 // Config.StatePath) snapshots every planner's caches to disk via
 // serve.PlannerPool.SaveState, and LoadState restores a snapshot on
@@ -220,6 +228,31 @@ type Config struct {
 	// 0 means DefaultQuarantineAfter; negative disables quarantining.
 	QuarantineAfter int
 
+	// OverloadInterval is the closed-loop overload controller's sampling
+	// cadence: every interval a background sampler folds the signals the
+	// process already has — per-lane backlog, warm-p99 drift of observed
+	// execution latency, heap and GC-pause gauges — into a discrete load
+	// level (0 normal, 1 brownout, 2 emergency) that deterministically
+	// disables optional work (see the package comment's "Overload"
+	// section). The level is a pure function of the current signals, so
+	// it returns to 0 within one interval of the load going away.
+	// 0 means DefaultOverloadInterval; negative disables the controller
+	// (the level is pinned at 0), mirroring the ByteCacheCap convention.
+	OverloadInterval time.Duration
+	// HeapLimitBytes arms the controller's memory signals: live heap at
+	// or above this limit is an emergency (level 2), at or above 80% of
+	// it — or a p99 GC stop-the-world pause over 50ms — a brownout
+	// (level 1). 0 (the default) disables both memory signals; negative
+	// is a configuration error.
+	HeapLimitBytes int64
+	// BrownoutQueueFrac and EmergencyQueueFrac are the lane-backlog
+	// thresholds of the load ladder, as fractions of a lane's queue
+	// capacity: the fullest lane at or past the brownout fraction holds
+	// the level at 1, past the emergency fraction at 2. 0 means the
+	// defaults (0.5 and 0.9); out of (0, 1] is a configuration error.
+	BrownoutQueueFrac  float64
+	EmergencyQueueFrac float64
+
 	// SlowTraceMs emits a structured log/slog line (on SlowLog, or the
 	// process default logger) for every request whose end-to-end trace
 	// exceeds this many milliseconds, with per-stage durations as
@@ -266,6 +299,16 @@ const (
 	// window costs well under a megabyte while covering several seconds
 	// of saturated traffic.
 	DefaultTraceRingCap = 512
+	// DefaultOverloadInterval is the overload controller's sampling
+	// cadence: fast enough that the level tracks a traffic step within
+	// ~100ms, slow enough that a tick's few atomic reads never register
+	// against the request path.
+	DefaultOverloadInterval = 100 * time.Millisecond
+	// DefaultBrownoutQueueFrac / DefaultEmergencyQueueFrac are the lane
+	// backlog thresholds of the load ladder: half-full lanes start the
+	// brownout, near-full lanes declare the emergency.
+	DefaultBrownoutQueueFrac  = 0.5
+	DefaultEmergencyQueueFrac = 0.9
 
 	// quarantineCap bounds the panic-count LRU: big enough to hold a
 	// burst of distinct poison keys, small enough that the quarantine
@@ -308,6 +351,20 @@ func (c *Config) fill() error {
 	if c.SlowTraceMs < 0 {
 		return fmt.Errorf("negative SlowTraceMs %v", c.SlowTraceMs)
 	}
+	if c.HeapLimitBytes < 0 {
+		return fmt.Errorf("negative HeapLimitBytes %d", c.HeapLimitBytes)
+	}
+	for _, k := range []struct {
+		name string
+		val  float64
+	}{
+		{"BrownoutQueueFrac", c.BrownoutQueueFrac},
+		{"EmergencyQueueFrac", c.EmergencyQueueFrac},
+	} {
+		if k.val < 0 || k.val > 1 {
+			return fmt.Errorf("%s %v outside (0, 1]", k.name, k.val)
+		}
+	}
 	if c.AutosaveInterval > 0 && c.StatePath == "" {
 		return fmt.Errorf("AutosaveInterval requires a StatePath")
 	}
@@ -343,6 +400,17 @@ func (c *Config) fill() error {
 	}
 	if c.DrainTimeout == 0 {
 		c.DrainTimeout = DefaultDrainTimeout
+	}
+	// OverloadInterval follows the ByteCacheCap convention: 0 means the
+	// default, negative means disabled.
+	if c.OverloadInterval == 0 {
+		c.OverloadInterval = DefaultOverloadInterval
+	}
+	if c.BrownoutQueueFrac == 0 {
+		c.BrownoutQueueFrac = DefaultBrownoutQueueFrac
+	}
+	if c.EmergencyQueueFrac == 0 {
+		c.EmergencyQueueFrac = DefaultEmergencyQueueFrac
 	}
 	return nil
 }
@@ -439,6 +507,20 @@ type lane struct {
 	device    string
 	queue     chan *call
 	shedQueue *telemetry.Counter // queue_full sheds on this lane
+
+	// AIMD execution-concurrency limit (see overload.go): workers
+	// acquire a slot before running a planner pass. execLimit moves
+	// between 1 and the configured per-lane worker count — additive
+	// increase while observed pass latency tracks the warm p99,
+	// multiplicative decrease on containment events — and execEwmaMs is
+	// the smoothed observed pass latency the overload controller reads
+	// as its warm-p99 drift signal. All guarded by execMu.
+	execMu        sync.Mutex
+	execCond      *sync.Cond
+	execLimit     int
+	execActive    int
+	execEwmaMs    float64
+	aimdDecreases *telemetry.Counter
 }
 
 // Gateway is the serving layer. Construct with New, expose Handler on
@@ -520,6 +602,18 @@ type Gateway struct {
 	probesByDev    map[string]*telemetry.Counter
 	slowTraces     *telemetry.Counter
 	requestLatMs   *telemetry.Histogram
+
+	// Overload control (see overload.go): loadLevel is the controller's
+	// published load level (0 normal, 1 brownout, 2 emergency), mem the
+	// memoized MemStats sampler its heap/GC signals read, traceSeq the
+	// deterministic counter behind brownout trace-ring sampling.
+	loadLevel       atomic.Int32
+	mem             *telemetry.MemSampler
+	traceSeq        atomic.Uint64
+	loadTransitions *telemetry.Counter
+	shedOverload    *telemetry.Counter
+	degradedServed  *telemetry.Counter
+	traceSampledOut *telemetry.Counter
 	// cancelledLatMs records the wall-clock latency of admitted
 	// requests whose client disconnected before delivery — its own
 	// series, so cancellations neither vanish from latency telemetry
@@ -591,6 +685,15 @@ func New(cfg Config) (*Gateway, error) {
 			"requests rejected at admission because their key previously caused repeated panics"),
 		slowTraces: reg.Counter("netcut_gateway_slow_traces_total",
 			"requests whose end-to-end trace exceeded Config.SlowTraceMs and were logged"),
+		loadTransitions: reg.Counter("netcut_gateway_load_transitions_total",
+			"overload-controller load-level changes (any direction)"),
+		shedOverload: reg.Counter("netcut_gateway_shed_overload_total",
+			"cold misses shed at admission while the load level was 2 (emergency)"),
+		degradedServed: reg.Counter("netcut_gateway_degraded_total",
+			"allow_degraded requests served from a fallback device instead of being rejected"),
+		traceSampledOut: reg.Counter("netcut_gateway_trace_sampled_out_total",
+			"completed traces dropped from the /debug/trace ring by brownout sampling"),
+		mem: &telemetry.MemSampler{},
 		requestLatMs: reg.Histogram("netcut_gateway_request_ms", "wall-clock request latency of admitted plan requests", nil),
 		cancelledLatMs: reg.Histogram("netcut_gateway_request_cancelled_lat_ms",
 			"wall-clock latency of admitted plan requests cancelled by client disconnect before delivery", nil),
@@ -606,6 +709,9 @@ func New(cfg Config) (*Gateway, error) {
 			return float64(len(g.inflight))
 		})
 	telemetry.RegisterRuntime(reg)
+	reg.GaugeFunc("netcut_gateway_load_level",
+		"overload-controller load level: 0 normal, 1 brownout, 2 emergency",
+		func() float64 { return float64(g.loadLevel.Load()) })
 
 	// Request tracing: the ID stream derives from the planner seed, so a
 	// replay with the same seed and admission order reproduces the same
@@ -654,10 +760,21 @@ func New(cfg Config) (*Gateway, error) {
 			queue:  make(chan *call, g.laneQueueCap),
 			shedQueue: reg.CounterWith("netcut_gateway_shed_queue_full_total",
 				"requests shed because the device's admission lane was full", labels),
+			execLimit: g.laneWorkers,
+			aimdDecreases: reg.CounterWith("netcut_gateway_aimd_decreases_total",
+				"multiplicative decreases of the lane's AIMD execution-concurrency limit", labels),
 		}
+		l.execCond = sync.NewCond(&l.execMu)
 		reg.GaugeFuncWith("netcut_gateway_queue_depth",
 			"requests waiting in the device's admission lane", labels,
 			func() float64 { return float64(len(l.queue)) })
+		reg.GaugeFuncWith("netcut_gateway_lane_concurrency",
+			"current AIMD execution-concurrency limit of the device's lane", labels,
+			func() float64 {
+				l.execMu.Lock()
+				defer l.execMu.Unlock()
+				return float64(l.execLimit)
+			})
 		g.lanes[name] = l
 		g.health[name] = &deviceHealth{device: name}
 		g.panicsByDev[name] = reg.CounterWith("netcut_gateway_panics_total",
@@ -718,6 +835,9 @@ func New(cfg Config) (*Gateway, error) {
 	}
 	if cfg.AutosaveInterval > 0 {
 		g.goBackground(g.autosaveLoop)
+	}
+	if cfg.OverloadInterval > 0 {
+		g.goBackground(g.overloadLoop)
 	}
 	return g, nil
 }
@@ -903,6 +1023,9 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// request in the latency histogram; the hit itself is counted
 		// by the cache's own netcut_gateway_bytecache_hits_total,
 		// distinct from planner executions.
+		if dec.degradedReason != "" {
+			cached = injectDegraded(cached, dec.degradedReason)
+		}
 		end := g.writePlanTraced(w, http.StatusOK, cached, tr)
 		g.requestLatMs.Observe(float64(end.Sub(start)) / float64(time.Millisecond))
 		return
@@ -916,7 +1039,14 @@ func (g *Gateway) handlePlan(w http.ResponseWriter, r *http.Request) {
 		if c.retryAfterMs > 0 {
 			w.Header().Set("Retry-After", retryAfterSeconds(c.retryAfterMs))
 		}
-		end := g.writePlanTraced(w, c.status, c.body, tr)
+		body := c.body
+		if dec.degradedReason != "" && c.status == http.StatusOK {
+			// The degraded markers are this response's, not the call's:
+			// the canonical body (shared with coalesced waiters and the
+			// byte cache) stays clean, like the trace ID.
+			body = injectDegraded(body, dec.degradedReason)
+		}
+		end := g.writePlanTraced(w, c.status, body, tr)
 		g.requestLatMs.Observe(float64(end.Sub(start)) / float64(time.Millisecond))
 	case <-r.Context().Done():
 		// The client went away. If other waiters remain, the execution
@@ -1001,6 +1131,9 @@ func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *a
 		tr.MarkZero(stageRoute, name)
 		if !g.deviceEligible(name) {
 			tr.MarkZero(stageHealth, "unhealthy")
+			if dec.allowDegraded {
+				return g.admitDegraded(dec, degradedUnhealthy, tr)
+			}
 			return nil, nil, g.unhealthyErr(name)
 		}
 		tr.MarkZero(stageHealth, verdictOK)
@@ -1011,6 +1144,9 @@ func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *a
 		}
 		tr.MarkZero(stageByteCache, "miss")
 		c, e := g.admitOn(dec, p, true, tr)
+		if e != nil && dec.allowDegraded && e.wire.Code == "budget_too_small" {
+			return g.admitDegraded(dec, degradedBudget, tr)
+		}
 		return c, nil, e
 	case "auto":
 		name, est, ok := g.pool.Route(dec.budgetMs, g.windowMs(), uint64(g.cfg.ShedMinSamples), g.deviceEligible)
@@ -1055,13 +1191,17 @@ func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *a
 			}
 		}
 		// Route reports +Inf exactly when the eligible set was empty:
-		// nothing to shed against, the fleet is unhealthy.
+		// nothing to shed against, the fleet is unhealthy — and nothing
+		// to degrade onto either, so allow_degraded keeps the 503.
 		if math.IsInf(est, 1) {
 			tr.MarkZero(stageHealth, "no_healthy_device")
 			e := errf(http.StatusServiceUnavailable, "no_healthy_device",
 				"every registered device is unhealthy; background probes are running")
 			e.wire.RetryAfterMs = float64(g.cfg.ProbeInterval) / float64(time.Millisecond)
 			return nil, nil, e
+		}
+		if dec.allowDegraded {
+			return g.admitDegraded(dec, degradedBudget, tr)
 		}
 		tr.MarkZero(stageShed, "budget")
 		g.shedBudget.Inc()
@@ -1081,6 +1221,9 @@ func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *a
 		tr.MarkZero(stageRoute, dec.target)
 		if !g.deviceEligible(dec.target) {
 			tr.MarkZero(stageHealth, "unhealthy")
+			if dec.allowDegraded {
+				return g.admitDegraded(dec, degradedUnhealthy, tr)
+			}
 			return nil, nil, g.unhealthyErr(dec.target)
 		}
 		tr.MarkZero(stageHealth, verdictOK)
@@ -1091,6 +1234,9 @@ func (g *Gateway) admit(dec *decodedRequest, tr *trace.Trace) (*call, []byte, *a
 		}
 		tr.MarkZero(stageByteCache, "miss")
 		c, e := g.admitOn(dec, p, true, tr)
+		if e != nil && dec.allowDegraded && e.wire.Code == "budget_too_small" {
+			return g.admitDegraded(dec, degradedBudget, tr)
+		}
 		return c, nil, e
 	}
 }
@@ -1138,6 +1284,21 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 		return c, nil
 	}
 	tr.MarkZero(stageCoalesce, "leader")
+	l := g.lanes[dec.key.device]
+	// Emergency gate: at load level 2 only work that costs no planner
+	// execution is admitted — byte-cache hits were already served in
+	// admit, coalesce joins just above — and every cold miss is shed
+	// here, pre-execution, with a level-scaled backlog-honest hint.
+	// Degraded requests shed too: a fallback still costs an execution.
+	if lvl := int(g.loadLevel.Load()); lvl >= levelEmergency {
+		tr.MarkZero(stageShed, "overload")
+		g.shedOverload.Inc()
+		e := errf(http.StatusTooManyRequests, "overload_shed",
+			"gateway is at load level %d (emergency): only cached responses and coalesce joins are served", lvl)
+		p99, _ := planner.WarmQuantile(0.99)
+		e.wire.RetryAfterMs = math.Max(float64(lvl)*laneWaves(len(l.queue), g.laneWorkers)*(p99+g.windowMs()), 1)
+		return nil, e
+	}
 	// Deadline-aware shedding: if the client's remaining budget cannot
 	// cover the target's warm-path p99 plus the batching window every
 	// pass leader waits out, queueing it only manufactures a
@@ -1164,7 +1325,6 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 	// coalescing identity (dec.key was computed before it existed).
 	c.req.Trace = c.notePhase
 	c.waiters.Store(1) // the leader
-	l := g.lanes[dec.key.device]
 	select {
 	case l.queue <- c:
 		g.inflight[dec.key] = c
@@ -1179,8 +1339,12 @@ func (g *Gateway) admitOn(dec *decodedRequest, planner *serve.Planner, shedCheck
 		l.shedQueue.Inc()
 		e := errf(http.StatusTooManyRequests, "queue_full",
 			"admission lane of %d for device %s is full", g.laneQueueCap, l.device)
+		// A full lane means a backlog of whole execution waves stands
+		// between this client and service: ceil(backlog / workers)
+		// passes of roughly (p99 + window) each — not one request's
+		// worth, which is what this hint used to claim.
 		p99, _ := planner.WarmQuantile(0.99)
-		e.wire.RetryAfterMs = math.Max(p99+g.windowMs(), 1)
+		e.wire.RetryAfterMs = math.Max(laneWaves(len(l.queue), g.laneWorkers)*(p99+g.windowMs()), 1)
 		return nil, e
 	}
 }
@@ -1202,7 +1366,7 @@ func (g *Gateway) worker(l *lane) {
 		// per-request executions. Costs nothing when idle.
 		runtime.Gosched()
 		batch := []*call{first}
-		if g.cfg.BatchWindow > 0 {
+		if w := g.effectiveBatchWindow(); w > 0 {
 			// Timed window: hold the pass open for socket-staggered
 			// stragglers. The yield catches bursts already in flight;
 			// the window catches bursts whose members are still
@@ -1211,8 +1375,10 @@ func (g *Gateway) worker(l *lane) {
 			// return. The cost: every pass leader — including a lone,
 			// uncontended request — waits up to BatchWindow before
 			// executing, which is why the budget shed predicates add
-			// windowMs to the expected service time.
-			timer := time.NewTimer(g.cfg.BatchWindow)
+			// windowMs to the expected service time. Under overload the
+			// window shrinks (brownout) or disappears (emergency) —
+			// holding passes open is optional work.
+			timer := time.NewTimer(w)
 		window:
 			for len(batch) < g.cfg.BatchMax {
 				select {
@@ -1249,7 +1415,13 @@ func (g *Gateway) worker(l *lane) {
 			}
 		}
 		if len(live) > 0 {
+			// The AIMD slot bounds how many of this lane's workers run
+			// planner passes concurrently; the queue stays drained by
+			// everyone, so admission behavior is unchanged — only the
+			// execution parallelism adapts.
+			l.acquireExec()
 			g.execute(live)
+			l.releaseExec()
 		}
 	}
 }
@@ -1403,6 +1575,7 @@ func (g *Gateway) executeGroup(dev string, calls []*call) {
 				g.deliverPanic(c, sres)
 			default:
 				g.deviceOK(dev)
+				g.laneAIMDIncrease(dev, float64(c.execEndAt.Sub(c.execStartAt))/float64(time.Millisecond))
 				g.deliverResult(c, sres.resps[0], sres.errs[0])
 			}
 		}
@@ -1410,6 +1583,7 @@ func (g *Gateway) executeGroup(dev string, calls []*call) {
 		g.deliverPanic(calls[0], res)
 	default:
 		g.deviceOK(dev)
+		g.laneAIMDIncrease(dev, float64(execEnd.Sub(execStart))/float64(time.Millisecond))
 		for i, c := range calls {
 			g.deliverResult(c, res.resps[i], res.errs[i])
 		}
@@ -1486,6 +1660,10 @@ func (g *Gateway) notePanicKey(k coalesceKey) {
 // against a device; crossing Config.UnhealthyAfter consecutive events
 // trips it unhealthy and starts the probe loop that will restore it.
 func (g *Gateway) deviceFault(dev string) {
+	// Containment events are the AIMD limit's multiplicative-decrease
+	// trigger: a panicking or wedging device should immediately see
+	// less concurrent pressure, even with health tracking disabled.
+	g.laneAIMDDecrease(dev)
 	if g.cfg.UnhealthyAfter < 0 {
 		return
 	}
@@ -1524,10 +1702,8 @@ func (g *Gateway) probeLoop(h *deviceHealth) {
 		return
 	}
 	for {
-		select {
-		case <-g.stop:
+		if !g.sleep(g.cfg.ProbeInterval) {
 			return
-		case <-time.After(g.cfg.ProbeInterval):
 		}
 		if hook := g.testHookProbe; hook != nil {
 			hook(h.device)
@@ -1689,10 +1865,8 @@ func (g *Gateway) autosaveLoop() {
 	rng := rand.New(rand.NewSource(g.cfg.Planner.Seed))
 	for {
 		jittered := time.Duration(float64(g.cfg.AutosaveInterval) * (0.9 + 0.2*rng.Float64()))
-		select {
-		case <-g.stop:
+		if !g.sleep(jittered) {
 			return
-		case <-time.After(jittered):
 		}
 		if _, err := g.SaveStateFile(); err != nil {
 			g.autosaveErrors.Inc()
@@ -1747,6 +1921,14 @@ func (g *Gateway) Prewarm() <-chan struct{} {
 				case <-g.stop:
 					return
 				default:
+				}
+				// Prewarming is the most optional work there is: any
+				// brownout pauses the sweep until the level clears (it
+				// resumes where it left off; drain still aborts it).
+				for g.loadLevel.Load() >= levelBrownout {
+					if !g.sleep(g.cfg.OverloadInterval) {
+						return
+					}
 				}
 				zg, err := zooGraph(netName)
 				if err != nil {
@@ -1825,9 +2007,10 @@ func (g *Gateway) handleDevices(w http.ResponseWriter, _ *http.Request) {
 // target's stats for single-device dashboards).
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	doc := map[string]any{
-		"metrics": g.reg.Snapshot(),
-		"planner": g.pool.Default().Stats(),
-		"devices": g.pool.Stats(),
+		"metrics":  g.reg.Snapshot(),
+		"planner":  g.pool.Default().Stats(),
+		"devices":  g.pool.Stats(),
+		"overload": g.overloadStats(),
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -49,7 +49,8 @@ const (
 	stageHealth     = "health"     // device-health gate
 	stageByteCache  = "bytecache"  // rendered-response cache; verdict hit/miss
 	stageCoalesce   = "coalesce"   // verdict leader/follower
-	stageShed       = "shed"       // budget shed gate
+	stageShed       = "shed"       // budget/overload shed gate
+	stageDegraded   = "degraded"   // allow_degraded fallback; verdict is the reason
 	stageEnqueue    = "enqueue"    // lane handoff; verdict ok/full
 	stageQueueWait  = "queue_wait" // admission to pass start (stitched post-delivery)
 	stageExec       = "exec"       // the planner pass (stitched post-delivery)
@@ -190,9 +191,12 @@ func (g *Gateway) finishTrace(tr *trace.Trace, status int, now time.Time) {
 		g.slowTraces.Inc()
 		g.logSlow(tr)
 	}
-	if g.ring != nil {
+	if g.ring != nil && g.traceKeep() {
 		g.ring.Add(tr)
 	} else {
+		if g.ring != nil {
+			g.traceSampledOut.Inc()
+		}
 		trace.Release(tr)
 	}
 }

@@ -92,6 +92,17 @@ type PlanRequestWire struct {
 	// into certain lateness (with target "auto", only when no
 	// registered device's warm path fits the budget).
 	BudgetMs float64 `json:"budget_ms,omitempty"`
+	// AllowDegraded opts this request into degraded serving: instead
+	// of a 429/503 when the budget is infeasible or the requested
+	// device is unhealthy, the gateway deterministically falls back to
+	// the fastest healthy device and returns its plan marked
+	// "degraded": true with a degraded_reason. The flag is admission
+	// policy only — the fallback body is byte-identical to an explicit
+	// request naming that device (modulo trace_id and the degraded
+	// markers), and it is not part of the coalescing identity. When the
+	// whole fleet is unhealthy there is nothing to fall back to and the
+	// 503 stands.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // PlanResponseWire is the body of a successful plan. Field order is
@@ -110,6 +121,18 @@ type PlanResponseWire struct {
 	Accuracy      float64 `json:"accuracy"`
 	TrainHours    float64 `json:"train_hours"`
 	Iterations    int     `json:"iterations"`
+	// Degraded marks an opt-in fallback response: the request set
+	// allow_degraded and its preferred outcome was infeasible (budget
+	// too small, device unhealthy), so this plan came from the fastest
+	// healthy device instead. Like TraceID below, both fields are
+	// spliced into the rendered body at write time — EncodeResponse
+	// never sets them, so the canonical body (the coalesce/byte-cache
+	// value) stays clean and byte-identical to the explicit spelling of
+	// the fallback target.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReason says why the fallback happened: "unhealthy_device"
+	// or "budget_infeasible".
+	DegradedReason string `json:"degraded_reason,omitempty"`
 	// TraceID is the per-request trace identifier (16 lowercase hex
 	// chars, also in the X-Netcut-Trace header). It is spliced into the
 	// rendered body at response-write time — EncodeResponse never sets
@@ -216,6 +239,67 @@ func StripTraceID(body []byte) []byte {
 	start := i
 	if start > 0 && body[start-1] == ',' {
 		start-- // drop the comma that joined the field to its predecessor
+	}
+	out := make([]byte, 0, len(body)-(end-start))
+	out = append(out, body[:start]...)
+	out = append(out, body[end:]...)
+	return out
+}
+
+// injectDegraded splices `,"degraded":true,"degraded_reason":"<r>"`
+// before the final closing brace of a rendered 200 body, mirroring the
+// trace-ID splice (the trace ID is injected after this, so it stays
+// the last member, matching PlanResponseWire's field order). Reasons
+// are fixed tokens (degradedUnhealthy, degradedBudget), so no JSON
+// escaping is needed. The copy is fine: degraded fallbacks are the
+// rare path by construction.
+func injectDegraded(body []byte, reason string) []byte {
+	i := bytes.LastIndexByte(body, '}')
+	if i < 0 {
+		return body
+	}
+	out := make([]byte, 0, len(body)+len(reason)+len(`,"degraded":true,"degraded_reason":""`))
+	out = append(out, body[:i]...)
+	if i > 0 && body[i-1] != '{' {
+		out = append(out, ',')
+	}
+	out = append(out, `"degraded":true,"degraded_reason":"`...)
+	out = append(out, reason...)
+	out = append(out, `"}`...)
+	out = append(out, body[i+1:]...)
+	return out
+}
+
+// StripDegraded removes the injected degraded markers from a response
+// body, recovering the canonical rendering — the inverse of the
+// write-time degraded splice, exported (like StripTraceID) so tests
+// and clients can pin the byte-identity contract: a degraded fallback
+// body equals the explicit spelling of its fallback target after
+// stripping trace IDs and degraded markers. Bodies without the fields
+// come back unchanged.
+func StripDegraded(body []byte) []byte {
+	if i := bytes.Index(body, []byte(`"degraded":true`)); i >= 0 {
+		body = cutMember(body, i, i+len(`"degraded":true`))
+	}
+	const reason = `"degraded_reason":"`
+	if i := bytes.Index(body, []byte(reason)); i >= 0 {
+		end := i + len(reason)
+		for end < len(body) && body[end] != '"' {
+			end++
+		}
+		if end < len(body) {
+			body = cutMember(body, i, end+1)
+		}
+	}
+	return body
+}
+
+// cutMember removes body[start:end] plus the comma that joined the
+// member to its predecessor, allocating the result (the StripTraceID
+// splice shape).
+func cutMember(body []byte, start, end int) []byte {
+	if start > 0 && body[start-1] == ',' {
+		start--
 	}
 	out := make([]byte, 0, len(body)-(end-start))
 	out = append(out, body[:start]...)
@@ -429,6 +513,14 @@ type decodedRequest struct {
 	target   string
 	budgetMs float64
 	key      coalesceKey
+	// allowDegraded is the wire opt-in; degradedReason is set by
+	// admission iff the degraded fallback actually happened, and makes
+	// the response writer splice the degraded markers into a 200 body.
+	// Neither is part of the coalescing identity: a degraded request
+	// shares executions (and canonical bytes) with the explicit
+	// spelling of its fallback target.
+	allowDegraded  bool
+	degradedReason string
 }
 
 // coalesceKey identifies requests that must receive byte-identical
@@ -519,8 +611,9 @@ func decodeRequest(body io.Reader) (*decodedRequest, *apiError) {
 			DeadlineMs: deadline,
 			Estimator:  wire.Estimator,
 		},
-		target:   wire.Target,
-		budgetMs: wire.BudgetMs,
+		target:        wire.Target,
+		budgetMs:      wire.BudgetMs,
+		allowDegraded: wire.AllowDegraded,
 		key: coalesceKey{
 			name:      g.Name,
 			print:     fingerprintOf(g),

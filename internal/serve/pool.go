@@ -193,6 +193,17 @@ func (pp *PlannerPool) Route(budgetMs, overheadMs float64, minSamples uint64, el
 	return name, bestEst, true
 }
 
+// Fastest is Route without a budget: the fastest eligible device by
+// estimated warm-path latency, ties broken on registration order. This
+// is the deterministic fallback target for degraded serving — when a
+// request opts into allow_degraded, the gateway answers from here
+// instead of rejecting, and the spelling of the answer stays identical
+// to an explicit request for that device. ok is false only when
+// nothing was eligible.
+func (pp *PlannerPool) Fastest(overheadMs float64, minSamples uint64, eligible func(device string) bool) (name string, estMs float64, ok bool) {
+	return pp.Route(0, overheadMs, minSamples, eligible)
+}
+
 // Instrument registers every planner's series — each labeled with its
 // device — plus the shared cut cache on reg.
 func (pp *PlannerPool) Instrument(reg *telemetry.Registry) {

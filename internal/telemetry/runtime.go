@@ -14,15 +14,19 @@ import (
 // that cost per gauge.
 const memSampleTTL = time.Second
 
-// memSampler memoizes runtime.ReadMemStats across the gauges that
-// consume it.
-type memSampler struct {
+// MemSampler memoizes runtime.ReadMemStats across the consumers that
+// sample it (the runtime gauges here, the gateway's overload
+// controller), so a tight sampling loop never pays the stop-the-world
+// more than once per TTL. The zero value is ready to use.
+type MemSampler struct {
 	mu   sync.Mutex
 	at   time.Time
 	stat runtime.MemStats
 }
 
-func (m *memSampler) read() runtime.MemStats {
+// Read returns the memoized MemStats, refreshing it when the TTL has
+// elapsed.
+func (m *MemSampler) Read() runtime.MemStats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if now := time.Now(); m.at.IsZero() || now.Sub(m.at) >= memSampleTTL {
@@ -32,11 +36,11 @@ func (m *memSampler) read() runtime.MemStats {
 	return m.stat
 }
 
-// gcPauseP99 reports a conservative p99 over the runtime's ring of the
+// GCPauseP99 reports a conservative p99 over the runtime's ring of the
 // last 256 GC pauses: with fewer than 100 samples the max is returned,
 // matching the repo-wide rule that approximate quantiles over-report
 // rather than under-report.
-func gcPauseP99(ms *runtime.MemStats) float64 {
+func GCPauseP99(ms *runtime.MemStats) float64 {
 	n := int(ms.NumGC)
 	if n == 0 {
 		return 0
@@ -65,7 +69,7 @@ func gcPauseP99(ms *runtime.MemStats) float64 {
 // All are sampled at scrape time; registration itself reads no state.
 func RegisterRuntime(r *Registry) {
 	start := time.Now()
-	ms := &memSampler{}
+	ms := &MemSampler{}
 
 	r.GaugeFunc("netcut_runtime_goroutines",
 		"Current number of goroutines.",
@@ -73,14 +77,14 @@ func RegisterRuntime(r *Registry) {
 	r.GaugeFunc("netcut_runtime_heap_bytes",
 		"Bytes of live heap memory (runtime.MemStats.HeapAlloc).",
 		func() float64 {
-			stat := ms.read()
+			stat := ms.Read()
 			return float64(stat.HeapAlloc)
 		})
 	r.GaugeFunc("netcut_runtime_gc_pause_p99_ms",
 		"p99 GC stop-the-world pause over the runtime's recent pause window, milliseconds (conservative: reports max below 100 samples).",
 		func() float64 {
-			stat := ms.read()
-			return gcPauseP99(&stat)
+			stat := ms.Read()
+			return GCPauseP99(&stat)
 		})
 	r.GaugeFunc("netcut_runtime_uptime_seconds",
 		"Seconds since the process registered runtime metrics.",

@@ -7,7 +7,11 @@
 # to run on the warm path (cold counter stays 0) with a byte-identical
 # body. A final crash leg kills the daemon with -9 mid-traffic,
 # corrupts the primary snapshot, and requires the restart to recover
-# from the autosaved .bak generation with a warm first request.
+# from the autosaved .bak generation with a warm first request. An
+# overload leg floods a tiny-capacity instance past its queue depth
+# and asserts the load level rises, 429s carry backlog-honest
+# Retry-After hints, byte-cache hits keep serving, and the level
+# returns to 0 before a clean drain.
 #
 # Usage: scripts/smoke_gateway.sh [port]   (default 18080)
 set -euo pipefail
@@ -369,6 +373,125 @@ else
   code=$?
   echo "FAIL: byte-cache netserve exited $code after SIGTERM" >&2
   cat "$TMP/netserve5.log" >&2
+  exit 1
+fi
+PID=""
+
+# Overload leg: a tiny-capacity daemon (one lane worker, queue depth
+# 4, fast controller ticks, and a deliberately huge 250ms batch
+# window) is flooded by more concurrent posters than one open pass
+# can absorb. The window makes the backlog independent of how fast
+# the warm planner is on this host: the lone worker holds each pass
+# open for the full window once arrivals stop filling it, absorbing
+# at most BatchMax (16) requests per 250ms, so with ~24 posters the
+# 4-slot queue sits full for most of every window and the 50ms
+# controller ticks observe it. The load level must rise, rejections
+# must be structured 429s carrying a backlog-honest Retry-After,
+# byte-cache hits must keep serving through the overload, and the
+# level must return to 0 once the flood stops — before a clean
+# SIGTERM drain. (The ladder flaps by design: emergency sheds the
+# inflow, the queue drains, the level falls, and admission resumes —
+# the poll below only needs to observe one elevated sample.)
+"$BIN" -addr "$ADDR" -seed 1 -devices sim-xavier -queue 4 -workers 1 -shed-min-samples 1 -overload-interval 50ms -batch-window 250ms >"$TMP/netserve6.log" 2>&1 &
+PID=$!
+for _ in $(seq 1 50); do
+  curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  if ! kill -0 "$PID" 2>/dev/null; then
+    echo "FAIL: overload netserve died before becoming healthy" >&2
+    cat "$TMP/netserve6.log" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+
+# One identity warmed into the byte cache before the storm.
+[ "$(plan "$TMP/ov_hit.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+
+# Sustained flood: 24 parallel posters, each cycling unique deadlines
+# (every deadline is a distinct response identity, so every request is
+# a cold miss competing for the open pass and the 4-slot lane queue).
+rm -f "$TMP/ov_stop"
+ovpids=()
+for w in $(seq 1 24); do
+  (
+    i=0
+    while [ ! -f "$TMP/ov_stop" ] && [ "$i" -lt 500 ]; do
+      i=$((i + 1))
+      curl -s -o /dev/null -w '%{http_code}\n' -X POST \
+        -d "{\"network\":\"ResNet-50\",\"deadline_ms\":0.${w}$((100 + i))}" \
+        "http://$ADDR/v1/plan" >>"$TMP/ov_codes.$w" 2>/dev/null || true
+    done
+  ) &
+  ovpids+=("$!")
+done
+
+# The controller must publish a non-zero load level under the flood.
+LEVEL_SEEN=0
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/metrics" 2>/dev/null | grep -Eq '^netcut_gateway_load_level [12]'; then
+    LEVEL_SEEN=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$LEVEL_SEEN" = 1 ] || {
+  echo "FAIL: load level never rose under the flood" >&2
+  touch "$TMP/ov_stop"; cat "$TMP/netserve6.log" >&2; exit 1; }
+
+# A byte-cache hit keeps serving through the overload.
+[ "$(plan "$TMP/ov_hit2.json" '{"network":"ResNet-50","deadline_ms":0.9}')" = 200 ]
+same "$TMP/ov_hit.json" "$TMP/ov_hit2.json" || {
+  echo "FAIL: byte-cache hit body diverged under overload" >&2; exit 1; }
+
+# Probe the shed path directly: retry until a rejection lands (the
+# queue empties between waves), then require a structured 429 with a
+# backlog-honest Retry-After header and hint.
+SHED_OK=0
+for i in $(seq 1 50); do
+  CODE="$(curl -s -D "$TMP/ov_shed.hdr" -o "$TMP/ov_shed.json" -w '%{http_code}' -X POST \
+    -d "{\"network\":\"ResNet-50\",\"deadline_ms\":0.8$((900 + i))}" "http://$ADDR/v1/plan")"
+  if [ "$CODE" = 429 ]; then
+    grep -Eq '"code":"(queue_full|overload_shed)"' "$TMP/ov_shed.json" || {
+      echo "FAIL: overload 429 carried unexpected code" >&2; cat "$TMP/ov_shed.json" >&2; exit 1; }
+    grep -Eq '"retry_after_ms":[0-9.]+' "$TMP/ov_shed.json" || {
+      echo "FAIL: overload 429 body carries no retry_after_ms hint" >&2; cat "$TMP/ov_shed.json" >&2; exit 1; }
+    tr -d '\r' <"$TMP/ov_shed.hdr" | grep -iq '^retry-after: [0-9]' || {
+      echo "FAIL: overload 429 missing Retry-After header" >&2; cat "$TMP/ov_shed.hdr" >&2; exit 1; }
+    SHED_OK=1
+    break
+  fi
+done
+[ "$SHED_OK" = 1 ] || { echo "FAIL: flood never produced a 429" >&2; touch "$TMP/ov_stop"; exit 1; }
+
+# Flood off: the level must return to 0 (the ladder has no hysteresis)
+# and the transition counter must have moved.
+touch "$TMP/ov_stop"
+for p in "${ovpids[@]}"; do wait "$p" 2>/dev/null || true; done
+LEVEL_ZERO=0
+for _ in $(seq 1 100); do
+  if curl -fsS "http://$ADDR/metrics" 2>/dev/null | grep -Eq '^netcut_gateway_load_level 0'; then
+    LEVEL_ZERO=1
+    break
+  fi
+  sleep 0.1
+done
+[ "$LEVEL_ZERO" = 1 ] || {
+  echo "FAIL: load level did not return to 0 after the flood stopped" >&2
+  curl -fsS "http://$ADDR/metrics" | grep '^netcut_gateway_load' >&2 || true
+  exit 1; }
+curl -fsS "http://$ADDR/metrics" >"$TMP/metrics5"
+grep -Eq '^netcut_gateway_load_transitions_total [1-9]' "$TMP/metrics5" || {
+  echo "FAIL: load-level transitions were not counted" >&2; exit 1; }
+grep -Eq '^netcut_gateway_lane_concurrency\{device="sim-xavier"\} [1-9]' "$TMP/metrics5" || {
+  echo "FAIL: /metrics missing the per-lane AIMD concurrency gauge" >&2; exit 1; }
+
+kill -TERM "$PID"
+if wait "$PID"; then
+  echo "overload netserve drained cleanly"
+else
+  code=$?
+  echo "FAIL: overload netserve exited $code after SIGTERM" >&2
+  cat "$TMP/netserve6.log" >&2
   exit 1
 fi
 PID=""
